@@ -1,0 +1,74 @@
+// Ablation A3: greedy vs random vertex-cut in the PowerGraph engine — the
+// design choice the PowerGraph paper motivates (DESIGN.md inventory). The
+// greedy heuristic lowers the replication factor, which shrinks
+// master/mirror sync traffic and gather work, and therefore ProcessGraph
+// time. Granula's domain model makes the effect directly measurable.
+
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "common/strings.h"
+#include "graph/partition.h"
+
+namespace granula::bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "Ablation A3: vertex-cut strategy (PowerGraph BFS on dg_scale)\n\n");
+
+  graph::Graph g = MakeDgScaleGraph();
+
+  std::printf("replication factor by partitioner and cluster size:\n");
+  std::printf("%-10s %10s %10s\n", "ranks", "greedy", "random");
+  for (uint32_t ranks : {2u, 4u, 8u}) {
+    auto greedy = graph::PartitionVertexCutGreedy(g, ranks);
+    auto random = graph::PartitionVertexCutRandom(g, ranks, 1);
+    std::printf("%-10u %10.2f %10.2f\n", ranks,
+                greedy->ReplicationFactor(g.num_vertices()),
+                random->ReplicationFactor(g.num_vertices()));
+  }
+
+  std::printf("\nend-to-end effect (8 ranks):\n");
+  std::printf("%-24s %14s %14s %16s\n", "cut / interconnect",
+              "ProcessGraph", "total", "network bytes");
+  for (bool slow_network : {false, true}) {
+    for (bool random : {false, true}) {
+      platform::PowerGraphPlatform powergraph;
+      platform::JobConfig job = MakeJobConfig();
+      job.use_random_vertex_cut = random;
+      cluster::ClusterConfig cc = MakeDas5LikeCluster();
+      if (slow_network) cc.net_bytes_per_sec = 4.0 * 1024 * 1024;  // 4 MiB/s
+      auto result = powergraph.Run(g, MakeBfsSpec(), cc, job);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        continue;
+      }
+      auto archive = ArchiveJob(std::move(result).value(),
+                                core::MakePowerGraphModel(), "PowerGraph");
+      double tp = archive.root->InfoNumber("ProcessingTime") * 1e-9;
+      std::printf("%-24s %13.2fs %13.2fs %16s\n",
+                  StrFormat("%s / %s", random ? "random" : "greedy",
+                            slow_network ? "4 MiB/s" : "10 Gbit/s")
+                      .c_str(),
+                  tp, archive.root->Duration().seconds(),
+                  HumanBytes(static_cast<double>(archive.root->InfoNumber(
+                                 "NetworkBytes", 0)))
+                      .c_str());
+    }
+  }
+  std::printf(
+      "\nexpected shape: greedy replicates less, so it moves ~1.5x fewer "
+      "bytes of master/mirror sync traffic. On a fast interconnect that "
+      "barely shows in time (gather work per edge is cut-invariant); on a "
+      "slow one the random cut's extra traffic lengthens ProcessGraph — "
+      "the regime the PowerGraph paper's claim targets.\n");
+}
+
+}  // namespace
+}  // namespace granula::bench
+
+int main() {
+  granula::bench::Run();
+  return 0;
+}

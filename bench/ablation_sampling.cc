@@ -1,0 +1,87 @@
+// Ablation A2: environment-monitor sampling interval vs the fidelity of
+// CPU-to-operation attribution (the mapping behind paper Figs. 6-7).
+// Coarser sampling is cheaper (fewer environment records) but smears CPU
+// time across phase boundaries. Ground truth is the finest sampling run.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "common/strings.h"
+
+namespace granula::bench {
+namespace {
+
+// CPU-seconds attributed to each domain phase by integrating samples whose
+// window end falls inside the phase.
+std::map<std::string, double> PhaseCpu(
+    const core::PerformanceArchive& archive, double interval) {
+  std::map<std::string, double> out;
+  for (const auto& child : archive.root->children) {
+    double begin = child->StartTime().seconds();
+    double end = child->EndTime().seconds();
+    double cpu = 0;
+    for (const core::EnvironmentRecord& r : archive.environment) {
+      if (r.time_seconds > begin && r.time_seconds <= end + 1e-9) {
+        cpu += r.cpu_seconds_per_second * interval;
+      }
+    }
+    out[child->mission_id] = cpu;
+  }
+  return out;
+}
+
+core::PerformanceArchive RunWithInterval(double seconds) {
+  platform::GiraphPlatform giraph;
+  platform::JobConfig job = MakeJobConfig();
+  job.monitor_interval = SimTime::Seconds(seconds);
+  auto result = giraph.Run(MakeDgScaleGraph(), MakeBfsSpec(),
+                           MakeDas5LikeCluster(), job);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    std::abort();
+  }
+  return ArchiveJob(std::move(result).value(), core::MakeGiraphModel(),
+                    "Giraph");
+}
+
+void Run() {
+  std::printf(
+      "Ablation A2: monitor sampling interval vs CPU-attribution error\n"
+      "(Giraph BFS on dg_scale; ground truth = 0.1s sampling)\n\n");
+
+  core::PerformanceArchive truth = RunWithInterval(0.1);
+  std::map<std::string, double> truth_cpu = PhaseCpu(truth, 0.1);
+  double truth_total = 0;
+  for (const auto& [phase, cpu] : truth_cpu) truth_total += cpu;
+
+  std::printf("%-10s %10s %16s %18s\n", "interval", "samples",
+              "records/s (sim)", "attribution error");
+  for (double interval : {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    core::PerformanceArchive archive = RunWithInterval(interval);
+    std::map<std::string, double> cpu = PhaseCpu(archive, interval);
+    double error = 0;
+    for (const auto& [phase, truth_value] : truth_cpu) {
+      error += std::abs(cpu[phase] - truth_value);
+    }
+    double duration = archive.root->Duration().seconds();
+    std::printf("%8.2fs %10zu %16.1f %17.2f%%\n", interval,
+                archive.environment.size(),
+                archive.environment.size() / duration,
+                truth_total > 0 ? 100.0 * error / truth_total : 0.0);
+  }
+  std::printf(
+      "\nexpected shape: error grows with the interval (phase-boundary "
+      "smearing), record volume shrinks ~linearly; ~1s (the paper's "
+      "setting) keeps error in the low percent range.\n");
+}
+
+}  // namespace
+}  // namespace granula::bench
+
+int main() {
+  granula::bench::Run();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces paper Figs. 3 and 4 — which are not measurements but model
+// artifacts: Fig. 3 is the domain-level breakdown of any graph-processing
+// job, Fig. 4 the 4-level Giraph performance model. Both are first-class
+// objects in this library, so the "reproduction" is printing them from
+// code (the same objects every other bench archives against).
+
+#include <cstdio>
+
+#include "granula/models/models.h"
+#include "granula/visual/model_view.h"
+
+int main() {
+  using namespace granula;
+  std::printf(
+      "Fig. 3 reproduction: the domain-level model shared by every "
+      "platform\n(Setup -> startup | load | processing | offload | "
+      "cleanup)\n\n%s\n",
+      core::RenderModelTree(core::MakeGraphProcessingDomainModel())
+          .c_str());
+  std::printf(
+      "Fig. 4 reproduction: the Giraph performance model (domain, system, "
+      "implementation levels)\n\n%s",
+      core::RenderModelTree(core::MakeGiraphModel()).c_str());
+  return 0;
+}

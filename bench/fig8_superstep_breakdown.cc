@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 8: compute-workload distribution among Giraph
+// workers across supersteps, at the implementation level of the model
+// (PreStep / Compute / Message / PostStep). Expected shape: one mid-run
+// superstep dominates (the BFS frontier explosion — "Compute-4" in the
+// paper), workers are imbalanced within a superstep, and barrier waits
+// (PostStep) are visible. Writes fig8_superstep_timeline.svg.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "common/strings.h"
+#include "granula/visual/svg.h"
+#include "granula/visual/text.h"
+
+namespace granula::bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "Fig. 8 reproduction: per-worker superstep breakdown (Giraph BFS)\n"
+      "paper: Compute-4 takes significantly longer; workers imbalanced; "
+      "synchronization overhead visible as PreStep/PostStep\n\n");
+
+  core::PerformanceArchive archive = ArchiveJob(
+      RunGiraphReferenceJob(), core::MakeGiraphModel(), "Giraph");
+
+  // Per-superstep table: compute time per worker.
+  std::map<std::string, std::map<std::string, double>> compute;  // step->worker->s
+  std::map<std::string, double> superstep_total;
+  for (const core::ArchivedOperation* op :
+       archive.FindOperations("Worker", "Compute")) {
+    compute[op->mission_id][op->actor_id] = op->Duration().seconds();
+  }
+  for (const core::ArchivedOperation* op :
+       archive.FindOperations("Master", "Superstep")) {
+    superstep_total[op->mission_id] = op->Duration().seconds();
+  }
+
+  std::printf("compute time per worker per superstep (seconds):\n");
+  std::printf("%-12s", "");
+  for (int w = 1; w <= 8; ++w) std::printf(" Worker-%d", w);
+  std::printf("  imbalance\n");
+  std::string dominant;
+  double dominant_time = 0;
+  for (const auto& [step, workers] : compute) {
+    std::printf("%-12s", step.c_str());
+    double min = 1e300, max = 0;
+    for (int w = 1; w <= 8; ++w) {
+      auto it = workers.find(StrFormat("Worker-%d", w));
+      double t = it == workers.end() ? 0.0 : it->second;
+      std::printf(" %8.3f", t);
+      min = std::min(min, t);
+      max = std::max(max, t);
+    }
+    std::printf("  %8.2fx\n", min > 0 ? max / min : 0.0);
+    if (max > dominant_time) {
+      dominant_time = max;
+      dominant = step;
+    }
+  }
+  std::printf("\ndominant superstep: %s (paper: Compute-4)\n",
+              dominant.c_str());
+
+  // Overhead share: time inside LocalSuperstep not spent in Compute.
+  double compute_total = 0, local_total = 0;
+  for (const core::ArchivedOperation* op :
+       archive.FindOperations("Worker", "Compute")) {
+    compute_total += op->Duration().seconds();
+  }
+  for (const core::ArchivedOperation* op :
+       archive.FindOperations("Worker", "LocalSuperstep")) {
+    local_total += op->Duration().seconds();
+  }
+  std::printf("synchronization/overhead share of worker superstep time: %s\n",
+              HumanPercent(local_total > 0
+                               ? 1.0 - compute_total / local_total
+                               : 0.0)
+                  .c_str());
+
+  std::printf("\n%s\n",
+              RenderActorTimeline(archive, "Worker", "LocalSuperstep", 76)
+                  .c_str());
+
+  Status s = core::WriteSvgFile(
+      "fig8_superstep_timeline.svg",
+      core::RenderTimelineSvg(archive, "Worker", "LocalSuperstep"));
+  if (!s.ok()) std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  std::printf("SVG written to fig8_superstep_timeline.svg\n");
+}
+
+}  // namespace
+}  // namespace granula::bench
+
+int main() {
+  granula::bench::Run();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Micro-benchmarks for the substrates: simulation-kernel event throughput,
+// synchronization primitives, partitioners, generators, and small
+// end-to-end platform runs. These bound how large a simulated experiment
+// can get before host time becomes the constraint.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "platforms/giraph.h"
+#include "platforms/powergraph.h"
+#include "sim/resources.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace granula {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int64_t counter = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.ScheduleAt(SimTime::Nanos(i), [&counter] { ++counter; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(100000);
+
+sim::Task<> PingPong(sim::Simulator& sim, int hops) {
+  for (int i = 0; i < hops; ++i) {
+    co_await sim.Delay(SimTime::Nanos(1));
+  }
+}
+
+void BM_CoroutineDelayHops(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.Spawn(PingPong(sim, static_cast<int>(state.range(0))));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelayHops)->Arg(1000)->Arg(100000);
+
+sim::Task<> BarrierLoop(sim::Simulator& sim, sim::Barrier& barrier,
+                        int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await sim.Delay(SimTime::Nanos(1));
+    co_await barrier.Arrive();
+  }
+}
+
+void BM_BarrierRounds(benchmark::State& state) {
+  const int parties = 8;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Barrier barrier(&sim, parties);
+    for (int p = 0; p < parties; ++p) {
+      sim.Spawn(BarrierLoop(sim, barrier, static_cast<int>(state.range(0))));
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * parties);
+}
+BENCHMARK(BM_BarrierRounds)->Arg(1000);
+
+void BM_GenerateDatagen(benchmark::State& state) {
+  graph::DatagenConfig config;
+  config.num_vertices = static_cast<uint64_t>(state.range(0));
+  config.avg_degree = 10.0;
+  for (auto _ : state) {
+    auto g = graph::GenerateDatagen(config);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateDatagen)->Arg(10000)->Arg(100000);
+
+void BM_PartitionEdgeCut(benchmark::State& state) {
+  auto g = graph::GenerateUniform(static_cast<uint64_t>(state.range(0)),
+                                  static_cast<uint64_t>(state.range(0)) * 8,
+                                  7);
+  for (auto _ : state) {
+    auto p = graph::PartitionEdgeCut(*g, 8);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g->num_edges()));
+}
+BENCHMARK(BM_PartitionEdgeCut)->Arg(10000)->Arg(100000);
+
+void BM_PartitionVertexCutGreedy(benchmark::State& state) {
+  auto g = graph::GenerateUniform(static_cast<uint64_t>(state.range(0)),
+                                  static_cast<uint64_t>(state.range(0)) * 8,
+                                  7);
+  for (auto _ : state) {
+    auto p = graph::PartitionVertexCutGreedy(*g, 8);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g->num_edges()));
+}
+BENCHMARK(BM_PartitionVertexCutGreedy)->Arg(10000)->Arg(100000);
+
+graph::Graph SmallDatagen() {
+  graph::DatagenConfig config;
+  config.num_vertices = 5000;
+  config.avg_degree = 8.0;
+  config.seed = 12;
+  return std::move(graph::GenerateDatagen(config)).value();
+}
+
+algo::AlgorithmSpec Bfs() {
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kBfs;
+  spec.source = 1;
+  return spec;
+}
+
+void BM_GiraphJobEndToEnd(benchmark::State& state) {
+  graph::Graph g = SmallDatagen();
+  platform::GiraphPlatform giraph;
+  for (auto _ : state) {
+    auto result = giraph.Run(g, Bfs(), cluster::ClusterConfig{},
+                             platform::JobConfig{});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_GiraphJobEndToEnd);
+
+void BM_PowerGraphJobEndToEnd(benchmark::State& state) {
+  graph::Graph g = SmallDatagen();
+  platform::PowerGraphPlatform powergraph;
+  for (auto _ : state) {
+    auto result = powergraph.Run(g, Bfs(), cluster::ClusterConfig{},
+                                 platform::JobConfig{});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_PowerGraphJobEndToEnd);
+
+}  // namespace
+}  // namespace granula
+
+BENCHMARK_MAIN();

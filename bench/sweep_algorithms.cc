@@ -1,0 +1,108 @@
+// Supplementary sweep S2: processing time (Tp) for every platform x
+// algorithm pair — the "navigating the maze of graph analytics
+// frameworks" comparison ([23] in the paper) that the shared domain model
+// makes possible with one metric definition. Expected shapes: frontier
+// engines (PGX.D) win traversals; SpMV (GraphMat) is competitive on
+// all-active PageRank but pays full-matrix streaming on BFS/SSSP/WCC;
+// Hadoop is last everywhere; all platforms compute identical values.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "common/strings.h"
+#include "platforms/graphmat.h"
+#include "platforms/hadoop.h"
+#include "platforms/pgxd.h"
+
+namespace granula::bench {
+namespace {
+
+// A moderate graph keeps 20 full runs fast.
+graph::Graph SweepGraph() {
+  graph::DatagenConfig config;
+  config.num_vertices = 30000;
+  config.avg_degree = 12.0;
+  config.seed = 1000;
+  return std::move(graph::GenerateDatagen(config)).value();
+}
+
+template <typename Platform>
+double RunTp(Platform& platform, const graph::Graph& g,
+             algo::AlgorithmId id) {
+  algo::AlgorithmSpec spec;
+  spec.id = id;
+  spec.source = 1;
+  spec.max_iterations = 6;
+  auto result =
+      platform.Run(g, spec, MakeDas5LikeCluster(), MakeJobConfig());
+  if (!result.ok()) return -1;
+  auto archive = core::Archiver().Build(
+      core::MakeGraphProcessingDomainModel(), result->records, {}, {});
+  if (!archive.ok()) return -1;
+  return archive->root->InfoNumber("ProcessingTime") * 1e-9;
+}
+
+void Run() {
+  std::printf(
+      "Sweep S2: processing time Tp (seconds) per platform and algorithm\n"
+      "(30k-vertex Datagen graph, 8 nodes; identical outputs across "
+      "platforms are enforced by the test suite)\n\n");
+
+  graph::Graph g = SweepGraph();
+  constexpr algo::AlgorithmId kAlgorithms[] = {
+      algo::AlgorithmId::kBfs, algo::AlgorithmId::kSssp,
+      algo::AlgorithmId::kWcc, algo::AlgorithmId::kPageRank};
+
+  std::printf("%-12s %10s %10s %10s %10s\n", "platform", "BFS", "SSSP",
+              "WCC", "PageRank");
+  {
+    platform::GiraphPlatform p;
+    std::printf("%-12s", "Giraph");
+    for (algo::AlgorithmId id : kAlgorithms) {
+      std::printf(" %9.2fs", RunTp(p, g, id));
+    }
+    std::printf("\n");
+  }
+  {
+    platform::PowerGraphPlatform p;
+    std::printf("%-12s", "PowerGraph");
+    for (algo::AlgorithmId id : kAlgorithms) {
+      std::printf(" %9.2fs", RunTp(p, g, id));
+    }
+    std::printf("\n");
+  }
+  {
+    platform::PgxdPlatform p;
+    std::printf("%-12s", "PGX.D");
+    for (algo::AlgorithmId id : kAlgorithms) {
+      std::printf(" %9.2fs", RunTp(p, g, id));
+    }
+    std::printf("\n");
+  }
+  {
+    platform::GraphMatPlatform p;
+    std::printf("%-12s", "GraphMat");
+    for (algo::AlgorithmId id : kAlgorithms) {
+      std::printf(" %9.2fs", RunTp(p, g, id));
+    }
+    std::printf("\n");
+  }
+  {
+    platform::HadoopPlatform p;
+    std::printf("%-12s", "Hadoop");
+    for (algo::AlgorithmId id : kAlgorithms) {
+      std::printf(" %9.2fs", RunTp(p, g, id));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace granula::bench
+
+int main() {
+  granula::bench::Run();
+  return 0;
+}

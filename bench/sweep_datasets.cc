@@ -1,0 +1,95 @@
+// Supplementary sweep S3: robustness of the Fig. 5 decomposition across
+// datasets. The paper reports one run on one graph; here the same Giraph
+// BFS experiment repeats over ten different Datagen instances (different
+// seeds) and over structurally different graphs (R-MAT, uniform), and the
+// phase fractions are summarized as mean +/- stdev. A stable decomposition
+// is what makes the paper's single-run Fig. 5 numbers meaningful.
+
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace granula::bench {
+namespace {
+
+struct Fractions {
+  double setup, io, processing;
+};
+
+Fractions RunOnce(const graph::Graph& g) {
+  platform::GiraphPlatform giraph;
+  auto result =
+      giraph.Run(g, MakeBfsSpec(), MakeDas5LikeCluster(), MakeJobConfig());
+  auto archive = core::Archiver().Build(
+      core::MakeGraphProcessingDomainModel(), result->records, {}, {});
+  const core::ArchivedOperation& root = *archive->root;
+  return Fractions{root.InfoNumber("SetupTimeFraction"),
+                   root.InfoNumber("IoTimeFraction"),
+                   root.InfoNumber("ProcessingTimeFraction")};
+}
+
+void Run() {
+  std::printf(
+      "Sweep S3: stability of the Giraph BFS decomposition across "
+      "datasets\n\n");
+
+  Summary setup, io, processing;
+  std::printf("ten Datagen instances (100k vertices, seeds 1..10):\n");
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    graph::DatagenConfig config;
+    config.num_vertices = 100000;
+    config.avg_degree = 15.0;
+    config.seed = seed;
+    auto g = graph::GenerateDatagen(config);
+    if (!g.ok()) continue;
+    Fractions f = RunOnce(*g);
+    setup.Add(f.setup);
+    io.Add(f.io);
+    processing.Add(f.processing);
+  }
+  auto print_row = [](const char* name, const Summary& s) {
+    std::printf("  %-14s mean %5.1f%%  stdev %4.2fpp  [%4.1f%%, %4.1f%%]\n",
+                name, 100 * s.Mean(), 100 * s.Stdev(), 100 * s.Min(),
+                100 * s.Max());
+  };
+  print_row("Setup (Ts)", setup);
+  print_row("I/O (Td)", io);
+  print_row("Processing", processing);
+
+  std::printf("\nother graph families (same scale):\n");
+  std::printf("  %-14s %8s %8s %8s\n", "family", "Ts", "Td", "Tp");
+  {
+    graph::RmatConfig config;
+    config.scale = 17;  // 131k vertices
+    config.edge_factor = 11.0;
+    auto g = graph::GenerateRmat(config);
+    if (g.ok()) {
+      Fractions f = RunOnce(*g);
+      std::printf("  %-14s %7.1f%% %7.1f%% %7.1f%%\n", "rmat-17",
+                  100 * f.setup, 100 * f.io, 100 * f.processing);
+    }
+  }
+  {
+    auto g = graph::GenerateUniform(100000, 750000, 77);
+    if (g.ok()) {
+      Fractions f = RunOnce(*g);
+      std::printf("  %-14s %7.1f%% %7.1f%% %7.1f%%\n", "uniform",
+                  100 * f.setup, 100 * f.io, 100 * f.processing);
+    }
+  }
+  std::printf(
+      "\nexpected shape: across Datagen seeds the fractions move by at "
+      "most a few percentage points (the decomposition is a property of "
+      "the platform, not the dataset instance); different graph families "
+      "shift Tp moderately but preserve the ordering Td > Ts > Tp.\n");
+}
+
+}  // namespace
+}  // namespace granula::bench
+
+int main() {
+  granula::bench::Run();
+  return 0;
+}

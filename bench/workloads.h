@@ -1,0 +1,103 @@
+#ifndef GRANULA_BENCH_WORKLOADS_H_
+#define GRANULA_BENCH_WORKLOADS_H_
+
+// The reference workload shared by every figure bench: BFS on a Datagen-
+// like social graph ("dg_scale"), 8 compute nodes, 8 workers — a scaled
+// version of the paper's experiment (BFS on dg1000, 8 DAS5 nodes). See
+// DESIGN.md for the substitution rationale and EXPERIMENTS.md for the
+// paper-vs-measured record.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "algorithms/api.h"
+#include "cluster/cluster.h"
+#include "granula/archive/archiver.h"
+#include "granula/models/models.h"
+#include "graph/generators.h"
+#include "platforms/giraph.h"
+#include "platforms/platform.h"
+#include "platforms/powergraph.h"
+
+namespace granula::bench {
+
+// dg_scale: ~100k vertices + ~750k edges (~0.85M entities; dg1000 has
+// 1.03B, so unit costs in the cost model are scaled up accordingly).
+inline graph::Graph MakeDgScaleGraph() {
+  graph::DatagenConfig config;
+  config.num_vertices = 100000;
+  config.avg_degree = 15.0;
+  config.degree_exponent = 1.25;
+  config.seed = 1000;  // "dg1000", scaled
+  auto g = graph::GenerateDatagen(config);
+  if (!g.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 g.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(g).value();
+}
+
+inline cluster::ClusterConfig MakeDas5LikeCluster() {
+  return cluster::ClusterConfig{};  // 8 nodes x 16 cores, see cluster.h
+}
+
+inline algo::AlgorithmSpec MakeBfsSpec() {
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kBfs;
+  spec.source = 1;  // an ordinary (non-hub) vertex, like Graphalytics BFS
+  return spec;
+}
+
+inline platform::JobConfig MakeJobConfig() {
+  platform::JobConfig config;
+  config.num_workers = 8;
+  config.compute_threads = 8;
+  return config;
+}
+
+inline platform::JobResult RunGiraphReferenceJob() {
+  platform::GiraphPlatform giraph;
+  auto result = giraph.Run(MakeDgScaleGraph(), MakeBfsSpec(),
+                           MakeDas5LikeCluster(), MakeJobConfig());
+  if (!result.ok()) {
+    std::fprintf(stderr, "giraph job failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline platform::JobResult RunPowerGraphReferenceJob() {
+  platform::PowerGraphPlatform powergraph;
+  auto result = powergraph.Run(MakeDgScaleGraph(), MakeBfsSpec(),
+                               MakeDas5LikeCluster(), MakeJobConfig());
+  if (!result.ok()) {
+    std::fprintf(stderr, "powergraph job failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline core::PerformanceArchive ArchiveJob(
+    platform::JobResult result, const core::PerformanceModel& model,
+    const std::string& platform_name) {
+  auto archive = core::Archiver().Build(
+      model, result.records, std::move(result.environment),
+      {{"platform", platform_name},
+       {"algorithm", "BFS"},
+       {"graph", "dg_scale"},
+       {"nodes", "8"}});
+  if (!archive.ok()) {
+    std::fprintf(stderr, "archiving failed: %s\n",
+                 archive.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(archive).value();
+}
+
+}  // namespace granula::bench
+
+#endif  // GRANULA_BENCH_WORKLOADS_H_

@@ -1,0 +1,91 @@
+// Cross-platform comparison (the paper's Section 4.2 workflow): run the
+// same workload on two very different platforms, archive both under the
+// *shared domain-level model*, and compare the common metrics Ts / Td / Tp
+// — the comparison the identical domain vocabulary exists for.
+//
+// Sweeps all four Pregel+GAS algorithms so the comparison is not
+// BFS-specific.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+#include "granula/archive/archiver.h"
+#include "granula/models/models.h"
+#include "graph/generators.h"
+#include "platforms/giraph.h"
+#include "platforms/powergraph.h"
+
+namespace {
+
+using namespace granula;
+
+struct Row {
+  std::string platform;
+  std::string algorithm;
+  double total, ts, td, tp;
+};
+
+Row MakeRow(const std::string& platform_name, const std::string& algorithm,
+            const core::PerformanceArchive& archive) {
+  const core::ArchivedOperation& root = *archive.root;
+  return Row{platform_name, algorithm, root.Duration().seconds(),
+             root.InfoNumber("SetupTime") * 1e-9,
+             root.InfoNumber("IoTime") * 1e-9,
+             root.InfoNumber("ProcessingTime") * 1e-9};
+}
+
+}  // namespace
+
+int main() {
+  graph::DatagenConfig config;
+  config.num_vertices = 20000;
+  config.avg_degree = 10.0;
+  config.seed = 7;
+  auto graph = graph::GenerateDatagen(config);
+  if (!graph.ok()) return 1;
+
+  core::PerformanceModel domain = core::MakeGraphProcessingDomainModel();
+  platform::GiraphPlatform giraph;
+  platform::PowerGraphPlatform powergraph;
+
+  std::vector<Row> rows;
+  for (algo::AlgorithmId id :
+       {algo::AlgorithmId::kBfs, algo::AlgorithmId::kSssp,
+        algo::AlgorithmId::kWcc, algo::AlgorithmId::kPageRank}) {
+    algo::AlgorithmSpec spec;
+    spec.id = id;
+    spec.source = 1;
+    spec.max_iterations = 5;
+
+    auto giraph_run = giraph.Run(*graph, spec, cluster::ClusterConfig{},
+                                 platform::JobConfig{});
+    auto powergraph_run = powergraph.Run(
+        *graph, spec, cluster::ClusterConfig{}, platform::JobConfig{});
+    if (!giraph_run.ok() || !powergraph_run.ok()) return 1;
+
+    // Same domain model for both platforms: directly comparable numbers.
+    auto ga = core::Archiver().Build(domain, giraph_run->records, {}, {});
+    auto pa =
+        core::Archiver().Build(domain, powergraph_run->records, {}, {});
+    if (!ga.ok() || !pa.ok()) return 1;
+    rows.push_back(MakeRow("Giraph", std::string(algo::AlgorithmName(id)),
+                           *ga));
+    rows.push_back(MakeRow("PowerGraph",
+                           std::string(algo::AlgorithmName(id)), *pa));
+  }
+
+  std::printf("domain-level comparison, 20k-vertex Datagen graph, 8 nodes\n");
+  std::printf("%-12s %-10s %9s %9s %9s %9s %8s\n", "platform", "algorithm",
+              "total", "Ts", "Td", "Tp", "Tp/total");
+  for (const Row& row : rows) {
+    std::printf("%-12s %-10s %8.2fs %8.2fs %8.2fs %8.2fs %7.1f%%\n",
+                row.platform.c_str(), row.algorithm.c_str(), row.total,
+                row.ts, row.td, row.tp, 100.0 * row.tp / row.total);
+  }
+  std::printf(
+      "\nreading the table (as the paper does): PowerGraph's engine "
+      "processes faster (smaller Tp),\nbut its sequential loader makes Td "
+      "dominate; Giraph pays heavy Ts to YARN on every job.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Performance regression testing with archives — the paper's vision of
+// performance analysis "as part of standard software engineering
+// practices". A CI pipeline would:
+//
+//   1. keep a committed baseline archive (JSON) produced from a known-good
+//      build,
+//   2. run the same job on every change,
+//   3. compare the candidate archive against the baseline and fail the
+//      gate on regressions.
+//
+// Here the "code change" is simulated as a platform misconfiguration: the
+// candidate Giraph run uses a pathologically small compute-thread count,
+// the kind of silent config slip Section 1 of the paper warns about.
+
+#include <cstdio>
+
+#include "granula/analysis/regression.h"
+#include "granula/archive/archiver.h"
+#include "granula/models/models.h"
+#include "graph/generators.h"
+#include "platforms/giraph.h"
+
+using namespace granula;
+
+namespace {
+
+core::PerformanceArchive RunJob(int compute_threads) {
+  graph::DatagenConfig config;
+  config.num_vertices = 25000;
+  config.avg_degree = 12.0;
+  config.seed = 9;
+  auto graph = graph::GenerateDatagen(config);
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kBfs;
+  spec.source = 1;
+  platform::JobConfig job;
+  job.compute_threads = compute_threads;
+  platform::GiraphPlatform giraph;
+  auto result = giraph.Run(*graph, spec, cluster::ClusterConfig{}, job);
+  auto archive = core::Archiver().Build(core::MakeGiraphModel(),
+                                        result->records, {}, {});
+  return std::move(archive).value();
+}
+
+}  // namespace
+
+int main() {
+  // 1. Baseline from the known-good configuration (8 compute threads)...
+  core::PerformanceArchive baseline = RunJob(8);
+  // ...which would normally be committed as JSON and re-loaded:
+  std::string stored = baseline.ToJsonString();
+  auto reloaded = core::PerformanceArchive::FromJsonString(stored);
+  if (!reloaded.ok()) return 1;
+  std::printf("baseline archive: %llu operations, %zu bytes of JSON\n\n",
+              static_cast<unsigned long long>(reloaded->OperationCount()),
+              stored.size());
+
+  // 2. Candidate run with the misconfiguration (1 compute thread).
+  core::PerformanceArchive candidate = RunJob(1);
+
+  // 3. Gate: compare at domain level first (stable), then drill.
+  core::RegressionOptions domain_gate;
+  domain_gate.max_depth = 2;
+  core::RegressionReport report =
+      core::CompareArchives(*reloaded, candidate, domain_gate);
+  std::printf("--- domain-level gate ---\n%s\n",
+              core::RenderRegressionReport(report).c_str());
+
+  if (report.HasRegressions()) {
+    // Drill down for the commit comment: which operations regressed most?
+    core::RegressionOptions full;
+    full.min_seconds = 0.2;
+    core::RegressionReport detail =
+        core::CompareArchives(*reloaded, candidate, full);
+    std::printf("--- detail (operations > 0.2s) ---\n%s",
+                core::RenderRegressionReport(detail).c_str());
+    std::printf("\nverdict: FAIL — the gate would block this change.\n");
+    return 2;
+  }
+  std::printf("verdict: PASS\n");
+  return 0;
+}

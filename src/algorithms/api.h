@@ -1,0 +1,48 @@
+#ifndef GRANULA_ALGORITHMS_API_H_
+#define GRANULA_ALGORITHMS_API_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace granula::algo {
+
+// The Graphalytics core algorithms. BFS is the paper's headline workload
+// (Section 4); the rest exercise the engines more broadly. LCC is
+// implemented as a reference algorithm only: the platform engines exchange
+// scalar messages, and LCC needs adjacency-list messages (documented
+// limitation, matching the scope of the paper's experiments).
+enum class AlgorithmId {
+  kBfs,
+  kPageRank,
+  kWcc,
+  kSssp,
+  kCdlp,
+  kLcc,
+};
+
+std::string_view AlgorithmName(AlgorithmId id);
+Result<AlgorithmId> ParseAlgorithm(std::string_view name);
+
+// Parameters for a run. Only the fields relevant to the algorithm are used.
+struct AlgorithmSpec {
+  AlgorithmId id = AlgorithmId::kBfs;
+  graph::VertexId source = 0;    // BFS, SSSP
+  uint64_t max_iterations = 10;  // PageRank, CDLP
+  double damping = 0.85;         // PageRank
+};
+
+// Deterministic synthetic edge weight in [1, 8], derived from the endpoint
+// ids. Both the platform engines and the reference SSSP use this function,
+// so their outputs are directly comparable without storing weights.
+double EdgeWeight(graph::VertexId u, graph::VertexId v);
+
+// Sentinel for "unreached" distances in BFS/SSSP vertex values.
+inline constexpr double kInfinity = 1e300;
+
+}  // namespace granula::algo
+
+#endif  // GRANULA_ALGORITHMS_API_H_

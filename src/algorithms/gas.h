@@ -1,0 +1,64 @@
+#ifndef GRANULA_ALGORITHMS_GAS_H_
+#define GRANULA_ALGORITHMS_GAS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "algorithms/api.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace granula::algo {
+
+// The Gather-Apply-Scatter model, as used by the simulated PowerGraph
+// engine. The engine invokes, per active vertex and iteration:
+//   acc = fold(Gather(edge) for each gather edge)  -- distributed over mirrors
+//   new_value = Apply(old_value, acc)              -- on the master replica
+//   for each scatter edge: maybe activate neighbor -- distributed over mirrors
+class GasProgram {
+ public:
+  virtual ~GasProgram() = default;
+
+  virtual double InitialValue(graph::VertexId v,
+                              uint64_t num_vertices) const = 0;
+  virtual bool InitiallyActive(graph::VertexId v) const = 0;
+
+  // Identity element for the gather accumulator.
+  virtual double GatherInit() const = 0;
+
+  // Contribution of one edge (self, other) given the neighbor's value and
+  // (undirected) degree. PageRank divides by the neighbor's degree here.
+  virtual double Gather(graph::VertexId self, graph::VertexId other,
+                        double other_value, uint64_t other_degree) const = 0;
+
+  // Commutative/associative fold of two partial accumulators — the property
+  // PowerGraph exploits to gather on mirrors before combining at the master.
+  virtual double Sum(double a, double b) const = 0;
+
+  struct ApplyResult {
+    double new_value;
+    bool scatter;  // run the scatter phase for this vertex?
+  };
+  virtual ApplyResult Apply(graph::VertexId v, double old_value,
+                            double acc, uint64_t num_vertices) const = 0;
+
+  // During scatter on edge (self, other): should `other` be active next
+  // iteration?
+  virtual bool ScatterActivates(graph::VertexId self, graph::VertexId other,
+                                double new_value,
+                                double other_value) const = 0;
+
+  // Hard iteration cap (0 = run until no vertex is active).
+  virtual uint64_t max_iterations() const { return 0; }
+
+  // Fixed-round algorithms (PageRank) keep every vertex active until the
+  // iteration cap instead of using scatter-driven activation.
+  virtual bool always_active() const { return false; }
+};
+
+// Factory: builds the GAS program for `spec`. Fails for LCC.
+Result<std::unique_ptr<GasProgram>> MakeGasProgram(const AlgorithmSpec& spec);
+
+}  // namespace granula::algo
+
+#endif  // GRANULA_ALGORITHMS_GAS_H_

@@ -1,0 +1,70 @@
+#ifndef GRANULA_ALGORITHMS_PREGEL_H_
+#define GRANULA_ALGORITHMS_PREGEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "algorithms/api.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace granula::algo {
+
+// The vertex-centric (Pregel) programming model, as used by the simulated
+// Giraph engine. Vertex values and messages are doubles; every Graphalytics
+// algorithm except LCC is expressible this way.
+
+// Engine-provided view of one vertex during Compute().
+class PregelVertexContext {
+ public:
+  virtual ~PregelVertexContext() = default;
+
+  virtual graph::VertexId vertex_id() const = 0;
+  virtual uint64_t superstep() const = 0;
+  virtual uint64_t num_vertices() const = 0;
+
+  virtual double value() const = 0;
+  virtual void set_value(double v) = 0;
+
+  virtual std::span<const graph::VertexId> neighbors() const = 0;
+
+  virtual void SendTo(graph::VertexId target, double message) = 0;
+  virtual void SendToAllNeighbors(double message) = 0;
+
+  // An inactive vertex skips Compute() until a message re-activates it.
+  virtual void VoteToHalt() = 0;
+};
+
+// Optional message combiner, applied before delivery (and, in a distributed
+// engine, before network transfer — Giraph's classic optimization).
+enum class Combiner { kNone, kMin, kMax, kSum };
+
+class PregelProgram {
+ public:
+  virtual ~PregelProgram() = default;
+
+  virtual double InitialValue(graph::VertexId v,
+                              uint64_t num_vertices) const = 0;
+
+  // Whether every vertex starts active (PageRank/CDLP/WCC) or only some
+  // (BFS/SSSP start the source only).
+  virtual bool InitiallyActive(graph::VertexId v) const = 0;
+
+  virtual void Compute(PregelVertexContext& ctx,
+                       std::span<const double> messages) const = 0;
+
+  virtual Combiner combiner() const { return Combiner::kNone; }
+
+  // Hard superstep cap (0 = run until all vertices halt).
+  virtual uint64_t max_supersteps() const { return 0; }
+};
+
+// Factory: builds the vertex program for `spec`. Fails for algorithms that
+// have no Pregel formulation here (LCC).
+Result<std::unique_ptr<PregelProgram>> MakePregelProgram(
+    const AlgorithmSpec& spec);
+
+}  // namespace granula::algo
+
+#endif  // GRANULA_ALGORITHMS_PREGEL_H_

@@ -1,0 +1,375 @@
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "algorithms/api.h"
+#include "algorithms/gas.h"
+#include "algorithms/pregel.h"
+#include "common/strings.h"
+
+namespace granula::algo {
+
+std::string_view AlgorithmName(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kBfs:
+      return "BFS";
+    case AlgorithmId::kPageRank:
+      return "PageRank";
+    case AlgorithmId::kWcc:
+      return "WCC";
+    case AlgorithmId::kSssp:
+      return "SSSP";
+    case AlgorithmId::kCdlp:
+      return "CDLP";
+    case AlgorithmId::kLcc:
+      return "LCC";
+  }
+  return "unknown";
+}
+
+Result<AlgorithmId> ParseAlgorithm(std::string_view name) {
+  for (AlgorithmId id :
+       {AlgorithmId::kBfs, AlgorithmId::kPageRank, AlgorithmId::kWcc,
+        AlgorithmId::kSssp, AlgorithmId::kCdlp, AlgorithmId::kLcc}) {
+    if (name == AlgorithmName(id)) return id;
+  }
+  return Status::NotFound(
+      StrFormat("unknown algorithm '%.*s'", static_cast<int>(name.size()),
+                name.data()));
+}
+
+double EdgeWeight(graph::VertexId u, graph::VertexId v) {
+  if (u > v) std::swap(u, v);  // symmetric
+  uint64_t x = u * 0x9e3779b97f4a7c15ULL + v;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return 1.0 + static_cast<double>(x % 8);  // [1, 8]
+}
+
+namespace {
+
+// ---------------------------------------------------------------- Pregel --
+
+class BfsPregel : public PregelProgram {
+ public:
+  explicit BfsPregel(graph::VertexId source) : source_(source) {}
+
+  double InitialValue(graph::VertexId, uint64_t) const override {
+    return kInfinity;
+  }
+  bool InitiallyActive(graph::VertexId v) const override {
+    return v == source_;
+  }
+  Combiner combiner() const override { return Combiner::kMin; }
+
+  void Compute(PregelVertexContext& ctx,
+               std::span<const double> messages) const override {
+    double best = ctx.value();
+    if (ctx.superstep() == 0 && ctx.vertex_id() == source_) best = 0.0;
+    for (double m : messages) best = std::min(best, m);
+    if (best < ctx.value() || (ctx.superstep() == 0 && best == 0.0)) {
+      ctx.set_value(best);
+      ctx.SendToAllNeighbors(best + 1.0);
+    }
+    ctx.VoteToHalt();
+  }
+
+ private:
+  graph::VertexId source_;
+};
+
+class SsspPregel : public PregelProgram {
+ public:
+  explicit SsspPregel(graph::VertexId source) : source_(source) {}
+
+  double InitialValue(graph::VertexId, uint64_t) const override {
+    return kInfinity;
+  }
+  bool InitiallyActive(graph::VertexId v) const override {
+    return v == source_;
+  }
+  Combiner combiner() const override { return Combiner::kMin; }
+
+  void Compute(PregelVertexContext& ctx,
+               std::span<const double> messages) const override {
+    double best = ctx.value();
+    if (ctx.superstep() == 0 && ctx.vertex_id() == source_) best = 0.0;
+    for (double m : messages) best = std::min(best, m);
+    if (best < ctx.value() || (ctx.superstep() == 0 && best == 0.0)) {
+      ctx.set_value(best);
+      for (graph::VertexId nbr : ctx.neighbors()) {
+        ctx.SendTo(nbr, best + EdgeWeight(ctx.vertex_id(), nbr));
+      }
+    }
+    ctx.VoteToHalt();
+  }
+
+ private:
+  graph::VertexId source_;
+};
+
+class WccPregel : public PregelProgram {
+ public:
+  double InitialValue(graph::VertexId v, uint64_t) const override {
+    return static_cast<double>(v);
+  }
+  bool InitiallyActive(graph::VertexId) const override { return true; }
+  Combiner combiner() const override { return Combiner::kMin; }
+
+  void Compute(PregelVertexContext& ctx,
+               std::span<const double> messages) const override {
+    double best = ctx.value();
+    for (double m : messages) best = std::min(best, m);
+    if (ctx.superstep() == 0) {
+      ctx.SendToAllNeighbors(best);
+    } else if (best < ctx.value()) {
+      ctx.set_value(best);
+      ctx.SendToAllNeighbors(best);
+    }
+    ctx.VoteToHalt();
+  }
+};
+
+class PageRankPregel : public PregelProgram {
+ public:
+  PageRankPregel(uint64_t iterations, double damping)
+      : iterations_(iterations), damping_(damping) {}
+
+  double InitialValue(graph::VertexId, uint64_t num_vertices) const override {
+    return 1.0 / static_cast<double>(num_vertices);
+  }
+  bool InitiallyActive(graph::VertexId) const override { return true; }
+  Combiner combiner() const override { return Combiner::kSum; }
+  uint64_t max_supersteps() const override { return iterations_ + 1; }
+
+  void Compute(PregelVertexContext& ctx,
+               std::span<const double> messages) const override {
+    if (ctx.superstep() > 0) {
+      double sum = 0.0;
+      for (double m : messages) sum += m;
+      double n = static_cast<double>(ctx.num_vertices());
+      ctx.set_value((1.0 - damping_) / n + damping_ * sum);
+    }
+    if (ctx.superstep() < iterations_) {
+      size_t degree = ctx.neighbors().size();
+      if (degree > 0) {
+        ctx.SendToAllNeighbors(ctx.value() /
+                               static_cast<double>(degree));
+      }
+      // Stay active: every vertex updates every round, with or without
+      // incoming messages (matches the reference power iteration).
+    } else {
+      ctx.VoteToHalt();
+    }
+  }
+
+ private:
+  uint64_t iterations_;
+  double damping_;
+};
+
+class CdlpPregel : public PregelProgram {
+ public:
+  explicit CdlpPregel(uint64_t iterations) : iterations_(iterations) {}
+
+  double InitialValue(graph::VertexId v, uint64_t) const override {
+    return static_cast<double>(v);
+  }
+  bool InitiallyActive(graph::VertexId) const override { return true; }
+  uint64_t max_supersteps() const override { return iterations_ + 1; }
+
+  void Compute(PregelVertexContext& ctx,
+               std::span<const double> messages) const override {
+    if (ctx.superstep() > 0 && !messages.empty()) {
+      // Most frequent label; ties broken toward the smallest label
+      // (the Graphalytics CDLP rule).
+      std::map<double, uint64_t> freq;
+      for (double m : messages) ++freq[m];
+      double best_label = ctx.value();
+      uint64_t best_count = 0;
+      for (const auto& [label, count] : freq) {
+        if (count > best_count) {  // map iterates labels ascending
+          best_count = count;
+          best_label = label;
+        }
+      }
+      ctx.set_value(best_label);
+    }
+    if (ctx.superstep() < iterations_) {
+      ctx.SendToAllNeighbors(ctx.value());
+    } else {
+      ctx.VoteToHalt();
+    }
+  }
+
+ private:
+  uint64_t iterations_;
+};
+
+// ------------------------------------------------------------------- GAS --
+
+class BfsGas : public GasProgram {
+ public:
+  explicit BfsGas(graph::VertexId source) : source_(source) {}
+
+  double InitialValue(graph::VertexId v, uint64_t) const override {
+    return v == source_ ? 0.0 : kInfinity;
+  }
+  bool InitiallyActive(graph::VertexId v) const override {
+    return v == source_;
+  }
+  double GatherInit() const override { return kInfinity; }
+  double Gather(graph::VertexId, graph::VertexId, double other_value,
+                uint64_t) const override {
+    return other_value + 1.0;
+  }
+  double Sum(double a, double b) const override { return std::min(a, b); }
+  ApplyResult Apply(graph::VertexId, double old_value, double acc,
+                    uint64_t) const override {
+    return ApplyResult{std::min(old_value, acc), true};
+  }
+  bool ScatterActivates(graph::VertexId, graph::VertexId, double new_value,
+                        double other_value) const override {
+    return new_value + 1.0 < other_value;
+  }
+
+ private:
+  graph::VertexId source_;
+};
+
+class SsspGas : public GasProgram {
+ public:
+  explicit SsspGas(graph::VertexId source) : source_(source) {}
+
+  double InitialValue(graph::VertexId v, uint64_t) const override {
+    return v == source_ ? 0.0 : kInfinity;
+  }
+  bool InitiallyActive(graph::VertexId v) const override {
+    return v == source_;
+  }
+  double GatherInit() const override { return kInfinity; }
+  double Gather(graph::VertexId self, graph::VertexId other,
+                double other_value, uint64_t) const override {
+    return other_value + EdgeWeight(other, self);
+  }
+  double Sum(double a, double b) const override { return std::min(a, b); }
+  ApplyResult Apply(graph::VertexId, double old_value, double acc,
+                    uint64_t) const override {
+    return ApplyResult{std::min(old_value, acc), true};
+  }
+  bool ScatterActivates(graph::VertexId self, graph::VertexId other,
+                        double new_value,
+                        double other_value) const override {
+    return new_value + EdgeWeight(self, other) < other_value;
+  }
+
+ private:
+  graph::VertexId source_;
+};
+
+class WccGas : public GasProgram {
+ public:
+  double InitialValue(graph::VertexId v, uint64_t) const override {
+    return static_cast<double>(v);
+  }
+  bool InitiallyActive(graph::VertexId) const override { return true; }
+  double GatherInit() const override { return kInfinity; }
+  double Gather(graph::VertexId, graph::VertexId, double other_value,
+                uint64_t) const override {
+    return other_value;
+  }
+  double Sum(double a, double b) const override { return std::min(a, b); }
+  ApplyResult Apply(graph::VertexId, double old_value, double acc,
+                    uint64_t) const override {
+    return ApplyResult{std::min(old_value, acc), true};
+  }
+  bool ScatterActivates(graph::VertexId, graph::VertexId, double new_value,
+                        double other_value) const override {
+    return new_value < other_value;
+  }
+};
+
+class PageRankGas : public GasProgram {
+ public:
+  PageRankGas(uint64_t iterations, double damping)
+      : iterations_(iterations), damping_(damping) {}
+
+  double InitialValue(graph::VertexId, uint64_t num_vertices) const override {
+    return 1.0 / static_cast<double>(num_vertices);
+  }
+  bool InitiallyActive(graph::VertexId) const override { return true; }
+  double GatherInit() const override { return 0.0; }
+  double Gather(graph::VertexId, graph::VertexId, double other_value,
+                uint64_t other_degree) const override {
+    return other_degree == 0
+               ? 0.0
+               : other_value / static_cast<double>(other_degree);
+  }
+  double Sum(double a, double b) const override { return a + b; }
+  ApplyResult Apply(graph::VertexId, double, double acc,
+                    uint64_t num_vertices) const override {
+    double n = static_cast<double>(num_vertices);
+    return ApplyResult{(1.0 - damping_) / n + damping_ * acc, false};
+  }
+  bool ScatterActivates(graph::VertexId, graph::VertexId, double,
+                        double) const override {
+    return false;
+  }
+  uint64_t max_iterations() const override { return iterations_; }
+  bool always_active() const override { return true; }
+
+ private:
+  uint64_t iterations_;
+  double damping_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PregelProgram>> MakePregelProgram(
+    const AlgorithmSpec& spec) {
+  switch (spec.id) {
+    case AlgorithmId::kBfs:
+      return std::unique_ptr<PregelProgram>(new BfsPregel(spec.source));
+    case AlgorithmId::kSssp:
+      return std::unique_ptr<PregelProgram>(new SsspPregel(spec.source));
+    case AlgorithmId::kWcc:
+      return std::unique_ptr<PregelProgram>(new WccPregel());
+    case AlgorithmId::kPageRank:
+      return std::unique_ptr<PregelProgram>(
+          new PageRankPregel(spec.max_iterations, spec.damping));
+    case AlgorithmId::kCdlp:
+      return std::unique_ptr<PregelProgram>(
+          new CdlpPregel(spec.max_iterations));
+    case AlgorithmId::kLcc:
+      return Status::Unimplemented(
+          "LCC requires adjacency-list messages; reference implementation "
+          "only");
+  }
+  return Status::InvalidArgument("unknown algorithm id");
+}
+
+Result<std::unique_ptr<GasProgram>> MakeGasProgram(const AlgorithmSpec& spec) {
+  switch (spec.id) {
+    case AlgorithmId::kBfs:
+      return std::unique_ptr<GasProgram>(new BfsGas(spec.source));
+    case AlgorithmId::kSssp:
+      return std::unique_ptr<GasProgram>(new SsspGas(spec.source));
+    case AlgorithmId::kWcc:
+      return std::unique_ptr<GasProgram>(new WccGas());
+    case AlgorithmId::kPageRank:
+      return std::unique_ptr<GasProgram>(
+          new PageRankGas(spec.max_iterations, spec.damping));
+    case AlgorithmId::kCdlp:
+      return Status::Unimplemented(
+          "CDLP's histogram gather is not a scalar monoid; use the Pregel "
+          "formulation");
+    case AlgorithmId::kLcc:
+      return Status::Unimplemented(
+          "LCC requires adjacency-list messages; reference implementation "
+          "only");
+  }
+  return Status::InvalidArgument("unknown algorithm id");
+}
+
+}  // namespace granula::algo

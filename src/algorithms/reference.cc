@@ -1,0 +1,191 @@
+#include "algorithms/reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <queue>
+#include <unordered_set>
+
+namespace granula::algo {
+
+namespace {
+
+// Undirected adjacency used by every reference algorithm.
+struct Adjacency {
+  explicit Adjacency(const graph::Graph& graph) {
+    neighbors.resize(graph.num_vertices());
+    for (const graph::Edge& e : graph.edges()) {
+      neighbors[e.src].push_back(e.dst);
+      neighbors[e.dst].push_back(e.src);
+    }
+    for (auto& list : neighbors) std::sort(list.begin(), list.end());
+  }
+  std::vector<std::vector<graph::VertexId>> neighbors;
+};
+
+}  // namespace
+
+std::vector<double> ReferenceBfs(const graph::Graph& graph,
+                                 graph::VertexId source) {
+  Adjacency adj(graph);
+  std::vector<double> dist(graph.num_vertices(), kInfinity);
+  if (source >= graph.num_vertices()) return dist;
+  std::deque<graph::VertexId> queue{source};
+  dist[source] = 0.0;
+  while (!queue.empty()) {
+    graph::VertexId v = queue.front();
+    queue.pop_front();
+    for (graph::VertexId u : adj.neighbors[v]) {
+      if (dist[u] == kInfinity) {
+        dist[u] = dist[v] + 1.0;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> ReferenceSssp(const graph::Graph& graph,
+                                  graph::VertexId source) {
+  Adjacency adj(graph);
+  std::vector<double> dist(graph.num_vertices(), kInfinity);
+  if (source >= graph.num_vertices()) return dist;
+  using Entry = std::pair<double, graph::VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (graph::VertexId u : adj.neighbors[v]) {
+      double nd = d + EdgeWeight(v, u);
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        heap.push({nd, u});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> ReferenceWcc(const graph::Graph& graph) {
+  uint64_t n = graph.num_vertices();
+  std::vector<graph::VertexId> parent(n);
+  for (graph::VertexId v = 0; v < n; ++v) parent[v] = v;
+  auto find = [&](graph::VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const graph::Edge& e : graph.edges()) {
+    graph::VertexId a = find(e.src), b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  // Labels must be the component minimum: compress fully, then the root of
+  // each tree is its minimum because unions always point larger at smaller.
+  std::vector<double> label(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    label[v] = static_cast<double>(find(v));
+  }
+  return label;
+}
+
+std::vector<double> ReferencePageRank(const graph::Graph& graph,
+                                      uint64_t iterations, double damping) {
+  Adjacency adj(graph);
+  uint64_t n = graph.num_vertices();
+  std::vector<double> rank(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  std::vector<double> next(n, 0.0);
+  for (uint64_t iter = 0; iter < iterations; ++iter) {
+    for (graph::VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (graph::VertexId u : adj.neighbors[v]) {
+        sum += rank[u] / static_cast<double>(adj.neighbors[u].size());
+      }
+      next[v] =
+          (1.0 - damping) / static_cast<double>(n) + damping * sum;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<double> ReferenceCdlp(const graph::Graph& graph,
+                                  uint64_t iterations) {
+  Adjacency adj(graph);
+  uint64_t n = graph.num_vertices();
+  std::vector<double> label(n);
+  for (graph::VertexId v = 0; v < n; ++v) label[v] = static_cast<double>(v);
+  std::vector<double> next(n);
+  for (uint64_t iter = 0; iter < iterations; ++iter) {
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (adj.neighbors[v].empty()) {
+        next[v] = label[v];
+        continue;
+      }
+      std::map<double, uint64_t> freq;
+      for (graph::VertexId u : adj.neighbors[v]) ++freq[label[u]];
+      double best_label = label[v];
+      uint64_t best_count = 0;
+      for (const auto& [lbl, count] : freq) {
+        if (count > best_count) {
+          best_count = count;
+          best_label = lbl;
+        }
+      }
+      next[v] = best_label;
+    }
+    label.swap(next);
+  }
+  return label;
+}
+
+std::vector<double> ReferenceLcc(const graph::Graph& graph) {
+  Adjacency adj(graph);
+  uint64_t n = graph.num_vertices();
+  std::vector<double> lcc(n, 0.0);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    // Deduplicated neighbor set (parallel edges count once).
+    std::vector<graph::VertexId> nbrs = adj.neighbors[v];
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    nbrs.erase(std::remove(nbrs.begin(), nbrs.end(), v), nbrs.end());
+    size_t d = nbrs.size();
+    if (d < 2) continue;
+    std::unordered_set<graph::VertexId> nbr_set(nbrs.begin(), nbrs.end());
+    uint64_t links = 0;
+    for (graph::VertexId u : nbrs) {
+      std::vector<graph::VertexId> unbrs = adj.neighbors[u];
+      unbrs.erase(std::unique(unbrs.begin(), unbrs.end()), unbrs.end());
+      for (graph::VertexId w : unbrs) {
+        if (w > u && nbr_set.count(w) > 0) ++links;
+      }
+    }
+    lcc[v] = 2.0 * static_cast<double>(links) /
+             (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return lcc;
+}
+
+Result<std::vector<double>> RunReference(const graph::Graph& graph,
+                                         const AlgorithmSpec& spec) {
+  switch (spec.id) {
+    case AlgorithmId::kBfs:
+      return ReferenceBfs(graph, spec.source);
+    case AlgorithmId::kSssp:
+      return ReferenceSssp(graph, spec.source);
+    case AlgorithmId::kWcc:
+      return ReferenceWcc(graph);
+    case AlgorithmId::kPageRank:
+      return ReferencePageRank(graph, spec.max_iterations, spec.damping);
+    case AlgorithmId::kCdlp:
+      return ReferenceCdlp(graph, spec.max_iterations);
+    case AlgorithmId::kLcc:
+      return ReferenceLcc(graph);
+  }
+  return Status::InvalidArgument("unknown algorithm id");
+}
+
+}  // namespace granula::algo

@@ -1,0 +1,49 @@
+#ifndef GRANULA_ALGORITHMS_REFERENCE_H_
+#define GRANULA_ALGORITHMS_REFERENCE_H_
+
+#include <vector>
+
+#include "algorithms/api.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace granula::algo {
+
+// Sequential, single-machine reference implementations. The platform
+// engines are validated against these (see tests/): a distributed run on any
+// partitioning must produce exactly the values computed here.
+//
+// All of them treat the graph as undirected, like the engines.
+
+// Hop distances from `source`; kInfinity for unreachable vertices.
+std::vector<double> ReferenceBfs(const graph::Graph& graph,
+                                 graph::VertexId source);
+
+// Shortest-path distances from `source` using EdgeWeight(); Dijkstra.
+std::vector<double> ReferenceSssp(const graph::Graph& graph,
+                                  graph::VertexId source);
+
+// Connected-component labels: each vertex mapped to the smallest vertex id
+// in its component.
+std::vector<double> ReferenceWcc(const graph::Graph& graph);
+
+// PageRank after exactly `iterations` synchronous updates with the given
+// damping factor, starting from the uniform vector.
+std::vector<double> ReferencePageRank(const graph::Graph& graph,
+                                      uint64_t iterations, double damping);
+
+// Synchronous community detection by label propagation, `iterations`
+// rounds, most-frequent label with smallest-label tie-breaking.
+std::vector<double> ReferenceCdlp(const graph::Graph& graph,
+                                  uint64_t iterations);
+
+// Local clustering coefficient per vertex (undirected definition).
+std::vector<double> ReferenceLcc(const graph::Graph& graph);
+
+// Dispatch by spec (LCC included).
+Result<std::vector<double>> RunReference(const graph::Graph& graph,
+                                         const AlgorithmSpec& spec);
+
+}  // namespace granula::algo
+
+#endif  // GRANULA_ALGORITHMS_REFERENCE_H_

@@ -1,0 +1,85 @@
+#include "cluster/monitor.h"
+
+#include <algorithm>
+
+namespace granula::cluster {
+
+void EnvironmentMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  last_sample_time_ = cluster_->simulator()->Now();
+  uint32_t n = cluster_->num_nodes();
+  last_cpu_busy_.assign(n, 0.0);
+  last_net_bytes_.assign(n, 0);
+  last_disk_bytes_.assign(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    last_cpu_busy_[i] = cluster_->node(i).cpu().BusySeconds();
+    last_net_bytes_[i] = cluster_->node(i).nic_out().bytes_transferred();
+    last_disk_bytes_[i] = cluster_->node(i).disk().bytes_transferred();
+  }
+  cluster_->simulator()->Spawn(RunLoop());
+}
+
+void EnvironmentMonitor::Stop() {
+  if (!running_) return;
+  SimTime now = cluster_->simulator()->Now();
+  double partial = (now - last_sample_time_).seconds();
+  if (partial > 1e-12) TakeSample(partial);
+  running_ = false;
+  ++epoch_;
+}
+
+sim::Task<> EnvironmentMonitor::RunLoop() {
+  uint64_t my_epoch = epoch_;
+  while (running_ && epoch_ == my_epoch) {
+    co_await cluster_->simulator()->Delay(interval_);
+    if (!running_ || epoch_ != my_epoch) co_return;
+    TakeSample(interval_.seconds());
+  }
+}
+
+void EnvironmentMonitor::TakeSample(double window_seconds) {
+  SimTime now = cluster_->simulator()->Now();
+  for (uint32_t i = 0; i < cluster_->num_nodes(); ++i) {
+    Node& node = cluster_->node(i);
+    double cpu_busy = node.cpu().BusySeconds();
+    uint64_t net = node.nic_out().bytes_transferred();
+    uint64_t disk = node.disk().bytes_transferred();
+
+    UtilizationSample sample;
+    sample.node = i;
+    sample.hostname = node.hostname();
+    sample.time_seconds = now.seconds();
+    sample.cpu_seconds_per_second =
+        (cpu_busy - last_cpu_busy_[i]) / window_seconds;
+    sample.net_bytes_per_second =
+        static_cast<double>(net - last_net_bytes_[i]) / window_seconds;
+    sample.disk_bytes_per_second =
+        static_cast<double>(disk - last_disk_bytes_[i]) / window_seconds;
+    samples_.push_back(std::move(sample));
+
+    last_cpu_busy_[i] = cpu_busy;
+    last_net_bytes_[i] = net;
+    last_disk_bytes_[i] = disk;
+  }
+  last_sample_time_ = now;
+}
+
+double EnvironmentMonitor::PeakClusterCpu() const {
+  // Samples are appended node-major per window; sum each window.
+  double peak = 0.0;
+  double current = 0.0;
+  double current_time = -1.0;
+  for (const UtilizationSample& s : samples_) {
+    if (s.time_seconds != current_time) {
+      peak = std::max(peak, current);
+      current = 0.0;
+      current_time = s.time_seconds;
+    }
+    current += s.cpu_seconds_per_second;
+  }
+  return std::max(peak, current);
+}
+
+}  // namespace granula::cluster

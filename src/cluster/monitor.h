@@ -1,0 +1,64 @@
+#ifndef GRANULA_CLUSTER_MONITOR_H_
+#define GRANULA_CLUSTER_MONITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/sim_time.h"
+#include "sim/task.h"
+
+namespace granula::cluster {
+
+// One utilization sample: CPU busy-seconds accumulated per second of wall
+// time on one node over [time - interval, time] — the y-axis of the paper's
+// Figs. 6 and 7 ("CPU time / second").
+struct UtilizationSample {
+  uint32_t node;
+  std::string hostname;
+  double time_seconds;      // end of the sampling window
+  double cpu_seconds_per_second;
+  double net_bytes_per_second;
+  double disk_bytes_per_second;
+};
+
+// Granula's environment-log source: a sampling daemon that polls every
+// node's resource meters at a fixed interval while a job runs. Start() the
+// monitor before the job, Stop() after; Samples() is the environment log.
+class EnvironmentMonitor {
+ public:
+  EnvironmentMonitor(Cluster* cluster, SimTime interval)
+      : cluster_(cluster), interval_(interval) {}
+
+  // Begins sampling from the current simulation time.
+  void Start();
+  // Stops sampling (takes one final sample covering the partial window).
+  void Stop();
+
+  bool running() const { return running_; }
+  SimTime interval() const { return interval_; }
+  const std::vector<UtilizationSample>& samples() const { return samples_; }
+
+  // Max over samples of the summed cpu_seconds_per_second across nodes —
+  // the y-axis peak in the stacked utilization figures.
+  double PeakClusterCpu() const;
+
+ private:
+  sim::Task<> RunLoop();
+  void TakeSample(double window_seconds);
+
+  Cluster* cluster_;
+  SimTime interval_;
+  bool running_ = false;
+  uint64_t epoch_ = 0;  // invalidates a stale RunLoop after Stop/Start
+  SimTime last_sample_time_;
+  std::vector<double> last_cpu_busy_;
+  std::vector<uint64_t> last_net_bytes_;
+  std::vector<uint64_t> last_disk_bytes_;
+  std::vector<UtilizationSample> samples_;
+};
+
+}  // namespace granula::cluster
+
+#endif  // GRANULA_CLUSTER_MONITOR_H_

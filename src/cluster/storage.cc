@@ -1,0 +1,145 @@
+#include "cluster/storage.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace granula::cluster {
+
+// ------------------------------------------------------------- LocalFs --
+
+Status LocalFs::CreateFile(uint32_t node, const std::string& path,
+                           uint64_t bytes) {
+  if (node >= cluster_->num_nodes()) {
+    return Status::InvalidArgument("no such node");
+  }
+  files_[{node, path}] = FileInfo{path, bytes};
+  return Status::OK();
+}
+
+Result<FileInfo> LocalFs::Stat(uint32_t node, const std::string& path) const {
+  auto it = files_.find({node, path});
+  if (it == files_.end()) {
+    return Status::NotFound(StrFormat("local file %s on node %u",
+                                      path.c_str(), node));
+  }
+  return it->second;
+}
+
+sim::Task<> LocalFs::Read(uint32_t node, std::string path) {
+  auto it = files_.find({node, path});
+  uint64_t bytes = it == files_.end() ? 0 : it->second.size_bytes;
+  co_await cluster_->node(node).disk().Transfer(bytes);
+}
+
+sim::Task<> LocalFs::Write(uint32_t node, std::string path, uint64_t bytes) {
+  files_[{node, path}] = FileInfo{path, bytes};
+  co_await cluster_->node(node).disk().Transfer(bytes);
+}
+
+// ------------------------------------------------------------ SharedFs --
+
+Status SharedFs::CreateFile(const std::string& path, uint64_t bytes) {
+  files_[path] = FileInfo{path, bytes};
+  return Status::OK();
+}
+
+Result<FileInfo> SharedFs::Stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound(StrFormat("shared file %s", path.c_str()));
+  }
+  return it->second;
+}
+
+sim::Task<> SharedFs::Read(uint32_t reader, std::string path,
+                           uint64_t bytes) {
+  (void)path;  // size is caller-provided to allow partial reads
+  co_await cluster_->node(server_node_).disk().Transfer(bytes);
+  co_await cluster_->Send(server_node_, reader, bytes);
+}
+
+sim::Task<> SharedFs::ReadAll(uint32_t reader, std::string path) {
+  auto it = files_.find(path);
+  uint64_t bytes = it == files_.end() ? 0 : it->second.size_bytes;
+  co_await Read(reader, std::move(path), bytes);
+}
+
+sim::Task<> SharedFs::Write(uint32_t writer, std::string path,
+                            uint64_t bytes) {
+  files_[path] = FileInfo{path, bytes};
+  co_await cluster_->Send(writer, server_node_, bytes);
+  co_await cluster_->node(server_node_).disk().Transfer(bytes);
+}
+
+// ---------------------------------------------------------------- Hdfs --
+
+Status Hdfs::CreateFile(const std::string& path, uint64_t bytes) {
+  if (options_.replication == 0 ||
+      options_.replication > cluster_->num_nodes()) {
+    return Status::InvalidArgument(
+        "replication must be in [1, num_nodes]");
+  }
+  files_[path] = FileInfo{path, bytes};
+  std::vector<Block> blocks;
+  uint64_t index = 0;
+  for (uint64_t offset = 0; offset < bytes;
+       offset += options_.block_size, ++index) {
+    Block block;
+    block.index = index;
+    block.bytes = std::min<uint64_t>(options_.block_size, bytes - offset);
+    for (uint32_t r = 0; r < options_.replication; ++r) {
+      block.replicas.push_back((next_placement_ + r) %
+                               cluster_->num_nodes());
+    }
+    next_placement_ = (next_placement_ + 1) % cluster_->num_nodes();
+    blocks.push_back(std::move(block));
+  }
+  blocks_[path] = std::move(blocks);
+  return Status::OK();
+}
+
+Result<FileInfo> Hdfs::Stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound(StrFormat("hdfs file %s", path.c_str()));
+  }
+  return it->second;
+}
+
+Result<std::vector<Hdfs::Block>> Hdfs::GetBlocks(
+    const std::string& path) const {
+  auto it = blocks_.find(path);
+  if (it == blocks_.end()) {
+    return Status::NotFound(StrFormat("hdfs file %s", path.c_str()));
+  }
+  return it->second;
+}
+
+sim::Task<> Hdfs::ReadBlock(uint32_t reader, Block block) {
+  // Prefer a local replica; otherwise read from the replica whose id is
+  // "closest" (deterministic choice keeps runs reproducible).
+  bool local = std::find(block.replicas.begin(), block.replicas.end(),
+                         reader) != block.replicas.end();
+  if (local) {
+    co_await cluster_->node(reader).disk().Transfer(block.bytes);
+  } else {
+    uint32_t source = block.replicas[reader % block.replicas.size()];
+    co_await cluster_->node(source).disk().Transfer(block.bytes);
+    co_await cluster_->Send(source, reader, block.bytes);
+  }
+}
+
+sim::Task<> Hdfs::WriteFromNode(uint32_t writer, std::string path,
+                                uint64_t bytes) {
+  Status s = CreateFile(path, bytes);
+  if (!s.ok()) co_return;
+  // Pipeline: local disk write plus (replication - 1) network pushes.
+  co_await cluster_->node(writer).disk().Transfer(bytes);
+  for (uint32_t r = 1; r < options_.replication; ++r) {
+    uint32_t target = (writer + r) % cluster_->num_nodes();
+    co_await cluster_->Send(writer, target, bytes);
+  }
+}
+
+}  // namespace granula::cluster

@@ -1,0 +1,113 @@
+#ifndef GRANULA_CLUSTER_STORAGE_H_
+#define GRANULA_CLUSTER_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/task.h"
+
+namespace granula::cluster {
+
+// Metadata for a simulated file: contents are never materialized, only byte
+// sizes (which drive transfer durations).
+struct FileInfo {
+  std::string path;
+  uint64_t size_bytes = 0;
+};
+
+// Per-node local filesystem: reads/writes serialize on the node's own disk.
+class LocalFs {
+ public:
+  explicit LocalFs(Cluster* cluster) : cluster_(cluster) {}
+
+  Status CreateFile(uint32_t node, const std::string& path, uint64_t bytes);
+  Result<FileInfo> Stat(uint32_t node, const std::string& path) const;
+
+  // Reads/writes the whole file through node `node`'s disk.
+  sim::Task<> Read(uint32_t node, std::string path);
+  sim::Task<> Write(uint32_t node, std::string path, uint64_t bytes);
+
+ private:
+  Cluster* cluster_;
+  std::map<std::pair<uint32_t, std::string>, FileInfo> files_;
+};
+
+// An NFS-like shared filesystem with a single file server (PowerGraph's
+// local/shared input in Table 1). All traffic funnels through the server
+// node's disk and NIC — the structural cause of the paper's Fig. 7 shape.
+class SharedFs {
+ public:
+  SharedFs(Cluster* cluster, uint32_t server_node)
+      : cluster_(cluster), server_node_(server_node) {}
+
+  uint32_t server_node() const { return server_node_; }
+
+  Status CreateFile(const std::string& path, uint64_t bytes);
+  Result<FileInfo> Stat(const std::string& path) const;
+
+  // Reads `bytes` of `path` from node `reader`: server disk, then network
+  // to the reader (free if the reader is the server itself).
+  sim::Task<> Read(uint32_t reader, std::string path, uint64_t bytes);
+  sim::Task<> ReadAll(uint32_t reader, std::string path);
+  sim::Task<> Write(uint32_t writer, std::string path, uint64_t bytes);
+
+ private:
+  Cluster* cluster_;
+  uint32_t server_node_;
+  std::map<std::string, FileInfo> files_;
+};
+
+// An HDFS-like block store: files are chunked, blocks are placed on
+// datanodes round-robin with `replication` copies, and readers prefer local
+// replicas (Giraph's loading path: every worker pulls its own blocks in
+// parallel).
+class Hdfs {
+ public:
+  struct Options {
+    uint64_t block_size = 32ull * 1024 * 1024;  // 32 MiB
+    uint32_t replication = 3;
+  };
+
+  Hdfs(Cluster* cluster, Options options)
+      : cluster_(cluster), options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  // Creates `path` with `bytes` and places its blocks. `seed_node` rotates
+  // the round-robin start so files don't all start on node 0.
+  Status CreateFile(const std::string& path, uint64_t bytes);
+  Result<FileInfo> Stat(const std::string& path) const;
+
+  struct Block {
+    uint64_t index;
+    uint64_t bytes;
+    std::vector<uint32_t> replicas;  // nodes holding a copy
+  };
+  Result<std::vector<Block>> GetBlocks(const std::string& path) const;
+
+  // Reads one block from node `reader`: a local replica costs one disk
+  // read; a remote one costs the remote disk plus a network transfer.
+  sim::Task<> ReadBlock(uint32_t reader, Block block);
+
+  // Writes `bytes` to `path` from node `writer`: each block goes to the
+  // writer's disk plus (replication-1) network copies. Replaces any
+  // existing file.
+  sim::Task<> WriteFromNode(uint32_t writer, std::string path,
+                            uint64_t bytes);
+
+ private:
+  Cluster* cluster_;
+  Options options_;
+  std::map<std::string, std::vector<Block>> blocks_;
+  std::map<std::string, FileInfo> files_;
+  uint32_t next_placement_ = 0;
+};
+
+}  // namespace granula::cluster
+
+#endif  // GRANULA_CLUSTER_STORAGE_H_

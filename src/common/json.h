@@ -1,0 +1,113 @@
+#ifndef GRANULA_COMMON_JSON_H_
+#define GRANULA_COMMON_JSON_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace granula {
+
+// A self-contained JSON document model, parser, and writer. Performance
+// archives (granula/archive) are serialized through this module, so it must
+// roundtrip exactly: Parse(Dump(v)) == v for every value this library emits.
+//
+// Numbers are stored as either int64 or double; integers that fit int64 are
+// kept exact.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  // std::map keeps object keys sorted, which makes serialization
+  // deterministic — a property the archive-diff tooling relies on.
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}          // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}        // NOLINT
+  Json(int i) : type_(Type::kInt), int_(i) {}           // NOLINT
+  Json(int64_t i) : type_(Type::kInt), int_(i) {}       // NOLINT
+  Json(uint64_t i)                                      // NOLINT
+      : type_(Type::kInt), int_(static_cast<int64_t>(i)) {}
+  Json(double d) : type_(Type::kDouble), double_(d) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}      // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}        // NOLINT
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}          // NOLINT
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}       // NOLINT
+
+  static Json MakeArray() { return Json(Array{}); }
+  static Json MakeObject() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return is_double() ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  Array& AsArray() { return array_; }
+  const Object& AsObject() const { return object_; }
+  Object& AsObject() { return object_; }
+
+  // Object access. `operator[]` on a null value turns it into an object,
+  // mirroring the ergonomics of nlohmann::json for building documents.
+  Json& operator[](const std::string& key);
+  // Returns nullptr when not an object or the key is absent.
+  const Json* Find(std::string_view key) const;
+
+  // Convenience typed getters with defaults, for tolerant readers.
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+  double GetDouble(std::string_view key, double fallback = 0.0) const;
+  std::string GetString(std::string_view key, std::string fallback = "") const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+
+  // Array building.
+  void Append(Json value);
+  size_t size() const;
+
+  // Serialization. `indent` <= 0 produces compact single-line output.
+  std::string Dump(int indent = 0) const;
+
+  // Strict JSON parsing (RFC 8259); rejects trailing garbage.
+  static Result<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+// Escapes `s` as a JSON string literal body (without surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace granula
+
+#endif  // GRANULA_COMMON_JSON_H_

@@ -1,0 +1,45 @@
+#ifndef GRANULA_COMMON_LOGGING_H_
+#define GRANULA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace granula {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Minimum level that is emitted; defaults to kWarning so library code is
+// silent in tests and benchmarks unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Stream-style log sink; emits on destruction. Use via GRANULA_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace granula
+
+#define GRANULA_LOG(level)                                       \
+  ::granula::internal_logging::LogMessage(                       \
+      ::granula::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // GRANULA_COMMON_LOGGING_H_

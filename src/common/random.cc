@@ -1,0 +1,120 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace granula {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& w : s_) w = SplitMix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling on the top range to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 top bits → uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double lambda) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::NextGaussian() {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+namespace {
+
+// H(x) for the rejection-inversion Zipf sampler (Hörmann & Derflinger 1996).
+inline double ZipfH(double x, double s) {
+  if (s == 1.0) return std::log(x);
+  return std::pow(x, 1.0 - s) / (1.0 - s);
+}
+
+inline double ZipfHInv(double x, double s) {
+  if (s == 1.0) return std::exp(x);
+  return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+}
+
+}  // namespace
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n <= 1) return 1;
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_h_x1_ = ZipfH(1.5, s) - 1.0;
+    zipf_h_n_ = ZipfH(static_cast<double>(n) + 0.5, s);
+    zipf_t_ = 2.0 - ZipfHInv(ZipfH(2.5, s) - std::pow(2.0, -s), s);
+  }
+  while (true) {
+    double u = zipf_h_n_ + NextDouble() * (zipf_h_x1_ - zipf_h_n_);
+    double x = ZipfHInv(u, s);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    double kd = static_cast<double>(k);
+    if (kd - x <= zipf_t_ ||
+        u >= ZipfH(kd + 0.5, s) - std::pow(kd, -s)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace granula

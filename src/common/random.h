@@ -1,0 +1,67 @@
+#ifndef GRANULA_COMMON_RANDOM_H_
+#define GRANULA_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace granula {
+
+// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t& state);
+
+// Deterministic xoshiro256** PRNG. Not cryptographic; chosen for speed,
+// quality, and identical output on every platform (unlike std::mt19937
+// paired with std:: distributions, whose outputs are not specified).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  uint64_t Next();
+
+  // Uniform on [0, bound). `bound` must be > 0. Uses rejection sampling so
+  // results are exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform on [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform on [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Exponential with rate lambda (> 0).
+  double NextExponential(double lambda);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Zipf-distributed integer on [1, n] with exponent `s` (> 0). Uses the
+  // rejection-inversion method of Hörmann & Derflinger; O(1) per sample.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  // Cached parameters for NextZipf so repeated calls with the same (n, s)
+  // skip the setup.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  double zipf_h_x1_ = 0.0, zipf_h_n_ = 0.0, zipf_t_ = 0.0;
+};
+
+}  // namespace granula
+
+#endif  // GRANULA_COMMON_RANDOM_H_

@@ -1,0 +1,83 @@
+#ifndef GRANULA_COMMON_RESULT_H_
+#define GRANULA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace granula {
+
+// A value-or-Status holder, in the spirit of absl::StatusOr / arrow::Result.
+//
+//   Result<Graph> r = LoadGraph(path);
+//   if (!r.ok()) return r.status();
+//   Graph g = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or a (non-OK) Status keeps call sites
+  // terse: `return Status::NotFound(...)` and `return some_value` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when not OK.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace granula
+
+// Assigns the value of the Result expression `rexpr` to `lhs`, or returns its
+// Status from the enclosing function. `lhs` may include a declaration:
+//   GRANULA_ASSIGN_OR_RETURN(auto graph, LoadGraph(path));
+#define GRANULA_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  GRANULA_ASSIGN_OR_RETURN_IMPL_(                              \
+      GRANULA_RESULT_CONCAT_(granula_result_, __LINE__), lhs, rexpr)
+
+#define GRANULA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) {                                      \
+    return tmp.status();                                \
+  }                                                     \
+  lhs = std::move(tmp).value()
+
+#define GRANULA_RESULT_CONCAT_(a, b) GRANULA_RESULT_CONCAT_IMPL_(a, b)
+#define GRANULA_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // GRANULA_COMMON_RESULT_H_

@@ -1,0 +1,21 @@
+#include "common/sim_time.h"
+
+#include "common/strings.h"
+
+namespace granula {
+
+std::string SimTime::ToString() const {
+  if (nanos_ == INT64_MAX) return "inf";
+  double s = seconds();
+  if (s < 0) return StrFormat("-%s", SimTime(-nanos_).ToString().c_str());
+  if (nanos_ < 1000) return StrFormat("%lldns", static_cast<long long>(nanos_));
+  if (nanos_ < 1000000) return StrFormat("%.2fus", millis() * 1000.0);
+  if (nanos_ < 1000000000) return StrFormat("%.2fms", millis());
+  return StrFormat("%.2fs", s);
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.ToString();
+}
+
+}  // namespace granula

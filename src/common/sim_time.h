@@ -1,0 +1,68 @@
+#ifndef GRANULA_COMMON_SIM_TIME_H_
+#define GRANULA_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace granula {
+
+// Virtual time used throughout the simulator and in every Granula log
+// record. Integer nanoseconds: exact comparison and ordering matter (the
+// archiver reconstructs operation trees from timestamps), so floating point
+// is not used for time.
+class SimTime {
+ public:
+  constexpr SimTime() : nanos_(0) {}
+  constexpr explicit SimTime(int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr SimTime Nanos(int64_t n) { return SimTime(n); }
+  static constexpr SimTime Micros(int64_t us) { return SimTime(us * 1000); }
+  static constexpr SimTime Millis(int64_t ms) {
+    return SimTime(ms * 1000000);
+  }
+  static constexpr SimTime Seconds(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr double seconds() const {
+    return static_cast<double>(nanos_) * 1e-9;
+  }
+  constexpr double millis() const {
+    return static_cast<double>(nanos_) * 1e-6;
+  }
+
+  // "81.59s"-style rendering, matching the axis labels in the paper figures.
+  std::string ToString() const;
+
+  constexpr SimTime operator+(SimTime other) const {
+    return SimTime(nanos_ + other.nanos_);
+  }
+  constexpr SimTime operator-(SimTime other) const {
+    return SimTime(nanos_ - other.nanos_);
+  }
+  constexpr SimTime operator*(double factor) const {
+    return SimTime(static_cast<int64_t>(static_cast<double>(nanos_) * factor));
+  }
+  SimTime& operator+=(SimTime other) {
+    nanos_ += other.nanos_;
+    return *this;
+  }
+  SimTime& operator-=(SimTime other) {
+    nanos_ -= other.nanos_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  int64_t nanos_;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+}  // namespace granula
+
+#endif  // GRANULA_COMMON_SIM_TIME_H_

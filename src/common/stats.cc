@@ -1,0 +1,65 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace granula {
+
+Summary::Summary(std::vector<double> samples)
+    : samples_(std::move(samples)) {}
+
+void Summary::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void Summary::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Summary::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Summary::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Summary::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::Stdev() const {
+  if (samples_.size() < 2) return 0.0;
+  double mean = Mean();
+  double sq = 0;
+  for (double s : samples_) sq += (s - mean) * (s - mean);
+  return std::sqrt(sq / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::Percentile(double q) const {
+  EnsureSorted();
+  if (sorted_.empty()) return 0.0;
+  if (q <= 0) return sorted_.front();
+  if (q >= 100) return sorted_.back();
+  double rank = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+  size_t low = static_cast<size_t>(rank);
+  double fraction = rank - static_cast<double>(low);
+  if (low + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[low] * (1.0 - fraction) + sorted_[low + 1] * fraction;
+}
+
+double Summary::Cv() const {
+  double mean = Mean();
+  return mean == 0.0 ? 0.0 : Stdev() / mean;
+}
+
+}  // namespace granula

@@ -1,0 +1,46 @@
+#ifndef GRANULA_COMMON_STATS_H_
+#define GRANULA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace granula {
+
+// Descriptive statistics over a sample of doubles. Used by the multi-trial
+// experiment harness to report mean +/- stdev of phase times across
+// datasets, and by analysis code for percentile-based thresholds.
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::vector<double> samples);
+
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  // Sample standard deviation (n-1 denominator); 0 for fewer than 2.
+  double Stdev() const;
+  // Linear-interpolated percentile, q in [0, 100].
+  double Percentile(double q) const;
+  double Median() const { return Percentile(50); }
+
+  // Coefficient of variation (stdev / mean); 0 when the mean is 0.
+  double Cv() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace granula
+
+#endif  // GRANULA_COMMON_STATS_H_

@@ -1,0 +1,102 @@
+#ifndef GRANULA_COMMON_STATUS_H_
+#define GRANULA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace granula {
+
+// Error categories used across the library. Kept deliberately small; the
+// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kCorruption,
+};
+
+// Returns a stable lowercase name for `code`, e.g. "invalid_argument".
+std::string_view StatusCodeName(StatusCode code);
+
+// A RocksDB/Abseil-style status object. Functions that can fail return a
+// Status (or a Result<T>, see result.h) instead of throwing; exceptions are
+// not used across module boundaries.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace granula
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define GRANULA_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::granula::Status granula_status_tmp_ = (expr);    \
+    if (!granula_status_tmp_.ok()) {                   \
+      return granula_status_tmp_;                      \
+    }                                                  \
+  } while (false)
+
+#endif  // GRANULA_COMMON_STATUS_H_

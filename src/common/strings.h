@@ -1,0 +1,39 @@
+#ifndef GRANULA_COMMON_STRINGS_H_
+#define GRANULA_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace granula {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Formats a byte count with a binary-unit suffix, e.g. "1.5 GiB".
+std::string HumanBytes(double bytes);
+
+// Formats seconds with two decimals and an "s" suffix, e.g. "81.59s".
+std::string HumanSeconds(double seconds);
+
+// Formats `value` as a percentage with one decimal, e.g. "43.3%".
+std::string HumanPercent(double fraction);
+
+}  // namespace granula
+
+#endif  // GRANULA_COMMON_STRINGS_H_

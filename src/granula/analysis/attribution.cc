@@ -1,0 +1,78 @@
+#include "granula/analysis/attribution.h"
+
+namespace granula::core {
+
+namespace {
+
+// Sampling interval estimate: the spacing of node-0 samples (1.0 s
+// fallback when fewer than two samples exist).
+double SamplingInterval(const PerformanceArchive& archive) {
+  double previous = -1;
+  for (const EnvironmentRecord& r : archive.environment) {
+    if (r.node != 0) continue;
+    if (previous >= 0) {
+      double interval = r.time_seconds - previous;
+      if (interval > 0) return interval;
+    }
+    previous = r.time_seconds;
+  }
+  return 1.0;
+}
+
+void Collect(const PerformanceArchive& archive, const ArchivedOperation& op,
+             const std::string& prefix, int depth, int max_depth,
+             double interval,
+             std::vector<OperationResourceUsage>* out) {
+  std::string name = op.mission_id.empty() ? op.mission_type : op.mission_id;
+  std::string path = prefix.empty() ? name : prefix + "/" + name;
+  if (depth > 0) {  // the root row is rarely useful; include children only
+    OperationResourceUsage usage;
+    usage.path = path;
+    usage.duration_seconds = op.Duration().seconds();
+    double begin = op.StartTime().seconds();
+    double end = op.EndTime().seconds();
+    for (const EnvironmentRecord& r : archive.environment) {
+      if (r.time_seconds > begin && r.time_seconds <= end + 1e-9) {
+        double cpu = r.cpu_seconds_per_second * interval;
+        usage.cpu_seconds += cpu;
+        usage.per_node_cpu[r.hostname] += cpu;
+      }
+    }
+    usage.mean_cpu = usage.duration_seconds > 0
+                         ? usage.cpu_seconds / usage.duration_seconds
+                         : 0.0;
+    out->push_back(std::move(usage));
+  }
+  if (depth >= max_depth) return;
+  for (const auto& child : op.children) {
+    Collect(archive, *child, path, depth + 1, max_depth, interval, out);
+  }
+}
+
+}  // namespace
+
+std::vector<OperationResourceUsage> AttributeCpu(
+    const PerformanceArchive& archive, const AttributionOptions& options) {
+  std::vector<OperationResourceUsage> out;
+  if (archive.root == nullptr) return out;
+  double interval = SamplingInterval(archive);
+  Collect(archive, *archive.root, "", 0, options.max_depth, interval, &out);
+  return out;
+}
+
+std::map<std::string, double> PhaseCpuSeconds(
+    const PerformanceArchive& archive) {
+  std::map<std::string, double> out;
+  for (const OperationResourceUsage& usage :
+       AttributeCpu(archive, AttributionOptions{})) {
+    // Strip the root prefix for phase-keyed lookups.
+    size_t slash = usage.path.find('/');
+    std::string key = slash == std::string::npos
+                          ? usage.path
+                          : usage.path.substr(slash + 1);
+    out[key] += usage.cpu_seconds;
+  }
+  return out;
+}
+
+}  // namespace granula::core

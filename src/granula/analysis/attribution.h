@@ -1,0 +1,46 @@
+#ifndef GRANULA_GRANULA_ANALYSIS_ATTRIBUTION_H_
+#define GRANULA_GRANULA_ANALYSIS_ATTRIBUTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "granula/archive/archive.h"
+
+namespace granula::core {
+
+// Resource-to-operation attribution: maps the environment log's samples
+// onto the operation tree — the mechanism behind the paper's Figs. 6-7
+// ("map these data to the each corresponding system operation") made a
+// reusable query.
+
+struct OperationResourceUsage {
+  std::string path;          // mission ids from the root, '/'-joined
+  double duration_seconds = 0;
+  double cpu_seconds = 0;    // total CPU time during the operation
+  double mean_cpu = 0;       // cpu_seconds / duration
+  // Per-node CPU seconds (hostname -> CPU-s); reveals hotspots.
+  std::map<std::string, double> per_node_cpu;
+};
+
+struct AttributionOptions {
+  // Attribute to operations at most this many levels below the root
+  // (1 = the root's direct children, i.e. the domain phases). 0 = root only.
+  int max_depth = 1;
+};
+
+// Integrates every environment sample into the operations whose
+// [StartTime, EndTime] window contains the sample, down to `max_depth`.
+// Windows of sibling operations may overlap (distributed workers); each
+// level is attributed independently, so per-level totals are conserved.
+std::vector<OperationResourceUsage> AttributeCpu(
+    const PerformanceArchive& archive, const AttributionOptions& options);
+
+// Convenience: CPU-seconds per domain phase (root's direct children),
+// keyed by mission id.
+std::map<std::string, double> PhaseCpuSeconds(
+    const PerformanceArchive& archive);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_ANALYSIS_ATTRIBUTION_H_

@@ -1,0 +1,241 @@
+#include "granula/analysis/chokepoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace granula::core {
+
+std::string_view FindingKindName(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kDominantPhase:
+      return "dominant_phase";
+    case FindingKind::kIdleDuringPhase:
+      return "idle_during_phase";
+    case FindingKind::kCpuSaturatedPhase:
+      return "cpu_saturated_phase";
+    case FindingKind::kSingleNodeHotspot:
+      return "single_node_hotspot";
+    case FindingKind::kWorkerImbalance:
+      return "worker_imbalance";
+    case FindingKind::kSynchronizationOverhead:
+      return "synchronization_overhead";
+    case FindingKind::kStragglerNode:
+      return "straggler_node";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string PhasePath(const PerformanceArchive& archive,
+                      const ArchivedOperation& phase) {
+  std::string root = archive.root->mission_id.empty()
+                         ? archive.root->mission_type
+                         : archive.root->mission_id;
+  std::string leaf =
+      phase.mission_id.empty() ? phase.mission_type : phase.mission_id;
+  return root + "/" + leaf;
+}
+
+// CPU-seconds per node within (begin, end], plus the total.
+struct PhaseCpu {
+  std::map<uint32_t, double> per_node;
+  std::map<uint32_t, std::string> hostname;
+  double total = 0;
+  double window = 0;  // sampling interval estimate (for CPU-s conversion)
+};
+
+PhaseCpu CpuWithin(const PerformanceArchive& archive, double begin,
+                   double end) {
+  PhaseCpu cpu;
+  // Estimate the sampling interval from consecutive sample times of node 0.
+  double previous = -1;
+  for (const EnvironmentRecord& r : archive.environment) {
+    if (r.node != 0) continue;
+    if (previous >= 0) {
+      cpu.window = r.time_seconds - previous;
+      break;
+    }
+    previous = r.time_seconds;
+  }
+  if (cpu.window <= 0) cpu.window = 1.0;
+  for (const EnvironmentRecord& r : archive.environment) {
+    if (r.time_seconds > begin && r.time_seconds <= end + 1e-9) {
+      double cpu_seconds = r.cpu_seconds_per_second * cpu.window;
+      cpu.per_node[r.node] += cpu_seconds;
+      cpu.hostname[r.node] = r.hostname;
+      cpu.total += cpu_seconds;
+    }
+  }
+  return cpu;
+}
+
+void DetectPhaseFindings(const PerformanceArchive& archive,
+                         const ChokepointOptions& options,
+                         std::vector<Finding>* findings) {
+  double job_seconds = archive.root->Duration().seconds();
+  if (job_seconds <= 0) return;
+  for (const auto& phase : archive.root->children) {
+    double seconds = phase->Duration().seconds();
+    double fraction = seconds / job_seconds;
+    std::string path = PhasePath(archive, *phase);
+
+    if (fraction >= options.dominant_phase_fraction) {
+      findings->push_back(Finding{
+          FindingKind::kDominantPhase, Severity::kCritical, path,
+          StrFormat("%s takes %s of the job (%s of %s)",
+                    phase->mission_type.c_str(),
+                    HumanPercent(fraction).c_str(),
+                    HumanSeconds(seconds).c_str(),
+                    HumanSeconds(job_seconds).c_str()),
+          fraction});
+    }
+    if (fraction < options.min_phase_fraction) continue;
+    if (archive.environment.empty()) continue;
+
+    PhaseCpu cpu = CpuWithin(archive, phase->StartTime().seconds(),
+                             phase->EndTime().seconds());
+    if (options.cluster_cpu_capacity > 0 && seconds > 0) {
+      double mean_fraction =
+          cpu.total / (seconds * options.cluster_cpu_capacity);
+      if (mean_fraction <= options.idle_cpu_fraction) {
+        findings->push_back(Finding{
+            FindingKind::kIdleDuringPhase, Severity::kWarning, path,
+            StrFormat("CPUs are %s utilized during %s — the phase is bound "
+                      "by latency or I/O waits, not compute",
+                      HumanPercent(mean_fraction).c_str(),
+                      phase->mission_type.c_str()),
+            mean_fraction});
+      } else if (mean_fraction >= options.saturated_cpu_fraction) {
+        findings->push_back(Finding{
+            FindingKind::kCpuSaturatedPhase, Severity::kInfo, path,
+            StrFormat("%s runs at %s of cluster CPU capacity — compute-"
+                      "bound; a faster implementation would shorten it",
+                      phase->mission_type.c_str(),
+                      HumanPercent(mean_fraction).c_str()),
+            mean_fraction});
+      }
+    }
+    if (cpu.total > 0 && cpu.per_node.size() > 1) {
+      auto hottest = std::max_element(
+          cpu.per_node.begin(), cpu.per_node.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      double share = hottest->second / cpu.total;
+      double fair_share = 1.0 / static_cast<double>(cpu.per_node.size());
+      // A hotspot only matters when that node is genuinely working:
+      // nearly idle phases trivially concentrate their negligible CPU
+      // somewhere. Require the hottest node to average at least one busy
+      // core over the phase (a PowerGraph-style sequential loader runs
+      // several).
+      double hottest_mean_cores = hottest->second / seconds;
+      if (share >= options.hotspot_fair_share_multiple * fair_share &&
+          hottest_mean_cores >= options.hotspot_min_node_cores) {
+        findings->push_back(Finding{
+            FindingKind::kSingleNodeHotspot, Severity::kCritical, path,
+            StrFormat("%s of the CPU time in %s is on %s alone — the phase "
+                      "does not use the distributed cluster",
+                      HumanPercent(share).c_str(),
+                      phase->mission_type.c_str(),
+                      cpu.hostname[hottest->first].c_str()),
+            share});
+      }
+    }
+  }
+}
+
+void DetectSuperstepFindings(const PerformanceArchive& archive,
+                             const ChokepointOptions& options,
+                             std::vector<Finding>* findings) {
+  // Worker imbalance per superstep-like operation (derived infos come from
+  // the model; absent infos mean the model was too coarse — no findings).
+  for (const ArchivedOperation* step :
+       archive.FindOperations("Master", "Superstep")) {
+    double imbalance = step->InfoNumber("WorkerImbalance", -1);
+    if (imbalance >= options.imbalance_ratio) {
+      findings->push_back(Finding{
+          FindingKind::kWorkerImbalance, Severity::kWarning,
+          archive.root->mission_id + "/ProcessGraph/" + step->mission_id,
+          StrFormat("slowest worker in %s is %.2fx the fastest — load "
+                    "imbalance leaves workers waiting at the barrier",
+                    step->mission_id.c_str(), imbalance),
+          imbalance});
+    }
+  }
+
+  // Synchronization overhead + straggler detection across all supersteps.
+  double compute_total = 0, local_total = 0;
+  std::map<std::string, double> per_worker_compute;
+  for (const ArchivedOperation* local :
+       archive.FindOperations("Worker", "LocalSuperstep")) {
+    local_total += local->Duration().seconds();
+  }
+  for (const ArchivedOperation* compute :
+       archive.FindOperations("Worker", "Compute")) {
+    compute_total += compute->Duration().seconds();
+    per_worker_compute[compute->actor_id] += compute->Duration().seconds();
+  }
+  if (local_total > 0) {
+    double overhead = 1.0 - compute_total / local_total;
+    if (overhead >= options.sync_overhead_fraction) {
+      findings->push_back(Finding{
+          FindingKind::kSynchronizationOverhead, Severity::kWarning,
+          archive.root->mission_id + "/ProcessGraph",
+          StrFormat("%s of worker superstep time is outside Compute "
+                    "(PreStep/Message/PostStep + barrier waits)",
+                    HumanPercent(overhead).c_str()),
+          overhead});
+    }
+  }
+  if (per_worker_compute.size() > 1 && compute_total > 0) {
+    double mean = compute_total / per_worker_compute.size();
+    for (const auto& [worker, total] : per_worker_compute) {
+      if (mean > 0 && total / mean >= options.straggler_ratio) {
+        findings->push_back(Finding{
+            FindingKind::kStragglerNode, Severity::kCritical,
+            archive.root->mission_id + "/ProcessGraph",
+            StrFormat("%s spends %.2fx the mean compute time across the "
+                      "whole run — a consistently slow or overloaded node",
+                      worker.c_str(), total / mean),
+            total / mean});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzeChokepoints(const PerformanceArchive& archive,
+                                        const ChokepointOptions& options) {
+  std::vector<Finding> findings;
+  if (archive.root == nullptr) return findings;
+  DetectPhaseFindings(archive, options, &findings);
+  DetectSuperstepFindings(archive, options, &findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  return findings;
+}
+
+std::string RenderFindings(const std::vector<Finding>& findings) {
+  if (findings.empty()) return "no choke-points found\n";
+  std::string out;
+  for (const Finding& finding : findings) {
+    const char* severity = finding.severity == Severity::kCritical
+                               ? "CRITICAL"
+                               : finding.severity == Severity::kWarning
+                                     ? "WARNING "
+                                     : "INFO    ";
+    out += StrFormat("[%s] %-24s %s\n         %s\n", severity,
+                     std::string(FindingKindName(finding.kind)).c_str(),
+                     finding.operation.c_str(),
+                     finding.description.c_str());
+  }
+  return out;
+}
+
+}  // namespace granula::core

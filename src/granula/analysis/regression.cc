@@ -1,0 +1,122 @@
+#include "granula/analysis/regression.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace granula::core {
+
+namespace {
+
+// Flattens an operation tree into path -> duration. Sibling operations
+// with identical mission ids (rare; means the model lacks distinguishing
+// ids) get "#k" suffixes so every path stays unique.
+void Flatten(const ArchivedOperation& op, const std::string& prefix,
+             int depth, int max_depth,
+             std::map<std::string, double>* out) {
+  std::string name = op.mission_id.empty() ? op.mission_type : op.mission_id;
+  std::string path = prefix.empty() ? name : prefix + "/" + name;
+  while (out->count(path) > 0) path += "'";
+  (*out)[path] = op.Duration().seconds();
+  if (max_depth > 0 && depth + 1 >= max_depth) return;
+  for (const auto& child : op.children) {
+    Flatten(*child, path, depth + 1, max_depth, out);
+  }
+}
+
+}  // namespace
+
+RegressionReport CompareArchives(const PerformanceArchive& baseline,
+                                 const PerformanceArchive& candidate,
+                                 const RegressionOptions& options) {
+  RegressionReport report;
+  std::map<std::string, double> base_ops, cand_ops;
+  if (baseline.root != nullptr) {
+    Flatten(*baseline.root, "", 0, options.max_depth, &base_ops);
+    report.total_baseline_seconds = baseline.root->Duration().seconds();
+  }
+  if (candidate.root != nullptr) {
+    Flatten(*candidate.root, "", 0, options.max_depth, &cand_ops);
+    report.total_candidate_seconds = candidate.root->Duration().seconds();
+  }
+
+  for (const auto& [path, base_seconds] : base_ops) {
+    auto it = cand_ops.find(path);
+    if (it == cand_ops.end()) {
+      report.removed.push_back(path);
+      continue;
+    }
+    double cand_seconds = it->second;
+    if (base_seconds < options.min_seconds &&
+        cand_seconds < options.min_seconds) {
+      continue;
+    }
+    if (base_seconds <= 0) continue;
+    double change = (cand_seconds - base_seconds) / base_seconds;
+    OperationDelta delta{path, base_seconds, cand_seconds, change};
+    if (change >= options.tolerance) {
+      report.regressions.push_back(delta);
+    } else if (change <= -options.tolerance) {
+      report.improvements.push_back(delta);
+    }
+  }
+  for (const auto& [path, seconds] : cand_ops) {
+    if (base_ops.count(path) == 0) report.added.push_back(path);
+  }
+
+  auto by_change_desc = [](const OperationDelta& a,
+                           const OperationDelta& b) {
+    return a.relative_change > b.relative_change;
+  };
+  std::sort(report.regressions.begin(), report.regressions.end(),
+            by_change_desc);
+  std::sort(report.improvements.begin(), report.improvements.end(),
+            [](const OperationDelta& a, const OperationDelta& b) {
+              return a.relative_change < b.relative_change;
+            });
+  return report;
+}
+
+std::string RenderRegressionReport(const RegressionReport& report) {
+  std::string out = StrFormat(
+      "job total: %s -> %s (%+.1f%%)\n",
+      HumanSeconds(report.total_baseline_seconds).c_str(),
+      HumanSeconds(report.total_candidate_seconds).c_str(),
+      report.total_baseline_seconds > 0
+          ? 100.0 *
+                (report.total_candidate_seconds -
+                 report.total_baseline_seconds) /
+                report.total_baseline_seconds
+          : 0.0);
+  if (!report.regressions.empty()) {
+    out += "regressions:\n";
+    for (const OperationDelta& delta : report.regressions) {
+      out += StrFormat("  %-48s %9s -> %9s  %+7.1f%%\n", delta.path.c_str(),
+                       HumanSeconds(delta.baseline_seconds).c_str(),
+                       HumanSeconds(delta.candidate_seconds).c_str(),
+                       100.0 * delta.relative_change);
+    }
+  }
+  if (!report.improvements.empty()) {
+    out += "improvements:\n";
+    for (const OperationDelta& delta : report.improvements) {
+      out += StrFormat("  %-48s %9s -> %9s  %+7.1f%%\n", delta.path.c_str(),
+                       HumanSeconds(delta.baseline_seconds).c_str(),
+                       HumanSeconds(delta.candidate_seconds).c_str(),
+                       100.0 * delta.relative_change);
+    }
+  }
+  for (const std::string& path : report.added) {
+    out += StrFormat("  added:   %s\n", path.c_str());
+  }
+  for (const std::string& path : report.removed) {
+    out += StrFormat("  removed: %s\n", path.c_str());
+  }
+  if (report.regressions.empty() && report.improvements.empty()) {
+    out += "no changes beyond tolerance\n";
+  }
+  return out;
+}
+
+}  // namespace granula::core

@@ -1,0 +1,59 @@
+#ifndef GRANULA_GRANULA_ANALYSIS_REGRESSION_H_
+#define GRANULA_GRANULA_ANALYSIS_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "granula/archive/archive.h"
+
+namespace granula::core {
+
+// Performance-regression testing over archives — the paper's Section-6
+// vision of integrating "performance analysis as part of standard software
+// engineering practices, in the form of performance regression tests".
+//
+// Two archives of the same job (baseline: the committed/known-good run;
+// candidate: the run under test) are compared operation-by-operation.
+// Operations are matched by their path of mission ids, so the comparison
+// is stable across runs with identical structure and degrades gracefully
+// (added/removed operations are reported, not fatal).
+
+struct OperationDelta {
+  std::string path;
+  double baseline_seconds = 0;
+  double candidate_seconds = 0;
+  // (candidate - baseline) / baseline; +0.25 means 25 % slower.
+  double relative_change = 0;
+};
+
+struct RegressionReport {
+  std::vector<OperationDelta> regressions;   // slower than tolerance
+  std::vector<OperationDelta> improvements;  // faster than tolerance
+  std::vector<std::string> added;            // only in candidate
+  std::vector<std::string> removed;          // only in baseline
+  double total_baseline_seconds = 0;
+  double total_candidate_seconds = 0;
+
+  bool HasRegressions() const { return !regressions.empty(); }
+};
+
+struct RegressionOptions {
+  // Relative slowdown that counts as a regression (0.10 = 10 %).
+  double tolerance = 0.10;
+  // Operations shorter than this (in both runs) are ignored: tiny
+  // operations have proportionally noisy timings.
+  double min_seconds = 0.05;
+  // Limit the comparison depth (0 = all levels present in the archives).
+  int max_depth = 0;
+};
+
+RegressionReport CompareArchives(const PerformanceArchive& baseline,
+                                 const PerformanceArchive& candidate,
+                                 const RegressionOptions& options);
+
+// Renders a report as terminal text (regressions first).
+std::string RenderRegressionReport(const RegressionReport& report);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_ANALYSIS_REGRESSION_H_

@@ -1,0 +1,111 @@
+#ifndef GRANULA_GRANULA_ARCHIVE_ARCHIVE_H_
+#define GRANULA_GRANULA_ARCHIVE_ARCHIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/sim_time.h"
+
+namespace granula::core {
+
+// One piece of performance information attached to an operation (the
+// "info" of the paper's performance model, Fig. 1). `source` records the
+// provenance: which rule or log record produced the value.
+struct InfoValue {
+  Json value;
+  std::string source;
+};
+
+// An operation in a performance archive: an actor executing a mission, with
+// its info set and filial operations (paper Section 3.2). The well-known
+// infos "StartTime" and "EndTime" hold integer nanoseconds of virtual time.
+class ArchivedOperation {
+ public:
+  ArchivedOperation() = default;
+
+  std::string actor_type;
+  std::string actor_id;
+  std::string mission_type;
+  std::string mission_id;
+
+  std::map<std::string, InfoValue> infos;
+  std::vector<std::unique_ptr<ArchivedOperation>> children;
+
+  // "actor @ mission", e.g. "Worker-3 @ Superstep-4".
+  std::string DisplayName() const;
+  // "actor_type@mission_type", the model key, e.g. "Worker@Superstep".
+  std::string TypeKey() const;
+
+  bool HasInfo(std::string_view name) const;
+  const InfoValue* FindInfo(std::string_view name) const;
+  // Numeric info accessor; returns `fallback` when absent or non-numeric.
+  double InfoNumber(std::string_view name, double fallback = 0.0) const;
+
+  SimTime StartTime() const;  // SimTime() when absent
+  SimTime EndTime() const;
+  SimTime Duration() const { return EndTime() - StartTime(); }
+
+  void SetInfo(std::string name, Json value, std::string source);
+
+  // Pre-order traversal.
+  void Visit(const std::function<void(const ArchivedOperation&)>& fn) const;
+
+  // Number of operations in this subtree (including this one).
+  uint64_t SubtreeSize() const;
+
+  Json ToJson() const;
+  static Result<std::unique_ptr<ArchivedOperation>> FromJson(const Json& j);
+};
+
+// Environment-log entry stored alongside the operation tree.
+struct EnvironmentRecord {
+  uint32_t node = 0;
+  std::string hostname;
+  double time_seconds = 0;
+  double cpu_seconds_per_second = 0;
+  double net_bytes_per_second = 0;
+  double disk_bytes_per_second = 0;
+};
+
+// The performance archive (paper Section 3.3, P3): the standardized,
+// queryable artifact produced by one evaluated job. Serializes to JSON so
+// archives can be stored, shared, diffed, and re-visualized without
+// re-running the experiment.
+class PerformanceArchive {
+ public:
+  std::map<std::string, std::string> job_metadata;  // platform, algorithm...
+  std::string model_name;
+  std::unique_ptr<ArchivedOperation> root;
+  std::vector<EnvironmentRecord> environment;
+
+  // Path query: "/" separated mission ids (falling back to mission types),
+  // e.g. "GiraphJob/ProcessGraph/Superstep-4". Leading element matches the
+  // root. Returns nullptr when no match.
+  const ArchivedOperation* FindByPath(std::string_view path) const;
+
+  // All operations whose (actor_type, mission_type) match; empty strings
+  // act as wildcards.
+  std::vector<const ArchivedOperation*> FindOperations(
+      std::string_view actor_type, std::string_view mission_type) const;
+
+  // Total operations in the archive.
+  uint64_t OperationCount() const;
+
+  // Fraction of the root's duration spent in each direct child, keyed by
+  // mission id — the numbers behind Fig. 5.
+  std::map<std::string, double> TopLevelBreakdown() const;
+
+  std::string ToJsonString(int indent = 2) const;
+  static Result<PerformanceArchive> FromJsonString(std::string_view text);
+};
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_ARCHIVE_ARCHIVE_H_

@@ -1,0 +1,190 @@
+#include "granula/archive/archiver.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace granula::core {
+
+namespace {
+
+// Pre-assembly view of one logged operation.
+struct PendingOp {
+  const LogRecord* start = nullptr;
+  std::optional<SimTime> end_time;
+  std::vector<const LogRecord*> infos;
+  std::vector<uint64_t> children;  // in start-record seq order
+};
+
+// Recursively assembles op `id`. Operations missing from `model` are
+// spliced out: their children are hoisted into `out` directly.
+void Assemble(uint64_t id, const std::map<uint64_t, PendingOp>& pending,
+              const PerformanceModel& model, bool* saw_unmodeled,
+              std::vector<std::unique_ptr<ArchivedOperation>>* out) {
+  const PendingOp& p = pending.at(id);
+
+  std::vector<std::unique_ptr<ArchivedOperation>> children;
+  for (uint64_t child : p.children) {
+    Assemble(child, pending, model, saw_unmodeled, &children);
+  }
+
+  bool modeled =
+      model.Contains(p.start->actor_type, p.start->mission_type);
+  if (!modeled) {
+    *saw_unmodeled = true;
+    for (auto& child : children) out->push_back(std::move(child));
+    return;
+  }
+
+  auto op = std::make_unique<ArchivedOperation>();
+  op->actor_type = p.start->actor_type;
+  op->actor_id = p.start->actor_id;
+  op->mission_type = p.start->mission_type;
+  op->mission_id = p.start->mission_id;
+  op->SetInfo("StartTime", Json(p.start->time.nanos()), "platform log");
+  if (p.end_time.has_value()) {
+    op->SetInfo("EndTime", Json(p.end_time->nanos()), "platform log");
+  }
+  for (const LogRecord* info : p.infos) {
+    op->SetInfo(info->info_name, info->info_value, "platform log");
+  }
+  op->children = std::move(children);
+  std::stable_sort(op->children.begin(), op->children.end(),
+                   [](const auto& a, const auto& b) {
+                     return a->StartTime() < b->StartTime();
+                   });
+  out->push_back(std::move(op));
+}
+
+// Post-order: repair missing EndTime from the subtree, then run the
+// model's derivation rules.
+void FinalizeOperation(ArchivedOperation& op, const PerformanceModel& model) {
+  SimTime child_max_end;
+  for (auto& child : op.children) {
+    FinalizeOperation(*child, model);
+    child_max_end = std::max(child_max_end, child->EndTime());
+  }
+  if (!op.HasInfo("EndTime")) {
+    SimTime repaired = std::max(op.StartTime(), child_max_end);
+    op.SetInfo("EndTime", Json(repaired.nanos()),
+               "max end of subtree (repaired)");
+  }
+  const OperationModel* op_model = model.Find(op.actor_type, op.mission_type);
+  if (op_model == nullptr) return;
+  for (const InfoRulePtr& rule : op_model->rules) {
+    Result<Json> derived = rule->Derive(op);
+    if (derived.ok()) {
+      op.SetInfo(rule->info_name(), std::move(derived).value(),
+                 rule->Describe());
+    }
+  }
+}
+
+}  // namespace
+
+Result<PerformanceArchive> Archiver::Build(
+    const PerformanceModel& model, const std::vector<LogRecord>& records,
+    std::vector<EnvironmentRecord> environment,
+    std::map<std::string, std::string> job_metadata) const {
+  GRANULA_RETURN_IF_ERROR(model.Validate());
+  PerformanceModel effective =
+      options_.max_level > 0 ? model.WithMaxLevel(options_.max_level) : model;
+
+  // Index the flat stream (which may be arbitrarily ordered) by op id.
+  std::map<uint64_t, PendingOp> pending;
+  std::vector<const LogRecord*> starts;
+  for (const LogRecord& r : records) {
+    if (r.kind == LogRecord::Kind::kStartOp) {
+      PendingOp& p = pending[r.op_id];
+      if (p.start != nullptr) {
+        return Status::Corruption(
+            StrFormat("duplicate StartOp for op %llu",
+                      static_cast<unsigned long long>(r.op_id)));
+      }
+      p.start = &r;
+      starts.push_back(&r);
+    }
+  }
+  std::sort(starts.begin(), starts.end(),
+            [](const LogRecord* a, const LogRecord* b) {
+              return a->seq < b->seq;
+            });
+  for (const LogRecord& r : records) {
+    auto it = pending.find(r.op_id);
+    if (it == pending.end() || it->second.start == nullptr) {
+      if (r.kind != LogRecord::Kind::kStartOp) continue;  // orphan: ignore
+    }
+    switch (r.kind) {
+      case LogRecord::Kind::kStartOp:
+        break;  // already indexed
+      case LogRecord::Kind::kEndOp:
+        it->second.end_time = r.time;
+        break;
+      case LogRecord::Kind::kInfo:
+        it->second.infos.push_back(&r);
+        break;
+    }
+  }
+
+  // Wire children (in emission order) and find the root.
+  std::vector<uint64_t> roots;
+  for (const LogRecord* start : starts) {
+    uint64_t parent = start->parent_id;
+    if (parent != kNoOp && pending.count(parent) > 0 &&
+        pending[parent].start != nullptr) {
+      if (parent == start->op_id) {
+        return Status::Corruption("operation is its own parent");
+      }
+      pending[parent].children.push_back(start->op_id);
+    } else {
+      roots.push_back(start->op_id);
+    }
+  }
+  if (roots.empty()) {
+    return Status::Corruption("log contains no root operation");
+  }
+  if (roots.size() > 1) {
+    return Status::Corruption(
+        StrFormat("log contains %zu root operations", roots.size()));
+  }
+
+  // Reject cycles among non-root records (defensive: a hand-crafted log
+  // could contain A->B->A, unreachable from the root).
+  std::set<uint64_t> reachable;
+  std::vector<uint64_t> stack{roots[0]};
+  while (!stack.empty()) {
+    uint64_t id = stack.back();
+    stack.pop_back();
+    if (!reachable.insert(id).second) {
+      return Status::Corruption("cycle in operation parent links");
+    }
+    for (uint64_t child : pending[id].children) stack.push_back(child);
+  }
+  if (reachable.size() != pending.size()) {
+    return Status::Corruption("operations unreachable from the root");
+  }
+
+  std::vector<std::unique_ptr<ArchivedOperation>> assembled;
+  bool saw_unmodeled = false;
+  Assemble(roots[0], pending, effective, &saw_unmodeled, &assembled);
+  if (options_.strict && saw_unmodeled) {
+    return Status::FailedPrecondition(
+        "strict mode: log contains operations absent from the model");
+  }
+  if (assembled.size() != 1) {
+    return Status::FailedPrecondition(
+        "root operation is not covered by the model");
+  }
+
+  PerformanceArchive archive;
+  archive.model_name = effective.name();
+  archive.root = std::move(assembled[0]);
+  archive.environment = std::move(environment);
+  archive.job_metadata = std::move(job_metadata);
+  FinalizeOperation(*archive.root, effective);
+  return archive;
+}
+
+}  // namespace granula::core

@@ -1,0 +1,55 @@
+#ifndef GRANULA_GRANULA_ARCHIVE_ARCHIVER_H_
+#define GRANULA_GRANULA_ARCHIVE_ARCHIVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "granula/archive/archive.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+
+// Granula's archiving sub-process (P3): turns the raw monitoring output —
+// a flat platform-log stream plus environment records — into a
+// standardized, queryable PerformanceArchive, guided by the analyst's
+// performance model.
+//
+// Behavior highlights:
+//  * Records may arrive in any order; the tree is rebuilt from ids.
+//  * Operations not present in the model are *filtered out*; their children
+//    are re-attached to the nearest modeled ancestor. This is how the same
+//    log supports both coarse and fine models (requirement R3): archiving
+//    an implementation-level log under a domain-level model yields a small,
+//    cheap archive.
+//  * A missing EndOp is repaired with the max end time of the subtree (and
+//    a "(repaired)" provenance), so one lost record does not void a run.
+//  * Info-derivation rules from the model run bottom-up after assembly.
+class Archiver {
+ public:
+  struct Options {
+    // Drop operations whose model level exceeds this (0 = keep all levels
+    // present in the model).
+    int max_level = 0;
+    // If true, operations absent from the model fail the archive instead
+    // of being filtered (useful for model-coverage testing).
+    bool strict = false;
+  };
+
+  Archiver() = default;
+  explicit Archiver(Options options) : options_(options) {}
+
+  Result<PerformanceArchive> Build(
+      const PerformanceModel& model, const std::vector<LogRecord>& records,
+      std::vector<EnvironmentRecord> environment,
+      std::map<std::string, std::string> job_metadata) const;
+
+ private:
+  Options options_ = {};
+};
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_ARCHIVE_ARCHIVER_H_

@@ -1,0 +1,121 @@
+#include "granula/archive/repository.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/strings.h"
+
+namespace granula::core {
+
+namespace fs = std::filesystem;
+
+Status ArchiveRepository::Init() {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("cannot create %s: %s",
+                                     directory_.c_str(),
+                                     ec.message().c_str()));
+  }
+  return Status::OK();
+}
+
+std::string ArchiveRepository::PathFor(const std::string& name) const {
+  return directory_ + "/" + name + ".json";
+}
+
+Result<std::string> ArchiveRepository::Save(
+    const PerformanceArchive& archive, const std::string& explicit_name) {
+  GRANULA_RETURN_IF_ERROR(Init());
+  std::string name = explicit_name;
+  if (name.empty()) {
+    auto platform_it = archive.job_metadata.find("platform");
+    auto algorithm_it = archive.job_metadata.find("algorithm");
+    std::string prefix =
+        (platform_it != archive.job_metadata.end() ? platform_it->second
+                                                   : "run") +
+        "-" +
+        (algorithm_it != archive.job_metadata.end() ? algorithm_it->second
+                                                    : "job");
+    for (int index = 1;; ++index) {
+      std::string candidate = StrFormat("%s-%03d", prefix.c_str(), index);
+      if (!fs::exists(PathFor(candidate))) {
+        name = candidate;
+        break;
+      }
+    }
+  }
+  std::ofstream file(PathFor(name));
+  if (!file) {
+    return Status::IoError(
+        StrFormat("cannot write %s", PathFor(name).c_str()));
+  }
+  file << archive.ToJsonString();
+  if (!file.good()) {
+    return Status::IoError(
+        StrFormat("write failed for %s", PathFor(name).c_str()));
+  }
+  return name;
+}
+
+Result<std::vector<ArchiveRepository::Entry>> ArchiveRepository::List()
+    const {
+  std::error_code ec;
+  if (!fs::is_directory(directory_, ec)) {
+    return Status::NotFound(
+        StrFormat("no repository at %s", directory_.c_str()));
+  }
+  std::vector<Entry> entries;
+  for (const fs::directory_entry& file :
+       fs::directory_iterator(directory_, ec)) {
+    if (ec) break;
+    if (file.path().extension() != ".json") continue;
+    std::string name = file.path().stem().string();
+    auto archive = Load(name);
+    if (!archive.ok()) continue;  // foreign or corrupt file: skip
+    Entry entry;
+    entry.name = name;
+    auto platform_it = archive->job_metadata.find("platform");
+    if (platform_it != archive->job_metadata.end()) {
+      entry.platform = platform_it->second;
+    }
+    auto algorithm_it = archive->job_metadata.find("algorithm");
+    if (algorithm_it != archive->job_metadata.end()) {
+      entry.algorithm = algorithm_it->second;
+    }
+    if (archive->root != nullptr) {
+      entry.total_seconds = archive->root->Duration().seconds();
+    }
+    entry.operations = archive->OperationCount();
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return entries;
+}
+
+Result<PerformanceArchive> ArchiveRepository::Load(
+    const std::string& name) const {
+  std::ifstream file(PathFor(name));
+  if (!file) {
+    return Status::NotFound(
+        StrFormat("no archive %s in %s", name.c_str(), directory_.c_str()));
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return PerformanceArchive::FromJsonString(buffer.str());
+}
+
+Status ArchiveRepository::Remove(const std::string& name) {
+  std::error_code ec;
+  if (!fs::remove(PathFor(name), ec) || ec) {
+    return Status::NotFound(
+        StrFormat("no archive %s in %s", name.c_str(), directory_.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace granula::core

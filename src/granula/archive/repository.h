@@ -1,0 +1,56 @@
+#ifndef GRANULA_GRANULA_ARCHIVE_REPOSITORY_H_
+#define GRANULA_GRANULA_ARCHIVE_REPOSITORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "granula/archive/archive.h"
+
+namespace granula::core {
+
+// A directory of performance archives — the sharing mechanism behind
+// requirement R2 ("sharing performance results for the entire community
+// of analysts"): runs accumulate as JSON files that any analyst can list,
+// reload, re-visualize, and diff without re-running experiments.
+//
+// Layout: <directory>/<name>.json, where auto-generated names are
+// "<platform>-<algorithm>-<NNN>" with NNN a monotonically growing index.
+class ArchiveRepository {
+ public:
+  explicit ArchiveRepository(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  const std::string& directory() const { return directory_; }
+
+  // Creates the directory if needed.
+  Status Init();
+
+  // Saves under an auto-generated (or explicit) name; returns the name.
+  Result<std::string> Save(const PerformanceArchive& archive,
+                           const std::string& name = "");
+
+  struct Entry {
+    std::string name;
+    std::string platform;
+    std::string algorithm;
+    double total_seconds = 0;
+    uint64_t operations = 0;
+  };
+  // All archives in the repository, sorted by name. Unreadable or invalid
+  // files are skipped (a shared directory may contain foreign data).
+  Result<std::vector<Entry>> List() const;
+
+  Result<PerformanceArchive> Load(const std::string& name) const;
+
+  Status Remove(const std::string& name);
+
+ private:
+  std::string PathFor(const std::string& name) const;
+
+  std::string directory_;
+};
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_ARCHIVE_REPOSITORY_H_

@@ -1,0 +1,58 @@
+#ifndef GRANULA_GRANULA_MODEL_INFO_RULE_H_
+#define GRANULA_GRANULA_MODEL_INFO_RULE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "granula/archive/archive.h"
+
+namespace granula::core {
+
+// A rule that derives one info of an operation from its raw infos and its
+// (already-derived) filial operations — the "rules to transform raw info
+// into performance metrics" of the paper's modeling sub-process (P1).
+//
+// The archiver applies rules bottom-up: when Derive runs, every child of
+// `op` carries its full info set.
+class InfoRule {
+ public:
+  virtual ~InfoRule() = default;
+
+  virtual const std::string& info_name() const = 0;
+
+  // Produces the info value, or NotFound when the inputs are missing (the
+  // archiver then simply skips the info rather than failing the archive).
+  virtual Result<Json> Derive(const ArchivedOperation& op) const = 0;
+
+  // Human-readable provenance stored as the info's source.
+  virtual std::string Describe() const = 0;
+};
+
+using InfoRulePtr = std::shared_ptr<const InfoRule>;
+
+// Duration = EndTime - StartTime, in nanoseconds.
+InfoRulePtr MakeDurationRule();
+
+// Aggregates a numeric info over children:
+//   MakeChildAggregateRule("ComputeTime", "Sum", "Duration", "Compute")
+// derives op.ComputeTime = sum of child.Duration over children whose
+// mission_type is "Compute" (empty child_mission = all children).
+enum class Aggregate { kSum, kMax, kMin, kCount, kMean };
+InfoRulePtr MakeChildAggregateRule(std::string info_name, Aggregate agg,
+                                   std::string child_info,
+                                   std::string child_mission_type = "");
+
+// Copies a numeric info and divides by the operation's own Duration; used
+// for rates (e.g. EdgesPerSecond from EdgesProcessed).
+InfoRulePtr MakeRateRule(std::string info_name, std::string numerator_info);
+
+// Escape hatch for model-specific metrics.
+InfoRulePtr MakeCustomRule(
+    std::string info_name, std::string description,
+    std::function<Result<Json>(const ArchivedOperation&)> fn);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_MODEL_INFO_RULE_H_

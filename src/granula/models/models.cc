@@ -1,0 +1,345 @@
+#include "granula/models/models.h"
+
+#include <array>
+
+namespace granula::core {
+
+namespace {
+
+// Sums the durations of direct children whose mission_type is in `types`.
+template <size_t N>
+Result<Json> SumChildDurations(const ArchivedOperation& op,
+                               const std::array<const char*, N>& types) {
+  int64_t total = 0;
+  bool found = false;
+  for (const auto& child : op.children) {
+    for (const char* type : types) {
+      if (child->mission_type == type) {
+        total += child->Duration().nanos();
+        found = true;
+      }
+    }
+  }
+  if (!found) return Status::NotFound("no matching phases");
+  return Json(total);
+}
+
+// Fraction of the operation's own duration spent in `numerator_info`.
+Result<Json> FractionOfDuration(const ArchivedOperation& op,
+                                const std::string& numerator_info) {
+  const InfoValue* numerator = op.FindInfo(numerator_info);
+  if (numerator == nullptr || !numerator->value.is_number()) {
+    return Status::NotFound("numerator missing");
+  }
+  int64_t total = op.Duration().nanos();
+  if (total <= 0) return Status::NotFound("zero duration");
+  return Json(numerator->value.AsDouble() / static_cast<double>(total));
+}
+
+// Installs the job root, the five domain phases, and the Ts/Td/Tp metric
+// rules shared by every platform model.
+void AddDomainLayer(PerformanceModel* model) {
+  (void)model->AddRoot(ops::kJobActor, ops::kJobMission);
+  for (const char* phase : {ops::kStartup, ops::kLoadGraph,
+                            ops::kProcessGraph, ops::kOffloadGraph,
+                            ops::kCleanup}) {
+    (void)model->AddOperation(ops::kJobActor, phase, ops::kJobActor,
+                              ops::kJobMission);
+  }
+  (void)model->AddRule(
+      ops::kJobActor, ops::kJobMission,
+      MakeCustomRule("SetupTime", "Startup + Cleanup durations (Ts)",
+                     [](const ArchivedOperation& op) {
+                       return SumChildDurations(
+                           op, std::array<const char*, 2>{ops::kStartup,
+                                                          ops::kCleanup});
+                     }));
+  (void)model->AddRule(
+      ops::kJobActor, ops::kJobMission,
+      MakeCustomRule("IoTime", "LoadGraph + OffloadGraph durations (Td)",
+                     [](const ArchivedOperation& op) {
+                       return SumChildDurations(
+                           op, std::array<const char*, 2>{
+                                   ops::kLoadGraph, ops::kOffloadGraph});
+                     }));
+  (void)model->AddRule(
+      ops::kJobActor, ops::kJobMission,
+      MakeCustomRule("ProcessingTime", "ProcessGraph duration (Tp)",
+                     [](const ArchivedOperation& op) {
+                       return SumChildDurations(
+                           op, std::array<const char*, 1>{
+                                   ops::kProcessGraph});
+                     }));
+  for (const char* metric : {"SetupTime", "IoTime", "ProcessingTime"}) {
+    (void)model->AddRule(
+        ops::kJobActor, ops::kJobMission,
+        MakeCustomRule(std::string(metric) + "Fraction",
+                       std::string(metric) + " / Duration",
+                       [metric](const ArchivedOperation& op) {
+                         return FractionOfDuration(op, metric);
+                       }));
+  }
+}
+
+}  // namespace
+
+PerformanceModel MakeGraphProcessingDomainModel() {
+  PerformanceModel model("GraphProcessingDomain");
+  AddDomainLayer(&model);
+  return model;
+}
+
+PerformanceModel MakeGiraphModel() {
+  PerformanceModel model("Giraph");
+  AddDomainLayer(&model);
+
+  // --- System level (3): the Giraph workflow (paper Fig. 4, column 2).
+  (void)model.AddOperation("Master", "JobStartup", ops::kJobActor,
+                           ops::kStartup);
+  (void)model.AddOperation("Master", "LaunchWorkers", ops::kJobActor,
+                           ops::kStartup);
+  (void)model.AddOperation("Worker", "LoadHdfsData", ops::kJobActor,
+                           ops::kLoadGraph);
+  (void)model.AddOperation("Master", "Superstep", ops::kJobActor,
+                           ops::kProcessGraph);
+  (void)model.AddOperation("Master", "SyncZookeeper", ops::kJobActor,
+                           ops::kProcessGraph);
+  (void)model.AddOperation("Worker", "OffloadHdfsData", ops::kJobActor,
+                           ops::kOffloadGraph);
+  (void)model.AddOperation("Master", "JobCleanup", ops::kJobActor,
+                           ops::kCleanup);
+
+  // --- Implementation level (4): per-worker local operations.
+  (void)model.AddOperation("Worker", "LocalStartup", "Master",
+                           "LaunchWorkers");
+  (void)model.AddOperation("Worker", "LocalLoad", "Worker", "LoadHdfsData");
+  (void)model.AddOperation("Worker", "LocalSuperstep", "Master", "Superstep");
+  (void)model.AddOperation("Worker", "LocalOffload", "Worker",
+                           "OffloadHdfsData");
+  (void)model.AddOperation("Master", "AbortWorkers", "Master", "JobCleanup");
+  (void)model.AddOperation("Client", "ClientCleanup", "Master", "JobCleanup");
+  (void)model.AddOperation("Master", "ServerCleanup", "Master", "JobCleanup");
+  (void)model.AddOperation("ZooKeeper", "ZkCleanup", "Master", "JobCleanup");
+
+  // --- Implementation level (5): superstep stages (paper Fig. 4, the
+  // PreStep / Compute / Message / PostStep breakdown used in Fig. 8).
+  for (const char* stage : {"PreStep", "Compute", "Message", "PostStep"}) {
+    (void)model.AddOperation("Worker", stage, "Worker", "LocalSuperstep");
+  }
+
+  // Metric rules the analysis in Section 4 uses.
+  (void)model.AddRule(
+      ops::kJobActor, ops::kProcessGraph,
+      MakeChildAggregateRule("SuperstepCount", Aggregate::kCount, "Duration",
+                             "Superstep"));
+  (void)model.AddRule(
+      ops::kJobActor, ops::kProcessGraph,
+      MakeChildAggregateRule("SuperstepTime", Aggregate::kSum, "Duration",
+                             "Superstep"));
+  (void)model.AddRule("Master", "Superstep",
+                      MakeChildAggregateRule("SlowestWorker", Aggregate::kMax,
+                                             "Duration", "LocalSuperstep"));
+  (void)model.AddRule("Master", "Superstep",
+                      MakeChildAggregateRule("FastestWorker", Aggregate::kMin,
+                                             "Duration", "LocalSuperstep"));
+  (void)model.AddRule(
+      "Master", "Superstep",
+      MakeCustomRule("WorkerImbalance", "SlowestWorker / FastestWorker",
+                     [](const ArchivedOperation& op) -> Result<Json> {
+                       double slow = op.InfoNumber("SlowestWorker", -1);
+                       double fast = op.InfoNumber("FastestWorker", -1);
+                       if (slow < 0 || fast <= 0) {
+                         return Status::NotFound("worker durations missing");
+                       }
+                       return Json(slow / fast);
+                     }));
+  (void)model.AddRule("Worker", "LocalSuperstep",
+                      MakeChildAggregateRule("ComputeTime", Aggregate::kSum,
+                                             "Duration", "Compute"));
+  (void)model.AddRule(
+      "Worker", "LocalSuperstep",
+      MakeCustomRule("OverheadTime", "Duration - ComputeTime",
+                     [](const ArchivedOperation& op) -> Result<Json> {
+                       const InfoValue* compute = op.FindInfo("ComputeTime");
+                       if (compute == nullptr) {
+                         return Status::NotFound("ComputeTime missing");
+                       }
+                       return Json(static_cast<double>(op.Duration().nanos()) -
+                                   compute->value.AsDouble());
+                     }));
+  (void)model.AddRule("Worker", "Compute",
+                      MakeRateRule("VerticesPerSecond", "VerticesComputed"));
+  return model;
+}
+
+PerformanceModel MakePowerGraphModel() {
+  PerformanceModel model("PowerGraph");
+  AddDomainLayer(&model);
+
+  // --- System level (3).
+  (void)model.AddOperation("Mpi", "LaunchRanks", ops::kJobActor,
+                           ops::kStartup);
+  (void)model.AddOperation("Coordinator", "ReadInput", ops::kJobActor,
+                           ops::kLoadGraph);
+  (void)model.AddOperation("Rank", "FinalizeGraph", ops::kJobActor,
+                           ops::kLoadGraph);
+  (void)model.AddOperation("Engine", "Iteration", ops::kJobActor,
+                           ops::kProcessGraph);
+  (void)model.AddOperation("Rank", "WriteResults", ops::kJobActor,
+                           ops::kOffloadGraph);
+  (void)model.AddOperation("Mpi", "Finalize", ops::kJobActor, ops::kCleanup);
+
+  // --- Implementation level (4): GAS stages per rank per iteration.
+  (void)model.AddOperation("Rank", "LocalStartup", "Mpi", "LaunchRanks");
+  for (const char* stage : {"Gather", "Apply", "Scatter", "Exchange"}) {
+    (void)model.AddOperation("Rank", stage, "Engine", "Iteration");
+  }
+
+  (void)model.AddRule(
+      ops::kJobActor, ops::kProcessGraph,
+      MakeChildAggregateRule("IterationCount", Aggregate::kCount, "Duration",
+                             "Iteration"));
+  (void)model.AddRule(
+      ops::kJobActor, ops::kLoadGraph,
+      MakeChildAggregateRule("SequentialReadTime", Aggregate::kSum,
+                             "Duration", "ReadInput"));
+  (void)model.AddRule(
+      ops::kJobActor, ops::kLoadGraph,
+      MakeCustomRule(
+          "SequentialReadFraction", "SequentialReadTime / Duration",
+          [](const ArchivedOperation& op) {
+            return FractionOfDuration(op, "SequentialReadTime");
+          }));
+  return model;
+}
+
+PerformanceModel MakeHadoopModel() {
+  PerformanceModel model("Hadoop");
+  AddDomainLayer(&model);
+
+  // --- System level (3).
+  (void)model.AddOperation("Client", "JobStartup", ops::kJobActor,
+                           ops::kStartup);
+  (void)model.AddOperation("Job", "MaterializeState", ops::kJobActor,
+                           ops::kLoadGraph);
+  (void)model.AddOperation("Master", "MrJob", ops::kJobActor,
+                           ops::kProcessGraph);
+  (void)model.AddOperation("Worker", "ExtractOutput", ops::kJobActor,
+                           ops::kOffloadGraph);
+  (void)model.AddOperation("Master", "JobCleanup", ops::kJobActor,
+                           ops::kCleanup);
+
+  // --- Implementation level (4): the anatomy of one MapReduce job.
+  // Operation models are keyed by (actor, mission) type, so one
+  // registration (under MrJob) also covers the same sub-operations when
+  // they appear under the MaterializeState job.
+  (void)model.AddOperation("Master", "JobSetup", "Master", "MrJob");
+  (void)model.AddOperation("Job", "MapPhase", "Master", "MrJob");
+  (void)model.AddOperation("Job", "ShufflePhase", "Master", "MrJob");
+  (void)model.AddOperation("Job", "ReducePhase", "Master", "MrJob");
+  (void)model.AddOperation("Master", "JobCommit", "Master", "MrJob");
+  (void)model.AddOperation("Worker", "MapTask", "Job", "MapPhase");
+  (void)model.AddOperation("Worker", "ShuffleTask", "Job", "ShufflePhase");
+  (void)model.AddOperation("Worker", "ReduceTask", "Job", "ReducePhase");
+
+  (void)model.AddRule(
+      ops::kJobActor, ops::kProcessGraph,
+      MakeChildAggregateRule("IterationCount", Aggregate::kCount,
+                             "Duration", "MrJob"));
+  (void)model.AddRule(
+      ops::kJobActor, ops::kProcessGraph,
+      MakeChildAggregateRule("MeanJobTime", Aggregate::kMean, "Duration",
+                             "MrJob"));
+  (void)model.AddRule("Master", "MrJob",
+                      MakeChildAggregateRule("SetupTime", Aggregate::kSum,
+                                             "Duration", "JobSetup"));
+  return model;
+}
+
+
+PerformanceModel MakePgxdModel() {
+  PerformanceModel model("PGX.D");
+  AddDomainLayer(&model);
+
+  // --- System level (3).
+  (void)model.AddOperation("Native", "SpawnProcesses", ops::kJobActor,
+                           ops::kStartup);
+  (void)model.AddOperation("Node", "LoadLocalData", ops::kJobActor,
+                           ops::kLoadGraph);
+  (void)model.AddOperation("Engine", "Iteration", ops::kJobActor,
+                           ops::kProcessGraph);
+  (void)model.AddOperation("Node", "WriteLocal", ops::kJobActor,
+                           ops::kOffloadGraph);
+  (void)model.AddOperation("Native", "Teardown", ops::kJobActor,
+                           ops::kCleanup);
+
+  // --- Implementation level (4).
+  (void)model.AddOperation("Process", "LocalStartup", "Native",
+                           "SpawnProcesses");
+  (void)model.AddOperation("Node", "BuildCsr", "Node", "LoadLocalData");
+  for (const char* stage : {"Push", "Pull", "Apply"}) {
+    (void)model.AddOperation("Node", stage, "Engine", "Iteration");
+  }
+
+  (void)model.AddRule(
+      ops::kJobActor, ops::kProcessGraph,
+      MakeChildAggregateRule("IterationCount", Aggregate::kCount,
+                             "Duration", "Iteration"));
+  (void)model.AddRule(
+      ops::kJobActor, ops::kProcessGraph,
+      MakeCustomRule(
+          "PushIterations", "iterations that chose the push direction",
+          [](const ArchivedOperation& op) -> Result<Json> {
+            int64_t pushes = 0;
+            for (const auto& child : op.children) {
+              if (child->mission_type != "Iteration") continue;
+              const InfoValue* direction = child->FindInfo("Direction");
+              if (direction != nullptr && direction->value.is_string() &&
+                  direction->value.AsString() == "push") {
+                ++pushes;
+              }
+            }
+            return Json(pushes);
+          }));
+  return model;
+}
+
+
+PerformanceModel MakeGraphMatModel() {
+  PerformanceModel model("GraphMat");
+  AddDomainLayer(&model);
+
+  // --- System level (3).
+  (void)model.AddOperation("Mpi", "LaunchRanks", ops::kJobActor,
+                           ops::kStartup);
+  (void)model.AddOperation("Rank", "ReadSlice", ops::kJobActor,
+                           ops::kLoadGraph);
+  (void)model.AddOperation("Engine", "Iteration", ops::kJobActor,
+                           ops::kProcessGraph);
+  (void)model.AddOperation("Rank", "WriteResults", ops::kJobActor,
+                           ops::kOffloadGraph);
+  (void)model.AddOperation("Mpi", "Finalize", ops::kJobActor,
+                           ops::kCleanup);
+
+  // --- Implementation level (4).
+  (void)model.AddOperation("Rank", "BuildMatrix", "Rank", "ReadSlice");
+  (void)model.AddOperation("Rank", "Spmv", "Engine", "Iteration");
+  (void)model.AddOperation("Rank", "Apply", "Engine", "Iteration");
+
+  (void)model.AddRule(
+      ops::kJobActor, ops::kProcessGraph,
+      MakeChildAggregateRule("IterationCount", Aggregate::kCount,
+                             "Duration", "Iteration"));
+  (void)model.AddRule(
+      "Rank", "Spmv",
+      MakeCustomRule(
+          "MatrixUtilization", "ActiveNonzeros / StreamedEdges",
+          [](const ArchivedOperation& op) -> Result<Json> {
+            double streamed = op.InfoNumber("StreamedEdges", 0);
+            if (streamed <= 0) return Status::NotFound("no streamed edges");
+            return Json(op.InfoNumber("ActiveNonzeros") / streamed);
+          }));
+  return model;
+}
+
+}  // namespace granula::core

@@ -1,0 +1,62 @@
+#ifndef GRANULA_GRANULA_MODELS_MODELS_H_
+#define GRANULA_GRANULA_MODELS_MODELS_H_
+
+#include "granula/model/performance_model.h"
+
+namespace granula::core {
+
+// Shared domain-level vocabulary (paper Fig. 3). Using identical actor and
+// mission *types* across platforms at the domain level is what makes
+// cross-platform comparison possible (paper Section 4.1): the same metric
+// rules (setup time Ts, I/O time Td, processing time Tp) apply to any
+// platform's archive.
+namespace ops {
+inline constexpr const char* kJobActor = "Job";
+inline constexpr const char* kJobMission = "GraphProcessingJob";
+inline constexpr const char* kStartup = "Startup";
+inline constexpr const char* kLoadGraph = "LoadGraph";
+inline constexpr const char* kProcessGraph = "ProcessGraph";
+inline constexpr const char* kOffloadGraph = "OffloadGraph";
+inline constexpr const char* kCleanup = "Cleanup";
+}  // namespace ops
+
+// Domain-level model only (levels 1-2: the job and its five phases). Works
+// on any platform's logs; everything below the phases is filtered out at
+// archive time. Derives on the root:
+//   SetupTime      = Startup + Cleanup          (the paper's Ts)
+//   IoTime         = LoadGraph + OffloadGraph   (Td)
+//   ProcessingTime = ProcessGraph               (Tp)
+// each in nanoseconds, plus their fractions of the total.
+PerformanceModel MakeGraphProcessingDomainModel();
+
+// The full Giraph model (paper Fig. 4): domain phases, Yarn/ZooKeeper/HDFS
+// system operations, per-worker local operations, and the
+// PreStep/Compute/Message/PostStep breakdown of each superstep. Model
+// levels: 1 job, 2 domain phases, 3 system, 4 per-worker, 5 superstep
+// stages (the paper numbers these 1-4 by column; WithMaxLevel(2) is the
+// domain view either way).
+PerformanceModel MakeGiraphModel();
+
+// The PowerGraph model: MPI startup, the sequential coordinator read +
+// per-rank graph finalization that explain Fig. 7, and per-iteration
+// Gather/Apply/Scatter operations.
+PerformanceModel MakePowerGraphModel();
+
+// The Hadoop-as-graph-processor model (paper Table 1, last row): one
+// MapReduce job per superstep, each with JobSetup (fresh YARN containers),
+// Map/Shuffle/Reduce phases, per-task operations, and JobCommit. Built for
+// the intro's "severe performance penalties" experiment.
+PerformanceModel MakeHadoopModel();
+
+// The PGX.D model (paper Table 1, row 4): native process spawn, parallel
+// local CSR loading, and push-pull iterations whose chosen direction is an
+// info on each Iteration operation.
+PerformanceModel MakePgxdModel();
+
+// The GraphMat model (paper Table 1, row 3): Intel-MPI launch, parallel
+// slice reads + matrix build, and generalized-SpMV iterations.
+PerformanceModel MakeGraphMatModel();
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_MODELS_MODELS_H_

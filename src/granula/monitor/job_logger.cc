@@ -1,0 +1,44 @@
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+
+OpId JobLogger::StartOperation(OpId parent, std::string actor_type,
+                               std::string actor_id,
+                               std::string mission_type,
+                               std::string mission_id) {
+  LogRecord record;
+  record.kind = LogRecord::Kind::kStartOp;
+  record.seq = next_seq_++;
+  record.time = Now();
+  record.op_id = next_op_id_++;
+  record.parent_id = parent;
+  record.actor_type = std::move(actor_type);
+  record.actor_id = std::move(actor_id);
+  record.mission_type = std::move(mission_type);
+  record.mission_id = std::move(mission_id);
+  OpId id = record.op_id;
+  records_.push_back(std::move(record));
+  return id;
+}
+
+void JobLogger::EndOperation(OpId op) {
+  LogRecord record;
+  record.kind = LogRecord::Kind::kEndOp;
+  record.seq = next_seq_++;
+  record.time = Now();
+  record.op_id = op;
+  records_.push_back(std::move(record));
+}
+
+void JobLogger::AddInfo(OpId op, std::string name, Json value) {
+  LogRecord record;
+  record.kind = LogRecord::Kind::kInfo;
+  record.seq = next_seq_++;
+  record.time = Now();
+  record.op_id = op;
+  record.info_name = std::move(name);
+  record.info_value = std::move(value);
+  records_.push_back(std::move(record));
+}
+
+}  // namespace granula::core

@@ -1,0 +1,83 @@
+#ifndef GRANULA_GRANULA_MONITOR_JOB_LOGGER_H_
+#define GRANULA_GRANULA_MONITOR_JOB_LOGGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/sim_time.h"
+
+namespace granula::core {
+
+// One platform-log entry. Platforms under analysis emit a flat stream of
+// these (paper P2, "platform logs reveal the internal operations"); the
+// archiver later reconstructs the operation tree from them. Keeping the
+// monitoring format flat and order-independent mirrors real Granula, which
+// scrapes per-machine log files that interleave arbitrarily.
+struct LogRecord {
+  enum class Kind { kStartOp, kEndOp, kInfo };
+
+  Kind kind = Kind::kStartOp;
+  uint64_t seq = 0;       // global emission order (for stable tie-breaks)
+  SimTime time;           // virtual timestamp
+  uint64_t op_id = 0;     // operation this record belongs to
+  uint64_t parent_id = 0; // kStartOp only; 0 = root
+
+  // kStartOp only: the actor @ mission annotation.
+  std::string actor_type;
+  std::string actor_id;
+  std::string mission_type;
+  std::string mission_id;
+
+  // kInfo only.
+  std::string info_name;
+  Json info_value;
+};
+
+// Identifies a started operation in the log stream.
+using OpId = uint64_t;
+inline constexpr OpId kNoOp = 0;
+
+// The instrumentation API platforms call while running (Granula's
+// "monitoring" hooks). Thin by design: each call appends one LogRecord.
+class JobLogger {
+ public:
+  using Clock = std::function<SimTime()>;
+
+  explicit JobLogger(Clock clock) : clock_(std::move(clock)) {}
+
+  JobLogger(const JobLogger&) = delete;
+  JobLogger& operator=(const JobLogger&) = delete;
+
+  // Starts an operation; `parent` is kNoOp for the job root. `mission_id`
+  // distinguishes repetitions (e.g. "Superstep-4"); empty ids default to
+  // the type names at archive time.
+  OpId StartOperation(OpId parent, std::string actor_type,
+                      std::string actor_id, std::string mission_type,
+                      std::string mission_id = "");
+
+  void EndOperation(OpId op);
+
+  void AddInfo(OpId op, std::string name, Json value);
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  std::vector<LogRecord> TakeRecords() { return std::move(records_); }
+
+ private:
+  SimTime Now() const { return clock_(); }
+
+  Clock clock_;
+  uint64_t next_op_id_ = 1;
+  uint64_t next_seq_ = 0;
+  std::vector<LogRecord> records_;
+};
+
+// A JobLogger whose clock is a Simulator's virtual clock lives in
+// platforms/; this header stays independent of the sim module so archives
+// can also be built from externally captured logs.
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_MONITOR_JOB_LOGGER_H_

@@ -1,0 +1,54 @@
+#include "granula/visual/model_view.h"
+
+#include <map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace granula::core {
+
+namespace {
+
+void RenderNode(const PerformanceModel& model,
+                const std::map<std::string, std::vector<std::string>>&
+                    children,
+                const std::string& key, int depth, std::string* out) {
+  const OperationModel* op = nullptr;
+  for (const auto& [k, candidate] : model.operations()) {
+    if (k == key) op = &candidate;
+  }
+  if (op == nullptr) return;
+  *out += StrFormat("%s%-*s [level %d]\n",
+                    std::string(static_cast<size_t>(depth) * 2, ' ').c_str(),
+                    std::max(1, 44 - depth * 2), key.c_str(), op->level);
+  for (const InfoRulePtr& rule : op->rules) {
+    if (rule->info_name() == "Duration") continue;  // implicit everywhere
+    *out += StrFormat("%s    . %s := %s\n",
+                      std::string(static_cast<size_t>(depth) * 2, ' ')
+                          .c_str(),
+                      rule->info_name().c_str(), rule->Describe().c_str());
+  }
+  auto it = children.find(key);
+  if (it == children.end()) return;
+  for (const std::string& child : it->second) {
+    RenderNode(model, children, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderModelTree(const PerformanceModel& model) {
+  std::string out = StrFormat("performance model '%s' (%zu operations, %d "
+                              "levels)\n",
+                              model.name().c_str(),
+                              model.operations().size(), model.max_level());
+  if (model.root() == nullptr) return out + "(no root)\n";
+  std::map<std::string, std::vector<std::string>> children;
+  for (const auto& [key, op] : model.operations()) {
+    if (!op.parent_key.empty()) children[op.parent_key].push_back(key);
+  }
+  RenderNode(model, children, model.root()->Key(), 0, &out);
+  return out;
+}
+
+}  // namespace granula::core

@@ -1,0 +1,17 @@
+#ifndef GRANULA_GRANULA_VISUAL_MODEL_VIEW_H_
+#define GRANULA_GRANULA_VISUAL_MODEL_VIEW_H_
+
+#include <string>
+
+#include "granula/model/performance_model.h"
+
+namespace granula::core {
+
+// Renders a performance model itself (not a run) as an indented tree with
+// levels and derivation rules — the textual form of the paper's Fig. 4.
+// Analysts use this to review and share models before monitoring anything.
+std::string RenderModelTree(const PerformanceModel& model);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_VISUAL_MODEL_VIEW_H_

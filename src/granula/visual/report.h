@@ -1,0 +1,38 @@
+#ifndef GRANULA_GRANULA_VISUAL_REPORT_H_
+#define GRANULA_GRANULA_VISUAL_REPORT_H_
+
+#include <string>
+
+#include "granula/analysis/chokepoint.h"
+#include "granula/archive/archive.h"
+
+namespace granula::core {
+
+struct ReportOptions {
+  std::string title = "Granula performance report";
+  // Actor/mission to render as the gantt timeline (empty = skip).
+  std::string timeline_actor_type = "Worker";
+  std::string timeline_mission_type = "LocalSuperstep";
+  // Depth limit of the operation-tree table (0 = unlimited).
+  int tree_depth = 4;
+  // Run the choke-point detectors and include their findings.
+  bool include_findings = true;
+  ChokepointOptions chokepoint_options;
+};
+
+// A single, self-contained HTML page for one archive: job metadata, the
+// Fig. 5-style breakdown, the Figs. 6/7-style utilization chart, the
+// Fig. 8-style per-actor timeline (all inline SVG), the operation tree,
+// and the automated findings. This is the shareable artifact Granula's
+// "visualization" stage exists for (requirement R1/R2: results a whole
+// community of analysts can read without re-running anything).
+std::string RenderHtmlReport(const PerformanceArchive& archive,
+                             const ReportOptions& options);
+
+Status WriteHtmlReport(const PerformanceArchive& archive,
+                       const ReportOptions& options,
+                       const std::string& path);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_VISUAL_REPORT_H_

@@ -1,0 +1,189 @@
+#include "granula/visual/text.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace granula::core {
+
+namespace {
+
+// Segment characters cycle per operation so adjacent segments differ.
+constexpr char kSegmentChars[] = {'#', '=', '%', '@', '+', '*', 'o', '~'};
+
+std::string MissionLabel(const ArchivedOperation& op) {
+  return op.mission_id.empty() ? op.mission_type : op.mission_id;
+}
+
+}  // namespace
+
+std::string RenderBreakdownBar(const PerformanceArchive& archive, int width) {
+  std::string out;
+  if (archive.root == nullptr) return "(empty archive)\n";
+  const ArchivedOperation& root = *archive.root;
+  double total = root.Duration().seconds();
+  out += StrFormat("%s  [total %s]\n", root.DisplayName().c_str(),
+                   HumanSeconds(total).c_str());
+  if (total <= 0 || root.children.empty()) return out;
+
+  std::string bar;
+  std::string legend;
+  int used = 0;
+  for (size_t i = 0; i < root.children.size(); ++i) {
+    const ArchivedOperation& child = *root.children[i];
+    double fraction = child.Duration().seconds() / total;
+    int cells = (i + 1 == root.children.size())
+                    ? width - used
+                    : static_cast<int>(std::lround(fraction * width));
+    cells = std::max(0, std::min(cells, width - used));
+    char symbol = kSegmentChars[i % sizeof(kSegmentChars)];
+    bar.append(static_cast<size_t>(cells), symbol);
+    used += cells;
+    legend += StrFormat("  %c %-14s %10s  %6s\n", symbol,
+                        MissionLabel(child).c_str(),
+                        HumanSeconds(child.Duration().seconds()).c_str(),
+                        HumanPercent(fraction).c_str());
+  }
+  out += "|" + bar + "|\n";
+  out += legend;
+  return out;
+}
+
+namespace {
+
+void RenderTreeNode(const ArchivedOperation& op, double parent_seconds,
+                    int depth, int max_depth, std::string* out) {
+  double seconds = op.Duration().seconds();
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  std::string share =
+      parent_seconds > 0 ? HumanPercent(seconds / parent_seconds) : "";
+  *out += StrFormat("%s%-*s %10s  %6s\n", indent.c_str(),
+                    std::max(1, 40 - depth * 2), op.DisplayName().c_str(),
+                    HumanSeconds(seconds).c_str(), share.c_str());
+  if (max_depth > 0 && depth + 1 >= max_depth) return;
+  for (const auto& child : op.children) {
+    RenderTreeNode(*child, seconds, depth + 1, max_depth, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderOperationTree(const PerformanceArchive& archive,
+                                int max_depth) {
+  if (archive.root == nullptr) return "(empty archive)\n";
+  std::string out;
+  RenderTreeNode(*archive.root, 0.0, 0, max_depth, &out);
+  return out;
+}
+
+std::string RenderUtilizationChart(const PerformanceArchive& archive,
+                                   int width) {
+  std::string out;
+  if (archive.environment.empty()) return "(no environment log)\n";
+
+  // Group samples into windows and sum CPU across nodes.
+  std::map<double, double> cluster_cpu;  // window end -> total cpu/s
+  for (const EnvironmentRecord& r : archive.environment) {
+    cluster_cpu[r.time_seconds] += r.cpu_seconds_per_second;
+  }
+  double peak = 0;
+  for (const auto& [t, cpu] : cluster_cpu) peak = std::max(peak, cpu);
+  if (peak <= 0) peak = 1;
+
+  // Active domain-level operation per time (for the phase annotation).
+  auto phase_at = [&](double t) -> std::string {
+    if (archive.root == nullptr) return "";
+    for (const auto& child : archive.root->children) {
+      if (t > child->StartTime().seconds() &&
+          t <= child->EndTime().seconds() + 1e-9) {
+        return MissionLabel(*child);
+      }
+    }
+    return "";
+  };
+
+  out += StrFormat("cluster CPU (peak %.2f CPU-s/s)\n", peak);
+  for (const auto& [t, cpu] : cluster_cpu) {
+    int cells = static_cast<int>(std::lround(cpu / peak * width));
+    cells = std::max(0, std::min(cells, width));
+    out += StrFormat("%8.2fs |%-*s| %6.2f  %s\n", t, width,
+                     std::string(static_cast<size_t>(cells), '#').c_str(),
+                     cpu, phase_at(t).c_str());
+  }
+  return out;
+}
+
+std::string RenderActorTimeline(const PerformanceArchive& archive,
+                                const std::string& actor_type,
+                                const std::string& mission_type,
+                                int width) {
+  std::vector<const ArchivedOperation*> ops =
+      archive.FindOperations(actor_type, mission_type);
+  if (ops.empty()) return "(no matching operations)\n";
+
+  double t_min = 1e300, t_max = 0;
+  std::set<std::string> actors;
+  std::set<std::string> child_types;
+  for (const ArchivedOperation* op : ops) {
+    t_min = std::min(t_min, op->StartTime().seconds());
+    t_max = std::max(t_max, op->EndTime().seconds());
+    actors.insert(op->actor_id.empty() ? op->actor_type : op->actor_id);
+    for (const auto& child : op->children) {
+      child_types.insert(child->mission_type);
+    }
+  }
+  if (t_max <= t_min) return "(degenerate time range)\n";
+
+  // Assign a symbol per child mission type (compute-like ops get '#').
+  std::map<std::string, char> symbol;
+  {
+    int next = 0;
+    for (const std::string& type : child_types) {
+      if (type.find("Compute") != std::string::npos) {
+        symbol[type] = '#';
+      } else {
+        symbol[type] = static_cast<char>('a' + (next++ % 26));
+      }
+    }
+  }
+
+  std::string out = StrFormat("%s timeline, %.2fs .. %.2fs\n",
+                              actor_type.c_str(), t_min, t_max);
+  double dt = (t_max - t_min) / width;
+  for (const std::string& actor : actors) {
+    std::string row(static_cast<size_t>(width), ' ');
+    for (const ArchivedOperation* op : ops) {
+      std::string op_actor =
+          op->actor_id.empty() ? op->actor_type : op->actor_id;
+      if (op_actor != actor) continue;
+      auto paint = [&](const ArchivedOperation& painted, char c) {
+        int begin = static_cast<int>(
+            (painted.StartTime().seconds() - t_min) / dt);
+        int end =
+            static_cast<int>((painted.EndTime().seconds() - t_min) / dt);
+        begin = std::clamp(begin, 0, width - 1);
+        end = std::clamp(end, begin, width - 1);
+        for (int i = begin; i <= end; ++i) {
+          row[static_cast<size_t>(i)] = c;
+        }
+      };
+      paint(*op, '.');
+      for (const auto& child : op->children) {
+        paint(*child, symbol[child->mission_type]);
+      }
+    }
+    out += StrFormat("%-12s |%s|\n", actor.c_str(), row.c_str());
+  }
+  out += "  legend: '.' " + mission_type + " span";
+  for (const auto& [type, c] : symbol) {
+    out += StrFormat(", '%c' %s", c, type.c_str());
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace granula::core

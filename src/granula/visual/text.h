@@ -1,0 +1,42 @@
+#ifndef GRANULA_GRANULA_VISUAL_TEXT_H_
+#define GRANULA_GRANULA_VISUAL_TEXT_H_
+
+#include <string>
+
+#include "granula/archive/archive.h"
+
+namespace granula::core {
+
+// Terminal renderers for performance archives (Granula's visualization
+// sub-process, P4). Each returns a multi-line string ending in '\n'.
+
+// Fig. 5-style job decomposition: one horizontal bar of the root's direct
+// children, with a legend of per-operation duration and percentage.
+std::string RenderBreakdownBar(const PerformanceArchive& archive,
+                               int width = 72);
+
+// Indented operation tree with Duration and share-of-parent, down to
+// `max_depth` levels (0 = unlimited). The textual form of Fig. 4 applied
+// to real data.
+std::string RenderOperationTree(const PerformanceArchive& archive,
+                                int max_depth = 0);
+
+// Figs. 6/7-style utilization view: one row per sampling window showing the
+// cluster-wide CPU usage as a bar, annotated with the domain-level
+// operation active at that time.
+std::string RenderUtilizationChart(const PerformanceArchive& archive,
+                                   int width = 60);
+
+// Fig. 8-style per-actor timeline: one row per distinct actor_id among
+// operations of type `actor_type`, with one character column per time
+// bucket showing which child mission type was running ('#' compute-like
+// operations, '.' waits/overhead, ' ' idle). Distinct mission types are
+// listed in the legend.
+std::string RenderActorTimeline(const PerformanceArchive& archive,
+                                const std::string& actor_type,
+                                const std::string& mission_type,
+                                int width = 80);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_VISUAL_TEXT_H_

@@ -1,0 +1,93 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace granula::graph {
+
+Result<Graph> Graph::Create(uint64_t num_vertices, std::vector<Edge> edges,
+                            bool directed) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%llu, %llu) out of range for %llu vertices",
+                    static_cast<unsigned long long>(e.src),
+                    static_cast<unsigned long long>(e.dst),
+                    static_cast<unsigned long long>(num_vertices)));
+    }
+  }
+  return Graph(num_vertices, std::move(edges), directed);
+}
+
+Csr Csr::Build(const Graph& graph, bool out) {
+  Csr csr;
+  uint64_t n = graph.num_vertices();
+  csr.offsets_.assign(n + 1, 0);
+
+  auto count_arc = [&](VertexId v) { ++csr.offsets_[v + 1]; };
+  for (const Edge& e : graph.edges()) {
+    if (graph.directed()) {
+      count_arc(out ? e.src : e.dst);
+    } else {
+      count_arc(e.src);
+      count_arc(e.dst);
+    }
+  }
+  for (uint64_t v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+
+  csr.targets_.resize(csr.offsets_[n]);
+  std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  auto place = [&](VertexId from, VertexId to) {
+    csr.targets_[cursor[from]++] = to;
+  };
+  for (const Edge& e : graph.edges()) {
+    if (graph.directed()) {
+      if (out) {
+        place(e.src, e.dst);
+      } else {
+        place(e.dst, e.src);
+      }
+    } else {
+      place(e.src, e.dst);
+      place(e.dst, e.src);
+    }
+  }
+  // Sorted neighbor lists make lookups and tests deterministic.
+  for (uint64_t v = 0; v < n; ++v) {
+    std::sort(csr.targets_.begin() + static_cast<int64_t>(csr.offsets_[v]),
+              csr.targets_.begin() + static_cast<int64_t>(csr.offsets_[v + 1]));
+  }
+  return csr;
+}
+
+namespace {
+
+uint64_t DecimalDigits(uint64_t v) {
+  uint64_t digits = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++digits;
+  }
+  return digits;
+}
+
+}  // namespace
+
+uint64_t EdgeListFileBytes(const Graph& graph) {
+  uint64_t bytes = 0;
+  for (const Edge& e : graph.edges()) {
+    bytes += DecimalDigits(e.src) + DecimalDigits(e.dst) + 2;  // ' ' and '\n'
+  }
+  return bytes;
+}
+
+uint64_t VertexListFileBytes(const Graph& graph) {
+  uint64_t bytes = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    bytes += DecimalDigits(v) + 1;  // '\n'
+  }
+  return bytes;
+}
+
+}  // namespace granula::graph

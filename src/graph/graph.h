@@ -1,0 +1,83 @@
+#ifndef GRANULA_GRAPH_GRAPH_H_
+#define GRANULA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace granula::graph {
+
+using VertexId = uint64_t;
+
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  bool operator==(const Edge&) const = default;
+};
+
+// An immutable graph held as an edge list. Vertices are dense ids in
+// [0, num_vertices). Platform engines partition the edge list and build
+// local adjacency; analysis code builds a Csr (see below).
+class Graph {
+ public:
+  Graph() = default;
+
+  // Validates that every endpoint is < num_vertices.
+  static Result<Graph> Create(uint64_t num_vertices, std::vector<Edge> edges,
+                              bool directed);
+
+  uint64_t num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return edges_.size(); }
+  bool directed() const { return directed_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Total vertices + edges, the "size" metric the paper uses for dg1000
+  // ("1.03 billion vertices and edges").
+  uint64_t scale() const { return num_vertices_ + num_edges(); }
+
+ private:
+  Graph(uint64_t num_vertices, std::vector<Edge> edges, bool directed)
+      : num_vertices_(num_vertices),
+        edges_(std::move(edges)),
+        directed_(directed) {}
+
+  uint64_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  bool directed_ = true;
+};
+
+// Compressed sparse row adjacency built from a Graph. For undirected graphs
+// each edge appears in both endpoints' neighbor lists. For directed graphs,
+// `out` selects out- or in-neighbors.
+class Csr {
+ public:
+  static Csr Build(const Graph& graph, bool out = true);
+
+  uint64_t num_vertices() const { return offsets_.size() - 1; }
+  uint64_t num_arcs() const { return targets_.size(); }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(targets_.data() + offsets_[v],
+                                     targets_.data() + offsets_[v + 1]);
+  }
+  uint64_t degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+ private:
+  std::vector<uint64_t> offsets_;  // size num_vertices + 1
+  std::vector<VertexId> targets_;
+};
+
+// Size in bytes of the graph rendered as a whitespace-separated decimal
+// edge-list text file ("src dst\n" per edge) — the format both simulated
+// platforms read. Drives every simulated I/O duration.
+uint64_t EdgeListFileBytes(const Graph& graph);
+
+// Size in bytes of a vertex-list text file ("id\n" per vertex).
+uint64_t VertexListFileBytes(const Graph& graph);
+
+}  // namespace granula::graph
+
+#endif  // GRANULA_GRAPH_GRAPH_H_

@@ -1,0 +1,73 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace granula::graph {
+
+Status WriteEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  for (const Edge& e : graph.edges()) {
+    file << e.src << ' ' << e.dst << '\n';
+  }
+  file.flush();
+  if (!file.good()) {
+    return Status::IoError(StrFormat("write failed for %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeListFile(const std::string& path, bool directed) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::unordered_map<uint64_t, VertexId> dense;
+  std::vector<Edge> edges;
+  auto densify = [&dense](uint64_t raw) {
+    auto [it, inserted] = dense.try_emplace(raw, dense.size());
+    return it->second;
+  };
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    uint64_t src_raw = 0, dst_raw = 0;
+    if (!(fields >> src_raw >> dst_raw)) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: expected 'src dst'", path.c_str(),
+                    line_number));
+    }
+    edges.push_back(Edge{densify(src_raw), densify(dst_raw)});
+  }
+  return Graph::Create(dense.size(), std::move(edges), directed);
+}
+
+Status WriteValuesFile(const std::vector<double>& values,
+                       const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  for (size_t v = 0; v < values.size(); ++v) {
+    file << v << ' ' << StrFormat("%.17g", values[v]) << '\n';
+  }
+  file.flush();
+  if (!file.good()) {
+    return Status::IoError(StrFormat("write failed for %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace granula::graph

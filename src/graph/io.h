@@ -1,0 +1,33 @@
+#ifndef GRANULA_GRAPH_IO_H_
+#define GRANULA_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace granula::graph {
+
+// Real-filesystem graph I/O in the whitespace-separated decimal edge-list
+// format the simulated platforms model ("src dst\n" per line; '#' comments
+// and blank lines ignored on read). Lets users run the pipeline on their
+// own datasets (e.g. SNAP exports) instead of synthetic graphs.
+
+// Writes `graph` as an edge-list text file. The byte count written equals
+// EdgeListFileBytes(graph) (no comments are emitted), keeping simulated
+// I/O costs consistent with real files.
+Status WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+// Reads an edge-list text file. Vertex ids may be arbitrary (sparse)
+// uint64 values; they are densified to [0, n) in first-appearance order.
+// `directed` tags the result; duplicate edges and self-loops are kept.
+Result<Graph> ReadEdgeListFile(const std::string& path, bool directed);
+
+// Writes per-vertex values as "vertex value\n" lines (the simulated
+// platforms' OffloadGraph output, materialized for real use).
+Status WriteValuesFile(const std::vector<double>& values,
+                       const std::string& path);
+
+}  // namespace granula::graph
+
+#endif  // GRANULA_GRAPH_IO_H_

@@ -1,0 +1,155 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace granula::graph {
+
+namespace {
+
+// Stateless 64-bit mixer for placement hashing.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Result<EdgeCutResult> PartitionEdgeCut(const Graph& graph,
+                                       uint32_t num_partitions) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  EdgeCutResult result;
+  result.partitions.resize(num_partitions);
+  result.owner.resize(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    uint32_t p = static_cast<uint32_t>(Mix(v) % num_partitions);
+    result.owner[v] = p;
+    result.partitions[p].vertices.push_back(v);
+  }
+  for (const Edge& e : graph.edges()) {
+    result.partitions[result.owner[e.src]].edges.push_back(e);
+    if (result.owner[e.src] != result.owner[e.dst]) ++result.cut_edges;
+  }
+  return result;
+}
+
+namespace {
+
+// Replica bookkeeping shared by both vertex-cut strategies.
+class ReplicaTracker {
+ public:
+  ReplicaTracker(uint64_t num_vertices, uint32_t num_partitions)
+      : num_partitions_(num_partitions),
+        replica_bits_(num_vertices * num_partitions, false) {}
+
+  bool Has(VertexId v, uint32_t p) const {
+    return replica_bits_[v * num_partitions_ + p];
+  }
+
+  // Returns true if this created a new replica.
+  bool Add(VertexId v, uint32_t p) {
+    auto bit = replica_bits_[v * num_partitions_ + p];
+    if (bit) return false;
+    replica_bits_[v * num_partitions_ + p] = true;
+    return true;
+  }
+
+ private:
+  uint32_t num_partitions_;
+  std::vector<bool> replica_bits_;
+};
+
+VertexCutResult FinalizeVertexCut(const Graph& graph, uint32_t num_partitions,
+                                  const std::vector<uint32_t>& edge_owner) {
+  VertexCutResult result;
+  result.partitions.resize(num_partitions);
+  result.master.assign(graph.num_vertices(),
+                       std::numeric_limits<uint32_t>::max());
+  ReplicaTracker replicas(graph.num_vertices(), num_partitions);
+
+  for (uint64_t i = 0; i < graph.num_edges(); ++i) {
+    const Edge& e = graph.edges()[i];
+    uint32_t p = edge_owner[i];
+    result.partitions[p].edges.push_back(e);
+    for (VertexId v : {e.src, e.dst}) {
+      if (replicas.Add(v, p)) {
+        result.partitions[p].replicas.push_back(v);
+        ++result.total_replicas;
+        // First replica becomes the master, matching PowerGraph's default.
+        if (result.master[v] == std::numeric_limits<uint32_t>::max()) {
+          result.master[v] = p;
+        }
+      }
+    }
+  }
+  // Isolated vertices still need a master for engine bookkeeping.
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (result.master[v] == std::numeric_limits<uint32_t>::max()) {
+      uint32_t p = static_cast<uint32_t>(Mix(v) % num_partitions);
+      result.master[v] = p;
+      result.partitions[p].replicas.push_back(v);
+      ++result.total_replicas;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<VertexCutResult> PartitionVertexCutGreedy(const Graph& graph,
+                                                 uint32_t num_partitions) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  ReplicaTracker replicas(graph.num_vertices(), num_partitions);
+  std::vector<uint64_t> load(num_partitions, 0);
+  std::vector<uint32_t> edge_owner(graph.num_edges());
+
+  for (uint64_t i = 0; i < graph.num_edges(); ++i) {
+    const Edge& e = graph.edges()[i];
+    // Candidate sets per the PowerGraph greedy rules.
+    uint32_t best = 0;
+    int best_score = -1;
+    uint64_t best_load = std::numeric_limits<uint64_t>::max();
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      int score = (replicas.Has(e.src, p) ? 1 : 0) +
+                  (replicas.Has(e.dst, p) ? 1 : 0);
+      if (score > best_score ||
+          (score == best_score && load[p] < best_load)) {
+        best = p;
+        best_score = score;
+        best_load = load[p];
+      }
+    }
+    edge_owner[i] = best;
+    ++load[best];
+    replicas.Add(e.src, best);
+    replicas.Add(e.dst, best);
+  }
+  return FinalizeVertexCut(graph, num_partitions, edge_owner);
+}
+
+Result<VertexCutResult> PartitionVertexCutRandom(const Graph& graph,
+                                                 uint32_t num_partitions,
+                                                 uint64_t seed) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  Rng rng(seed);
+  std::vector<uint32_t> edge_owner(graph.num_edges());
+  for (uint64_t i = 0; i < graph.num_edges(); ++i) {
+    edge_owner[i] = static_cast<uint32_t>(rng.NextBounded(num_partitions));
+  }
+  return FinalizeVertexCut(graph, num_partitions, edge_owner);
+}
+
+}  // namespace granula::graph

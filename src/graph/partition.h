@@ -1,0 +1,70 @@
+#ifndef GRANULA_GRAPH_PARTITION_H_
+#define GRANULA_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace granula::graph {
+
+// Edge-cut partitioning (Giraph-style): every vertex is owned by exactly one
+// partition; an edge whose endpoints live in different partitions is "cut"
+// and becomes a remote message during execution.
+struct EdgeCutPartition {
+  std::vector<VertexId> vertices;  // owned vertices
+  std::vector<Edge> edges;         // edges whose src is owned here
+};
+
+struct EdgeCutResult {
+  std::vector<EdgeCutPartition> partitions;
+  std::vector<uint32_t> owner;  // vertex -> partition
+  uint64_t cut_edges = 0;
+
+  double CutFraction(uint64_t total_edges) const {
+    return total_edges == 0
+               ? 0.0
+               : static_cast<double>(cut_edges) / static_cast<double>(total_edges);
+  }
+};
+
+// Hash-based edge cut, the default Giraph placement.
+Result<EdgeCutResult> PartitionEdgeCut(const Graph& graph,
+                                       uint32_t num_partitions);
+
+// Vertex-cut partitioning (PowerGraph-style): every *edge* is owned by
+// exactly one partition; a vertex whose edges span several partitions is
+// replicated, with one replica designated master. Replication factor is the
+// headline quality metric from the PowerGraph paper.
+struct VertexCutPartition {
+  std::vector<Edge> edges;
+  std::vector<VertexId> replicas;  // vertices with a replica here
+};
+
+struct VertexCutResult {
+  std::vector<VertexCutPartition> partitions;
+  std::vector<uint32_t> master;  // vertex -> partition of master replica
+  uint64_t total_replicas = 0;
+
+  double ReplicationFactor(uint64_t num_vertices) const {
+    return num_vertices == 0 ? 0.0
+                             : static_cast<double>(total_replicas) /
+                                   static_cast<double>(num_vertices);
+  }
+};
+
+// PowerGraph's greedy heuristic: place each edge where its endpoints already
+// have replicas, breaking ties toward the least-loaded partition.
+Result<VertexCutResult> PartitionVertexCutGreedy(const Graph& graph,
+                                                 uint32_t num_partitions);
+
+// Random (hash-of-edge) vertex cut, the baseline the greedy heuristic is
+// compared against in the PowerGraph paper.
+Result<VertexCutResult> PartitionVertexCutRandom(const Graph& graph,
+                                                 uint32_t num_partitions,
+                                                 uint64_t seed);
+
+}  // namespace granula::graph
+
+#endif  // GRANULA_GRAPH_PARTITION_H_

@@ -1,0 +1,94 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace granula::graph {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  std::vector<uint64_t> degree(graph.num_vertices(), 0);
+  for (const Edge& e : graph.edges()) {
+    ++degree[e.src];
+    if (!graph.directed()) ++degree[e.dst];
+  }
+  DegreeStats stats;
+  if (degree.empty()) return stats;
+
+  std::vector<uint64_t> sorted = degree;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  double total = static_cast<double>(
+      std::accumulate(sorted.begin(), sorted.end(), uint64_t{0}));
+  stats.mean = total / static_cast<double>(sorted.size());
+  for (uint64_t d : degree) ++stats.histogram[d];
+
+  // Gini from the sorted sequence: G = (2*sum(i*x_i)/(n*sum) - (n+1)/n).
+  if (total > 0) {
+    double weighted = 0;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+    }
+    double n = static_cast<double>(sorted.size());
+    stats.gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+  }
+  return stats;
+}
+
+uint64_t CountConnectedComponents(const Graph& graph) {
+  uint64_t n = graph.num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) parent[v] = v;
+
+  // Union-find with path halving.
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  uint64_t components = n;
+  for (const Edge& e : graph.edges()) {
+    VertexId a = find(e.src), b = find(e.dst);
+    if (a != b) {
+      parent[a] = b;
+      --components;
+    }
+  }
+  return components;
+}
+
+uint64_t Eccentricity(const Graph& graph, VertexId source) {
+  Csr csr = Csr::Build(graph, /*out=*/true);
+  Csr in;
+  const Csr* in_csr = nullptr;
+  if (graph.directed()) {
+    // Treat as undirected for eccentricity: traverse both directions.
+    in = Csr::Build(graph, /*out=*/false);
+    in_csr = &in;
+  }
+  std::vector<uint64_t> dist(graph.num_vertices(), UINT64_MAX);
+  std::deque<VertexId> queue{source};
+  dist[source] = 0;
+  uint64_t ecc = 0;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    ecc = std::max(ecc, dist[v]);
+    auto visit = [&](VertexId u) {
+      if (dist[u] == UINT64_MAX) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    };
+    for (VertexId u : csr.neighbors(v)) visit(u);
+    if (in_csr != nullptr) {
+      for (VertexId u : in_csr->neighbors(v)) visit(u);
+    }
+  }
+  return ecc;
+}
+
+}  // namespace granula::graph

@@ -1,0 +1,32 @@
+#ifndef GRANULA_GRAPH_STATS_H_
+#define GRANULA_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace granula::graph {
+
+struct DegreeStats {
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+  double gini = 0.0;  // 0 = perfectly even, →1 = extremely skewed
+  std::map<uint64_t, uint64_t> histogram;  // degree -> vertex count
+};
+
+// Degree statistics over the (undirected) degree of every vertex. For
+// directed graphs this counts out-degree.
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+// Number of connected components, treating edges as undirected.
+uint64_t CountConnectedComponents(const Graph& graph);
+
+// Eccentricity of `source`: the max BFS distance to any reachable vertex.
+uint64_t Eccentricity(const Graph& graph, VertexId source);
+
+}  // namespace granula::graph
+
+#endif  // GRANULA_GRAPH_STATS_H_

@@ -1,0 +1,487 @@
+#include "platforms/giraph.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "algorithms/pregel.h"
+#include "cluster/monitor.h"
+#include "cluster/provisioning.h"
+#include "cluster/storage.h"
+#include "common/strings.h"
+#include "granula/models/models.h"
+#include "graph/partition.h"
+#include "platforms/message_store.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace granula::platform {
+
+namespace {
+
+using core::JobLogger;
+using core::OpId;
+using graph::VertexId;
+
+// HDFS defaults, with replication clamped to the cluster size so small
+// test clusters still work.
+cluster::Hdfs::Options HdfsOptionsFor(
+    const cluster::ClusterConfig& cluster_config) {
+  cluster::Hdfs::Options options;
+  // Scaled-down block size so the scaled input still splits into enough
+  // blocks for every worker to load in parallel (real Giraph: 128 MiB
+  // blocks on a ~15 GB dg1000 edge file).
+  options.block_size = 256 * 1024;
+  options.replication = std::min<uint32_t>(options.replication,
+                                           cluster_config.num_nodes);
+  return options;
+}
+
+// One full Giraph job execution inside a private simulator. The class holds
+// the cross-coroutine state (values, message store, barriers); Main() is
+// the job driver and spawns per-worker coroutines per phase.
+class GiraphJob {
+ public:
+  GiraphJob(const GiraphCostModel& cost, const graph::Graph& graph,
+            const algo::PregelProgram& program,
+            const cluster::ClusterConfig& cluster_config,
+            const JobConfig& job_config)
+      : cost_(cost),
+        graph_(graph),
+        program_(program),
+        job_config_(job_config),
+        cluster_(&sim_, cluster_config),
+        hdfs_(&cluster_, HdfsOptionsFor(cluster_config)),
+        yarn_(&cluster_, cluster::YarnManager::Options{}),
+        zk_(&cluster_, /*server_node=*/0, cluster::ZooKeeper::Options{}),
+        monitor_(&cluster_, job_config.monitor_interval),
+        logger_([this] { return sim_.Now(); }),
+        start_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
+        end_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
+        messages_(graph.num_vertices(), program.combiner()) {}
+
+  Status Execute(JobResult* out) {
+    const uint32_t workers = job_config_.num_workers;
+    if (workers == 0 || workers > cluster_.num_nodes()) {
+      return Status::InvalidArgument(
+          "num_workers must be in [1, num_nodes]");
+    }
+
+    // Input file on HDFS (what LoadGraph reads).
+    input_bytes_ = graph::EdgeListFileBytes(graph_);
+    GRANULA_RETURN_IF_ERROR(hdfs_.CreateFile("/input/graph.e", input_bytes_));
+
+    // Partition (edge cut) and initialize algorithm state.
+    GRANULA_ASSIGN_OR_RETURN(partition_,
+                             graph::PartitionEdgeCut(graph_, workers));
+    values_.resize(graph_.num_vertices());
+    active_.resize(graph_.num_vertices());
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      values_[v] = program_.InitialValue(v, graph_.num_vertices());
+      active_[v] = program_.InitiallyActive(v) ? 1 : 0;
+    }
+    // Undirected adjacency, shared by all workers (each consults only its
+    // owned vertices).
+    neighbors_.resize(graph_.num_vertices());
+    for (const graph::Edge& e : graph_.edges()) {
+      neighbors_[e.src].push_back(e.dst);
+      neighbors_[e.dst].push_back(e.src);
+    }
+    for (auto& list : neighbors_) std::sort(list.begin(), list.end());
+
+    sim_.Spawn(Main());
+    sim_.Run();
+
+    if (!job_status_.ok()) return job_status_;
+    out->vertex_values = values_;
+    out->records = logger_.TakeRecords();
+    out->environment = ToEnvironmentRecords(monitor_.samples());
+    out->supersteps = superstep_;
+    out->total_seconds = sim_.Now().seconds();
+    out->network_bytes = cluster_.network_bytes_sent();
+    return Status::OK();
+  }
+
+ private:
+  uint32_t WorkerNode(uint32_t w) const { return containers_[w].node; }
+  sim::Cpu& WorkerCpu(uint32_t w) { return cluster_.node(WorkerNode(w)).cpu(); }
+
+  // ------------------------------------------------------------- driver --
+  sim::Task<> Main() {
+    monitor_.Start();
+    OpId root = logger_.StartOperation(core::kNoOp, core::ops::kJobActor,
+                                       job_config_.job_id,
+                                       core::ops::kJobMission, "GiraphJob");
+    co_await RunStartup(root);
+    co_await RunLoadGraph(root);
+    co_await RunProcessGraph(root);
+    if (job_config_.offload_results) co_await RunOffloadGraph(root);
+    co_await RunCleanup(root);
+    logger_.AddInfo(root, "NetworkBytes",
+                    Json(cluster_.network_bytes_sent()));
+    logger_.EndOperation(root);
+    monitor_.Stop();
+  }
+
+  // ------------------------------------------------------------ startup --
+  sim::Task<> RunStartup(OpId root) {
+    OpId startup =
+        logger_.StartOperation(root, core::ops::kJobActor,
+                               job_config_.job_id, core::ops::kStartup,
+                               core::ops::kStartup);
+
+    OpId job_startup = logger_.StartOperation(startup, "Master", "Master-0",
+                                              "JobStartup", "JobStartup");
+    co_await sim_.Delay(SimTime::Millis(700));  // client submission RPC
+    co_await yarn_.LaunchApplicationMaster(/*am_node=*/0);
+    logger_.EndOperation(job_startup);
+
+    OpId launch = logger_.StartOperation(startup, "Master", "Master-0",
+                                         "LaunchWorkers", "LaunchWorkers");
+    co_await yarn_.AllocateContainers(0, job_config_.num_workers,
+                                      &containers_);
+    std::vector<sim::ProcessHandle> locals;
+    for (uint32_t w = 0; w < job_config_.num_workers; ++w) {
+      locals.push_back(sim_.Spawn(WorkerLocalStartup(launch, w)));
+    }
+    co_await sim::JoinAll(std::move(locals));
+    logger_.EndOperation(launch);
+    logger_.EndOperation(startup);
+  }
+
+  sim::Task<> WorkerLocalStartup(OpId parent, uint32_t w) {
+    OpId op = logger_.StartOperation(
+        parent, "Worker", StrFormat("Worker-%u", w + 1), "LocalStartup",
+        StrFormat("LocalStartup-%u", w + 1));
+    // Worker registration and partition assignment via ZooKeeper.
+    co_await zk_.Op(WorkerNode(w));
+    co_await zk_.Op(WorkerNode(w));
+    co_await sim_.Delay(SimTime::Millis(350));  // service init
+    logger_.EndOperation(op);
+  }
+
+  // --------------------------------------------------------- load graph --
+  sim::Task<> RunLoadGraph(OpId root) {
+    OpId load = logger_.StartOperation(root, core::ops::kJobActor,
+                                       job_config_.job_id,
+                                       core::ops::kLoadGraph,
+                                       core::ops::kLoadGraph);
+    std::vector<sim::ProcessHandle> loaders;
+    for (uint32_t w = 0; w < job_config_.num_workers; ++w) {
+      loaders.push_back(sim_.Spawn(WorkerLoad(load, w)));
+    }
+    co_await sim::JoinAll(std::move(loaders));
+    logger_.EndOperation(load);
+  }
+
+  sim::Task<> WorkerLoad(OpId parent, uint32_t w) {
+    OpId op = logger_.StartOperation(
+        parent, "Worker", StrFormat("Worker-%u", w + 1), "LoadHdfsData",
+        StrFormat("LoadHdfsData-%u", w + 1));
+    // Workers split the input by block index (Giraph input splits).
+    auto blocks = hdfs_.GetBlocks("/input/graph.e");
+    uint64_t my_bytes = 0;
+    if (blocks.ok()) {
+      for (const cluster::Hdfs::Block& block : *blocks) {
+        if (block.index % job_config_.num_workers != w) continue;
+        my_bytes += block.bytes;
+        co_await hdfs_.ReadBlock(WorkerNode(w), block);
+      }
+    }
+    logger_.AddInfo(op, "BytesRead", Json(my_bytes));
+
+    // Parsing + vertex/edge object construction: the CPU-heavy part of
+    // loading the paper observes in Fig. 6.
+    OpId local = logger_.StartOperation(
+        op, "Worker", StrFormat("Worker-%u", w + 1), "LocalLoad",
+        StrFormat("LocalLoad-%u", w + 1));
+    SimTime parse = cost_.parse_cpu_per_byte * static_cast<double>(my_bytes);
+    // Input splits are parsed by every core of the node — loading is the
+    // most CPU-intensive phase of the job (paper Fig. 6).
+    co_await RunOnThreads(&sim_, &WorkerCpu(w), parse,
+                          job_config_.compute_threads * 2);
+    logger_.EndOperation(local);
+    logger_.EndOperation(op);
+  }
+
+  // ------------------------------------------------------ process graph --
+  bool AnyComputeCandidate() const {
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (active_[v] != 0 || messages_.HasCurrent(v)) return true;
+    }
+    return false;
+  }
+
+  sim::Task<> RunProcessGraph(OpId root) {
+    process_op_ = logger_.StartOperation(root, core::ops::kJobActor,
+                                         job_config_.job_id,
+                                         core::ops::kProcessGraph,
+                                         core::ops::kProcessGraph);
+    std::vector<sim::ProcessHandle> loops;
+    for (uint32_t w = 0; w < job_config_.num_workers; ++w) {
+      loops.push_back(sim_.Spawn(WorkerProcessLoop(w)));
+    }
+    while (true) {
+      uint64_t max_steps = program_.max_supersteps();
+      if (!AnyComputeCandidate() ||
+          (max_steps > 0 && superstep_ >= max_steps)) {
+        process_done_ = true;
+        co_await start_barrier_.Arrive();
+        break;
+      }
+      superstep_op_ = logger_.StartOperation(
+          process_op_, "Master", "Master-0", "Superstep",
+          StrFormat("Superstep-%llu",
+                    static_cast<unsigned long long>(superstep_)));
+      co_await start_barrier_.Arrive();  // release workers into superstep
+      co_await end_barrier_.Arrive();    // wait for all workers
+      logger_.EndOperation(superstep_op_);
+
+      // Master-side coordination between supersteps.
+      OpId sync = logger_.StartOperation(
+          process_op_, "Master", "Master-0", "SyncZookeeper",
+          StrFormat("SyncZookeeper-%llu",
+                    static_cast<unsigned long long>(superstep_)));
+      for (uint32_t w = 0; w < job_config_.num_workers; ++w) {
+        co_await zk_.Op(0);
+      }
+      messages_.Swap();
+      ++superstep_;
+      logger_.EndOperation(sync);
+    }
+    co_await sim::JoinAll(std::move(loops));
+    logger_.AddInfo(process_op_, "Supersteps", Json(superstep_));
+    logger_.EndOperation(process_op_);
+  }
+
+  sim::Task<> WorkerProcessLoop(uint32_t w) {
+    while (true) {
+      co_await start_barrier_.Arrive();
+      if (process_done_) co_return;
+      co_await WorkerSuperstep(w);
+    }
+  }
+
+  // The Pregel vertex view handed to algorithm programs.
+  class VertexContext : public algo::PregelVertexContext {
+   public:
+    VertexContext(GiraphJob* job, uint32_t worker)
+        : job_(job), worker_(worker) {}
+
+    void Reset(VertexId v) {
+      vertex_ = v;
+      voted_halt_ = false;
+    }
+    bool voted_halt() const { return voted_halt_; }
+    uint64_t messages_sent() const { return messages_sent_; }
+    const std::map<uint32_t, uint64_t>& remote_bytes() const {
+      return remote_bytes_;
+    }
+
+    VertexId vertex_id() const override { return vertex_; }
+    uint64_t superstep() const override { return job_->superstep_; }
+    uint64_t num_vertices() const override {
+      return job_->graph_.num_vertices();
+    }
+    double value() const override { return job_->values_[vertex_]; }
+    void set_value(double v) override { job_->values_[vertex_] = v; }
+    std::span<const VertexId> neighbors() const override {
+      return job_->neighbors_[vertex_];
+    }
+    void SendTo(VertexId target, double message) override {
+      job_->messages_.Deliver(target, message);
+      ++messages_sent_;
+      uint32_t target_worker = job_->partition_.owner[target];
+      if (target_worker != worker_) {
+        remote_bytes_[target_worker] += job_->cost_.bytes_per_message;
+      }
+    }
+    void SendToAllNeighbors(double message) override {
+      for (VertexId nbr : job_->neighbors_[vertex_]) SendTo(nbr, message);
+    }
+    void VoteToHalt() override { voted_halt_ = true; }
+
+   private:
+    GiraphJob* job_;
+    uint32_t worker_;
+    VertexId vertex_ = 0;
+    bool voted_halt_ = false;
+    uint64_t messages_sent_ = 0;
+    std::map<uint32_t, uint64_t> remote_bytes_;
+  };
+
+  sim::Task<> WorkerSuperstep(uint32_t w) {
+    std::string actor_id = StrFormat("Worker-%u", w + 1);
+    OpId local = logger_.StartOperation(
+        superstep_op_, "Worker", actor_id, "LocalSuperstep",
+        StrFormat("LocalSuperstep-%u", w + 1));
+
+    // PreStep: barrier entry bookkeeping with ZooKeeper.
+    OpId prestep = logger_.StartOperation(
+        local, "Worker", actor_id, "PreStep",
+        StrFormat("PreStep-%llu",
+                  static_cast<unsigned long long>(superstep_)));
+    co_await zk_.Op(WorkerNode(w));
+    co_await sim_.Delay(cost_.prestep_overhead);
+    logger_.EndOperation(prestep);
+
+    // Compute: run the vertex program over this worker's partition.
+    OpId compute = logger_.StartOperation(
+        local, "Worker", actor_id, "Compute",
+        StrFormat("Compute-%llu",
+                  static_cast<unsigned long long>(superstep_)));
+    VertexContext ctx(this, w);
+    uint64_t vertices_computed = 0;
+    uint64_t messages_received = 0;
+    for (VertexId v : partition_.partitions[w].vertices) {
+      if (active_[v] == 0 && !messages_.HasCurrent(v)) continue;
+      ctx.Reset(v);
+      messages_received += messages_.CurrentDeliveryCount(v);
+      program_.Compute(ctx, messages_.CurrentMessages(v));
+      active_[v] = ctx.voted_halt() ? 0 : 1;
+      ++vertices_computed;
+    }
+    SimTime compute_cost =
+        cost_.compute_per_vertex * static_cast<double>(vertices_computed) +
+        cost_.compute_per_message * static_cast<double>(messages_received);
+    co_await RunOnThreads(&sim_, &WorkerCpu(w), compute_cost,
+                          job_config_.compute_threads);
+    logger_.AddInfo(compute, "VerticesComputed", Json(vertices_computed));
+    logger_.AddInfo(compute, "MessagesReceived", Json(messages_received));
+    logger_.AddInfo(compute, "MessagesSent", Json(ctx.messages_sent()));
+    logger_.EndOperation(compute);
+
+    // Message: flush outgoing buffers over the network.
+    OpId message = logger_.StartOperation(
+        local, "Worker", actor_id, "Message",
+        StrFormat("Message-%llu",
+                  static_cast<unsigned long long>(superstep_)));
+    uint64_t bytes_sent = 0;
+    for (const auto& [target, bytes] : ctx.remote_bytes()) {
+      bytes_sent += bytes;
+      co_await cluster_.Send(WorkerNode(w), WorkerNode(target), bytes);
+    }
+    logger_.AddInfo(message, "BytesSent", Json(bytes_sent));
+    logger_.EndOperation(message);
+
+    // PostStep: wait at the superstep barrier (the gray blocks of Fig. 8).
+    OpId poststep = logger_.StartOperation(
+        local, "Worker", actor_id, "PostStep",
+        StrFormat("PostStep-%llu",
+                  static_cast<unsigned long long>(superstep_)));
+    co_await sim_.Delay(cost_.poststep_overhead);
+    co_await end_barrier_.Arrive();
+    logger_.EndOperation(poststep);
+    logger_.EndOperation(local);
+  }
+
+  // ----------------------------------------------------- offload graph --
+  sim::Task<> RunOffloadGraph(OpId root) {
+    OpId offload = logger_.StartOperation(root, core::ops::kJobActor,
+                                          job_config_.job_id,
+                                          core::ops::kOffloadGraph,
+                                          core::ops::kOffloadGraph);
+    std::vector<sim::ProcessHandle> writers;
+    for (uint32_t w = 0; w < job_config_.num_workers; ++w) {
+      writers.push_back(sim_.Spawn(WorkerOffload(offload, w)));
+    }
+    co_await sim::JoinAll(std::move(writers));
+    logger_.EndOperation(offload);
+  }
+
+  sim::Task<> WorkerOffload(OpId parent, uint32_t w) {
+    OpId op = logger_.StartOperation(
+        parent, "Worker", StrFormat("Worker-%u", w + 1), "OffloadHdfsData",
+        StrFormat("OffloadHdfsData-%u", w + 1));
+    uint64_t bytes = cost_.result_bytes_per_vertex *
+                     partition_.partitions[w].vertices.size();
+    OpId local = logger_.StartOperation(
+        op, "Worker", StrFormat("Worker-%u", w + 1), "LocalOffload",
+        StrFormat("LocalOffload-%u", w + 1));
+    co_await RunOnThreads(
+        &sim_, &WorkerCpu(w),
+        cost_.serialize_cpu_per_byte * static_cast<double>(bytes),
+        job_config_.compute_threads);
+    logger_.EndOperation(local);
+    co_await hdfs_.WriteFromNode(WorkerNode(w),
+                                 StrFormat("/output/part-%u", w), bytes);
+    logger_.AddInfo(op, "BytesWritten", Json(bytes));
+    logger_.EndOperation(op);
+  }
+
+  // ------------------------------------------------------------ cleanup --
+  sim::Task<> RunCleanup(OpId root) {
+    OpId cleanup = logger_.StartOperation(root, core::ops::kJobActor,
+                                          job_config_.job_id,
+                                          core::ops::kCleanup,
+                                          core::ops::kCleanup);
+    OpId job_cleanup = logger_.StartOperation(cleanup, "Master", "Master-0",
+                                              "JobCleanup", "JobCleanup");
+    OpId op = logger_.StartOperation(job_cleanup, "Master", "Master-0",
+                                     "AbortWorkers", "AbortWorkers");
+    co_await sim_.Delay(cost_.abort_workers);
+    logger_.EndOperation(op);
+    op = logger_.StartOperation(job_cleanup, "Client", "Client-0",
+                                "ClientCleanup", "ClientCleanup");
+    co_await sim_.Delay(cost_.client_cleanup);
+    logger_.EndOperation(op);
+    op = logger_.StartOperation(job_cleanup, "Master", "Master-0",
+                                "ServerCleanup", "ServerCleanup");
+    co_await yarn_.Cleanup();
+    co_await sim_.Delay(cost_.server_cleanup);
+    logger_.EndOperation(op);
+    op = logger_.StartOperation(job_cleanup, "ZooKeeper", "ZooKeeper-0",
+                                "ZkCleanup", "ZkCleanup");
+    co_await zk_.Op(0);
+    co_await sim_.Delay(cost_.zk_cleanup);
+    logger_.EndOperation(op);
+    logger_.EndOperation(job_cleanup);
+    logger_.EndOperation(cleanup);
+  }
+
+  // --------------------------------------------------------------- state --
+  const GiraphCostModel& cost_;
+  const graph::Graph& graph_;
+  const algo::PregelProgram& program_;
+  JobConfig job_config_;
+
+  sim::Simulator sim_;
+  cluster::Cluster cluster_;
+  cluster::Hdfs hdfs_;
+  cluster::YarnManager yarn_;
+  cluster::ZooKeeper zk_;
+  cluster::EnvironmentMonitor monitor_;
+  JobLogger logger_;
+
+  sim::Barrier start_barrier_;
+  sim::Barrier end_barrier_;
+
+  graph::EdgeCutResult partition_;
+  std::vector<std::vector<VertexId>> neighbors_;
+  std::vector<double> values_;
+  std::vector<uint8_t> active_;
+  MessageStore messages_;
+  std::vector<cluster::YarnManager::Container> containers_;
+
+  uint64_t input_bytes_ = 0;
+  uint64_t superstep_ = 0;
+  bool process_done_ = false;
+  OpId process_op_ = core::kNoOp;
+  OpId superstep_op_ = core::kNoOp;
+  Status job_status_;
+};
+
+}  // namespace
+
+Result<JobResult> GiraphPlatform::Run(
+    const graph::Graph& graph, const algo::AlgorithmSpec& spec,
+    const cluster::ClusterConfig& cluster_config,
+    const JobConfig& job_config) const {
+  GRANULA_ASSIGN_OR_RETURN(auto program, algo::MakePregelProgram(spec));
+  GiraphJob job(cost_, graph, *program, cluster_config, job_config);
+  JobResult result;
+  GRANULA_RETURN_IF_ERROR(job.Execute(&result));
+  return result;
+}
+
+}  // namespace granula::platform

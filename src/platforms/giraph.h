@@ -1,0 +1,45 @@
+#ifndef GRANULA_PLATFORMS_GIRAPH_H_
+#define GRANULA_PLATFORMS_GIRAPH_H_
+
+#include "algorithms/api.h"
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "platforms/cost_model.h"
+#include "platforms/platform.h"
+
+namespace granula::platform {
+
+// A from-scratch simulation of an Apache-Giraph-like platform: a Pregel
+// (BSP, vertex-centric) engine provisioned through a YARN-like resource
+// manager, loading from an HDFS-like block store, and coordinating
+// supersteps through a ZooKeeper-like service (paper Table 1, row 1).
+//
+// The engine *really executes* the algorithm: the graph is hash-partitioned
+// (edge cut) over workers, each worker runs the vertex program over its
+// partition every superstep, and messages cross the simulated network.
+// Returned vertex values are validated against algorithms/reference.h in
+// the test suite. Simultaneously the run is instrumented with Granula
+// StartOperation/EndOperation/AddInfo calls following the 4-level model of
+// paper Fig. 4, and an environment monitor samples per-node utilization.
+class GiraphPlatform {
+ public:
+  GiraphPlatform() = default;
+  explicit GiraphPlatform(GiraphCostModel cost) : cost_(cost) {}
+
+  const GiraphCostModel& cost_model() const { return cost_; }
+
+  // Runs one job on a fresh simulated cluster. Fails if the algorithm has
+  // no Pregel formulation or the config is inconsistent.
+  Result<JobResult> Run(const graph::Graph& graph,
+                        const algo::AlgorithmSpec& spec,
+                        const cluster::ClusterConfig& cluster_config,
+                        const JobConfig& job_config) const;
+
+ private:
+  GiraphCostModel cost_;
+};
+
+}  // namespace granula::platform
+
+#endif  // GRANULA_PLATFORMS_GIRAPH_H_

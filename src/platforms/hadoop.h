@@ -1,0 +1,70 @@
+#ifndef GRANULA_PLATFORMS_HADOOP_H_
+#define GRANULA_PLATFORMS_HADOOP_H_
+
+#include "algorithms/api.h"
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "platforms/cost_model.h"
+#include "platforms/platform.h"
+
+namespace granula::platform {
+
+// Cost constants for the MapReduce engine (same calibration scale as the
+// other platforms; see cost_model.h).
+struct HadoopCostModel {
+  // Map: read + parse a state record ("vertex value adjacency messages").
+  SimTime map_parse_per_byte = SimTime::Micros(60);
+  // Map output spill to local disk, and reduce-side merge sort.
+  SimTime spill_per_byte = SimTime::Micros(8);
+  SimTime sort_per_byte = SimTime::Micros(20);
+  // Reduce: apply + serialize the new state file.
+  SimTime reduce_per_record = SimTime::Micros(250);
+  SimTime serialize_per_byte = SimTime::Micros(10);
+  // Per-MR-job fixed costs beyond YARN container allocation.
+  SimTime job_submit = SimTime::Seconds(1.2);
+  SimTime job_commit = SimTime::Seconds(0.8);
+  // State-record framing bytes per vertex (ids, value, separators).
+  uint64_t state_bytes_per_vertex = 24;
+  uint64_t bytes_per_message = 16;
+};
+
+// A from-scratch simulation of a Hadoop-MapReduce-like platform used *as a
+// graph processor* — the paper's Table 1 last row, and its introduction's
+// cautionary tale: "General Big Data platforms, such as the MapReduce-based
+// Apache Hadoop, have not been able so far to process graphs without
+// severe performance penalties".
+//
+// The engine runs Pregel programs through the classic
+// Pregel-on-MapReduce encoding: one MR job per superstep. Each job
+//   * allocates fresh YARN containers (no long-lived workers!),
+//   * map tasks read the full graph-state file from HDFS, run Compute for
+//     active vertices, and spill (vertex-state + message) records,
+//   * a shuffle moves every record to its reducer,
+//   * reduce tasks merge messages per vertex and write the complete next
+//     state file back to HDFS (with replication).
+// Rewriting the whole graph through the filesystem every iteration — and
+// re-paying provisioning per iteration — is exactly where the orders-of-
+// magnitude penalty comes from; bench/intro_hadoop_penalty quantifies it.
+//
+// Correctness: identical vertex values to the Giraph engine and the
+// sequential references (same PregelProgram objects; tested).
+class HadoopPlatform {
+ public:
+  HadoopPlatform() = default;
+  explicit HadoopPlatform(HadoopCostModel cost) : cost_(cost) {}
+
+  const HadoopCostModel& cost_model() const { return cost_; }
+
+  Result<JobResult> Run(const graph::Graph& graph,
+                        const algo::AlgorithmSpec& spec,
+                        const cluster::ClusterConfig& cluster_config,
+                        const JobConfig& job_config) const;
+
+ private:
+  HadoopCostModel cost_;
+};
+
+}  // namespace granula::platform
+
+#endif  // GRANULA_PLATFORMS_HADOOP_H_

@@ -1,0 +1,109 @@
+#ifndef GRANULA_PLATFORMS_MESSAGE_STORE_H_
+#define GRANULA_PLATFORMS_MESSAGE_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algorithms/pregel.h"
+#include "graph/graph.h"
+
+namespace granula::platform {
+
+// Double-buffered Pregel message store. Deliveries during superstep k go to
+// the "next" buffer; the engine swaps buffers at the superstep barrier.
+// With a combiner, messages to the same vertex collapse to one value (as
+// Giraph's combiners do), but the pre-combine delivery count is kept for
+// compute-cost accounting.
+class MessageStore {
+ public:
+  MessageStore(uint64_t num_vertices, algo::Combiner combiner)
+      : combiner_(combiner) {
+    if (combiner_ == algo::Combiner::kNone) {
+      current_multi_.resize(num_vertices);
+      next_multi_.resize(num_vertices);
+    } else {
+      current_value_.resize(num_vertices, 0.0);
+      next_value_.resize(num_vertices, 0.0);
+      current_has_.resize(num_vertices, 0);
+      next_has_.resize(num_vertices, 0);
+    }
+    current_count_.resize(num_vertices, 0);
+    next_count_.resize(num_vertices, 0);
+  }
+
+  void Deliver(graph::VertexId target, double value) {
+    ++next_count_[target];
+    ++next_total_;
+    if (combiner_ == algo::Combiner::kNone) {
+      next_multi_[target].push_back(value);
+      return;
+    }
+    if (next_has_[target] == 0) {
+      next_value_[target] = value;
+      next_has_[target] = 1;
+      return;
+    }
+    switch (combiner_) {
+      case algo::Combiner::kMin:
+        next_value_[target] = std::min(next_value_[target], value);
+        break;
+      case algo::Combiner::kMax:
+        next_value_[target] = std::max(next_value_[target], value);
+        break;
+      case algo::Combiner::kSum:
+        next_value_[target] += value;
+        break;
+      case algo::Combiner::kNone:
+        break;
+    }
+  }
+
+  bool HasCurrent(graph::VertexId v) const {
+    return current_count_[v] > 0;
+  }
+
+  // Messages visible to the vertex program this superstep.
+  std::span<const double> CurrentMessages(graph::VertexId v) const {
+    if (combiner_ == algo::Combiner::kNone) {
+      return current_multi_[v];
+    }
+    if (current_has_[v] == 0) return {};
+    return std::span<const double>(&current_value_[v], 1);
+  }
+
+  // Pre-combine deliveries into the current buffer (cost accounting).
+  uint64_t CurrentDeliveryCount(graph::VertexId v) const {
+    return current_count_[v];
+  }
+
+  uint64_t pending_total() const { return next_total_; }
+
+  // Barrier action: next becomes current; next is cleared.
+  void Swap() {
+    if (combiner_ == algo::Combiner::kNone) {
+      current_multi_.swap(next_multi_);
+      for (auto& messages : next_multi_) messages.clear();
+    } else {
+      current_value_.swap(next_value_);
+      current_has_.swap(next_has_);
+      std::fill(next_has_.begin(), next_has_.end(), 0);
+    }
+    current_count_.swap(next_count_);
+    std::fill(next_count_.begin(), next_count_.end(), 0);
+    next_total_ = 0;
+  }
+
+ private:
+  algo::Combiner combiner_;
+  std::vector<std::vector<double>> current_multi_, next_multi_;
+  std::vector<double> current_value_, next_value_;
+  std::vector<uint8_t> current_has_, next_has_;
+  std::vector<uint64_t> current_count_, next_count_;
+  uint64_t next_total_ = 0;
+};
+
+}  // namespace granula::platform
+
+#endif  // GRANULA_PLATFORMS_MESSAGE_STORE_H_

@@ -1,0 +1,440 @@
+#include "platforms/pgxd.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "algorithms/gas.h"
+#include "cluster/monitor.h"
+#include "cluster/storage.h"
+#include "common/strings.h"
+#include "granula/models/models.h"
+#include "graph/partition.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace granula::platform {
+
+namespace {
+
+using core::JobLogger;
+using core::OpId;
+using graph::VertexId;
+
+class PgxdJob {
+ public:
+  PgxdJob(const PgxdCostModel& cost, PgxdDirection direction,
+          const graph::Graph& graph, const algo::GasProgram& program,
+          const cluster::ClusterConfig& cluster_config,
+          const JobConfig& job_config)
+      : cost_(cost),
+        direction_(direction),
+        graph_(graph),
+        program_(program),
+        job_config_(job_config),
+        cluster_(&sim_, cluster_config),
+        localfs_(&cluster_),
+        monitor_(&cluster_, job_config.monitor_interval),
+        logger_([this] { return sim_.Now(); }),
+        start_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
+        end_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
+        stage_barrier_(&sim_,
+                       std::max(1, static_cast<int>(job_config.num_workers))) {
+    // A zero worker count is rejected in Execute(); the max(1, ...) only
+    // keeps the never-used barrier constructible until then.
+  }
+
+  Status Execute(JobResult* out) {
+    const uint32_t nodes = job_config_.num_workers;
+    if (nodes == 0 || nodes > cluster_.num_nodes()) {
+      return Status::InvalidArgument("num_workers must be in [1, num_nodes]");
+    }
+    input_bytes_ = graph::EdgeListFileBytes(graph_);
+    // Every node holds a pre-split local slice of the input.
+    for (uint32_t node = 0; node < nodes; ++node) {
+      GRANULA_RETURN_IF_ERROR(localfs_.CreateFile(
+          node, StrFormat("/local/graph-%u.e", node),
+          input_bytes_ / nodes));
+    }
+    GRANULA_ASSIGN_OR_RETURN(partition_,
+                             graph::PartitionEdgeCut(graph_, nodes));
+
+    const uint64_t n = graph_.num_vertices();
+    values_.resize(n);
+    active_.assign(n, 0);
+    next_active_.assign(n, 0);
+    acc_.assign(n, 0.0);
+    acc_has_.assign(n, 0);
+    degree_.assign(n, 0);
+    neighbors_.resize(n);
+    for (const graph::Edge& e : graph_.edges()) {
+      ++degree_[e.src];
+      ++degree_[e.dst];
+      neighbors_[e.src].push_back(e.dst);
+      neighbors_[e.dst].push_back(e.src);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      values_[v] = program_.InitialValue(v, n);
+      active_[v] = program_.InitiallyActive(v) ? 1 : 0;
+    }
+
+    sim_.Spawn(Main());
+    sim_.Run();
+
+    out->vertex_values = values_;
+    out->records = logger_.TakeRecords();
+    out->environment = ToEnvironmentRecords(monitor_.samples());
+    out->supersteps = iteration_;
+    out->total_seconds = sim_.Now().seconds();
+    out->network_bytes = cluster_.network_bytes_sent();
+    return Status::OK();
+  }
+
+ private:
+  sim::Cpu& NodeCpu(uint32_t node) { return cluster_.node(node).cpu(); }
+  std::string NodeActor(uint32_t node) const {
+    return StrFormat("Node-%u", node);
+  }
+
+  sim::Task<> Main() {
+    monitor_.Start();
+    OpId root = logger_.StartOperation(
+        core::kNoOp, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kJobMission, "PgxdJob");
+    co_await RunStartup(root);
+    co_await RunLoadGraph(root);
+    co_await RunProcessGraph(root);
+    if (job_config_.offload_results) co_await RunOffloadGraph(root);
+    co_await RunCleanup(root);
+    logger_.AddInfo(root, "NetworkBytes",
+                    Json(cluster_.network_bytes_sent()));
+    logger_.EndOperation(root);
+    monitor_.Stop();
+  }
+
+  sim::Task<> RunStartup(OpId root) {
+    OpId startup = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id, core::ops::kStartup,
+        core::ops::kStartup);
+    OpId spawn = logger_.StartOperation(startup, "Native", "launcher",
+                                        "SpawnProcesses", "SpawnProcesses");
+    spawn_op_ = spawn;
+    std::vector<sim::ProcessHandle> spawns;
+    for (uint32_t node = 0; node < job_config_.num_workers; ++node) {
+      spawns.push_back(sim_.Spawn(
+          [](PgxdJob* job, uint32_t n) -> sim::Task<> {
+            OpId op = job->logger_.StartOperation(
+                job->spawn_op_, "Process", job->NodeActor(n),
+                "LocalStartup", StrFormat("LocalStartup-%u", n));
+            co_await job->sim_.Delay(job->cost_.process_spawn);
+            co_await job->NodeCpu(n).Run(job->cost_.process_spawn * 0.3);
+            job->logger_.EndOperation(op);
+          }(this, node)));
+    }
+    co_await sim::JoinAll(std::move(spawns));
+    logger_.EndOperation(spawn);
+    logger_.EndOperation(startup);
+  }
+
+  sim::Task<> RunLoadGraph(OpId root) {
+    OpId load = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kLoadGraph, core::ops::kLoadGraph);
+    std::vector<sim::ProcessHandle> loaders;
+    for (uint32_t node = 0; node < job_config_.num_workers; ++node) {
+      loaders.push_back(sim_.Spawn(NodeLoad(load, node)));
+    }
+    co_await sim::JoinAll(std::move(loaders));
+    logger_.EndOperation(load);
+  }
+
+  sim::Task<> NodeLoad(OpId parent, uint32_t node) {
+    OpId op = logger_.StartOperation(
+        parent, "Node", NodeActor(node), "LoadLocalData",
+        StrFormat("LoadLocalData-%u", node));
+    co_await localfs_.Read(node, StrFormat("/local/graph-%u.e", node));
+    uint64_t my_bytes = input_bytes_ / job_config_.num_workers;
+    co_await RunOnThreads(
+        &sim_, &NodeCpu(node),
+        cost_.parse_cpu_per_byte * static_cast<double>(my_bytes),
+        job_config_.compute_threads * 2);
+    OpId csr = logger_.StartOperation(op, "Node", NodeActor(node),
+                                      "BuildCsr",
+                                      StrFormat("BuildCsr-%u", node));
+    uint64_t local_edges = partition_.partitions[node].edges.size();
+    co_await RunOnThreads(
+        &sim_, &NodeCpu(node),
+        cost_.csr_build_per_edge * static_cast<double>(local_edges),
+        job_config_.compute_threads);
+    logger_.EndOperation(csr);
+    logger_.AddInfo(op, "BytesRead", Json(my_bytes));
+    logger_.EndOperation(op);
+  }
+
+  bool AnyActive() const {
+    for (uint8_t a : active_) {
+      if (a != 0) return true;
+    }
+    return false;
+  }
+
+  // Frontier incident edges, the direction heuristic's input.
+  uint64_t FrontierEdges() const {
+    uint64_t edges = 0;
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (active_[v] != 0) edges += degree_[v];
+    }
+    return edges;
+  }
+
+  bool ChoosePush(uint64_t frontier_edges) const {
+    switch (direction_) {
+      case PgxdDirection::kPushOnly:
+        return true;
+      case PgxdDirection::kPullOnly:
+        return false;
+      case PgxdDirection::kAuto:
+        break;
+    }
+    // Direction-optimizing heuristic: push costs frontier_edges * push;
+    // pull scans the full edge set at the cheaper pull rate.
+    double push_cost = static_cast<double>(frontier_edges) *
+                       cost_.push_per_edge.seconds();
+    double pull_cost = static_cast<double>(2 * graph_.num_edges()) *
+                       cost_.pull_per_edge.seconds();
+    return push_cost <= pull_cost;
+  }
+
+  sim::Task<> RunProcessGraph(OpId root) {
+    process_op_ = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kProcessGraph, core::ops::kProcessGraph);
+    std::vector<sim::ProcessHandle> loops;
+    for (uint32_t node = 0; node < job_config_.num_workers; ++node) {
+      loops.push_back(sim_.Spawn(NodeProcessLoop(node)));
+    }
+    while (true) {
+      uint64_t max_iters = program_.max_iterations();
+      bool capped = max_iters > 0 && iteration_ >= max_iters;
+      if (!AnyActive() || capped) {
+        process_done_ = true;
+        co_await start_barrier_.Arrive();
+        break;
+      }
+      uint64_t frontier_edges = FrontierEdges();
+      push_mode_ = ChoosePush(frontier_edges);
+      iteration_op_ = logger_.StartOperation(
+          process_op_, "Engine", "Engine-0", "Iteration",
+          StrFormat("Iteration-%llu",
+                    static_cast<unsigned long long>(iteration_)));
+      logger_.AddInfo(iteration_op_, "Direction",
+                      Json(push_mode_ ? "push" : "pull"));
+      logger_.AddInfo(iteration_op_, "FrontierEdges", Json(frontier_edges));
+      co_await start_barrier_.Arrive();
+      co_await end_barrier_.Arrive();
+      logger_.EndOperation(iteration_op_);
+
+      ++iteration_;
+      std::fill(acc_.begin(), acc_.end(), 0.0);
+      std::fill(acc_has_.begin(), acc_has_.end(), 0);
+      if (program_.always_active()) {
+        bool more = max_iters == 0 || iteration_ < max_iters;
+        std::fill(active_.begin(), active_.end(), more ? 1 : 0);
+      } else {
+        active_.swap(next_active_);
+      }
+      std::fill(next_active_.begin(), next_active_.end(), 0);
+    }
+    co_await sim::JoinAll(std::move(loops));
+    logger_.AddInfo(process_op_, "Iterations", Json(iteration_));
+    logger_.EndOperation(process_op_);
+  }
+
+  sim::Task<> NodeProcessLoop(uint32_t node) {
+    while (true) {
+      co_await start_barrier_.Arrive();
+      if (process_done_) co_return;
+      co_await NodeIteration(node);
+    }
+  }
+
+  void Contribute(VertexId target, VertexId source) {
+    double contribution = program_.Gather(target, source, values_[source],
+                                          degree_[source]);
+    if (acc_has_[target] != 0) {
+      acc_[target] = program_.Sum(acc_[target], contribution);
+    } else {
+      acc_[target] = contribution;
+      acc_has_[target] = 1;
+    }
+  }
+
+  sim::Task<> NodeIteration(uint32_t node) {
+    const auto& owned = partition_.partitions[node].vertices;
+
+    // --- Traverse (push or pull). Both directions compute the same
+    // accumulators — contributions flow from active vertices to their
+    // neighbors — but touch different amounts of memory.
+    uint64_t edge_ops = 0;
+    uint64_t remote_updates = 0;
+    OpId traverse_op;
+    if (push_mode_) {
+      traverse_op = logger_.StartOperation(
+          iteration_op_, "Node", NodeActor(node), "Push",
+          StrFormat("Push-%llu",
+                    static_cast<unsigned long long>(iteration_)));
+      for (VertexId v : owned) {
+        if (active_[v] == 0) continue;
+        for (VertexId u : neighbors_[v]) {
+          Contribute(u, v);
+          ++edge_ops;
+          if (partition_.owner[u] != node) ++remote_updates;
+        }
+      }
+      co_await RunOnThreads(
+          &sim_, &NodeCpu(node),
+          cost_.push_per_edge * static_cast<double>(edge_ops),
+          job_config_.compute_threads);
+    } else {
+      traverse_op = logger_.StartOperation(
+          iteration_op_, "Node", NodeActor(node), "Pull",
+          StrFormat("Pull-%llu",
+                    static_cast<unsigned long long>(iteration_)));
+      for (VertexId v : owned) {
+        for (VertexId u : neighbors_[v]) {
+          ++edge_ops;  // the pull scan reads every incident edge
+          if (active_[u] == 0) continue;
+          Contribute(v, u);
+          if (partition_.owner[u] != node) ++remote_updates;
+        }
+      }
+      co_await RunOnThreads(
+          &sim_, &NodeCpu(node),
+          cost_.pull_per_edge * static_cast<double>(edge_ops),
+          job_config_.compute_threads);
+    }
+    // Cross-partition updates/reads cost network bytes.
+    uint64_t bytes = remote_updates * cost_.bytes_per_update;
+    if (bytes > 0) {
+      co_await cluster_.Send(node,
+                             (node + 1) % job_config_.num_workers, bytes);
+    }
+    logger_.AddInfo(traverse_op, "EdgeOps", Json(edge_ops));
+    logger_.EndOperation(traverse_op);
+    co_await stage_barrier_.Arrive();
+
+    // --- Apply on owned vertices; activation = value changed.
+    OpId apply_op = logger_.StartOperation(
+        iteration_op_, "Node", NodeActor(node), "Apply",
+        StrFormat("Apply-%llu",
+                  static_cast<unsigned long long>(iteration_)));
+    uint64_t applies = 0;
+    for (VertexId v : owned) {
+      if (acc_has_[v] == 0 && active_[v] == 0) continue;
+      double acc = acc_has_[v] != 0 ? acc_[v] : program_.GatherInit();
+      algo::GasProgram::ApplyResult r =
+          program_.Apply(v, values_[v], acc, graph_.num_vertices());
+      if (r.new_value != values_[v]) {
+        values_[v] = r.new_value;
+        if (r.scatter) next_active_[v] = 1;
+      }
+      ++applies;
+    }
+    co_await RunOnThreads(
+        &sim_, &NodeCpu(node),
+        cost_.apply_per_vertex * static_cast<double>(applies),
+        job_config_.compute_threads);
+    co_await sim_.Delay(cost_.iteration_overhead);
+    logger_.AddInfo(apply_op, "Applies", Json(applies));
+    logger_.EndOperation(apply_op);
+
+    co_await end_barrier_.Arrive();
+  }
+
+  sim::Task<> RunOffloadGraph(OpId root) {
+    OpId offload = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kOffloadGraph, core::ops::kOffloadGraph);
+    std::vector<sim::ProcessHandle> writers;
+    for (uint32_t node = 0; node < job_config_.num_workers; ++node) {
+      writers.push_back(sim_.Spawn(
+          [](PgxdJob* job, OpId parent, uint32_t n) -> sim::Task<> {
+            OpId op = job->logger_.StartOperation(
+                parent, "Node", job->NodeActor(n), "WriteLocal",
+                StrFormat("WriteLocal-%u", n));
+            uint64_t bytes =
+                job->cost_.result_bytes_per_vertex *
+                job->partition_.partitions[n].vertices.size();
+            co_await RunOnThreads(
+                &job->sim_, &job->NodeCpu(n),
+                job->cost_.serialize_cpu_per_byte *
+                    static_cast<double>(bytes),
+                job->job_config_.compute_threads);
+            co_await job->localfs_.Write(
+                n, StrFormat("/local/out-%u", n), bytes);
+            job->logger_.EndOperation(op);
+          }(this, offload, node)));
+    }
+    co_await sim::JoinAll(std::move(writers));
+    logger_.EndOperation(offload);
+  }
+
+  sim::Task<> RunCleanup(OpId root) {
+    OpId cleanup = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id, core::ops::kCleanup,
+        core::ops::kCleanup);
+    OpId op = logger_.StartOperation(cleanup, "Native", "launcher",
+                                     "Teardown", "Teardown");
+    co_await sim_.Delay(SimTime::Millis(300));
+    logger_.EndOperation(op);
+    logger_.EndOperation(cleanup);
+  }
+
+  const PgxdCostModel& cost_;
+  PgxdDirection direction_;
+  const graph::Graph& graph_;
+  const algo::GasProgram& program_;
+  JobConfig job_config_;
+
+  sim::Simulator sim_;
+  cluster::Cluster cluster_;
+  cluster::LocalFs localfs_;
+  cluster::EnvironmentMonitor monitor_;
+  JobLogger logger_;
+
+  sim::Barrier start_barrier_;
+  sim::Barrier end_barrier_;
+  sim::Barrier stage_barrier_;
+
+  graph::EdgeCutResult partition_;
+  std::vector<std::vector<VertexId>> neighbors_;
+  std::vector<double> values_;
+  std::vector<uint8_t> active_, next_active_;
+  std::vector<double> acc_;
+  std::vector<uint8_t> acc_has_;
+  std::vector<uint64_t> degree_;
+
+  uint64_t input_bytes_ = 0;
+  uint64_t iteration_ = 0;
+  bool process_done_ = false;
+  bool push_mode_ = true;
+  OpId process_op_ = core::kNoOp;
+  OpId iteration_op_ = core::kNoOp;
+  OpId spawn_op_ = core::kNoOp;
+};
+
+}  // namespace
+
+Result<JobResult> PgxdPlatform::Run(
+    const graph::Graph& graph, const algo::AlgorithmSpec& spec,
+    const cluster::ClusterConfig& cluster_config,
+    const JobConfig& job_config) const {
+  GRANULA_ASSIGN_OR_RETURN(auto program, algo::MakeGasProgram(spec));
+  PgxdJob job(cost_, direction_, graph, *program, cluster_config,
+              job_config);
+  JobResult result;
+  GRANULA_RETURN_IF_ERROR(job.Execute(&result));
+  return result;
+}
+
+}  // namespace granula::platform

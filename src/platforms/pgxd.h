@@ -1,0 +1,70 @@
+#ifndef GRANULA_PLATFORMS_PGXD_H_
+#define GRANULA_PLATFORMS_PGXD_H_
+
+#include "algorithms/api.h"
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "platforms/platform.h"
+
+namespace granula::platform {
+
+struct PgxdCostModel {
+  // LoadGraph: parallel CSR build from per-node local copies of the input
+  // (Table 1: "local/shared"; PGX.D's design point is fast loading on
+  // powerful nodes).
+  SimTime parse_cpu_per_byte = SimTime::Micros(12);
+  SimTime csr_build_per_edge = SimTime::Micros(3);
+  // ProcessGraph: per-edge costs of the two directions. A push touches
+  // only the frontier's out-edges but does scattered (atomic) writes; a
+  // pull scans the destination side sequentially and is cheaper per edge.
+  SimTime push_per_edge = SimTime::Micros(10);
+  SimTime pull_per_edge = SimTime::Micros(6);
+  SimTime apply_per_vertex = SimTime::Micros(8);
+  SimTime iteration_overhead = SimTime::Millis(15);
+  uint64_t bytes_per_update = 12;
+  // Native process launch (no resource manager).
+  SimTime process_spawn = SimTime::Millis(120);
+  // OffloadGraph.
+  SimTime serialize_cpu_per_byte = SimTime::Micros(2);
+  uint64_t result_bytes_per_vertex = 12;
+};
+
+// When the engine may choose the pull direction (bench ablation hook).
+enum class PgxdDirection { kAuto, kPushOnly, kPullOnly };
+
+// A PGX.D-like platform (paper Table 1, row 4): a fast distributed engine
+// with native provisioning, CSR storage built from per-node local input
+// copies, and a *push-pull* processing model — per iteration the engine
+// chooses to push updates along the frontier's out-edges or to pull from
+// all vertices' in-edges, whichever is cheaper (direction-optimizing
+// traversal). The choice is recorded as an info on each iteration
+// operation, so Granula archives show when the engine switched.
+//
+// Algorithms are the same GasProgram objects PowerGraph runs: for a
+// commutative/associative Sum, push and pull produce identical
+// accumulators, so the direction is purely a performance decision —
+// validated against the references in the test suite for every direction
+// policy.
+class PgxdPlatform {
+ public:
+  PgxdPlatform() = default;
+  explicit PgxdPlatform(PgxdCostModel cost) : cost_(cost) {}
+  PgxdPlatform(PgxdCostModel cost, PgxdDirection direction)
+      : cost_(cost), direction_(direction) {}
+
+  const PgxdCostModel& cost_model() const { return cost_; }
+
+  Result<JobResult> Run(const graph::Graph& graph,
+                        const algo::AlgorithmSpec& spec,
+                        const cluster::ClusterConfig& cluster_config,
+                        const JobConfig& job_config) const;
+
+ private:
+  PgxdCostModel cost_;
+  PgxdDirection direction_ = PgxdDirection::kAuto;
+};
+
+}  // namespace granula::platform
+
+#endif  // GRANULA_PLATFORMS_PGXD_H_

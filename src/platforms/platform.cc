@@ -1,0 +1,39 @@
+#include "platforms/platform.h"
+
+#include <algorithm>
+
+#include "sim/resources.h"
+
+namespace granula::platform {
+
+std::vector<core::EnvironmentRecord> ToEnvironmentRecords(
+    const std::vector<cluster::UtilizationSample>& samples) {
+  std::vector<core::EnvironmentRecord> records;
+  records.reserve(samples.size());
+  for (const cluster::UtilizationSample& s : samples) {
+    core::EnvironmentRecord r;
+    r.node = s.node;
+    r.hostname = s.hostname;
+    r.time_seconds = s.time_seconds;
+    r.cpu_seconds_per_second = s.cpu_seconds_per_second;
+    r.net_bytes_per_second = s.net_bytes_per_second;
+    r.disk_bytes_per_second = s.disk_bytes_per_second;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+sim::Task<> RunOnThreads(sim::Simulator* sim, sim::Cpu* cpu, SimTime total,
+                         int threads) {
+  threads = std::max(1, std::min(threads, cpu->cores()));
+  if (total <= SimTime()) co_return;
+  SimTime slice = total * (1.0 / threads);
+  std::vector<sim::ProcessHandle> handles;
+  handles.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    handles.push_back(sim->Spawn(cpu->Run(slice)));
+  }
+  co_await sim::JoinAll(std::move(handles));
+}
+
+}  // namespace granula::platform

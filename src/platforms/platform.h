@@ -1,0 +1,59 @@
+#ifndef GRANULA_PLATFORMS_PLATFORM_H_
+#define GRANULA_PLATFORMS_PLATFORM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algorithms/api.h"
+#include "cluster/cluster.h"
+#include "cluster/monitor.h"
+#include "common/result.h"
+#include "granula/archive/archive.h"
+#include "granula/monitor/job_logger.h"
+#include "graph/graph.h"
+
+namespace granula::platform {
+
+// Execution parameters common to both simulated platforms.
+struct JobConfig {
+  std::string job_id = "job-0";
+  // Workers (Giraph containers / PowerGraph ranks); one per node.
+  uint32_t num_workers = 8;
+  // Parallel compute threads per worker (bounded by cores per node).
+  int compute_threads = 8;
+  // Environment-monitor sampling interval (paper Figs. 6-7 use ~1s).
+  SimTime monitor_interval = SimTime::Seconds(1.0);
+  // Write result values back to storage (OffloadGraph phase).
+  bool offload_results = true;
+  // PowerGraph only: use random (hash) vertex-cut instead of the greedy
+  // heuristic — the baseline the PowerGraph paper compares against; used
+  // by the partitioning ablation bench.
+  bool use_random_vertex_cut = false;
+};
+
+// Everything a run produces: the algorithm output (for validation against
+// the reference implementations), the Granula monitoring output (platform
+// log + environment log), and summary counters.
+struct JobResult {
+  std::vector<double> vertex_values;
+  std::vector<core::LogRecord> records;
+  std::vector<core::EnvironmentRecord> environment;
+  uint64_t supersteps = 0;
+  double total_seconds = 0;
+  uint64_t network_bytes = 0;
+};
+
+// Converts monitor samples to archive environment records.
+std::vector<core::EnvironmentRecord> ToEnvironmentRecords(
+    const std::vector<cluster::UtilizationSample>& samples);
+
+// Runs `threads` parallel slices of `total` CPU work on `cpu` and joins.
+// Models a multi-threaded phase of a worker process.
+sim::Task<> RunOnThreads(sim::Simulator* sim, sim::Cpu* cpu, SimTime total,
+                         int threads);
+
+}  // namespace granula::platform
+
+#endif  // GRANULA_PLATFORMS_PLATFORM_H_

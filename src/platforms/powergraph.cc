@@ -1,0 +1,456 @@
+#include "platforms/powergraph.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "algorithms/gas.h"
+#include "cluster/monitor.h"
+#include "cluster/provisioning.h"
+#include "cluster/storage.h"
+#include "common/strings.h"
+#include "granula/models/models.h"
+#include "graph/partition.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace granula::platform {
+
+namespace {
+
+using core::JobLogger;
+using core::OpId;
+using graph::VertexId;
+
+class PowerGraphJob {
+ public:
+  PowerGraphJob(const PowerGraphCostModel& cost, const graph::Graph& graph,
+                const algo::GasProgram& program,
+                const cluster::ClusterConfig& cluster_config,
+                const JobConfig& job_config)
+      : cost_(cost),
+        graph_(graph),
+        program_(program),
+        job_config_(job_config),
+        cluster_(&sim_, cluster_config),
+        sharedfs_(&cluster_, /*server_node=*/0),
+        mpi_(&cluster_, cluster::MpiLauncher::Options{}),
+        monitor_(&cluster_, job_config.monitor_interval),
+        logger_([this] { return sim_.Now(); }),
+        start_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
+        end_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
+        stage_barrier_(&sim_,
+                       std::max(1, static_cast<int>(job_config.num_workers))) {
+    // A zero worker count is rejected in Execute(); the max(1, ...) only
+    // keeps the never-used barrier constructible until then.
+  }
+
+  Status Execute(JobResult* out) {
+    const uint32_t ranks = job_config_.num_workers;
+    if (ranks == 0 || ranks > cluster_.num_nodes()) {
+      return Status::InvalidArgument("num_workers must be in [1, num_nodes]");
+    }
+
+    input_bytes_ = graph::EdgeListFileBytes(graph_);
+    GRANULA_RETURN_IF_ERROR(
+        sharedfs_.CreateFile("/data/graph.e", input_bytes_));
+
+    if (job_config_.use_random_vertex_cut) {
+      GRANULA_ASSIGN_OR_RETURN(
+          partition_, graph::PartitionVertexCutRandom(graph_, ranks,
+                                                      /*seed=*/1));
+    } else {
+      GRANULA_ASSIGN_OR_RETURN(
+          partition_, graph::PartitionVertexCutGreedy(graph_, ranks));
+    }
+
+    const uint64_t n = graph_.num_vertices();
+    values_.resize(n);
+    active_.assign(n, 0);
+    next_active_.assign(n, 0);
+    scatter_flag_.assign(n, 0);
+    acc_.assign(n, 0.0);
+    acc_has_.assign(n, 0);
+    degree_.assign(n, 0);
+    for (const graph::Edge& e : graph_.edges()) {
+      ++degree_[e.src];
+      ++degree_[e.dst];
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      values_[v] = program_.InitialValue(v, n);
+      active_[v] = program_.InitiallyActive(v) ? 1 : 0;
+    }
+
+    sim_.Spawn(Main());
+    sim_.Run();
+
+    out->vertex_values = values_;
+    out->records = logger_.TakeRecords();
+    out->environment = ToEnvironmentRecords(monitor_.samples());
+    out->supersteps = iteration_;
+    out->total_seconds = sim_.Now().seconds();
+    out->network_bytes = cluster_.network_bytes_sent();
+    return Status::OK();
+  }
+
+ private:
+  uint32_t RankNode(uint32_t rank) const { return rank; }
+  sim::Cpu& RankCpu(uint32_t rank) {
+    return cluster_.node(RankNode(rank)).cpu();
+  }
+  std::string RankActor(uint32_t rank) const {
+    return StrFormat("Rank-%u", rank);
+  }
+
+  sim::Task<> Main() {
+    monitor_.Start();
+    OpId root = logger_.StartOperation(
+        core::kNoOp, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kJobMission, "PowerGraphJob");
+    co_await RunStartup(root);
+    co_await RunLoadGraph(root);
+    co_await RunProcessGraph(root);
+    if (job_config_.offload_results) co_await RunOffloadGraph(root);
+    co_await RunCleanup(root);
+    logger_.AddInfo(root, "NetworkBytes",
+                    Json(cluster_.network_bytes_sent()));
+    logger_.EndOperation(root);
+    monitor_.Stop();
+  }
+
+  // ------------------------------------------------------------ startup --
+  sim::Task<> RunStartup(OpId root) {
+    OpId startup = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id, core::ops::kStartup,
+        core::ops::kStartup);
+    OpId launch = logger_.StartOperation(startup, "Mpi", "mpirun",
+                                         "LaunchRanks", "LaunchRanks");
+    co_await mpi_.LaunchRanks(job_config_.num_workers);
+    std::vector<sim::ProcessHandle> locals;
+    for (uint32_t rank = 0; rank < job_config_.num_workers; ++rank) {
+      locals.push_back(sim_.Spawn(RankLocalStartup(launch, rank)));
+    }
+    co_await sim::JoinAll(std::move(locals));
+    logger_.EndOperation(launch);
+    logger_.EndOperation(startup);
+  }
+
+  sim::Task<> RankLocalStartup(OpId parent, uint32_t rank) {
+    OpId op = logger_.StartOperation(
+        parent, "Rank", RankActor(rank), "LocalStartup",
+        StrFormat("LocalStartup-%u", rank));
+    co_await sim_.Delay(SimTime::Millis(700));  // graphlab runtime init
+    co_await RankCpu(rank).Run(SimTime::Millis(80));
+    logger_.EndOperation(op);
+  }
+
+  // --------------------------------------------------------- load graph --
+  sim::Task<> RunLoadGraph(OpId root) {
+    OpId load = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kLoadGraph, core::ops::kLoadGraph);
+
+    // Rank 0 reads and parses the entire input sequentially — the single
+    // busy node of Fig. 7 while every other rank idles.
+    OpId read = logger_.StartOperation(load, "Coordinator", RankActor(0),
+                                       "ReadInput", "ReadInput");
+    co_await sharedfs_.ReadAll(RankNode(0), "/data/graph.e");
+    SimTime parse =
+        cost_.parse_cpu_per_byte * static_cast<double>(input_bytes_);
+    // PowerGraph's loader parses with a few threads on the one machine.
+    co_await RunOnThreads(&sim_, &RankCpu(0), parse, 4);
+    logger_.AddInfo(read, "BytesRead", Json(input_bytes_));
+    logger_.EndOperation(read);
+
+    // Distribute edge shares, then all ranks finalize in parallel — the
+    // point near the end of LoadGraph where the other nodes wake up.
+    std::vector<sim::ProcessHandle> finalizers;
+    for (uint32_t rank = 0; rank < job_config_.num_workers; ++rank) {
+      finalizers.push_back(sim_.Spawn(RankFinalize(load, rank)));
+    }
+    co_await sim::JoinAll(std::move(finalizers));
+    logger_.EndOperation(load);
+  }
+
+  sim::Task<> RankFinalize(OpId parent, uint32_t rank) {
+    OpId op = logger_.StartOperation(
+        parent, "Rank", RankActor(rank), "FinalizeGraph",
+        StrFormat("FinalizeGraph-%u", rank));
+    uint64_t local_edges = partition_.partitions[rank].edges.size();
+    uint64_t share_bytes = graph_.num_edges() == 0
+                               ? 0
+                               : input_bytes_ * local_edges /
+                                     graph_.num_edges();
+    if (rank != 0) {
+      co_await cluster_.Send(RankNode(0), RankNode(rank), share_bytes);
+    }
+    co_await RunOnThreads(
+        &sim_, &RankCpu(rank),
+        cost_.finalize_cpu_per_edge * static_cast<double>(local_edges),
+        job_config_.compute_threads);
+    logger_.AddInfo(op, "LocalEdges", Json(local_edges));
+    logger_.EndOperation(op);
+  }
+
+  // ------------------------------------------------------ process graph --
+  bool AnyActive() const {
+    for (uint8_t a : active_) {
+      if (a != 0) return true;
+    }
+    return false;
+  }
+
+  sim::Task<> RunProcessGraph(OpId root) {
+    process_op_ = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kProcessGraph, core::ops::kProcessGraph);
+    std::vector<sim::ProcessHandle> loops;
+    for (uint32_t rank = 0; rank < job_config_.num_workers; ++rank) {
+      loops.push_back(sim_.Spawn(RankProcessLoop(rank)));
+    }
+    while (true) {
+      uint64_t max_iters = program_.max_iterations();
+      bool capped = max_iters > 0 && iteration_ >= max_iters;
+      if (!AnyActive() || capped) {
+        process_done_ = true;
+        co_await start_barrier_.Arrive();
+        break;
+      }
+      iteration_op_ = logger_.StartOperation(
+          process_op_, "Engine", "Engine-0", "Iteration",
+          StrFormat("Iteration-%llu",
+                    static_cast<unsigned long long>(iteration_)));
+      co_await start_barrier_.Arrive();
+      co_await end_barrier_.Arrive();
+      logger_.EndOperation(iteration_op_);
+
+      // Synchronous-engine bookkeeping between iterations.
+      ++iteration_;
+      scatter_flag_.assign(scatter_flag_.size(), 0);
+      std::fill(acc_.begin(), acc_.end(), 0.0);
+      std::fill(acc_has_.begin(), acc_has_.end(), 0);
+      if (program_.always_active()) {
+        bool more = max_iters == 0 || iteration_ < max_iters;
+        std::fill(active_.begin(), active_.end(), more ? 1 : 0);
+      } else {
+        active_.swap(next_active_);
+      }
+      std::fill(next_active_.begin(), next_active_.end(), 0);
+    }
+    co_await sim::JoinAll(std::move(loops));
+    logger_.AddInfo(process_op_, "Iterations", Json(iteration_));
+    logger_.EndOperation(process_op_);
+  }
+
+  sim::Task<> RankProcessLoop(uint32_t rank) {
+    while (true) {
+      co_await start_barrier_.Arrive();
+      if (process_done_) co_return;
+      co_await RankIteration(rank);
+    }
+  }
+
+  sim::Task<> RankIteration(uint32_t rank) {
+    const auto& part = partition_.partitions[rank];
+
+    // --- Gather: fold contributions over local edges of active vertices.
+    OpId gather_op = logger_.StartOperation(
+        iteration_op_, "Rank", RankActor(rank), "Gather",
+        StrFormat("Gather-%llu",
+                  static_cast<unsigned long long>(iteration_)));
+    uint64_t gather_ops = 0;
+    for (const graph::Edge& e : part.edges) {
+      if (active_[e.src] != 0) {
+        AccumulateGather(e.src, e.dst);
+        ++gather_ops;
+      }
+      if (active_[e.dst] != 0) {
+        AccumulateGather(e.dst, e.src);
+        ++gather_ops;
+      }
+    }
+    co_await RunOnThreads(
+        &sim_, &RankCpu(rank),
+        cost_.gather_per_edge * static_cast<double>(gather_ops),
+        job_config_.compute_threads);
+    logger_.AddInfo(gather_op, "GatherOps", Json(gather_ops));
+    logger_.EndOperation(gather_op);
+
+    // --- Exchange: mirrors push partial accumulators to masters.
+    OpId exchange_op = logger_.StartOperation(
+        iteration_op_, "Rank", RankActor(rank), "Exchange",
+        StrFormat("Exchange-%llu",
+                  static_cast<unsigned long long>(iteration_)));
+    std::map<uint32_t, uint64_t> sync_bytes;
+    for (VertexId v : part.replicas) {
+      if (active_[v] != 0 && partition_.master[v] != rank) {
+        sync_bytes[partition_.master[v]] += cost_.bytes_per_sync;
+      }
+    }
+    for (const auto& [target, bytes] : sync_bytes) {
+      co_await cluster_.Send(RankNode(rank), RankNode(target), bytes);
+    }
+    co_await stage_barrier_.Arrive();  // all gathers complete
+    logger_.EndOperation(exchange_op);
+
+    // --- Apply: masters compute new values (then values sync to mirrors,
+    // charged as the same per-replica sync volume).
+    OpId apply_op = logger_.StartOperation(
+        iteration_op_, "Rank", RankActor(rank), "Apply",
+        StrFormat("Apply-%llu",
+                  static_cast<unsigned long long>(iteration_)));
+    uint64_t applies = 0;
+    for (VertexId v : part.replicas) {
+      if (partition_.master[v] != rank || active_[v] == 0) continue;
+      double acc = acc_has_[v] != 0 ? acc_[v] : program_.GatherInit();
+      algo::GasProgram::ApplyResult r =
+          program_.Apply(v, values_[v], acc, graph_.num_vertices());
+      values_[v] = r.new_value;
+      scatter_flag_[v] = r.scatter ? 1 : 0;
+      ++applies;
+    }
+    co_await RunOnThreads(
+        &sim_, &RankCpu(rank),
+        cost_.apply_per_vertex * static_cast<double>(applies),
+        job_config_.compute_threads);
+    for (const auto& [target, bytes] : sync_bytes) {
+      co_await cluster_.Send(RankNode(target), RankNode(rank), bytes);
+    }
+    co_await stage_barrier_.Arrive();  // all applies complete
+    logger_.AddInfo(apply_op, "Applies", Json(applies));
+    logger_.EndOperation(apply_op);
+
+    // --- Scatter: activate neighbors along local edges.
+    OpId scatter_op = logger_.StartOperation(
+        iteration_op_, "Rank", RankActor(rank), "Scatter",
+        StrFormat("Scatter-%llu",
+                  static_cast<unsigned long long>(iteration_)));
+    uint64_t scatter_ops = 0;
+    for (const graph::Edge& e : part.edges) {
+      if (scatter_flag_[e.src] != 0) {
+        ++scatter_ops;
+        if (program_.ScatterActivates(e.src, e.dst, values_[e.src],
+                                      values_[e.dst])) {
+          next_active_[e.dst] = 1;
+        }
+      }
+      if (scatter_flag_[e.dst] != 0) {
+        ++scatter_ops;
+        if (program_.ScatterActivates(e.dst, e.src, values_[e.dst],
+                                      values_[e.src])) {
+          next_active_[e.src] = 1;
+        }
+      }
+    }
+    co_await RunOnThreads(
+        &sim_, &RankCpu(rank),
+        cost_.scatter_per_edge * static_cast<double>(scatter_ops),
+        job_config_.compute_threads);
+    co_await sim_.Delay(cost_.iteration_overhead);
+    logger_.AddInfo(scatter_op, "ScatterOps", Json(scatter_ops));
+    logger_.EndOperation(scatter_op);
+
+    co_await end_barrier_.Arrive();
+  }
+
+  void AccumulateGather(VertexId self, VertexId other) {
+    double contribution =
+        program_.Gather(self, other, values_[other], degree_[other]);
+    if (acc_has_[self] != 0) {
+      acc_[self] = program_.Sum(acc_[self], contribution);
+    } else {
+      acc_[self] = contribution;
+      acc_has_[self] = 1;
+    }
+  }
+
+  // ----------------------------------------------------- offload graph --
+  sim::Task<> RunOffloadGraph(OpId root) {
+    OpId offload = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kOffloadGraph, core::ops::kOffloadGraph);
+    std::vector<sim::ProcessHandle> writers;
+    for (uint32_t rank = 0; rank < job_config_.num_workers; ++rank) {
+      writers.push_back(sim_.Spawn(RankOffload(offload, rank)));
+    }
+    co_await sim::JoinAll(std::move(writers));
+    logger_.EndOperation(offload);
+  }
+
+  sim::Task<> RankOffload(OpId parent, uint32_t rank) {
+    OpId op = logger_.StartOperation(
+        parent, "Rank", RankActor(rank), "WriteResults",
+        StrFormat("WriteResults-%u", rank));
+    uint64_t masters = 0;
+    for (VertexId v : partition_.partitions[rank].replicas) {
+      if (partition_.master[v] == rank) ++masters;
+    }
+    uint64_t bytes = cost_.result_bytes_per_vertex * masters;
+    co_await RunOnThreads(
+        &sim_, &RankCpu(rank),
+        cost_.serialize_cpu_per_byte * static_cast<double>(bytes),
+        job_config_.compute_threads);
+    co_await sharedfs_.Write(RankNode(rank),
+                             StrFormat("/data/out-%u", rank), bytes);
+    logger_.AddInfo(op, "BytesWritten", Json(bytes));
+    logger_.EndOperation(op);
+  }
+
+  // ------------------------------------------------------------ cleanup --
+  sim::Task<> RunCleanup(OpId root) {
+    OpId cleanup = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id, core::ops::kCleanup,
+        core::ops::kCleanup);
+    OpId op = logger_.StartOperation(cleanup, "Mpi", "mpirun", "Finalize",
+                                     "Finalize");
+    co_await mpi_.Finalize();
+    co_await sim_.Delay(SimTime::Seconds(2.8));  // teardown + log flush
+    logger_.EndOperation(op);
+    logger_.EndOperation(cleanup);
+  }
+
+  // --------------------------------------------------------------- state --
+  const PowerGraphCostModel& cost_;
+  const graph::Graph& graph_;
+  const algo::GasProgram& program_;
+  JobConfig job_config_;
+
+  sim::Simulator sim_;
+  cluster::Cluster cluster_;
+  cluster::SharedFs sharedfs_;
+  cluster::MpiLauncher mpi_;
+  cluster::EnvironmentMonitor monitor_;
+  JobLogger logger_;
+
+  sim::Barrier start_barrier_;
+  sim::Barrier end_barrier_;
+  sim::Barrier stage_barrier_;
+
+  graph::VertexCutResult partition_;
+  std::vector<double> values_;
+  std::vector<uint8_t> active_, next_active_, scatter_flag_;
+  std::vector<double> acc_;
+  std::vector<uint8_t> acc_has_;
+  std::vector<uint64_t> degree_;
+
+  uint64_t input_bytes_ = 0;
+  uint64_t iteration_ = 0;
+  bool process_done_ = false;
+  OpId process_op_ = core::kNoOp;
+  OpId iteration_op_ = core::kNoOp;
+};
+
+}  // namespace
+
+Result<JobResult> PowerGraphPlatform::Run(
+    const graph::Graph& graph, const algo::AlgorithmSpec& spec,
+    const cluster::ClusterConfig& cluster_config,
+    const JobConfig& job_config) const {
+  GRANULA_ASSIGN_OR_RETURN(auto program, algo::MakeGasProgram(spec));
+  PowerGraphJob job(cost_, graph, *program, cluster_config, job_config);
+  JobResult result;
+  GRANULA_RETURN_IF_ERROR(job.Execute(&result));
+  return result;
+}
+
+}  // namespace granula::platform

@@ -1,0 +1,41 @@
+#ifndef GRANULA_PLATFORMS_POWERGRAPH_H_
+#define GRANULA_PLATFORMS_POWERGRAPH_H_
+
+#include "algorithms/api.h"
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "platforms/cost_model.h"
+#include "platforms/platform.h"
+
+namespace granula::platform {
+
+// A from-scratch simulation of a PowerGraph-like platform: a synchronous
+// Gather-Apply-Scatter engine over a greedy vertex-cut partitioning,
+// launched MPI-style, loading from a single-server shared filesystem
+// (paper Table 1, row 2).
+//
+// Faithful to the behaviors the paper dissects: graph loading is
+// *sequential on rank 0* (the Fig. 7 single-busy-node pattern) followed by
+// parallel finalization; GAS stages run per-rank per-iteration with
+// master/mirror synchronization traffic. The engine really executes the
+// GAS program; outputs are validated against the reference algorithms.
+class PowerGraphPlatform {
+ public:
+  PowerGraphPlatform() = default;
+  explicit PowerGraphPlatform(PowerGraphCostModel cost) : cost_(cost) {}
+
+  const PowerGraphCostModel& cost_model() const { return cost_; }
+
+  Result<JobResult> Run(const graph::Graph& graph,
+                        const algo::AlgorithmSpec& spec,
+                        const cluster::ClusterConfig& cluster_config,
+                        const JobConfig& job_config) const;
+
+ private:
+  PowerGraphCostModel cost_;
+};
+
+}  // namespace granula::platform
+
+#endif  // GRANULA_PLATFORMS_POWERGRAPH_H_

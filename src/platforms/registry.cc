@@ -1,0 +1,44 @@
+#include "platforms/registry.h"
+
+#include "common/strings.h"
+
+namespace granula::platform {
+
+const std::vector<PlatformInfo>& PlatformRegistry() {
+  static const std::vector<PlatformInfo>& registry =
+      *new std::vector<PlatformInfo>{
+          {"Giraph", "Apache", "1.2.0", "Java", true, "Yarn", "Pregel",
+           "VertexStore", "HDFS", true},
+          {"PowerGraph", "CMU", "2.2", "C++", true, "OpenMPI", "GAS",
+           "Edge-based", "local/shared", true},
+          {"GraphMat", "Intel", "-", "C++", true, "Intel-MPI", "SpMV",
+           "SpMV", "local/shared", true},
+          {"PGX.D", "Oracle", "-", "C++", true, "Native, Slurm",
+           "Push-pull", "CSR", "local/shared", true},
+          {"OpenG", "Georgia Tech", "-", "C++/CUDA", false, "Native",
+           "CPU/GPU", "CSR", "local", false},
+          {"TOTEM", "UBC", "-", "C++/CUDA", false, "Native", "CPU+GPU",
+           "CSR", "local", false},
+          {"Hadoop", "Apache", "-", "Java", true, "Yarn", "MapRed",
+           "Out-of-core", "HDFS", true},
+      };
+  return registry;
+}
+
+std::string RenderPlatformTable() {
+  std::string out;
+  out += StrFormat("%-12s %-13s %-6s %-9s %-6s %-14s %-12s %-12s %-12s\n",
+                   "Name", "Vendor", "Vers.", "Lang.", "Distr.",
+                   "Provisioning", "Prog.Model", "DataFormat", "FileSys.");
+  out += std::string(100, '-') + "\n";
+  for (const PlatformInfo& p : PlatformRegistry()) {
+    out += StrFormat("%-12s %-13s %-6s %-9s %-6s %-14s %-12s %-12s %-12s\n",
+                     p.name.c_str(), p.vendor.c_str(), p.version.c_str(),
+                     p.language.c_str(), p.distributed ? "yes" : "no",
+                     p.provisioning.c_str(), p.programming_model.c_str(),
+                     p.data_format.c_str(), p.file_system.c_str());
+  }
+  return out;
+}
+
+}  // namespace granula::platform

@@ -1,0 +1,34 @@
+#ifndef GRANULA_PLATFORMS_REGISTRY_H_
+#define GRANULA_PLATFORMS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+namespace granula::platform {
+
+// One row of the paper's Table 1: the high-level characteristics of a
+// graph-processing platform. The two platforms in bold in the paper
+// (Giraph, PowerGraph) are the ones this library implements as simulated
+// engines; the rest are registry entries for the diversity table.
+struct PlatformInfo {
+  std::string name;
+  std::string vendor;
+  std::string version;
+  std::string language;
+  bool distributed = false;
+  std::string provisioning;       // Yarn, OpenMPI, Native, ...
+  std::string programming_model;  // Pregel, GAS, SpMV, ...
+  std::string data_format;        // VertexStore, Edge-based, CSR, ...
+  std::string file_system;        // HDFS, local/shared, local
+  bool implemented_here = false;  // has a simulated engine in platforms/
+};
+
+// The seven platforms of Table 1, in the paper's order.
+const std::vector<PlatformInfo>& PlatformRegistry();
+
+// Renders the registry as the paper's Table 1 (fixed-width text).
+std::string RenderPlatformTable();
+
+}  // namespace granula::platform
+
+#endif  // GRANULA_PLATFORMS_REGISTRY_H_

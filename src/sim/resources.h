@@ -1,0 +1,132 @@
+#ifndef GRANULA_SIM_RESOURCES_H_
+#define GRANULA_SIM_RESOURCES_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace granula::sim {
+
+// Tracks the busy time of a resource with `capacity` parallel channels.
+// Utilization over a window is (busy-seconds delta) / window — exactly what
+// the environment monitor samples to produce Granula's environment logs.
+class BusyMeter {
+ public:
+  BusyMeter(Simulator* sim, int capacity)
+      : sim_(sim), capacity_(capacity) {}
+
+  void OnStart() {
+    Accrue();
+    ++running_;
+  }
+  void OnStop() {
+    Accrue();
+    --running_;
+  }
+
+  // Total busy channel-seconds accumulated up to the current sim time,
+  // including the elapsed portion of in-flight work.
+  double BusySeconds() const {
+    double busy = busy_seconds_;
+    busy += running_ * (sim_->Now() - last_change_).seconds();
+    return busy;
+  }
+
+  int running() const { return running_; }
+  int capacity() const { return capacity_; }
+
+ private:
+  void Accrue() {
+    SimTime now = sim_->Now();
+    busy_seconds_ += running_ * (now - last_change_).seconds();
+    last_change_ = now;
+  }
+
+  Simulator* sim_;
+  int capacity_;
+  int running_ = 0;
+  double busy_seconds_ = 0.0;
+  SimTime last_change_;
+};
+
+// A multi-core CPU. Run(d) occupies one core for `d` of *nominal* work,
+// queueing FCFS when all cores are busy; a `speed_factor` below 1.0 models
+// a degraded/slow node (the same work holds a core longer — the signal
+// behind straggler diagnosis). BusySeconds() feeds the environment
+// monitor's "CPU time / second" series (paper Figs. 6-7).
+class Cpu {
+ public:
+  Cpu(Simulator* sim, int cores, double speed_factor = 1.0)
+      : sim_(sim),
+        cores_(cores),
+        speed_factor_(speed_factor > 0 ? speed_factor : 1.0),
+        sem_(sim, cores),
+        meter_(sim, cores) {}
+
+  int cores() const { return cores_; }
+  double speed_factor() const { return speed_factor_; }
+  double BusySeconds() const { return meter_.BusySeconds(); }
+  int running() const { return meter_.running(); }
+
+  // Occupies one core for `duration / speed_factor` of wall time.
+  Task<> Run(SimTime duration) {
+    co_await sem_.Acquire();
+    meter_.OnStart();
+    co_await sim_->Delay(duration * (1.0 / speed_factor_));
+    meter_.OnStop();
+    sem_.Release();
+  }
+
+ private:
+  Simulator* sim_;
+  int cores_;
+  double speed_factor_;
+  Semaphore sem_;
+  BusyMeter meter_;
+};
+
+// A bandwidth-limited, optionally latency-bearing channel: disks and network
+// links. Transfers serialize over `channels` lanes; each transfer holds a
+// lane for bytes/bandwidth, then the payload arrives after `latency` more.
+class Channel {
+ public:
+  Channel(Simulator* sim, double bytes_per_second, SimTime latency,
+          int channels = 1)
+      : sim_(sim),
+        bytes_per_second_(bytes_per_second),
+        latency_(latency),
+        sem_(sim, channels),
+        meter_(sim, channels) {}
+
+  double bytes_per_second() const { return bytes_per_second_; }
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+  double BusySeconds() const { return meter_.BusySeconds(); }
+
+  Task<> Transfer(uint64_t bytes) {
+    co_await sem_.Acquire();
+    meter_.OnStart();
+    double secs = static_cast<double>(bytes) / bytes_per_second_;
+    co_await sim_->Delay(SimTime::Seconds(secs));
+    bytes_transferred_ += bytes;
+    meter_.OnStop();
+    sem_.Release();
+    if (latency_ > SimTime()) {
+      co_await sim_->Delay(latency_);
+    }
+  }
+
+ private:
+  Simulator* sim_;
+  double bytes_per_second_;
+  SimTime latency_;
+  Semaphore sem_;
+  BusyMeter meter_;
+  uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace granula::sim
+
+#endif  // GRANULA_SIM_RESOURCES_H_

@@ -1,0 +1,110 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace granula::sim {
+
+namespace {
+
+// The root wrapper for a spawned process: a self-destroying coroutine that
+// runs the user task to completion and then wakes every joiner.
+struct RootCoroutine {
+  struct promise_type {
+    RootCoroutine get_return_object() {
+      return RootCoroutine{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // suspend_never: the frame frees itself once the body finishes.
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+// Yields the coroutine's own handle without suspending.
+struct SelfHandle {
+  std::coroutine_handle<> handle;
+  bool await_ready() noexcept { return false; }
+  bool await_suspend(std::coroutine_handle<> h) noexcept {
+    handle = h;
+    return false;  // resume immediately
+  }
+  std::coroutine_handle<> await_resume() noexcept { return handle; }
+};
+
+RootCoroutine RunRoot(Task<> task,
+                      std::shared_ptr<internal_sim::ProcessState> state) {
+  std::coroutine_handle<> self = co_await SelfHandle{};
+  co_await std::move(task);
+  state->done = true;
+  Simulator* sim = state->sim;
+  for (std::coroutine_handle<> waiter : state->waiters) {
+    sim->ScheduleResume(sim->Now(), waiter);
+  }
+  state->waiters.clear();
+  // The frame frees itself right after this (final_suspend is
+  // suspend_never); drop it from the leak-sweep registry first.
+  sim->ForgetRoot(self.address());
+}
+
+}  // namespace
+
+void Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  queue_.push(QueuedEvent{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::ScheduleResume(SimTime at, std::coroutine_handle<> h) {
+  ScheduleAt(at, [h]() { h.resume(); });
+}
+
+ProcessHandle Simulator::Spawn(Task<> task) {
+  auto state = std::make_shared<internal_sim::ProcessState>(this);
+  RootCoroutine root = RunRoot(std::move(task), state);
+  live_roots_.insert(root.handle.address());
+  ScheduleResume(now_, root.handle);
+  return ProcessHandle(std::move(state));
+}
+
+Simulator::~Simulator() {
+  // Destroying a root frame cascades through the Task objects it owns,
+  // freeing every nested frame of that process. Queued resume callbacks
+  // for those frames are never run (the queue is simply dropped), so no
+  // handle is touched twice.
+  for (void* address : live_roots_) {
+    std::coroutine_handle<>::from_address(address).destroy();
+  }
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    // Copy out before pop: fn may schedule new events.
+    QueuedEvent ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_events_;
+    ev.fn();
+  }
+}
+
+bool Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    QueuedEvent ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_events_;
+    ev.fn();
+  }
+  if (now_ < until) now_ = until;
+  return !queue_.empty();
+}
+
+Task<> JoinAll(std::vector<ProcessHandle> handles) {
+  for (const ProcessHandle& h : handles) {
+    co_await h.Join();
+  }
+}
+
+}  // namespace granula::sim

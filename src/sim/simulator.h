@@ -1,0 +1,142 @@
+#ifndef GRANULA_SIM_SIMULATOR_H_
+#define GRANULA_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/task.h"
+
+namespace granula::sim {
+
+class Simulator;
+
+namespace internal_sim {
+
+// Shared completion record for a spawned process. Lives as long as either
+// the running root coroutine or any ProcessHandle refers to it.
+struct ProcessState {
+  explicit ProcessState(Simulator* s) : sim(s) {}
+  Simulator* sim;
+  bool done = false;
+  std::vector<std::coroutine_handle<>> waiters;
+};
+
+}  // namespace internal_sim
+
+// A handle to a process started with Simulator::Spawn. Copyable; used to
+// join (await completion of) the process from other coroutines.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+  explicit ProcessHandle(std::shared_ptr<internal_sim::ProcessState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ && state_->done; }
+
+  // Awaitable: co_await handle.Join() suspends until the process finishes
+  // (resumes immediately if it already has).
+  auto Join() const {
+    struct Awaiter {
+      std::shared_ptr<internal_sim::ProcessState> state;
+      bool await_ready() const noexcept { return !state || state->done; }
+      void await_suspend(std::coroutine_handle<> h) noexcept {
+        state->waiters.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<internal_sim::ProcessState> state_;
+};
+
+// The discrete-event simulation kernel: a virtual clock and an event queue.
+// All concurrency in the simulated cluster is cooperative: coroutines suspend
+// on Delay()/sync primitives/resources and the kernel resumes them in
+// deterministic (time, insertion-order) order. A simulation run is therefore
+// a pure function of its inputs — a property the whole test suite relies on.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  // Destroys the frames of processes that never finished — abandoning a
+  // simulation mid-run (e.g. RunUntil and walk away) must not leak.
+  ~Simulator();
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= Now()).
+  void ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Schedules resumption of a suspended coroutine at absolute time `at`.
+  void ScheduleResume(SimTime at, std::coroutine_handle<> h);
+
+  // Starts `task` as a top-level concurrent process. The task begins running
+  // at the current simulation time (after already-queued events for that
+  // time). The returned handle can be joined.
+  ProcessHandle Spawn(Task<> task);
+
+  // Awaitable: suspends the calling coroutine for `d` simulated time.
+  auto Delay(SimTime d) {
+    struct Awaiter {
+      Simulator* sim;
+      SimTime at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->ScheduleResume(at, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, now_ + d};
+  }
+
+  // Runs until the event queue is empty.
+  void Run();
+
+  // Runs events with time <= `until`; the clock ends at min(until, last
+  // event time). Returns true if events remain.
+  bool RunUntil(SimTime until);
+
+  uint64_t processed_events() const { return processed_events_; }
+
+  // Internal (used by the root-process wrapper): lifetime registry of
+  // running top-level processes.
+  void ForgetRoot(void* address) { live_roots_.erase(address); }
+
+ private:
+  struct QueuedEvent {
+    SimTime time;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_events_ = 0;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, EventOrder>
+      queue_;
+  // Frame addresses of live root coroutines; swept by the destructor.
+  std::set<void*> live_roots_;
+};
+
+// Joins every handle in `handles` (order does not matter; all must finish).
+Task<> JoinAll(std::vector<ProcessHandle> handles);
+
+}  // namespace granula::sim
+
+#endif  // GRANULA_SIM_SIMULATOR_H_

@@ -1,0 +1,198 @@
+#ifndef GRANULA_SIM_SYNC_H_
+#define GRANULA_SIM_SYNC_H_
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace granula::sim {
+
+// One-shot broadcast event. Waiters suspend until Trigger(); waits after the
+// trigger complete immediately. Resumptions go through the event queue so
+// wake-up order is deterministic.
+class Event {
+ public:
+  explicit Event(Simulator* sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool triggered() const { return triggered_; }
+
+  void Trigger() {
+    if (triggered_) return;
+    triggered_ = true;
+    for (std::coroutine_handle<> h : waiters_) {
+      sim_->ScheduleResume(sim_->Now(), h);
+    }
+    waiters_.clear();
+  }
+
+  auto Wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return event->triggered_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Reusable BSP barrier for `parties` participants. Every arrival suspends;
+// when the last party arrives, the whole generation is released at the
+// current simulation time. This is the synchronization point between Pregel
+// supersteps.
+class Barrier {
+ public:
+  Barrier(Simulator* sim, int parties) : sim_(sim), parties_(parties) {
+    assert(parties > 0);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  int parties() const { return parties_; }
+  uint64_t generation() const { return generation_; }
+
+  auto Arrive() {
+    struct Awaiter {
+      Barrier* barrier;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        barrier->waiting_.push_back(h);
+        if (static_cast<int>(barrier->waiting_.size()) == barrier->parties_) {
+          ++barrier->generation_;
+          for (std::coroutine_handle<> w : barrier->waiting_) {
+            barrier->sim_->ScheduleResume(barrier->sim_->Now(), w);
+          }
+          barrier->waiting_.clear();
+        }
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  int parties_;
+  uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+// Counting semaphore with FIFO handoff: Release passes a permit directly to
+// the oldest waiter, so acquisition order is fair and deterministic.
+class Semaphore {
+ public:
+  Semaphore(Simulator* sim, int64_t permits)
+      : sim_(sim), permits_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  int64_t available() const { return permits_; }
+  size_t queue_length() const { return waiters_.size(); }
+
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const noexcept {
+        if (sem->permits_ > 0 && sem->waiters_.empty()) {
+          --sem->permits_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem->waiters_.push_back(h);
+        sem->Drain();
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void Release() {
+    ++permits_;
+    Drain();
+  }
+
+ private:
+  void Drain() {
+    while (permits_ > 0 && !waiters_.empty()) {
+      --permits_;
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      sim_->ScheduleResume(sim_->Now(), h);
+    }
+  }
+
+  Simulator* sim_;
+  int64_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// An unbounded FIFO channel between simulated processes. Receive suspends
+// until a message is available; Send never blocks. Used as the message
+// substrate of both platform engines.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator* sim) : sim_(sim) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void Send(T item) {
+    items_.push_back(std::move(item));
+    if (!receivers_.empty()) {
+      ReceiveAwaiter* r = receivers_.front();
+      receivers_.pop_front();
+      r->value = std::move(items_.front());
+      items_.pop_front();
+      sim_->ScheduleResume(sim_->Now(), r->handle);
+    }
+  }
+
+  struct ReceiveAwaiter {
+    Mailbox* mailbox;
+    std::optional<T> value;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() noexcept {
+      if (!mailbox->items_.empty() && mailbox->receivers_.empty()) {
+        value = std::move(mailbox->items_.front());
+        mailbox->items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      mailbox->receivers_.push_back(this);
+    }
+    T await_resume() noexcept { return std::move(*value); }
+  };
+
+  ReceiveAwaiter Receive() { return ReceiveAwaiter{this, std::nullopt, {}}; }
+
+ private:
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<ReceiveAwaiter*> receivers_;
+};
+
+}  // namespace granula::sim
+
+#endif  // GRANULA_SIM_SYNC_H_

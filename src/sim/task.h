@@ -1,0 +1,150 @@
+#ifndef GRANULA_SIM_TASK_H_
+#define GRANULA_SIM_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace granula::sim {
+
+// A lazy coroutine with symmetric-transfer continuation, in the style of
+// cppcoro::task. Task<T> is the unit of composition inside the simulator:
+// simulated activities are coroutines returning Task<> (or Task<T> for a
+// value) and awaiting each other, sim delays, and sync primitives.
+//
+// A Task starts suspended; it runs when first awaited (or when wrapped into a
+// top-level process by Simulator::Spawn). When it finishes, control transfers
+// back to the awaiting coroutine without bouncing through the event queue.
+//
+// Tasks are move-only and must be awaited at most once.
+template <typename T>
+class Task;
+
+namespace internal_task {
+
+template <typename T>
+class TaskPromise;
+
+// Final awaiter: transfers control back to the coroutine that awaited this
+// task (or a noop coroutine for detached tasks, which cannot happen through
+// the public API).
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+template <typename T>
+class TaskPromiseBase {
+ public:
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter<TaskPromise<T>> final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept {
+    // The library does not throw across coroutine boundaries; any exception
+    // escaping a simulated activity is a programming error.
+    std::terminate();
+  }
+
+  std::coroutine_handle<> continuation;
+};
+
+template <typename T>
+class TaskPromise : public TaskPromiseBase<T> {
+ public:
+  Task<T> get_return_object();
+  void return_value(T value) { value_ = std::move(value); }
+  T TakeValue() { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+};
+
+template <>
+class TaskPromise<void> : public TaskPromiseBase<void> {
+ public:
+  Task<void> get_return_object();
+  void return_void() {}
+  void TakeValue() {}
+};
+
+}  // namespace internal_task
+
+template <typename T = void>
+class Task {
+ public:
+  using promise_type = internal_task::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  // Awaiting a task starts it and suspends the awaiter until it completes;
+  // the task's return value becomes the await result.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // symmetric transfer: start running the child
+      }
+      T await_resume() noexcept { return handle.promise().TakeValue(); }
+    };
+    assert(handle_ && "co_await on an empty Task");
+    return Awaiter{handle_};
+  }
+
+  // Releases ownership of the coroutine frame (used by Simulator::Spawn's
+  // root wrapper, which manages the frame's lifetime itself).
+  Handle Release() { return std::exchange(handle_, {}); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace internal_task {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(
+      std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace internal_task
+
+}  // namespace granula::sim
+
+#endif  // GRANULA_SIM_TASK_H_

@@ -1,0 +1,352 @@
+// Tests for the analysis module (choke-point detection and regression
+// comparison) on synthetic archives with known, planted patterns — plus
+// end-to-end checks on real platform runs in failure_diagnosis_test.cc.
+
+#include "granula/analysis/chokepoint.h"
+#include "granula/analysis/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+namespace {
+
+// Builds an archive with a parameterized shape:
+//   Root(0..total) -> PhaseA(0..a_end), PhaseB(a_end..total)
+// plus optional supersteps with per-worker compute times.
+struct ArchiveSpec {
+  double total = 100;
+  double a_end = 20;
+  // worker -> compute seconds per superstep (all in PhaseB).
+  std::vector<std::vector<double>> supersteps;
+};
+
+PerformanceArchive BuildArchive(const ArchiveSpec& spec,
+                                std::vector<EnvironmentRecord> env = {}) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job", "Root", "Root");
+  OpId a = logger.StartOperation(root, "Job", "job", "PhaseA", "PhaseA");
+  now = SimTime::Seconds(spec.a_end);
+  logger.EndOperation(a);
+  OpId b = logger.StartOperation(root, "Job", "job", "ProcessGraph",
+                                 "ProcessGraph");
+  double t = spec.a_end;
+  for (size_t s = 0; s < spec.supersteps.size(); ++s) {
+    const auto& workers = spec.supersteps[s];
+    double slowest = 0;
+    for (double w : workers) slowest = std::max(slowest, w);
+    OpId step = logger.StartOperation(b, "Master", "Master-0", "Superstep",
+                                      "Superstep-" + std::to_string(s));
+    for (size_t w = 0; w < workers.size(); ++w) {
+      now = SimTime::Seconds(t);
+      OpId local = logger.StartOperation(
+          step, "Worker", "Worker-" + std::to_string(w + 1),
+          "LocalSuperstep", "LocalSuperstep");
+      OpId compute = logger.StartOperation(
+          local, "Worker", "Worker-" + std::to_string(w + 1), "Compute",
+          "Compute-" + std::to_string(s));
+      now = SimTime::Seconds(t + workers[w]);
+      logger.EndOperation(compute);
+      now = SimTime::Seconds(t + slowest);
+      logger.EndOperation(local);
+    }
+    logger.EndOperation(step);
+    t += slowest;
+  }
+  now = SimTime::Seconds(spec.total);
+  logger.EndOperation(b);
+  logger.EndOperation(root);
+
+  PerformanceModel model("m");
+  (void)model.AddRoot("Job", "Root");
+  (void)model.AddOperation("Job", "PhaseA", "Job", "Root");
+  (void)model.AddOperation("Job", "ProcessGraph", "Job", "Root");
+  (void)model.AddOperation("Master", "Superstep", "Job", "ProcessGraph");
+  (void)model.AddOperation("Worker", "LocalSuperstep", "Master",
+                           "Superstep");
+  (void)model.AddOperation("Worker", "Compute", "Worker", "LocalSuperstep");
+  (void)model.AddRule("Master", "Superstep",
+                      MakeChildAggregateRule("SlowestWorker", Aggregate::kMax,
+                                             "Duration", "LocalSuperstep"));
+  (void)model.AddRule("Master", "Superstep",
+                      MakeChildAggregateRule("FastestWorker", Aggregate::kMin,
+                                             "Duration", "LocalSuperstep"));
+  (void)model.AddRule(
+      "Master", "Superstep",
+      MakeCustomRule("WorkerImbalance", "max compute / min compute",
+                     [](const ArchivedOperation& op) -> Result<Json> {
+                       double min = 1e300, max = 0;
+                       op.Visit([&](const ArchivedOperation& node) {
+                         if (node.mission_type != "Compute") return;
+                         double d = node.Duration().seconds();
+                         min = std::min(min, d);
+                         max = std::max(max, d);
+                       });
+                       if (max <= 0 || min <= 0) {
+                         return Status::NotFound("no compute");
+                       }
+                       return Json(max / min);
+                     }));
+  auto archive =
+      Archiver().Build(model, logger.records(), std::move(env), {});
+  EXPECT_TRUE(archive.ok()) << archive.status();
+  return std::move(archive).value();
+}
+
+bool HasFinding(const std::vector<Finding>& findings, FindingKind kind) {
+  for (const Finding& f : findings) {
+    if (f.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(ChokepointTest, DominantPhaseDetected) {
+  ArchiveSpec spec;
+  spec.total = 100;
+  spec.a_end = 70;  // PhaseA is 70% of the job
+  PerformanceArchive archive = BuildArchive(spec);
+  auto findings = AnalyzeChokepoints(archive, ChokepointOptions{});
+  ASSERT_TRUE(HasFinding(findings, FindingKind::kDominantPhase));
+  EXPECT_EQ(findings[0].severity, Severity::kCritical);
+  EXPECT_EQ(findings[0].operation, "Root/PhaseA");
+}
+
+TEST(ChokepointTest, BalancedJobHasNoDominantPhase) {
+  ArchiveSpec spec;
+  spec.total = 100;
+  spec.a_end = 45;  // 45% / 55% split
+  ChokepointOptions options;
+  options.dominant_phase_fraction = 0.60;
+  auto findings = AnalyzeChokepoints(BuildArchive(spec), options);
+  EXPECT_FALSE(HasFinding(findings, FindingKind::kDominantPhase));
+}
+
+TEST(ChokepointTest, WorkerImbalanceDetected) {
+  ArchiveSpec spec;
+  spec.total = 40;
+  spec.a_end = 10;
+  spec.supersteps = {{5.0, 5.0, 5.0, 9.0}};  // one slow worker
+  auto findings = AnalyzeChokepoints(BuildArchive(spec), {});
+  EXPECT_TRUE(HasFinding(findings, FindingKind::kWorkerImbalance));
+}
+
+TEST(ChokepointTest, BalancedSuperstepNotFlagged) {
+  ArchiveSpec spec;
+  spec.total = 40;
+  spec.a_end = 10;
+  spec.supersteps = {{5.0, 5.1, 5.0, 5.2}};
+  auto findings = AnalyzeChokepoints(BuildArchive(spec), {});
+  EXPECT_FALSE(HasFinding(findings, FindingKind::kWorkerImbalance));
+}
+
+TEST(ChokepointTest, StragglerNodeDetectedAcrossSupersteps) {
+  ArchiveSpec spec;
+  spec.total = 100;
+  spec.a_end = 10;
+  // Worker-4 consistently ~2x the others over three supersteps.
+  spec.supersteps = {{5, 5, 5, 10}, {6, 6, 6, 12}, {4, 4, 4, 8}};
+  auto findings = AnalyzeChokepoints(BuildArchive(spec), {});
+  ASSERT_TRUE(HasFinding(findings, FindingKind::kStragglerNode));
+  for (const Finding& f : findings) {
+    if (f.kind == FindingKind::kStragglerNode) {
+      EXPECT_NE(f.description.find("Worker-4"), std::string::npos);
+    }
+  }
+}
+
+TEST(ChokepointTest, SynchronizationOverheadDetected) {
+  ArchiveSpec spec;
+  spec.total = 100;
+  spec.a_end = 10;
+  // Heavy imbalance: fast workers idle at the barrier most of the time.
+  spec.supersteps = {{2, 2, 2, 10}, {2, 2, 2, 10}};
+  auto findings = AnalyzeChokepoints(BuildArchive(spec), {});
+  EXPECT_TRUE(
+      HasFinding(findings, FindingKind::kSynchronizationOverhead));
+}
+
+std::vector<EnvironmentRecord> UniformEnv(double until, double per_node_cpu,
+                                          uint32_t nodes = 4) {
+  std::vector<EnvironmentRecord> env;
+  for (double t = 1; t <= until; t += 1.0) {
+    for (uint32_t n = 0; n < nodes; ++n) {
+      EnvironmentRecord r;
+      r.node = n;
+      r.hostname = "node" + std::to_string(339 + n);
+      r.time_seconds = t;
+      r.cpu_seconds_per_second = per_node_cpu;
+      env.push_back(r);
+    }
+  }
+  return env;
+}
+
+TEST(ChokepointTest, IdlePhaseDetectedWithCapacity) {
+  ArchiveSpec spec;
+  spec.total = 100;
+  spec.a_end = 30;
+  PerformanceArchive archive =
+      BuildArchive(spec, UniformEnv(100, 0.2));  // 0.8 of 64 capacity
+  ChokepointOptions options;
+  options.cluster_cpu_capacity = 64;
+  auto findings = AnalyzeChokepoints(archive, options);
+  EXPECT_TRUE(HasFinding(findings, FindingKind::kIdleDuringPhase));
+}
+
+TEST(ChokepointTest, SaturatedPhaseDetected) {
+  ArchiveSpec spec;
+  spec.total = 100;
+  spec.a_end = 30;
+  PerformanceArchive archive =
+      BuildArchive(spec, UniformEnv(100, 14.0, 4));  // 56 of 64
+  ChokepointOptions options;
+  options.cluster_cpu_capacity = 64;
+  auto findings = AnalyzeChokepoints(archive, options);
+  EXPECT_TRUE(HasFinding(findings, FindingKind::kCpuSaturatedPhase));
+}
+
+TEST(ChokepointTest, SingleNodeHotspotDetected) {
+  ArchiveSpec spec;
+  spec.total = 100;
+  spec.a_end = 60;
+  std::vector<EnvironmentRecord> env;
+  for (double t = 1; t <= 100; t += 1.0) {
+    for (uint32_t n = 0; n < 4; ++n) {
+      EnvironmentRecord r;
+      r.node = n;
+      r.hostname = "node" + std::to_string(339 + n);
+      r.time_seconds = t;
+      // During PhaseA (t <= 60) only node 2 burns CPU.
+      r.cpu_seconds_per_second = (t <= 60 && n == 2) ? 8.0 : 0.1;
+      env.push_back(r);
+    }
+  }
+  auto findings =
+      AnalyzeChokepoints(BuildArchive(spec, std::move(env)), {});
+  ASSERT_TRUE(HasFinding(findings, FindingKind::kSingleNodeHotspot));
+  for (const Finding& f : findings) {
+    if (f.kind == FindingKind::kSingleNodeHotspot) {
+      EXPECT_NE(f.description.find("node341"), std::string::npos);
+    }
+  }
+}
+
+TEST(ChokepointTest, FindingsSortedBySeverityAndRender) {
+  ArchiveSpec spec;
+  spec.total = 100;
+  spec.a_end = 70;
+  spec.supersteps = {{2, 2, 2, 9}};
+  auto findings = AnalyzeChokepoints(BuildArchive(spec), {});
+  ASSERT_GE(findings.size(), 2u);
+  for (size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_GE(static_cast<int>(findings[i - 1].severity),
+              static_cast<int>(findings[i].severity));
+  }
+  std::string report = RenderFindings(findings);
+  EXPECT_NE(report.find("CRITICAL"), std::string::npos);
+  EXPECT_NE(report.find("dominant_phase"), std::string::npos);
+  EXPECT_EQ(RenderFindings({}), "no choke-points found\n");
+}
+
+TEST(ChokepointTest, EmptyArchiveYieldsNothing) {
+  PerformanceArchive empty;
+  EXPECT_TRUE(AnalyzeChokepoints(empty, {}).empty());
+}
+
+// ------------------------------------------------------------ regression --
+
+PerformanceArchive TimedArchive(double a_seconds, double b_seconds) {
+  ArchiveSpec spec;
+  spec.total = a_seconds + b_seconds;
+  spec.a_end = a_seconds;
+  return BuildArchive(spec);
+}
+
+TEST(RegressionTest, DetectsSlowdown) {
+  PerformanceArchive baseline = TimedArchive(20, 30);
+  PerformanceArchive candidate = TimedArchive(20, 45);  // PhaseB +50%
+  RegressionReport report =
+      CompareArchives(baseline, candidate, RegressionOptions{});
+  ASSERT_TRUE(report.HasRegressions());
+  bool found = false;
+  for (const OperationDelta& delta : report.regressions) {
+    if (delta.path == "Root/ProcessGraph") {
+      found = true;
+      EXPECT_NEAR(delta.relative_change, 0.5, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(report.improvements.empty());
+}
+
+TEST(RegressionTest, DetectsImprovementAndTotal) {
+  PerformanceArchive baseline = TimedArchive(20, 30);
+  PerformanceArchive candidate = TimedArchive(10, 30);
+  RegressionReport report = CompareArchives(baseline, candidate, {});
+  EXPECT_FALSE(report.HasRegressions());
+  ASSERT_FALSE(report.improvements.empty());
+  EXPECT_EQ(report.improvements[0].path, "Root/PhaseA");
+  EXPECT_DOUBLE_EQ(report.total_baseline_seconds, 50.0);
+  EXPECT_DOUBLE_EQ(report.total_candidate_seconds, 40.0);
+}
+
+TEST(RegressionTest, WithinToleranceIsQuiet) {
+  PerformanceArchive baseline = TimedArchive(20, 30);
+  PerformanceArchive candidate = TimedArchive(21, 30);  // +5% < 10%
+  RegressionReport report = CompareArchives(baseline, candidate, {});
+  EXPECT_FALSE(report.HasRegressions());
+  EXPECT_TRUE(report.improvements.empty());
+}
+
+TEST(RegressionTest, AddedAndRemovedOperations) {
+  ArchiveSpec with_steps;
+  with_steps.total = 50;
+  with_steps.a_end = 20;
+  with_steps.supersteps = {{1.0, 1.0}};
+  PerformanceArchive baseline = BuildArchive(with_steps);
+  PerformanceArchive candidate = TimedArchive(20, 30);
+  RegressionReport report = CompareArchives(baseline, candidate, {});
+  EXPECT_FALSE(report.removed.empty());
+  EXPECT_TRUE(report.added.empty());
+}
+
+TEST(RegressionTest, MaxDepthLimitsComparison) {
+  ArchiveSpec deep;
+  deep.total = 50;
+  deep.a_end = 20;
+  deep.supersteps = {{1.0, 2.0}};
+  PerformanceArchive baseline = BuildArchive(deep);
+  deep.supersteps = {{1.0, 4.0}};  // deeper op changed
+  deep.total = 50;                 // same domain timings
+  PerformanceArchive candidate = BuildArchive(deep);
+  RegressionOptions shallow;
+  shallow.max_depth = 2;  // root + phases only
+  RegressionReport report = CompareArchives(baseline, candidate, shallow);
+  EXPECT_FALSE(report.HasRegressions());
+  RegressionReport full = CompareArchives(baseline, candidate, {});
+  EXPECT_TRUE(full.HasRegressions());
+}
+
+TEST(RegressionTest, TinyOperationsIgnored) {
+  PerformanceArchive baseline = TimedArchive(0.01, 50);
+  PerformanceArchive candidate = TimedArchive(0.04, 50);  // 4x but tiny
+  RegressionReport report = CompareArchives(baseline, candidate, {});
+  EXPECT_FALSE(report.HasRegressions());
+}
+
+TEST(RegressionTest, RenderReport) {
+  PerformanceArchive baseline = TimedArchive(20, 30);
+  PerformanceArchive candidate = TimedArchive(30, 24);
+  RegressionReport report = CompareArchives(baseline, candidate, {});
+  std::string text = RenderRegressionReport(report);
+  EXPECT_NE(text.find("regressions:"), std::string::npos);
+  EXPECT_NE(text.find("improvements:"), std::string::npos);
+  EXPECT_NE(text.find("Root/PhaseA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace granula::core

@@ -1,0 +1,161 @@
+#include "granula/archive/archive.h"
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+namespace {
+
+// Builds a realistic archive through the archiver so queries and JSON
+// roundtrips exercise production shapes.
+PerformanceArchive MakeArchive() {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "giraph", "Root");
+  OpId load = logger.StartOperation(root, "Job", "giraph", "Load", "Load");
+  for (int w = 1; w <= 3; ++w) {
+    OpId step = logger.StartOperation(
+        load, "Worker", "Worker-" + std::to_string(w), "Read",
+        "Read-" + std::to_string(w));
+    logger.AddInfo(step, "Bytes", Json(int64_t{1000 * w}));
+    now = SimTime::Seconds(w);
+    logger.EndOperation(step);
+  }
+  now = SimTime::Seconds(3);
+  logger.EndOperation(load);
+  OpId process =
+      logger.StartOperation(root, "Job", "giraph", "Process", "Process");
+  now = SimTime::Seconds(9);
+  logger.EndOperation(process);
+  logger.EndOperation(root);
+
+  PerformanceModel model("m");
+  (void)model.AddRoot("Job", "Root");
+  (void)model.AddOperation("Job", "Load", "Job", "Root");
+  (void)model.AddOperation("Job", "Process", "Job", "Root");
+  (void)model.AddOperation("Worker", "Read", "Job", "Load");
+  (void)model.AddRule("Job", "Load",
+                      MakeChildAggregateRule("TotalBytes", Aggregate::kSum,
+                                             "Bytes", "Read"));
+
+  EnvironmentRecord env;
+  env.node = 0;
+  env.hostname = "node339";
+  env.time_seconds = 1.0;
+  env.cpu_seconds_per_second = 4.0;
+
+  auto archive = Archiver().Build(model, logger.records(), {env},
+                                  {{"platform", "Giraph"}, {"algo", "BFS"}});
+  EXPECT_TRUE(archive.ok()) << archive.status();
+  return std::move(archive).value();
+}
+
+TEST(ArchiveQueryTest, FindByPath) {
+  PerformanceArchive archive = MakeArchive();
+  EXPECT_NE(archive.FindByPath("Root"), nullptr);
+  EXPECT_NE(archive.FindByPath("Root/Load"), nullptr);
+  const ArchivedOperation* read = archive.FindByPath("Root/Load/Read-2");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->actor_id, "Worker-2");
+  EXPECT_EQ(archive.FindByPath("Root/Nope"), nullptr);
+  EXPECT_EQ(archive.FindByPath("Wrong"), nullptr);
+}
+
+TEST(ArchiveQueryTest, FindOperationsWithWildcards) {
+  PerformanceArchive archive = MakeArchive();
+  EXPECT_EQ(archive.FindOperations("Worker", "Read").size(), 3u);
+  EXPECT_EQ(archive.FindOperations("Worker", "").size(), 3u);
+  EXPECT_EQ(archive.FindOperations("", "").size(), 6u);
+  EXPECT_EQ(archive.FindOperations("Nobody", "").size(), 0u);
+}
+
+TEST(ArchiveQueryTest, AggregateRuleRan) {
+  PerformanceArchive archive = MakeArchive();
+  const ArchivedOperation* load = archive.FindByPath("Root/Load");
+  ASSERT_NE(load, nullptr);
+  EXPECT_DOUBLE_EQ(load->InfoNumber("TotalBytes"), 6000.0);
+}
+
+TEST(ArchiveQueryTest, TopLevelBreakdown) {
+  PerformanceArchive archive = MakeArchive();
+  auto breakdown = archive.TopLevelBreakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_NEAR(breakdown.at("Load"), 3.0 / 9.0, 1e-12);
+  EXPECT_NEAR(breakdown.at("Process"), 6.0 / 9.0, 1e-12);
+}
+
+TEST(ArchiveJsonTest, RoundtripPreservesEverything) {
+  PerformanceArchive archive = MakeArchive();
+  std::string json = archive.ToJsonString();
+  auto restored = PerformanceArchive::FromJsonString(json);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->ToJsonString(), json);
+  EXPECT_EQ(restored->job_metadata.at("platform"), "Giraph");
+  EXPECT_EQ(restored->OperationCount(), archive.OperationCount());
+  ASSERT_EQ(restored->environment.size(), 1u);
+  EXPECT_DOUBLE_EQ(restored->environment[0].cpu_seconds_per_second, 4.0);
+  const ArchivedOperation* read = restored->FindByPath("Root/Load/Read-3");
+  ASSERT_NE(read, nullptr);
+  EXPECT_DOUBLE_EQ(read->InfoNumber("Bytes"), 3000.0);
+  EXPECT_EQ(read->FindInfo("Bytes")->source, "platform log");
+}
+
+TEST(ArchiveJsonTest, CompactAndPrettyAgree) {
+  PerformanceArchive archive = MakeArchive();
+  auto compact = PerformanceArchive::FromJsonString(archive.ToJsonString(0));
+  auto pretty = PerformanceArchive::FromJsonString(archive.ToJsonString(4));
+  ASSERT_TRUE(compact.ok());
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_EQ(compact->ToJsonString(), pretty->ToJsonString());
+}
+
+TEST(ArchiveJsonTest, RejectsGarbage) {
+  EXPECT_FALSE(PerformanceArchive::FromJsonString("not json").ok());
+  EXPECT_FALSE(PerformanceArchive::FromJsonString("{\"root\": 7}").ok());
+}
+
+TEST(ArchivedOperationTest, DisplayNameFallsBackToTypes) {
+  ArchivedOperation op;
+  op.actor_type = "Worker";
+  op.mission_type = "Step";
+  EXPECT_EQ(op.DisplayName(), "Worker @ Step");
+  op.actor_id = "Worker-7";
+  op.mission_id = "Step-3";
+  EXPECT_EQ(op.DisplayName(), "Worker-7 @ Step-3");
+  EXPECT_EQ(op.TypeKey(), "Worker@Step");
+}
+
+TEST(ArchivedOperationTest, InfoNumberFallbacks) {
+  ArchivedOperation op;
+  op.SetInfo("str", Json("hello"), "x");
+  op.SetInfo("num", Json(2.5), "x");
+  EXPECT_DOUBLE_EQ(op.InfoNumber("num"), 2.5);
+  EXPECT_DOUBLE_EQ(op.InfoNumber("str", -1), -1.0);
+  EXPECT_DOUBLE_EQ(op.InfoNumber("missing", -2), -2.0);
+  EXPECT_TRUE(op.HasInfo("str"));
+  EXPECT_FALSE(op.HasInfo("missing"));
+}
+
+TEST(ArchivedOperationTest, DurationZeroWhenTimesMissing) {
+  ArchivedOperation op;
+  EXPECT_EQ(op.Duration(), SimTime());
+}
+
+TEST(ArchivedOperationTest, VisitIsPreOrder) {
+  PerformanceArchive archive = MakeArchive();
+  std::vector<std::string> order;
+  archive.root->Visit([&](const ArchivedOperation& op) {
+    order.push_back(op.mission_id.empty() ? op.mission_type : op.mission_id);
+  });
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], "Root");
+  EXPECT_EQ(order[1], "Load");
+  EXPECT_EQ(order[2], "Read-1");
+  EXPECT_EQ(order[5], "Process");
+}
+
+}  // namespace
+}  // namespace granula::core

@@ -1,0 +1,109 @@
+#include "granula/analysis/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+namespace {
+
+// Root(0..10) with PhaseA(0..4) and PhaseB(4..10); node339 burns 2 CPU-s/s
+// during PhaseA, node340 burns 5 CPU-s/s during PhaseB.
+PerformanceArchive MakeArchive(double interval = 1.0) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job", "Root", "Root");
+  OpId a = logger.StartOperation(root, "Job", "job", "PhaseA", "PhaseA");
+  OpId sub =
+      logger.StartOperation(a, "Worker", "Worker-1", "Sub", "Sub-1");
+  now = SimTime::Seconds(4);
+  logger.EndOperation(sub);
+  logger.EndOperation(a);
+  OpId b = logger.StartOperation(root, "Job", "job", "PhaseB", "PhaseB");
+  now = SimTime::Seconds(10);
+  logger.EndOperation(b);
+  logger.EndOperation(root);
+
+  PerformanceModel model("m");
+  (void)model.AddRoot("Job", "Root");
+  (void)model.AddOperation("Job", "PhaseA", "Job", "Root");
+  (void)model.AddOperation("Job", "PhaseB", "Job", "Root");
+  (void)model.AddOperation("Worker", "Sub", "Job", "PhaseA");
+
+  std::vector<EnvironmentRecord> env;
+  for (double t = interval; t <= 10.0 + 1e-9; t += interval) {
+    for (uint32_t node = 0; node < 2; ++node) {
+      EnvironmentRecord r;
+      r.node = node;
+      r.hostname = node == 0 ? "node339" : "node340";
+      r.time_seconds = t;
+      if (node == 0) {
+        r.cpu_seconds_per_second = t <= 4.0 ? 2.0 : 0.0;
+      } else {
+        r.cpu_seconds_per_second = t > 4.0 ? 5.0 : 0.0;
+      }
+      env.push_back(r);
+    }
+  }
+  auto archive =
+      Archiver().Build(model, logger.records(), std::move(env), {});
+  EXPECT_TRUE(archive.ok());
+  return std::move(archive).value();
+}
+
+TEST(AttributionTest, PhaseCpuSecondsIntegratesWindows) {
+  auto phase_cpu = PhaseCpuSeconds(MakeArchive());
+  ASSERT_EQ(phase_cpu.size(), 2u);
+  EXPECT_DOUBLE_EQ(phase_cpu.at("PhaseA"), 8.0);   // 2 CPU-s/s x 4s
+  EXPECT_DOUBLE_EQ(phase_cpu.at("PhaseB"), 30.0);  // 5 CPU-s/s x 6s
+}
+
+TEST(AttributionTest, PerNodeBreakdownAndMean) {
+  auto usages = AttributeCpu(MakeArchive(), AttributionOptions{});
+  ASSERT_EQ(usages.size(), 2u);
+  const OperationResourceUsage& a = usages[0];
+  EXPECT_EQ(a.path, "Root/PhaseA");
+  EXPECT_DOUBLE_EQ(a.duration_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 8.0);
+  EXPECT_DOUBLE_EQ(a.mean_cpu, 2.0);
+  EXPECT_DOUBLE_EQ(a.per_node_cpu.at("node339"), 8.0);
+  EXPECT_EQ(a.per_node_cpu.count("node340"), 1u);
+  EXPECT_DOUBLE_EQ(a.per_node_cpu.at("node340"), 0.0);
+}
+
+TEST(AttributionTest, DepthTwoIncludesNestedOperations) {
+  AttributionOptions options;
+  options.max_depth = 2;
+  auto usages = AttributeCpu(MakeArchive(), options);
+  ASSERT_EQ(usages.size(), 3u);
+  bool found = false;
+  for (const auto& usage : usages) {
+    if (usage.path == "Root/PhaseA/Sub-1") {
+      found = true;
+      EXPECT_DOUBLE_EQ(usage.cpu_seconds, 8.0);  // same window as PhaseA
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AttributionTest, RespectsSamplingInterval) {
+  // 0.5s sampling: twice the samples, same integrated CPU-seconds.
+  auto phase_cpu = PhaseCpuSeconds(MakeArchive(0.5));
+  EXPECT_DOUBLE_EQ(phase_cpu.at("PhaseA"), 8.0);
+  EXPECT_DOUBLE_EQ(phase_cpu.at("PhaseB"), 30.0);
+}
+
+TEST(AttributionTest, EmptyInputs) {
+  PerformanceArchive empty;
+  EXPECT_TRUE(AttributeCpu(empty, AttributionOptions{}).empty());
+  PerformanceArchive archive = MakeArchive();
+  archive.environment.clear();
+  auto usages = AttributeCpu(archive, AttributionOptions{});
+  ASSERT_EQ(usages.size(), 2u);
+  EXPECT_DOUBLE_EQ(usages[0].cpu_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace granula::core

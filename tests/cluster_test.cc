@@ -1,0 +1,69 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace granula::cluster {
+namespace {
+
+ClusterConfig SmallConfig() {
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.cores_per_node = 2;
+  config.disk_bytes_per_sec = 1000.0;
+  config.net_bytes_per_sec = 2000.0;
+  config.net_latency = SimTime::Millis(10);
+  return config;
+}
+
+TEST(ClusterTest, BuildsNamedNodes) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, SmallConfig());
+  EXPECT_EQ(cluster.num_nodes(), 4u);
+  EXPECT_EQ(cluster.node(0).hostname(), "node339");
+  EXPECT_EQ(cluster.node(3).hostname(), "node342");
+  EXPECT_EQ(cluster.node(2).id(), 2u);
+  EXPECT_EQ(cluster.node(1).cpu().cores(), 2);
+}
+
+TEST(ClusterTest, SendSerializesAndAddsLatency) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, SmallConfig());
+  sim.Spawn([](Cluster& c) -> sim::Task<> {
+    co_await c.Send(0, 1, 2000);  // 1s at 2000 B/s + 10ms latency
+  }(cluster));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 1.01);
+  EXPECT_EQ(cluster.network_bytes_sent(), 2000u);
+}
+
+TEST(ClusterTest, LocalSendIsFree) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, SmallConfig());
+  sim.Spawn([](Cluster& c) -> sim::Task<> {
+    co_await c.Send(2, 2, 1000000);
+  }(cluster));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), SimTime());
+  EXPECT_EQ(cluster.network_bytes_sent(), 0u);
+}
+
+TEST(ClusterTest, SendersContendOnTheirOwnNic) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, SmallConfig());
+  // Two sends from the same node serialize; from different nodes, overlap.
+  sim.Spawn([](Cluster& c) -> sim::Task<> {
+    co_await c.Send(0, 1, 2000);
+  }(cluster));
+  sim.Spawn([](Cluster& c) -> sim::Task<> {
+    co_await c.Send(0, 2, 2000);
+  }(cluster));
+  sim.Spawn([](Cluster& c) -> sim::Task<> {
+    co_await c.Send(3, 1, 2000);
+  }(cluster));
+  sim.Run();
+  // Node 0's two sends: 1s + 1s serialization (+latency); node 3 overlaps.
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.01);
+}
+
+}  // namespace
+}  // namespace granula::cluster

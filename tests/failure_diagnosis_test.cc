@@ -1,0 +1,136 @@
+// End-to-end checks of the analysis module against real platform runs:
+// the automated detectors must reach the same conclusions the paper's
+// authors reach by reading Figs. 5-8, and must localize injected faults.
+
+#include <gtest/gtest.h>
+
+#include "granula/analysis/chokepoint.h"
+#include "granula/analysis/regression.h"
+#include "granula/archive/archiver.h"
+#include "granula/models/models.h"
+#include "graph/generators.h"
+#include "platforms/giraph.h"
+#include "platforms/powergraph.h"
+
+namespace granula::platform {
+namespace {
+
+graph::Graph TestGraph() {
+  graph::DatagenConfig config;
+  config.num_vertices = 8000;
+  config.avg_degree = 10.0;
+  config.seed = 77;
+  return std::move(graph::GenerateDatagen(config)).value();
+}
+
+algo::AlgorithmSpec BfsSpec() {
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kBfs;
+  spec.source = 1;
+  return spec;
+}
+
+core::PerformanceArchive RunGiraph(const cluster::ClusterConfig& cc) {
+  GiraphPlatform giraph;
+  auto result = giraph.Run(TestGraph(), BfsSpec(), cc, JobConfig{});
+  EXPECT_TRUE(result.ok()) << result.status();
+  auto archive = core::Archiver().Build(core::MakeGiraphModel(),
+                                        result->records,
+                                        std::move(result->environment), {});
+  EXPECT_TRUE(archive.ok()) << archive.status();
+  return std::move(archive).value();
+}
+
+core::ChokepointOptions DefaultOptions() {
+  core::ChokepointOptions options;
+  options.cluster_cpu_capacity = 8.0 * 16.0;
+  return options;
+}
+
+bool HasFinding(const std::vector<core::Finding>& findings,
+                core::FindingKind kind, const std::string& substring = "") {
+  for (const core::Finding& f : findings) {
+    if (f.kind == kind &&
+        (substring.empty() ||
+         f.description.find(substring) != std::string::npos)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(FailureDiagnosisTest, HealthyGiraphFindsPaperConclusions) {
+  auto findings =
+      core::AnalyzeChokepoints(RunGiraph(cluster::ClusterConfig{}),
+                               DefaultOptions());
+  // Paper Section 4.3: setup phases are latency-bound, not CPU-bound.
+  EXPECT_TRUE(
+      HasFinding(findings, core::FindingKind::kIdleDuringPhase, "Startup"));
+  // And no straggler exists on a homogeneous cluster.
+  EXPECT_FALSE(HasFinding(findings, core::FindingKind::kStragglerNode));
+}
+
+TEST(FailureDiagnosisTest, InjectedSlowNodeIsLocalized) {
+  cluster::ClusterConfig degraded;
+  degraded.node_speed_factors = {1.0, 1.0, 1.0, 1.0, 1.0, 0.4, 1.0, 1.0};
+  auto findings =
+      core::AnalyzeChokepoints(RunGiraph(degraded), DefaultOptions());
+  // Worker-5 runs on node 5 (containers are placed round-robin after the
+  // master's node 0).
+  EXPECT_TRUE(HasFinding(findings, core::FindingKind::kStragglerNode,
+                         "Worker-5"));
+}
+
+TEST(FailureDiagnosisTest, RegressionGateFlagsDegradedRun) {
+  core::PerformanceArchive baseline = RunGiraph(cluster::ClusterConfig{});
+  cluster::ClusterConfig degraded;
+  degraded.node_speed_factors = {1.0, 1.0, 0.4, 1.0, 1.0, 1.0, 1.0, 1.0};
+  core::PerformanceArchive candidate = RunGiraph(degraded);
+
+  core::RegressionOptions options;
+  options.max_depth = 2;
+  core::RegressionReport report =
+      core::CompareArchives(baseline, candidate, options);
+  ASSERT_TRUE(report.HasRegressions());
+  bool process_flagged = false;
+  for (const core::OperationDelta& delta : report.regressions) {
+    if (delta.path == "GiraphJob/ProcessGraph") process_flagged = true;
+  }
+  EXPECT_TRUE(process_flagged);
+  // Setup phases are latency-bound, not CPU-bound: they must NOT regress.
+  for (const core::OperationDelta& delta : report.regressions) {
+    EXPECT_NE(delta.path, "GiraphJob/Startup");
+  }
+}
+
+TEST(FailureDiagnosisTest, IdenticalRunsPassTheRegressionGate) {
+  core::PerformanceArchive a = RunGiraph(cluster::ClusterConfig{});
+  core::PerformanceArchive b = RunGiraph(cluster::ClusterConfig{});
+  core::RegressionReport report = core::CompareArchives(a, b, {});
+  EXPECT_FALSE(report.HasRegressions());
+  EXPECT_TRUE(report.improvements.empty());
+  EXPECT_TRUE(report.added.empty());
+  EXPECT_TRUE(report.removed.empty());
+}
+
+TEST(FailureDiagnosisTest, PowerGraphHotspotDetectedAutomatically) {
+  PowerGraphPlatform powergraph;
+  auto result = powergraph.Run(TestGraph(), BfsSpec(),
+                               cluster::ClusterConfig{}, JobConfig{});
+  ASSERT_TRUE(result.ok());
+  auto archive = core::Archiver().Build(core::MakePowerGraphModel(),
+                                        result->records,
+                                        std::move(result->environment), {});
+  ASSERT_TRUE(archive.ok());
+  auto findings =
+      core::AnalyzeChokepoints(*archive, DefaultOptions());
+  // The Fig. 7 diagnosis, automated: LoadGraph dominates AND its CPU sits
+  // on the coordinator node alone.
+  EXPECT_TRUE(HasFinding(findings, core::FindingKind::kDominantPhase,
+                         "LoadGraph"));
+  EXPECT_TRUE(HasFinding(findings, core::FindingKind::kSingleNodeHotspot,
+                         "node339"));
+}
+
+}  // namespace
+}  // namespace granula::platform

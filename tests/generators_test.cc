@@ -1,0 +1,171 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace granula::graph {
+namespace {
+
+TEST(DeterministicShapesTest, Path) {
+  Graph g = MakePath(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(CountConnectedComponents(g), 1u);
+  EXPECT_EQ(Eccentricity(g, 0), 4u);
+  EXPECT_EQ(Eccentricity(g, 2), 2u);
+}
+
+TEST(DeterministicShapesTest, Cycle) {
+  Graph g = MakeCycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(Eccentricity(g, 0), 3u);
+}
+
+TEST(DeterministicShapesTest, Star) {
+  Graph g = MakeStar(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.max, 9u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(Eccentricity(g, 0), 1u);
+  EXPECT_EQ(Eccentricity(g, 1), 2u);
+}
+
+TEST(DeterministicShapesTest, Complete) {
+  Graph g = MakeComplete(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(Eccentricity(g, 3), 1u);
+}
+
+TEST(DeterministicShapesTest, BinaryTree) {
+  Graph g = MakeBinaryTree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(CountConnectedComponents(g), 1u);
+  EXPECT_EQ(Eccentricity(g, 0), 2u);
+}
+
+TEST(DeterministicShapesTest, Grid) {
+  Graph g = MakeGrid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // horizontal + vertical
+  EXPECT_EQ(Eccentricity(g, 0), 5u);          // manhattan corner-to-corner
+}
+
+TEST(DatagenTest, RespectsSizeParameters) {
+  DatagenConfig config;
+  config.num_vertices = 2000;
+  config.avg_degree = 10.0;
+  config.seed = 7;
+  auto g = GenerateDatagen(config);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_vertices(), 2000u);
+  // m = n * avg_degree / 2, give or take rejected self-loops.
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), 10000.0, 500.0);
+  EXPECT_FALSE(g->directed());
+}
+
+TEST(DatagenTest, DeterministicForSeed) {
+  DatagenConfig config;
+  config.num_vertices = 500;
+  config.seed = 3;
+  auto a = GenerateDatagen(config);
+  auto b = GenerateDatagen(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->edges(), b->edges());
+
+  config.seed = 4;
+  auto c = GenerateDatagen(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->edges(), c->edges());
+}
+
+TEST(DatagenTest, PowerLawSkew) {
+  DatagenConfig config;
+  config.num_vertices = 5000;
+  config.avg_degree = 12.0;
+  config.seed = 11;
+  auto g = GenerateDatagen(config);
+  ASSERT_TRUE(g.ok());
+  DegreeStats stats = ComputeDegreeStats(*g);
+  // A power-law graph has hubs far above the mean and a high Gini.
+  EXPECT_GT(static_cast<double>(stats.max), 10.0 * stats.mean);
+  EXPECT_GT(stats.gini, 0.4);
+}
+
+TEST(DatagenTest, SmallWorldDiameter) {
+  DatagenConfig config;
+  config.num_vertices = 5000;
+  config.avg_degree = 12.0;
+  config.seed = 13;
+  auto g = GenerateDatagen(config);
+  ASSERT_TRUE(g.ok());
+  // BFS from vertex 0 must reach the bulk of the graph within a few hops —
+  // the structure behind the paper's handful of supersteps.
+  EXPECT_LE(Eccentricity(*g, 0), 10u);
+}
+
+TEST(DatagenTest, RejectsBadConfig) {
+  DatagenConfig config;
+  config.num_vertices = 0;
+  EXPECT_FALSE(GenerateDatagen(config).ok());
+  config.num_vertices = 10;
+  config.avg_degree = -1;
+  EXPECT_FALSE(GenerateDatagen(config).ok());
+  config.avg_degree = 5;
+  config.community_edge_fraction = 1.5;
+  EXPECT_FALSE(GenerateDatagen(config).ok());
+}
+
+TEST(RmatTest, SizeAndDeterminism) {
+  RmatConfig config;
+  config.scale = 10;
+  config.edge_factor = 8.0;
+  auto g = GenerateRmat(config);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 1024u);
+  EXPECT_EQ(g->num_edges(), 8192u);
+  auto g2 = GenerateRmat(config);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g->edges(), g2->edges());
+}
+
+TEST(RmatTest, SkewTowardLowIds) {
+  RmatConfig config;
+  config.scale = 12;
+  config.edge_factor = 8.0;
+  auto g = GenerateRmat(config);
+  ASSERT_TRUE(g.ok());
+  uint64_t low = 0;
+  for (const Edge& e : g->edges()) {
+    if (e.src < g->num_vertices() / 2) ++low;
+  }
+  // With a=0.57, b=0.19: P(src in low half) ≈ 0.76 per bit.
+  EXPECT_GT(static_cast<double>(low) / static_cast<double>(g->num_edges()),
+            0.65);
+}
+
+TEST(RmatTest, RejectsBadConfig) {
+  RmatConfig config;
+  config.scale = 0;
+  EXPECT_FALSE(GenerateRmat(config).ok());
+  config.scale = 8;
+  config.a = 0.9;
+  config.b = 0.9;
+  EXPECT_FALSE(GenerateRmat(config).ok());
+}
+
+TEST(UniformTest, SizeAndNoSelfLoops) {
+  auto g = GenerateUniform(100, 1000, 5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1000u);
+  for (const Edge& e : g->edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(UniformTest, RejectsTinyVertexCount) {
+  EXPECT_FALSE(GenerateUniform(1, 10, 0).ok());
+}
+
+}  // namespace
+}  // namespace granula::graph

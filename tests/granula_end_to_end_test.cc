@@ -1,0 +1,290 @@
+// End-to-end tests of the full Granula pipeline on real platform runs:
+// model (P1) -> monitor (P2, during a simulated job) -> archive (P3) ->
+// visualize (P4). These assert the *shapes* the paper reports, not exact
+// numbers: who dominates, which node idles, which superstep explodes.
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/models/models.h"
+#include "granula/visual/svg.h"
+#include "granula/visual/text.h"
+#include "graph/generators.h"
+#include "platforms/giraph.h"
+#include "platforms/powergraph.h"
+
+namespace granula::platform {
+namespace {
+
+// A scaled-down version of the paper workload (kept small for test speed;
+// the full-size run lives in bench/).
+graph::Graph TestGraph() {
+  graph::DatagenConfig config;
+  config.num_vertices = 8000;
+  config.avg_degree = 10.0;
+  config.seed = 1000;
+  auto g = graph::GenerateDatagen(config);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+algo::AlgorithmSpec BfsSpec() {
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kBfs;
+  spec.source = 1;
+  return spec;
+}
+
+core::PerformanceArchive GiraphArchive(int max_level = 0) {
+  GiraphPlatform giraph;
+  auto result = giraph.Run(TestGraph(), BfsSpec(), cluster::ClusterConfig{},
+                           JobConfig{});
+  EXPECT_TRUE(result.ok()) << result.status();
+  core::Archiver::Options options;
+  options.max_level = max_level;
+  auto archive = core::Archiver(options).Build(
+      core::MakeGiraphModel(), result->records,
+      std::move(result->environment), {{"platform", "Giraph"}});
+  EXPECT_TRUE(archive.ok()) << archive.status();
+  return std::move(archive).value();
+}
+
+core::PerformanceArchive PowerGraphArchive() {
+  PowerGraphPlatform powergraph;
+  auto result = powergraph.Run(TestGraph(), BfsSpec(),
+                               cluster::ClusterConfig{}, JobConfig{});
+  EXPECT_TRUE(result.ok()) << result.status();
+  auto archive = core::Archiver().Build(
+      core::MakePowerGraphModel(), result->records,
+      std::move(result->environment), {{"platform", "PowerGraph"}});
+  EXPECT_TRUE(archive.ok()) << archive.status();
+  return std::move(archive).value();
+}
+
+TEST(GiraphEndToEndTest, DomainPhasesCoverTheJob) {
+  core::PerformanceArchive archive = GiraphArchive();
+  ASSERT_NE(archive.root, nullptr);
+  EXPECT_EQ(archive.root->mission_id, "GiraphJob");
+  ASSERT_EQ(archive.root->children.size(), 5u);
+
+  // Phases appear in order and tile the job (no gaps at domain level).
+  const char* expected[] = {core::ops::kStartup, core::ops::kLoadGraph,
+                            core::ops::kProcessGraph,
+                            core::ops::kOffloadGraph, core::ops::kCleanup};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(archive.root->children[i]->mission_type, expected[i]);
+  }
+  double phase_sum = 0;
+  for (const auto& child : archive.root->children) {
+    phase_sum += child->Duration().seconds();
+  }
+  EXPECT_NEAR(phase_sum, archive.root->Duration().seconds(),
+              0.05 * archive.root->Duration().seconds());
+}
+
+TEST(GiraphEndToEndTest, DomainMetricsDerived) {
+  core::PerformanceArchive archive = GiraphArchive();
+  const core::ArchivedOperation& root = *archive.root;
+  double total = root.Duration().seconds();
+  double ts = root.InfoNumber("SetupTime") * 1e-9;
+  double td = root.InfoNumber("IoTime") * 1e-9;
+  double tp = root.InfoNumber("ProcessingTime") * 1e-9;
+  EXPECT_GT(ts, 0);
+  EXPECT_GT(td, 0);
+  EXPECT_GT(tp, 0);
+  EXPECT_NEAR(ts + td + tp, total, 0.05 * total);
+  EXPECT_NEAR(root.InfoNumber("SetupTimeFraction") +
+                  root.InfoNumber("IoTimeFraction") +
+                  root.InfoNumber("ProcessingTimeFraction"),
+              1.0, 0.05);
+}
+
+TEST(GiraphEndToEndTest, SuperstepHierarchyPresent) {
+  core::PerformanceArchive archive = GiraphArchive();
+  const core::ArchivedOperation* process =
+      archive.FindByPath("GiraphJob/ProcessGraph");
+  ASSERT_NE(process, nullptr);
+  EXPECT_GT(process->InfoNumber("SuperstepCount"), 2.0);
+
+  auto supersteps = archive.FindOperations("Master", "Superstep");
+  ASSERT_FALSE(supersteps.empty());
+  for (const core::ArchivedOperation* step : supersteps) {
+    EXPECT_EQ(step->children.size(), 8u);  // one LocalSuperstep per worker
+    EXPECT_GE(step->InfoNumber("WorkerImbalance"), 1.0);
+    for (const auto& local : step->children) {
+      // PreStep, Compute, Message, PostStep per worker.
+      EXPECT_EQ(local->children.size(), 4u);
+      // Children tile the LocalSuperstep (within rounding).
+      EXPECT_LE(local->children.front()->StartTime(), local->StartTime());
+    }
+  }
+}
+
+TEST(GiraphEndToEndTest, WorkerComputeInfosRecorded) {
+  core::PerformanceArchive archive = GiraphArchive();
+  uint64_t total_vertices_computed = 0;
+  for (const core::ArchivedOperation* compute :
+       archive.FindOperations("Worker", "Compute")) {
+    total_vertices_computed +=
+        static_cast<uint64_t>(compute->InfoNumber("VerticesComputed"));
+  }
+  // Every vertex in the giant component computes at least once.
+  EXPECT_GT(total_vertices_computed, 8000u / 2);
+}
+
+TEST(GiraphEndToEndTest, EnvironmentLogCoversTheRun) {
+  core::PerformanceArchive archive = GiraphArchive();
+  ASSERT_FALSE(archive.environment.empty());
+  double last = archive.environment.back().time_seconds;
+  EXPECT_NEAR(last, archive.root->EndTime().seconds(), 1.5);
+  // Startup is CPU-idle; LoadGraph is CPU-heavy (paper Fig. 6).
+  const core::ArchivedOperation* startup =
+      archive.FindByPath("GiraphJob/Startup");
+  const core::ArchivedOperation* load =
+      archive.FindByPath("GiraphJob/LoadGraph");
+  ASSERT_NE(startup, nullptr);
+  ASSERT_NE(load, nullptr);
+  auto mean_cpu = [&](const core::ArchivedOperation& op) {
+    double sum = 0;
+    int count = 0;
+    for (const core::EnvironmentRecord& r : archive.environment) {
+      if (r.time_seconds > op.StartTime().seconds() &&
+          r.time_seconds <= op.EndTime().seconds()) {
+        sum += r.cpu_seconds_per_second;
+        ++count;
+      }
+    }
+    return count > 0 ? sum / count : 0.0;
+  };
+  EXPECT_GT(mean_cpu(*load), 5.0 * std::max(0.2, mean_cpu(*startup)));
+}
+
+TEST(GiraphEndToEndTest, DomainLevelArchiveIsSmaller) {
+  core::PerformanceArchive fine = GiraphArchive();
+  core::PerformanceArchive coarse = GiraphArchive(/*max_level=*/2);
+  EXPECT_EQ(coarse.OperationCount(), 6u);  // job + 5 phases
+  EXPECT_GT(fine.OperationCount(), 10 * coarse.OperationCount());
+  // Same domain-level timings from either granularity.
+  EXPECT_EQ(fine.FindByPath("GiraphJob/LoadGraph")->Duration(),
+            coarse.FindByPath("GiraphJob/LoadGraph")->Duration());
+}
+
+TEST(GiraphEndToEndTest, ArchiveRoundtripsThroughJson) {
+  core::PerformanceArchive archive = GiraphArchive(/*max_level=*/3);
+  std::string json = archive.ToJsonString();
+  auto restored = core::PerformanceArchive::FromJsonString(json);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->ToJsonString(), json);
+}
+
+TEST(GiraphEndToEndTest, VisualsRenderFromRealArchive) {
+  core::PerformanceArchive archive = GiraphArchive();
+  EXPECT_NE(core::RenderBreakdownBar(archive).find("LoadGraph"),
+            std::string::npos);
+  EXPECT_NE(core::RenderUtilizationChart(archive).find("ProcessGraph"),
+            std::string::npos);
+  std::string svg =
+      core::RenderTimelineSvg(archive, "Worker", "LocalSuperstep");
+  EXPECT_NE(svg.find("Compute"), std::string::npos);
+}
+
+TEST(PowerGraphEndToEndTest, LoadDominatedByOneSequentialReader) {
+  core::PerformanceArchive archive = PowerGraphArchive();
+  const core::ArchivedOperation& root = *archive.root;
+  // The paper's headline: I/O dwarfs processing on PowerGraph.
+  EXPECT_GT(root.InfoNumber("IoTimeFraction"), 0.5);
+  EXPECT_LT(root.InfoNumber("ProcessingTimeFraction"), 0.2);
+
+  const core::ArchivedOperation* load =
+      archive.FindByPath("PowerGraphJob/LoadGraph");
+  ASSERT_NE(load, nullptr);
+  EXPECT_GT(load->InfoNumber("SequentialReadFraction"), 0.5);
+
+  // During ReadInput, the coordinator node owns (almost) all CPU time.
+  const core::ArchivedOperation* read =
+      archive.FindByPath("PowerGraphJob/LoadGraph/ReadInput");
+  ASSERT_NE(read, nullptr);
+  double coordinator = 0, others = 0;
+  for (const core::EnvironmentRecord& r : archive.environment) {
+    if (r.time_seconds > read->StartTime().seconds() &&
+        r.time_seconds <= read->EndTime().seconds()) {
+      (r.node == 0 ? coordinator : others) += r.cpu_seconds_per_second;
+    }
+  }
+  EXPECT_GT(coordinator, 10.0 * std::max(0.1, others));
+}
+
+TEST(PowerGraphEndToEndTest, GasStagesPresentPerIteration) {
+  core::PerformanceArchive archive = PowerGraphArchive();
+  auto iterations = archive.FindOperations("Engine", "Iteration");
+  ASSERT_GT(iterations.size(), 2u);
+  for (const core::ArchivedOperation* iter : iterations) {
+    // 4 stage ops per rank per iteration.
+    EXPECT_EQ(iter->children.size(), 8u * 4u);
+  }
+  const core::ArchivedOperation* process =
+      archive.FindByPath("PowerGraphJob/ProcessGraph");
+  ASSERT_NE(process, nullptr);
+  EXPECT_DOUBLE_EQ(process->InfoNumber("IterationCount"),
+                   static_cast<double>(iterations.size()));
+}
+
+TEST(CrossPlatformTest, DomainModelComparesBothPlatforms) {
+  // The paper's Section 4.2 workflow: archive both platforms under the
+  // *same* domain model and compare Ts/Td/Tp directly.
+  GiraphPlatform giraph;
+  PowerGraphPlatform powergraph;
+  graph::Graph g = TestGraph();
+  auto gr = giraph.Run(g, BfsSpec(), cluster::ClusterConfig{}, JobConfig{});
+  auto pr =
+      powergraph.Run(g, BfsSpec(), cluster::ClusterConfig{}, JobConfig{});
+  ASSERT_TRUE(gr.ok());
+  ASSERT_TRUE(pr.ok());
+
+  core::PerformanceModel domain = core::MakeGraphProcessingDomainModel();
+  auto ga = core::Archiver().Build(domain, gr->records, {}, {});
+  auto pa = core::Archiver().Build(domain, pr->records, {}, {});
+  ASSERT_TRUE(ga.ok()) << ga.status();
+  ASSERT_TRUE(pa.ok()) << pa.status();
+
+  // Both reduce to exactly job + 5 phases under the domain model.
+  EXPECT_EQ(ga->OperationCount(), 6u);
+  EXPECT_EQ(pa->OperationCount(), 6u);
+
+  // The paper's cross-platform findings (which survive scaling):
+  // PowerGraph processes faster but spends far more of its runtime on I/O.
+  double giraph_tp = ga->root->InfoNumber("ProcessingTime");
+  double powergraph_tp = pa->root->InfoNumber("ProcessingTime");
+  EXPECT_LT(powergraph_tp, giraph_tp);
+  EXPECT_GT(pa->root->InfoNumber("IoTimeFraction"),
+            ga->root->InfoNumber("IoTimeFraction"));
+  // And both engines computed the same BFS answer.
+  EXPECT_EQ(gr->vertex_values, pr->vertex_values);
+}
+
+TEST(CrossPlatformTest, DominantSuperstepIsMidRun) {
+  // Fig. 8's shape: the heaviest compute superstep is neither the first
+  // nor the last (the BFS frontier peaks mid-run on a small-world graph).
+  core::PerformanceArchive archive = GiraphArchive();
+  auto computes = archive.FindOperations("Worker", "Compute");
+  ASSERT_FALSE(computes.empty());
+  std::map<std::string, double> by_step;
+  for (const core::ArchivedOperation* op : computes) {
+    by_step[op->mission_id] =
+        std::max(by_step[op->mission_id], op->Duration().seconds());
+  }
+  std::string heaviest;
+  double heaviest_time = -1;
+  for (const auto& [step, t] : by_step) {
+    if (t > heaviest_time) {
+      heaviest_time = t;
+      heaviest = step;
+    }
+  }
+  EXPECT_NE(heaviest, "Compute-0");
+  auto last_step = by_step.rbegin()->first;
+  EXPECT_NE(heaviest, last_step);
+}
+
+}  // namespace
+}  // namespace granula::platform

@@ -1,0 +1,88 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace granula::graph {
+namespace {
+
+TEST(GraphTest, CreateValidatesEndpoints) {
+  auto ok = Graph::Create(3, {{0, 1}, {1, 2}}, true);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_vertices(), 3u);
+  EXPECT_EQ(ok->num_edges(), 2u);
+  EXPECT_TRUE(ok->directed());
+  EXPECT_EQ(ok->scale(), 5u);
+
+  auto bad = Graph::Create(3, {{0, 3}}, true);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  auto g = Graph::Create(0, {}, false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(CsrTest, DirectedOutNeighbors) {
+  auto g = Graph::Create(4, {{0, 1}, {0, 2}, {2, 3}, {3, 0}}, true);
+  Csr csr = Csr::Build(*g, /*out=*/true);
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_arcs(), 4u);
+  ASSERT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.neighbors(0)[0], 1u);
+  EXPECT_EQ(csr.neighbors(0)[1], 2u);
+  EXPECT_EQ(csr.degree(1), 0u);
+  EXPECT_EQ(csr.neighbors(3)[0], 0u);
+}
+
+TEST(CsrTest, DirectedInNeighbors) {
+  auto g = Graph::Create(4, {{0, 1}, {0, 2}, {2, 3}, {3, 0}}, true);
+  Csr csr = Csr::Build(*g, /*out=*/false);
+  ASSERT_EQ(csr.degree(0), 1u);
+  EXPECT_EQ(csr.neighbors(0)[0], 3u);
+  ASSERT_EQ(csr.degree(1), 1u);
+  EXPECT_EQ(csr.neighbors(1)[0], 0u);
+}
+
+TEST(CsrTest, UndirectedSymmetric) {
+  auto g = Graph::Create(3, {{0, 1}, {1, 2}}, false);
+  Csr csr = Csr::Build(*g);
+  EXPECT_EQ(csr.num_arcs(), 4u);
+  EXPECT_EQ(csr.degree(1), 2u);
+  EXPECT_EQ(csr.neighbors(1)[0], 0u);
+  EXPECT_EQ(csr.neighbors(1)[1], 2u);
+}
+
+TEST(CsrTest, ParallelEdgesKept) {
+  auto g = Graph::Create(2, {{0, 1}, {0, 1}}, false);
+  Csr csr = Csr::Build(*g);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(1), 2u);
+}
+
+TEST(FileBytesTest, EdgeListBytesExact) {
+  // "0 1\n" (4) + "10 100\n" (7).
+  auto g = Graph::Create(101, {{0, 1}, {10, 100}}, true);
+  EXPECT_EQ(EdgeListFileBytes(*g), 11u);
+}
+
+TEST(FileBytesTest, VertexListBytesExact) {
+  // "0\n".."9\n" = 20, "10\n".."11\n" = 6.
+  auto g = Graph::Create(12, {}, true);
+  EXPECT_EQ(VertexListFileBytes(*g), 26u);
+}
+
+TEST(FileBytesTest, ScalesWithGraph) {
+  auto small = GenerateUniform(100, 500, 1);
+  auto large = GenerateUniform(100, 5000, 1);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(EdgeListFileBytes(*large), 5 * EdgeListFileBytes(*small));
+}
+
+}  // namespace
+}  // namespace granula::graph

@@ -1,0 +1,143 @@
+#include "granula/model/info_rule.h"
+
+#include <gtest/gtest.h>
+
+namespace granula::core {
+namespace {
+
+std::unique_ptr<ArchivedOperation> OpWithTimes(int64_t start_ns,
+                                               int64_t end_ns) {
+  auto op = std::make_unique<ArchivedOperation>();
+  op->SetInfo("StartTime", Json(start_ns), "t");
+  op->SetInfo("EndTime", Json(end_ns), "t");
+  return op;
+}
+
+TEST(DurationRuleTest, Computes) {
+  auto op = OpWithTimes(1000, 4500);
+  auto rule = MakeDurationRule();
+  EXPECT_EQ(rule->info_name(), "Duration");
+  auto v = rule->Derive(*op);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 3500);
+}
+
+TEST(DurationRuleTest, MissingTimesNotFound) {
+  ArchivedOperation op;
+  EXPECT_EQ(MakeDurationRule()->Derive(op).status().code(),
+            StatusCode::kNotFound);
+}
+
+ArchivedOperation ParentWithChildren() {
+  ArchivedOperation parent;
+  parent.SetInfo("StartTime", Json(int64_t{0}), "t");
+  parent.SetInfo("EndTime", Json(int64_t{10000000000}), "t");  // 10s
+  for (int i = 1; i <= 3; ++i) {
+    auto child = std::make_unique<ArchivedOperation>();
+    child->mission_type = "Compute";
+    child->SetInfo("Duration", Json(int64_t{i * 100}), "t");
+    parent.children.push_back(std::move(child));
+  }
+  auto other = std::make_unique<ArchivedOperation>();
+  other->mission_type = "Wait";
+  other->SetInfo("Duration", Json(int64_t{9999}), "t");
+  parent.children.push_back(std::move(other));
+  return parent;
+}
+
+TEST(ChildAggregateRuleTest, SumFiltersByMission) {
+  ArchivedOperation parent = ParentWithChildren();
+  auto rule = MakeChildAggregateRule("ComputeTotal", Aggregate::kSum,
+                                     "Duration", "Compute");
+  auto v = rule->Derive(parent);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 600.0);
+}
+
+TEST(ChildAggregateRuleTest, SumOverAllChildren) {
+  ArchivedOperation parent = ParentWithChildren();
+  auto rule =
+      MakeChildAggregateRule("Total", Aggregate::kSum, "Duration", "");
+  auto v = rule->Derive(parent);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 600.0 + 9999.0);
+}
+
+TEST(ChildAggregateRuleTest, MaxMinMeanCount) {
+  ArchivedOperation parent = ParentWithChildren();
+  EXPECT_DOUBLE_EQ(MakeChildAggregateRule("x", Aggregate::kMax, "Duration",
+                                          "Compute")
+                       ->Derive(parent)
+                       ->AsDouble(),
+                   300.0);
+  EXPECT_DOUBLE_EQ(MakeChildAggregateRule("x", Aggregate::kMin, "Duration",
+                                          "Compute")
+                       ->Derive(parent)
+                       ->AsDouble(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(MakeChildAggregateRule("x", Aggregate::kMean, "Duration",
+                                          "Compute")
+                       ->Derive(parent)
+                       ->AsDouble(),
+                   200.0);
+  EXPECT_EQ(MakeChildAggregateRule("x", Aggregate::kCount, "Duration",
+                                   "Compute")
+                ->Derive(parent)
+                ->AsInt(),
+            3);
+}
+
+TEST(ChildAggregateRuleTest, NoMatchingChildren) {
+  ArchivedOperation parent = ParentWithChildren();
+  auto rule = MakeChildAggregateRule("x", Aggregate::kSum, "Duration",
+                                     "Nothing");
+  EXPECT_EQ(rule->Derive(parent).status().code(), StatusCode::kNotFound);
+  // Count of zero matches is a valid answer.
+  auto count = MakeChildAggregateRule("x", Aggregate::kCount, "Duration",
+                                      "Nothing")
+                   ->Derive(parent);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->AsInt(), 0);
+}
+
+TEST(ChildAggregateRuleTest, IgnoresNonNumericInfos) {
+  ArchivedOperation parent = ParentWithChildren();
+  auto child = std::make_unique<ArchivedOperation>();
+  child->mission_type = "Compute";
+  child->SetInfo("Duration", Json("not a number"), "t");
+  parent.children.push_back(std::move(child));
+  auto v = MakeChildAggregateRule("x", Aggregate::kSum, "Duration",
+                                  "Compute")
+               ->Derive(parent);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 600.0);
+}
+
+TEST(RateRuleTest, DividesByDuration) {
+  auto op = OpWithTimes(0, 2000000000);  // 2s
+  op->SetInfo("Items", Json(int64_t{500}), "t");
+  auto v = MakeRateRule("ItemsPerSecond", "Items")->Derive(*op);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 250.0);
+}
+
+TEST(RateRuleTest, ZeroDurationNotFound) {
+  auto op = OpWithTimes(5, 5);
+  op->SetInfo("Items", Json(int64_t{500}), "t");
+  EXPECT_EQ(MakeRateRule("r", "Items")->Derive(*op).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CustomRuleTest, RunsLambdaAndDescribes) {
+  auto rule = MakeCustomRule("Answer", "always 42",
+                             [](const ArchivedOperation&) -> Result<Json> {
+                               return Json(int64_t{42});
+                             });
+  EXPECT_EQ(rule->info_name(), "Answer");
+  EXPECT_EQ(rule->Describe(), "always 42");
+  ArchivedOperation op;
+  EXPECT_EQ(rule->Derive(op)->AsInt(), 42);
+}
+
+}  // namespace
+}  // namespace granula::core

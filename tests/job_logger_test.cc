@@ -1,0 +1,68 @@
+#include "granula/monitor/job_logger.h"
+
+#include <gtest/gtest.h>
+
+namespace granula::core {
+namespace {
+
+TEST(JobLoggerTest, RecordsStartEndInfo) {
+  SimTime now = SimTime::Seconds(1);
+  JobLogger logger([&now] { return now; });
+
+  OpId job = logger.StartOperation(kNoOp, "Job", "job-0", "Root");
+  now = SimTime::Seconds(2);
+  OpId phase = logger.StartOperation(job, "Job", "job-0", "Phase", "Phase-1");
+  logger.AddInfo(phase, "Bytes", Json(int64_t{1024}));
+  now = SimTime::Seconds(3);
+  logger.EndOperation(phase);
+  logger.EndOperation(job);
+
+  const auto& records = logger.records();
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].kind, LogRecord::Kind::kStartOp);
+  EXPECT_EQ(records[0].op_id, job);
+  EXPECT_EQ(records[0].parent_id, kNoOp);
+  EXPECT_EQ(records[0].time, SimTime::Seconds(1));
+  EXPECT_EQ(records[1].parent_id, job);
+  EXPECT_EQ(records[1].mission_id, "Phase-1");
+  EXPECT_EQ(records[2].kind, LogRecord::Kind::kInfo);
+  EXPECT_EQ(records[2].info_name, "Bytes");
+  EXPECT_EQ(records[2].info_value.AsInt(), 1024);
+  EXPECT_EQ(records[3].kind, LogRecord::Kind::kEndOp);
+  EXPECT_EQ(records[3].time, SimTime::Seconds(3));
+}
+
+TEST(JobLoggerTest, OpIdsAreUniqueAndNonZero) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId a = logger.StartOperation(kNoOp, "A", "", "M");
+  OpId b = logger.StartOperation(a, "A", "", "M");
+  OpId c = logger.StartOperation(a, "A", "", "M");
+  EXPECT_NE(a, kNoOp);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+TEST(JobLoggerTest, SequenceNumbersMonotonic) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId op = logger.StartOperation(kNoOp, "A", "", "M");
+  logger.AddInfo(op, "x", Json(int64_t{1}));
+  logger.EndOperation(op);
+  const auto& records = logger.records();
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GT(records[i].seq, records[i - 1].seq);
+  }
+}
+
+TEST(JobLoggerTest, TakeRecordsMovesOut) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  logger.StartOperation(kNoOp, "A", "", "M");
+  auto taken = logger.TakeRecords();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(logger.records().empty());
+}
+
+}  // namespace
+}  // namespace granula::core

@@ -1,0 +1,176 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace granula {
+namespace {
+
+TEST(JsonTest, TypePredicates) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(int64_t{42}).is_int());
+  EXPECT_TRUE(Json(3.14).is_double());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json::MakeArray().is_array());
+  EXPECT_TRUE(Json::MakeObject().is_object());
+  EXPECT_TRUE(Json(int64_t{1}).is_number());
+  EXPECT_TRUE(Json(1.0).is_number());
+}
+
+TEST(JsonTest, DumpScalars) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(Json("a\"b").Dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json(0.5).Dump(), "0.5");
+}
+
+TEST(JsonTest, DoubleAlwaysReparsesAsDouble) {
+  EXPECT_EQ(Json(2.0).Dump(), "2.0");
+  auto parsed = Json::Parse("2.0");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->is_double());
+}
+
+TEST(JsonTest, ObjectBuildAndFind) {
+  Json obj;
+  obj["name"] = "bfs";
+  obj["nodes"] = int64_t{8};
+  obj["ratio"] = 0.25;
+  EXPECT_TRUE(obj.is_object());
+  EXPECT_EQ(obj.GetString("name"), "bfs");
+  EXPECT_EQ(obj.GetInt("nodes"), 8);
+  EXPECT_DOUBLE_EQ(obj.GetDouble("ratio"), 0.25);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(obj.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(obj.GetInt("missing", -1), -1);
+}
+
+TEST(JsonTest, ArrayAppend) {
+  Json arr;
+  arr.Append(int64_t{1});
+  arr.Append("two");
+  arr.Append(Json::MakeObject());
+  EXPECT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.Dump(), "[1,\"two\",{}]");
+}
+
+TEST(JsonTest, ObjectKeysSortedDeterministically) {
+  Json obj;
+  obj["zebra"] = int64_t{1};
+  obj["alpha"] = int64_t{2};
+  EXPECT_EQ(obj.Dump(), "{\"alpha\":2,\"zebra\":1}");
+}
+
+TEST(JsonTest, PrettyPrint) {
+  Json obj;
+  obj["a"] = int64_t{1};
+  EXPECT_EQ(obj.Dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->AsBool(), true);
+  EXPECT_EQ(Json::Parse("-42")->AsInt(), -42);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5e3")->AsDouble(), 2500.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParseNested) {
+  auto r = Json::Parse(R"({"a": [1, {"b": null}], "c": "x"})");
+  ASSERT_TRUE(r.ok());
+  const Json& v = *r;
+  ASSERT_NE(v.Find("a"), nullptr);
+  EXPECT_EQ(v.Find("a")->AsArray()[0].AsInt(), 1);
+  EXPECT_TRUE(v.Find("a")->AsArray()[1].Find("b")->is_null());
+  EXPECT_EQ(v.GetString("c"), "x");
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("nan").ok());
+}
+
+TEST(JsonTest, ParseStringEscapes) {
+  auto r = Json::Parse(R"("a\n\t\"\\A")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "a\n\t\"\\A");
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  // U+00E9 (é), U+4E2D (中), and a surrogate pair for U+1F600.
+  auto r = Json::Parse(R"(["é", "中", "😀"])");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsArray()[0].AsString(), "\xc3\xa9");
+  EXPECT_EQ(r->AsArray()[1].AsString(), "\xe4\xb8\xad");
+  EXPECT_EQ(r->AsArray()[2].AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RoundtripComplexDocument) {
+  Json doc;
+  doc["job"] = "BFS";
+  doc["t"] = 81.59;
+  doc["n"] = int64_t{1030000000};
+  Json ops = Json::MakeArray();
+  for (int i = 0; i < 5; ++i) {
+    Json op;
+    op["id"] = int64_t{i};
+    op["name"] = std::string("op") + std::to_string(i);
+    op["frac"] = 0.2 * i;
+    ops.Append(std::move(op));
+  }
+  doc["operations"] = std::move(ops);
+
+  for (int indent : {0, 2, 4}) {
+    auto parsed = Json::Parse(doc.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, doc) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, RoundtripExtremeNumbers) {
+  Json doc = Json::MakeArray();
+  doc.Append(int64_t{INT64_MAX});
+  doc.Append(int64_t{INT64_MIN + 1});
+  doc.Append(1e-300);
+  doc.Append(1.7976931348623157e308);
+  doc.Append(0.1);
+  auto parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, doc);
+}
+
+TEST(JsonTest, EqualityIsDeep) {
+  auto a = Json::Parse(R"({"x":[1,2,{"y":true}]})");
+  auto b = Json::Parse(R"({"x":[1,2,{"y":true}]})");
+  auto c = Json::Parse(R"({"x":[1,2,{"y":false}]})");
+  EXPECT_EQ(*a, *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(JsonTest, DeepNestingWithinLimitParses) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_TRUE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, ExcessiveNestingRejected) {
+  std::string deep;
+  for (int i = 0; i < 1000; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 1000; ++i) deep += ']';
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+}  // namespace
+}  // namespace granula

@@ -1,0 +1,85 @@
+#include "platforms/message_store.h"
+
+#include <gtest/gtest.h>
+
+namespace granula::platform {
+namespace {
+
+TEST(MessageStoreTest, NoCombinerKeepsAllMessages) {
+  MessageStore store(4, algo::Combiner::kNone);
+  store.Deliver(1, 3.0);
+  store.Deliver(1, 5.0);
+  store.Deliver(2, 7.0);
+  EXPECT_FALSE(store.HasCurrent(1));  // still in the "next" buffer
+  EXPECT_EQ(store.pending_total(), 3u);
+  store.Swap();
+  ASSERT_TRUE(store.HasCurrent(1));
+  auto messages = store.CurrentMessages(1);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_DOUBLE_EQ(messages[0], 3.0);
+  EXPECT_DOUBLE_EQ(messages[1], 5.0);
+  EXPECT_EQ(store.CurrentDeliveryCount(1), 2u);
+  EXPECT_EQ(store.CurrentMessages(2).size(), 1u);
+  EXPECT_TRUE(store.CurrentMessages(0).empty());
+  EXPECT_FALSE(store.HasCurrent(3));
+}
+
+TEST(MessageStoreTest, MinCombinerCollapsesButCounts) {
+  MessageStore store(2, algo::Combiner::kMin);
+  store.Deliver(0, 9.0);
+  store.Deliver(0, 4.0);
+  store.Deliver(0, 6.0);
+  store.Swap();
+  auto messages = store.CurrentMessages(0);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_DOUBLE_EQ(messages[0], 4.0);
+  EXPECT_EQ(store.CurrentDeliveryCount(0), 3u);  // pre-combine count
+}
+
+TEST(MessageStoreTest, MaxAndSumCombiners) {
+  MessageStore max_store(1, algo::Combiner::kMax);
+  max_store.Deliver(0, 1.0);
+  max_store.Deliver(0, 8.0);
+  max_store.Swap();
+  EXPECT_DOUBLE_EQ(max_store.CurrentMessages(0)[0], 8.0);
+
+  MessageStore sum_store(1, algo::Combiner::kSum);
+  sum_store.Deliver(0, 1.5);
+  sum_store.Deliver(0, 2.5);
+  sum_store.Swap();
+  EXPECT_DOUBLE_EQ(sum_store.CurrentMessages(0)[0], 4.0);
+}
+
+TEST(MessageStoreTest, SwapClearsNextBuffer) {
+  MessageStore store(2, algo::Combiner::kMin);
+  store.Deliver(0, 1.0);
+  store.Swap();
+  EXPECT_TRUE(store.HasCurrent(0));
+  EXPECT_EQ(store.pending_total(), 0u);
+  store.Swap();  // nothing pending: current becomes empty
+  EXPECT_FALSE(store.HasCurrent(0));
+}
+
+TEST(MessageStoreTest, DeliveriesDuringSuperstepGoToNext) {
+  MessageStore store(2, algo::Combiner::kNone);
+  store.Deliver(0, 1.0);
+  store.Swap();
+  // "Superstep": read current, deliver new.
+  EXPECT_TRUE(store.HasCurrent(0));
+  store.Deliver(0, 2.0);
+  EXPECT_EQ(store.CurrentMessages(0).size(), 1u);  // unchanged this step
+  store.Swap();
+  ASSERT_EQ(store.CurrentMessages(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.CurrentMessages(0)[0], 2.0);
+}
+
+TEST(MessageStoreTest, PendingTotalTracksAllTargets) {
+  MessageStore store(8, algo::Combiner::kSum);
+  for (graph::VertexId v = 0; v < 8; ++v) store.Deliver(v, 1.0);
+  EXPECT_EQ(store.pending_total(), 8u);
+  store.Swap();
+  EXPECT_EQ(store.pending_total(), 0u);
+}
+
+}  // namespace
+}  // namespace granula::platform

@@ -1,0 +1,97 @@
+// Model-coverage consistency: every operation each engine logs must be
+// covered by that platform's performance model (archiver strict mode).
+// This pins engines and models together — adding an operation to an engine
+// without modeling it fails here, not silently in a bench.
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/models/models.h"
+#include "graph/generators.h"
+#include "platforms/giraph.h"
+#include "platforms/graphmat.h"
+#include "platforms/hadoop.h"
+#include "platforms/pgxd.h"
+#include "platforms/powergraph.h"
+
+namespace granula::platform {
+namespace {
+
+graph::Graph TestGraph() {
+  graph::DatagenConfig config;
+  config.num_vertices = 2000;
+  config.avg_degree = 8.0;
+  config.seed = 12;
+  return std::move(graph::GenerateDatagen(config)).value();
+}
+
+algo::AlgorithmSpec BfsSpec() {
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kBfs;
+  spec.source = 1;
+  return spec;
+}
+
+void ExpectStrictCoverage(const JobResult& result,
+                          const core::PerformanceModel& model) {
+  core::Archiver::Options options;
+  options.strict = true;
+  auto archive = core::Archiver(options).Build(model, result.records, {},
+                                               {});
+  EXPECT_TRUE(archive.ok())
+      << "model '" << model.name()
+      << "' does not cover every logged operation: "
+      << archive.status();
+}
+
+TEST(ModelCoverageTest, Giraph) {
+  auto result = GiraphPlatform().Run(TestGraph(), BfsSpec(),
+                                     cluster::ClusterConfig{}, JobConfig{});
+  ASSERT_TRUE(result.ok());
+  ExpectStrictCoverage(*result, core::MakeGiraphModel());
+}
+
+TEST(ModelCoverageTest, PowerGraph) {
+  auto result = PowerGraphPlatform().Run(
+      TestGraph(), BfsSpec(), cluster::ClusterConfig{}, JobConfig{});
+  ASSERT_TRUE(result.ok());
+  ExpectStrictCoverage(*result, core::MakePowerGraphModel());
+}
+
+TEST(ModelCoverageTest, Hadoop) {
+  auto result = HadoopPlatform().Run(TestGraph(), BfsSpec(),
+                                     cluster::ClusterConfig{}, JobConfig{});
+  ASSERT_TRUE(result.ok());
+  ExpectStrictCoverage(*result, core::MakeHadoopModel());
+}
+
+TEST(ModelCoverageTest, Pgxd) {
+  auto result = PgxdPlatform().Run(TestGraph(), BfsSpec(),
+                                   cluster::ClusterConfig{}, JobConfig{});
+  ASSERT_TRUE(result.ok());
+  ExpectStrictCoverage(*result, core::MakePgxdModel());
+}
+
+TEST(ModelCoverageTest, GraphMat) {
+  auto result = GraphMatPlatform().Run(
+      TestGraph(), BfsSpec(), cluster::ClusterConfig{}, JobConfig{});
+  ASSERT_TRUE(result.ok());
+  ExpectStrictCoverage(*result, core::MakeGraphMatModel());
+}
+
+TEST(ModelCoverageTest, DomainModelNeverCoversSystemOps) {
+  // The inverse property: the domain model alone must trigger strict-mode
+  // failure on a full log (it intentionally filters system operations).
+  auto result = GiraphPlatform().Run(TestGraph(), BfsSpec(),
+                                     cluster::ClusterConfig{}, JobConfig{});
+  ASSERT_TRUE(result.ok());
+  core::Archiver::Options options;
+  options.strict = true;
+  auto archive =
+      core::Archiver(options).Build(core::MakeGraphProcessingDomainModel(),
+                                    result->records, {}, {});
+  EXPECT_EQ(archive.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace granula::platform

@@ -1,0 +1,170 @@
+#include "graph/partition.h"
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace granula::graph {
+namespace {
+
+TEST(EdgeCutTest, EveryVertexOwnedExactlyOnce) {
+  Graph g = MakeGrid(10, 10);
+  auto r = PartitionEdgeCut(g, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->partitions.size(), 4u);
+  std::set<VertexId> seen;
+  for (const auto& p : r->partitions) {
+    for (VertexId v : p.vertices) {
+      EXPECT_TRUE(seen.insert(v).second) << "vertex owned twice: " << v;
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_vertices());
+}
+
+TEST(EdgeCutTest, EveryEdgeAssignedToSrcOwner) {
+  Graph g = MakeGrid(8, 8);
+  auto r = PartitionEdgeCut(g, 3);
+  ASSERT_TRUE(r.ok());
+  uint64_t total_edges = 0;
+  for (uint32_t p = 0; p < 3; ++p) {
+    for (const Edge& e : r->partitions[p].edges) {
+      EXPECT_EQ(r->owner[e.src], p);
+      ++total_edges;
+    }
+  }
+  EXPECT_EQ(total_edges, g.num_edges());
+}
+
+TEST(EdgeCutTest, CutEdgesCountedCorrectly) {
+  Graph g = MakePath(10);
+  auto r = PartitionEdgeCut(g, 2);
+  ASSERT_TRUE(r.ok());
+  uint64_t expected_cut = 0;
+  for (const Edge& e : g.edges()) {
+    if (r->owner[e.src] != r->owner[e.dst]) ++expected_cut;
+  }
+  EXPECT_EQ(r->cut_edges, expected_cut);
+  EXPECT_LE(r->CutFraction(g.num_edges()), 1.0);
+}
+
+TEST(EdgeCutTest, SinglePartitionHasNoCut) {
+  auto graph = GenerateUniform(200, 1000, 9);
+  ASSERT_TRUE(graph.ok());
+  auto r = PartitionEdgeCut(*graph, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->cut_edges, 0u);
+  EXPECT_EQ(r->partitions[0].vertices.size(), 200u);
+}
+
+TEST(EdgeCutTest, RoughlyBalanced) {
+  auto graph = GenerateUniform(8000, 16000, 21);
+  ASSERT_TRUE(graph.ok());
+  auto r = PartitionEdgeCut(*graph, 8);
+  ASSERT_TRUE(r.ok());
+  for (const auto& p : r->partitions) {
+    EXPECT_NEAR(static_cast<double>(p.vertices.size()), 1000.0, 150.0);
+  }
+}
+
+TEST(EdgeCutTest, ZeroPartitionsRejected) {
+  Graph g = MakePath(3);
+  EXPECT_FALSE(PartitionEdgeCut(g, 0).ok());
+}
+
+void CheckVertexCutInvariants(const Graph& g, const VertexCutResult& r,
+                              uint32_t k) {
+  // Every edge exactly once.
+  uint64_t total_edges = 0;
+  for (const auto& p : r.partitions) total_edges += p.edges.size();
+  EXPECT_EQ(total_edges, g.num_edges());
+
+  // Replicas cover every endpoint of every local edge.
+  for (const auto& p : r.partitions) {
+    std::set<VertexId> replicas(p.replicas.begin(), p.replicas.end());
+    EXPECT_EQ(replicas.size(), p.replicas.size()) << "duplicate replica";
+    for (const Edge& e : p.edges) {
+      EXPECT_TRUE(replicas.count(e.src)) << "missing src replica";
+      EXPECT_TRUE(replicas.count(e.dst)) << "missing dst replica";
+    }
+  }
+
+  // Every vertex has a master, and the master partition holds a replica.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_LT(r.master[v], k);
+    const auto& p = r.partitions[r.master[v]];
+    EXPECT_TRUE(std::find(p.replicas.begin(), p.replicas.end(), v) !=
+                p.replicas.end());
+  }
+
+  // total_replicas is consistent.
+  uint64_t count = 0;
+  for (const auto& p : r.partitions) count += p.replicas.size();
+  EXPECT_EQ(count, r.total_replicas);
+  EXPECT_GE(r.ReplicationFactor(g.num_vertices()), 1.0);
+}
+
+TEST(VertexCutTest, GreedyInvariants) {
+  auto graph = GenerateUniform(500, 3000, 17);
+  ASSERT_TRUE(graph.ok());
+  auto r = PartitionVertexCutGreedy(*graph, 4);
+  ASSERT_TRUE(r.ok());
+  CheckVertexCutInvariants(*graph, *r, 4);
+}
+
+TEST(VertexCutTest, RandomInvariants) {
+  auto graph = GenerateUniform(500, 3000, 17);
+  ASSERT_TRUE(graph.ok());
+  auto r = PartitionVertexCutRandom(*graph, 4, 99);
+  ASSERT_TRUE(r.ok());
+  CheckVertexCutInvariants(*graph, *r, 4);
+}
+
+TEST(VertexCutTest, GreedyBeatsRandomOnReplication) {
+  DatagenConfig config;
+  config.num_vertices = 3000;
+  config.avg_degree = 10.0;
+  config.seed = 5;
+  auto graph = GenerateDatagen(config);
+  ASSERT_TRUE(graph.ok());
+  auto greedy = PartitionVertexCutGreedy(*graph, 8);
+  auto random = PartitionVertexCutRandom(*graph, 8, 1);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(random.ok());
+  // The PowerGraph paper's core claim for its greedy heuristic.
+  EXPECT_LT(greedy->ReplicationFactor(graph->num_vertices()),
+            random->ReplicationFactor(graph->num_vertices()));
+}
+
+TEST(VertexCutTest, IsolatedVerticesGetMasters) {
+  auto g = Graph::Create(5, {{0, 1}}, false);
+  ASSERT_TRUE(g.ok());
+  auto r = PartitionVertexCutGreedy(*g, 2);
+  ASSERT_TRUE(r.ok());
+  CheckVertexCutInvariants(*g, *r, 2);
+}
+
+TEST(VertexCutTest, GreedyKeepsLoadBalanced) {
+  auto graph = GenerateUniform(2000, 12000, 23);
+  ASSERT_TRUE(graph.ok());
+  auto r = PartitionVertexCutGreedy(*graph, 6);
+  ASSERT_TRUE(r.ok());
+  uint64_t min_load = UINT64_MAX, max_load = 0;
+  for (const auto& p : r->partitions) {
+    min_load = std::min<uint64_t>(min_load, p.edges.size());
+    max_load = std::max<uint64_t>(max_load, p.edges.size());
+  }
+  EXPECT_LT(static_cast<double>(max_load),
+            1.5 * static_cast<double>(min_load) + 16.0);
+}
+
+TEST(VertexCutTest, ZeroPartitionsRejected) {
+  Graph g = MakePath(3);
+  EXPECT_FALSE(PartitionVertexCutGreedy(g, 0).ok());
+  EXPECT_FALSE(PartitionVertexCutRandom(g, 0, 0).ok());
+}
+
+}  // namespace
+}  // namespace granula::graph

@@ -1,0 +1,145 @@
+#include "granula/model/performance_model.h"
+
+#include <gtest/gtest.h>
+
+#include "granula/models/models.h"
+
+namespace granula::core {
+namespace {
+
+PerformanceModel TwoLevelModel() {
+  PerformanceModel model("test");
+  EXPECT_TRUE(model.AddRoot("Job", "Root").ok());
+  EXPECT_TRUE(model.AddOperation("Job", "PhaseA", "Job", "Root").ok());
+  EXPECT_TRUE(model.AddOperation("Job", "PhaseB", "Job", "Root").ok());
+  EXPECT_TRUE(model.AddOperation("Worker", "Step", "Job", "PhaseA").ok());
+  return model;
+}
+
+TEST(PerformanceModelTest, RootAndLookup) {
+  PerformanceModel model = TwoLevelModel();
+  ASSERT_NE(model.root(), nullptr);
+  EXPECT_EQ(model.root()->mission_type, "Root");
+  EXPECT_EQ(model.root()->level, kDomainLevel);
+  EXPECT_TRUE(model.Contains("Job", "PhaseA"));
+  EXPECT_FALSE(model.Contains("Job", "PhaseC"));
+  const OperationModel* step = model.Find("Worker", "Step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->level, 3);
+  EXPECT_EQ(step->parent_key, "Job@PhaseA");
+}
+
+TEST(PerformanceModelTest, SecondRootRejected) {
+  PerformanceModel model = TwoLevelModel();
+  EXPECT_EQ(model.AddRoot("X", "Y").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PerformanceModelTest, DuplicateOperationRejected) {
+  PerformanceModel model = TwoLevelModel();
+  EXPECT_EQ(model.AddOperation("Job", "PhaseA", "Job", "Root").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(PerformanceModelTest, UnknownParentRejected) {
+  PerformanceModel model = TwoLevelModel();
+  EXPECT_EQ(model.AddOperation("X", "Y", "No", "Such").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PerformanceModelTest, EveryOperationGetsDurationRule) {
+  PerformanceModel model = TwoLevelModel();
+  for (const auto& [key, op] : model.operations()) {
+    bool has_duration = false;
+    for (const auto& rule : op.rules) {
+      if (rule->info_name() == "Duration") has_duration = true;
+    }
+    EXPECT_TRUE(has_duration) << key;
+  }
+}
+
+TEST(PerformanceModelTest, AddRuleToUnknownOperationFails) {
+  PerformanceModel model = TwoLevelModel();
+  EXPECT_FALSE(model.AddRule("No", "Such", MakeDurationRule()).ok());
+  EXPECT_TRUE(model.AddRule("Worker", "Step", MakeDurationRule()).ok());
+}
+
+TEST(PerformanceModelTest, ValidatePassesForWellFormed) {
+  EXPECT_TRUE(TwoLevelModel().Validate().ok());
+}
+
+TEST(PerformanceModelTest, ValidateFailsWithoutRoot) {
+  PerformanceModel model("empty");
+  EXPECT_EQ(model.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PerformanceModelTest, MaxLevel) {
+  EXPECT_EQ(TwoLevelModel().max_level(), 3);
+}
+
+TEST(PerformanceModelTest, WithMaxLevelTrims) {
+  PerformanceModel trimmed = TwoLevelModel().WithMaxLevel(2);
+  EXPECT_TRUE(trimmed.Contains("Job", "PhaseA"));
+  EXPECT_FALSE(trimmed.Contains("Worker", "Step"));
+  EXPECT_EQ(trimmed.max_level(), 2);
+  EXPECT_TRUE(trimmed.Validate().ok());
+}
+
+TEST(PerformanceModelTest, ExplicitLevelsWithGapsTrimCascades) {
+  PerformanceModel model("gaps");
+  ASSERT_TRUE(model.AddRoot("J", "R").ok());
+  ASSERT_TRUE(model.AddOperation("J", "Mid", "J", "R", 4).ok());
+  ASSERT_TRUE(model.AddOperation("J", "Leaf", "J", "Mid").ok());
+  EXPECT_EQ(model.Find("J", "Leaf")->level, 5);
+  PerformanceModel trimmed = model.WithMaxLevel(3);
+  // Mid (level 4) goes, and Leaf must cascade out with it.
+  EXPECT_FALSE(trimmed.Contains("J", "Mid"));
+  EXPECT_FALSE(trimmed.Contains("J", "Leaf"));
+  EXPECT_TRUE(trimmed.Contains("J", "R"));
+}
+
+TEST(PerformanceModelTest, LevelMustExceedParent) {
+  PerformanceModel model("bad");
+  ASSERT_TRUE(model.AddRoot("J", "R").ok());
+  ASSERT_TRUE(model.AddOperation("J", "Child", "J", "R", 1).ok());
+  EXPECT_EQ(model.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BuiltinModelsTest, AllValidate) {
+  EXPECT_TRUE(MakeGraphProcessingDomainModel().Validate().ok());
+  EXPECT_TRUE(MakeGiraphModel().Validate().ok());
+  EXPECT_TRUE(MakePowerGraphModel().Validate().ok());
+}
+
+TEST(BuiltinModelsTest, DomainVocabularySharedAcrossPlatforms) {
+  PerformanceModel giraph = MakeGiraphModel();
+  PerformanceModel powergraph = MakePowerGraphModel();
+  for (const char* phase : {ops::kStartup, ops::kLoadGraph,
+                            ops::kProcessGraph, ops::kOffloadGraph,
+                            ops::kCleanup}) {
+    EXPECT_TRUE(giraph.Contains(ops::kJobActor, phase)) << phase;
+    EXPECT_TRUE(powergraph.Contains(ops::kJobActor, phase)) << phase;
+  }
+}
+
+TEST(BuiltinModelsTest, GiraphModelDepth) {
+  PerformanceModel model = MakeGiraphModel();
+  EXPECT_EQ(model.max_level(), 5);  // superstep stages
+  EXPECT_TRUE(model.Contains("Worker", "Compute"));
+  EXPECT_TRUE(model.Contains("Worker", "PreStep"));
+  EXPECT_TRUE(model.Contains("Master", "SyncZookeeper"));
+  // Domain view drops them.
+  PerformanceModel domain = model.WithMaxLevel(2);
+  EXPECT_FALSE(domain.Contains("Worker", "Compute"));
+  EXPECT_TRUE(domain.Contains(ops::kJobActor, ops::kProcessGraph));
+}
+
+TEST(BuiltinModelsTest, PowerGraphHasGasStages) {
+  PerformanceModel model = MakePowerGraphModel();
+  for (const char* stage : {"Gather", "Apply", "Scatter"}) {
+    EXPECT_TRUE(model.Contains("Rank", stage)) << stage;
+  }
+  EXPECT_TRUE(model.Contains("Coordinator", "ReadInput"));
+}
+
+}  // namespace
+}  // namespace granula::core

@@ -1,0 +1,144 @@
+// Cross-platform structural invariants, parameterized over all five
+// engines: the domain phases must appear exactly once each, in order,
+// tiling the job without overlap; environment sampling must span the job;
+// archives must round-trip. These are the guarantees the shared domain
+// model (and therefore every cross-platform comparison) rests on.
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/models/models.h"
+#include "graph/generators.h"
+#include "platforms/giraph.h"
+#include "platforms/graphmat.h"
+#include "platforms/hadoop.h"
+#include "platforms/pgxd.h"
+#include "platforms/powergraph.h"
+
+namespace granula::platform {
+namespace {
+
+enum class Engine { kGiraph, kPowerGraph, kHadoop, kPgxd, kGraphMat };
+
+constexpr Engine kEngines[] = {Engine::kGiraph, Engine::kPowerGraph,
+                               Engine::kHadoop, Engine::kPgxd,
+                               Engine::kGraphMat};
+
+Result<JobResult> RunEngine(Engine engine, const graph::Graph& g,
+                            const algo::AlgorithmSpec& spec) {
+  cluster::ClusterConfig cc;
+  JobConfig job;
+  switch (engine) {
+    case Engine::kGiraph:
+      return GiraphPlatform().Run(g, spec, cc, job);
+    case Engine::kPowerGraph:
+      return PowerGraphPlatform().Run(g, spec, cc, job);
+    case Engine::kHadoop:
+      return HadoopPlatform().Run(g, spec, cc, job);
+    case Engine::kPgxd:
+      return PgxdPlatform().Run(g, spec, cc, job);
+    case Engine::kGraphMat:
+      return GraphMatPlatform().Run(g, spec, cc, job);
+  }
+  return Status::InvalidArgument("unknown engine");
+}
+
+class PlatformInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlatformInvariants, DomainPhasesTileTheJob) {
+  graph::DatagenConfig config;
+  config.num_vertices = 3000;
+  config.avg_degree = 8.0;
+  config.seed = 42;
+  auto g = graph::GenerateDatagen(config);
+  ASSERT_TRUE(g.ok());
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kBfs;
+  spec.source = 1;
+
+  auto result = RunEngine(kEngines[GetParam()], *g, spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto archive = core::Archiver().Build(
+      core::MakeGraphProcessingDomainModel(), result->records,
+      std::move(result->environment), {});
+  ASSERT_TRUE(archive.ok()) << archive.status();
+
+  const core::ArchivedOperation& root = *archive->root;
+  ASSERT_EQ(root.children.size(), 5u);
+  const char* expected[] = {core::ops::kStartup, core::ops::kLoadGraph,
+                            core::ops::kProcessGraph,
+                            core::ops::kOffloadGraph, core::ops::kCleanup};
+  SimTime cursor = root.StartTime();
+  for (size_t i = 0; i < 5; ++i) {
+    const core::ArchivedOperation& phase = *root.children[i];
+    EXPECT_EQ(phase.mission_type, expected[i]);
+    // Contiguity: each phase starts no earlier than the previous ended,
+    // and the whole sequence stays inside the job.
+    EXPECT_GE(phase.StartTime(), cursor);
+    EXPECT_GE(phase.Duration().nanos(), 0);
+    cursor = phase.EndTime();
+  }
+  EXPECT_LE(cursor, root.EndTime());
+
+  // Phases cover (nearly) the whole job: gaps under 5%.
+  double phase_sum = 0;
+  for (const auto& child : root.children) {
+    phase_sum += child->Duration().seconds();
+  }
+  EXPECT_GE(phase_sum, 0.95 * root.Duration().seconds());
+
+  // Ts/Td/Tp metrics derived and consistent.
+  double metric_sum = (root.InfoNumber("SetupTime") +
+                       root.InfoNumber("IoTime") +
+                       root.InfoNumber("ProcessingTime")) *
+                      1e-9;
+  EXPECT_NEAR(metric_sum, phase_sum, 1e-6);
+}
+
+TEST_P(PlatformInvariants, EnvironmentLogSpansTheJob) {
+  auto g = graph::GenerateUniform(2000, 8000, 5);
+  ASSERT_TRUE(g.ok());
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kWcc;
+  auto result = RunEngine(kEngines[GetParam()], *g, spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->environment.empty());
+  // Samples from all 8 nodes, covering up to the job end.
+  std::set<uint32_t> nodes;
+  double last = 0;
+  for (const core::EnvironmentRecord& r : result->environment) {
+    nodes.insert(r.node);
+    last = std::max(last, r.time_seconds);
+  }
+  EXPECT_EQ(nodes.size(), 8u);
+  EXPECT_NEAR(last, result->total_seconds, 1.5);
+}
+
+TEST_P(PlatformInvariants, ArchiveJsonRoundtrips) {
+  auto g = graph::GenerateUniform(1000, 4000, 9);
+  ASSERT_TRUE(g.ok());
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kBfs;
+  spec.source = 0;
+  auto result = RunEngine(kEngines[GetParam()], *g, spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto archive = core::Archiver().Build(
+      core::MakeGraphProcessingDomainModel(), result->records, {}, {});
+  ASSERT_TRUE(archive.ok());
+  std::string json = archive->ToJsonString();
+  auto restored = core::PerformanceArchive::FromJsonString(json);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->ToJsonString(), json);
+}
+
+std::string EngineName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"Giraph", "PowerGraph", "Hadoop", "Pgxd",
+                                 "GraphMat"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, PlatformInvariants,
+                         ::testing::Range(0, 5), EngineName);
+
+}  // namespace
+}  // namespace granula::platform

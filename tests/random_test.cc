@@ -1,0 +1,147 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace granula {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RandomTest, NextBoundedCoversAllResidues) {
+  Rng rng(7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 13000; ++i) counts[rng.NextBounded(13)]++;
+  EXPECT_EQ(counts.size(), 13u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 700) << "value " << value << " under-represented";
+  }
+}
+
+TEST(RandomTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, NextBoolProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RandomTest, ZipfInRangeAndSkewed) {
+  Rng rng(23);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t k = rng.NextZipf(1000, 1.2);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1000u);
+    counts[k]++;
+  }
+  // Rank 1 must dominate rank 10 roughly by 10^1.2 ≈ 15.8.
+  ASSERT_GT(counts[1], 0);
+  ASSERT_GT(counts[10], 0);
+  double ratio = static_cast<double>(counts[1]) / counts[10];
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 32.0);
+}
+
+TEST(RandomTest, ZipfHandlesSEqualOne) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t k = rng.NextZipf(100, 1.0);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+  }
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RandomTest, SplitMix64AdvancesState) {
+  uint64_t s = 0;
+  uint64_t a = SplitMix64(s);
+  uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace granula

@@ -1,0 +1,203 @@
+#include "algorithms/reference.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace granula::algo {
+namespace {
+
+using graph::Graph;
+using graph::MakeBinaryTree;
+using graph::MakeComplete;
+using graph::MakeCycle;
+using graph::MakePath;
+using graph::MakeStar;
+
+TEST(EdgeWeightTest, SymmetricDeterministicBounded) {
+  for (uint64_t u = 0; u < 50; ++u) {
+    for (uint64_t v = u + 1; v < 50; ++v) {
+      double w = EdgeWeight(u, v);
+      EXPECT_EQ(w, EdgeWeight(v, u));
+      EXPECT_GE(w, 1.0);
+      EXPECT_LE(w, 8.0);
+      EXPECT_EQ(w, EdgeWeight(u, v));
+    }
+  }
+}
+
+TEST(ReferenceBfsTest, PathDistances) {
+  auto dist = ReferenceBfs(MakePath(5), 0);
+  for (uint64_t v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(dist[v], static_cast<double>(v));
+  }
+}
+
+TEST(ReferenceBfsTest, UnreachableIsInfinity) {
+  auto g = Graph::Create(4, {{0, 1}}, false);
+  auto dist = ReferenceBfs(*g, 0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_EQ(dist[2], kInfinity);
+  EXPECT_EQ(dist[3], kInfinity);
+}
+
+TEST(ReferenceBfsTest, StarFromLeaf) {
+  auto dist = ReferenceBfs(MakeStar(6), 3);
+  EXPECT_DOUBLE_EQ(dist[3], 0.0);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+  EXPECT_DOUBLE_EQ(dist[1], 2.0);
+  EXPECT_DOUBLE_EQ(dist[5], 2.0);
+}
+
+TEST(ReferenceSsspTest, PathSumsWeights) {
+  auto dist = ReferenceSssp(MakePath(4), 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], EdgeWeight(0, 1));
+  EXPECT_DOUBLE_EQ(dist[2], EdgeWeight(0, 1) + EdgeWeight(1, 2));
+  EXPECT_DOUBLE_EQ(dist[3],
+                   EdgeWeight(0, 1) + EdgeWeight(1, 2) + EdgeWeight(2, 3));
+}
+
+TEST(ReferenceSsspTest, TakesShorterOfTwoRoutes) {
+  // Triangle 0-1-2 plus direct 0-2: Dijkstra must pick the cheaper option.
+  auto g = Graph::Create(3, {{0, 1}, {1, 2}, {0, 2}}, false);
+  auto dist = ReferenceSssp(*g, 0);
+  double via = EdgeWeight(0, 1) + EdgeWeight(1, 2);
+  double direct = EdgeWeight(0, 2);
+  EXPECT_DOUBLE_EQ(dist[2], std::min(via, direct));
+}
+
+TEST(ReferenceSsspTest, AtMostBfsHopsTimesMaxWeight) {
+  auto graph = graph::GenerateUniform(300, 1200, 3);
+  ASSERT_TRUE(graph.ok());
+  auto hops = ReferenceBfs(*graph, 0);
+  auto dist = ReferenceSssp(*graph, 0);
+  for (uint64_t v = 0; v < 300; ++v) {
+    if (hops[v] == kInfinity) {
+      EXPECT_EQ(dist[v], kInfinity);
+    } else {
+      EXPECT_LE(dist[v], hops[v] * 8.0);
+      EXPECT_GE(dist[v], hops[v] * 1.0);
+    }
+  }
+}
+
+TEST(ReferenceWccTest, LabelsAreComponentMinima) {
+  auto g = Graph::Create(7, {{1, 2}, {2, 3}, {5, 6}}, false);
+  auto label = ReferenceWcc(*g);
+  EXPECT_DOUBLE_EQ(label[0], 0.0);
+  EXPECT_DOUBLE_EQ(label[1], 1.0);
+  EXPECT_DOUBLE_EQ(label[2], 1.0);
+  EXPECT_DOUBLE_EQ(label[3], 1.0);
+  EXPECT_DOUBLE_EQ(label[4], 4.0);
+  EXPECT_DOUBLE_EQ(label[5], 5.0);
+  EXPECT_DOUBLE_EQ(label[6], 5.0);
+}
+
+TEST(ReferenceWccTest, SingleComponent) {
+  auto label = ReferenceWcc(MakeCycle(20));
+  for (double l : label) EXPECT_DOUBLE_EQ(l, 0.0);
+}
+
+TEST(ReferencePageRankTest, SumsToOne) {
+  auto graph = graph::GenerateUniform(200, 800, 5);
+  ASSERT_TRUE(graph.ok());
+  auto rank = ReferencePageRank(*graph, 20, 0.85);
+  double sum = 0;
+  for (double r : rank) sum += r;
+  // Undirected power iteration conserves mass (no dangling vertices if all
+  // have degree > 0; random graph may have isolated vertices, so allow 2%).
+  EXPECT_NEAR(sum, 1.0, 0.02);
+}
+
+TEST(ReferencePageRankTest, SymmetryOnCompleteGraph) {
+  auto rank = ReferencePageRank(MakeComplete(6), 10, 0.85);
+  for (double r : rank) EXPECT_NEAR(r, 1.0 / 6.0, 1e-12);
+}
+
+TEST(ReferencePageRankTest, HubOutranksLeaves) {
+  auto rank = ReferencePageRank(MakeStar(10), 15, 0.85);
+  for (uint64_t v = 1; v < 10; ++v) {
+    EXPECT_GT(rank[0], rank[v]);
+    EXPECT_NEAR(rank[v], rank[1], 1e-12);
+  }
+}
+
+TEST(ReferencePageRankTest, ZeroIterationsIsUniform) {
+  auto rank = ReferencePageRank(MakeStar(4), 0, 0.85);
+  for (double r : rank) EXPECT_DOUBLE_EQ(r, 0.25);
+}
+
+TEST(ReferenceCdlpTest, CliquesConvergeToMinLabel) {
+  // Two triangles joined by one edge.
+  auto g = Graph::Create(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}}, false);
+  auto label = ReferenceCdlp(*g, 10);
+  EXPECT_DOUBLE_EQ(label[0], 0.0);
+  EXPECT_DOUBLE_EQ(label[1], 0.0);
+  EXPECT_DOUBLE_EQ(label[2], 0.0);
+  // The bridge vertex's label (2) seeds the second triangle, which then
+  // stabilizes as its own community under label 2.
+  EXPECT_DOUBLE_EQ(label[3], 2.0);
+  EXPECT_DOUBLE_EQ(label[4], 2.0);
+  EXPECT_DOUBLE_EQ(label[5], 2.0);
+}
+
+TEST(ReferenceCdlpTest, IsolatedKeepsOwnLabel) {
+  auto g = Graph::Create(3, {{0, 1}}, false);
+  auto label = ReferenceCdlp(*g, 5);
+  EXPECT_DOUBLE_EQ(label[2], 2.0);
+}
+
+TEST(ReferenceLccTest, TriangleIsOne) {
+  auto lcc = ReferenceLcc(MakeComplete(3));
+  for (double c : lcc) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(ReferenceLccTest, CompleteGraphIsOne) {
+  auto lcc = ReferenceLcc(MakeComplete(6));
+  for (double c : lcc) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(ReferenceLccTest, PathIsZero) {
+  auto lcc = ReferenceLcc(MakePath(5));
+  for (double c : lcc) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(ReferenceLccTest, TriangleWithTail) {
+  // 0-1-2 triangle, 2-3 tail: vertex 2 has degree 3, one link among nbrs.
+  auto g = Graph::Create(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, false);
+  auto lcc = ReferenceLcc(*g);
+  EXPECT_DOUBLE_EQ(lcc[0], 1.0);
+  EXPECT_DOUBLE_EQ(lcc[1], 1.0);
+  EXPECT_DOUBLE_EQ(lcc[2], 2.0 * 1.0 / (3.0 * 2.0));
+  EXPECT_DOUBLE_EQ(lcc[3], 0.0);
+}
+
+TEST(RunReferenceTest, DispatchesAllAlgorithms) {
+  Graph g = MakeBinaryTree(15);
+  for (AlgorithmId id : {AlgorithmId::kBfs, AlgorithmId::kPageRank,
+                         AlgorithmId::kWcc, AlgorithmId::kSssp,
+                         AlgorithmId::kCdlp, AlgorithmId::kLcc}) {
+    AlgorithmSpec spec;
+    spec.id = id;
+    spec.max_iterations = 5;
+    auto result = RunReference(g, spec);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(id);
+    EXPECT_EQ(result->size(), 15u);
+  }
+}
+
+TEST(AlgorithmNameTest, RoundtripsThroughParse) {
+  for (AlgorithmId id : {AlgorithmId::kBfs, AlgorithmId::kPageRank,
+                         AlgorithmId::kWcc, AlgorithmId::kSssp,
+                         AlgorithmId::kCdlp, AlgorithmId::kLcc}) {
+    auto parsed = ParseAlgorithm(AlgorithmName(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(ParseAlgorithm("NotAnAlgorithm").ok());
+}
+
+}  // namespace
+}  // namespace granula::algo

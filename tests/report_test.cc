@@ -1,0 +1,114 @@
+#include "granula/visual/report.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+namespace {
+
+PerformanceArchive MakeArchive() {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job", "Root", "Root");
+  OpId phase =
+      logger.StartOperation(root, "Job", "job", "BigPhase", "BigPhase");
+  OpId local = logger.StartOperation(phase, "Worker", "Worker-1",
+                                     "LocalSuperstep", "LocalSuperstep-1");
+  now = SimTime::Seconds(9);
+  logger.EndOperation(local);
+  logger.EndOperation(phase);
+  OpId small =
+      logger.StartOperation(root, "Job", "job", "SmallPhase", "SmallPhase");
+  now = SimTime::Seconds(10);
+  logger.EndOperation(small);
+  logger.EndOperation(root);
+
+  PerformanceModel model("m");
+  (void)model.AddRoot("Job", "Root");
+  (void)model.AddOperation("Job", "BigPhase", "Job", "Root");
+  (void)model.AddOperation("Job", "SmallPhase", "Job", "Root");
+  (void)model.AddOperation("Worker", "LocalSuperstep", "Job", "BigPhase");
+
+  std::vector<EnvironmentRecord> env;
+  for (int t = 1; t <= 10; ++t) {
+    EnvironmentRecord r;
+    r.node = 0;
+    r.hostname = "node339";
+    r.time_seconds = t;
+    r.cpu_seconds_per_second = 3.0;
+    env.push_back(r);
+  }
+  auto archive = Archiver().Build(model, logger.records(), std::move(env),
+                                  {{"platform", "TestPlat<form>"}});
+  EXPECT_TRUE(archive.ok());
+  return std::move(archive).value();
+}
+
+TEST(ReportTest, ContainsAllSections) {
+  std::string html = RenderHtmlReport(MakeArchive(), ReportOptions{});
+  EXPECT_EQ(html.find("<!DOCTYPE html>"), 0u);
+  EXPECT_NE(html.find("Job decomposition"), std::string::npos);
+  EXPECT_NE(html.find("Resource utilization"), std::string::npos);
+  EXPECT_NE(html.find("Worker timeline"), std::string::npos);
+  EXPECT_NE(html.find("Automated findings"), std::string::npos);
+  EXPECT_NE(html.find("Operations"), std::string::npos);
+  EXPECT_NE(html.find("BigPhase"), std::string::npos);
+  // Findings: BigPhase is 90% -> dominant phase reported in the HTML.
+  EXPECT_NE(html.find("dominant_phase"), std::string::npos);
+}
+
+TEST(ReportTest, EscapesMetadata) {
+  std::string html = RenderHtmlReport(MakeArchive(), ReportOptions{});
+  EXPECT_EQ(html.find("TestPlat<form>"), std::string::npos);
+  EXPECT_NE(html.find("TestPlat&lt;form&gt;"), std::string::npos);
+}
+
+TEST(ReportTest, FindingsCanBeDisabled) {
+  ReportOptions options;
+  options.include_findings = false;
+  std::string html = RenderHtmlReport(MakeArchive(), options);
+  EXPECT_EQ(html.find("Automated findings"), std::string::npos);
+}
+
+TEST(ReportTest, TimelineSkippedWhenNoMatch) {
+  ReportOptions options;
+  options.timeline_actor_type = "Nobody";
+  options.timeline_mission_type = "Nothing";
+  std::string html = RenderHtmlReport(MakeArchive(), options);
+  EXPECT_EQ(html.find("Nobody timeline"), std::string::npos);
+}
+
+TEST(ReportTest, TreeDepthRespected) {
+  ReportOptions shallow;
+  shallow.tree_depth = 2;
+  std::string html = RenderHtmlReport(MakeArchive(), shallow);
+  EXPECT_EQ(html.find("LocalSuperstep-1"), std::string::npos);
+  ReportOptions deep;
+  deep.tree_depth = 0;
+  html = RenderHtmlReport(MakeArchive(), deep);
+  EXPECT_NE(html.find("LocalSuperstep-1"), std::string::npos);
+}
+
+TEST(ReportTest, WriteToFile) {
+  std::string path = testing::TempDir() + "/report.html";
+  ASSERT_TRUE(WriteHtmlReport(MakeArchive(), ReportOptions{}, path).ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  EXPECT_FALSE(
+      WriteHtmlReport(MakeArchive(), ReportOptions{}, "/no/dir/x.html")
+          .ok());
+}
+
+TEST(ReportTest, EmptyArchiveDegrades) {
+  PerformanceArchive empty;
+  std::string html = RenderHtmlReport(empty, ReportOptions{});
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace granula::core

@@ -1,0 +1,123 @@
+#include "sim/resources.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace granula::sim {
+namespace {
+
+Task<> Compute(Cpu& cpu, SimTime d) { co_await cpu.Run(d); }
+
+TEST(CpuTest, SingleTaskBusyTime) {
+  Simulator sim;
+  Cpu cpu(&sim, 4);
+  sim.Spawn(Compute(cpu, SimTime::Seconds(2)));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(cpu.BusySeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.0);
+}
+
+TEST(CpuTest, ParallelismUpToCoreCount) {
+  Simulator sim;
+  Cpu cpu(&sim, 4);
+  for (int i = 0; i < 4; ++i) sim.Spawn(Compute(cpu, SimTime::Seconds(1)));
+  sim.Run();
+  // All four run in parallel: 4 busy-seconds over 1 wall second.
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(cpu.BusySeconds(), 4.0);
+}
+
+TEST(CpuTest, QueueingBeyondCores) {
+  Simulator sim;
+  Cpu cpu(&sim, 2);
+  for (int i = 0; i < 4; ++i) sim.Spawn(Compute(cpu, SimTime::Seconds(1)));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(cpu.BusySeconds(), 4.0);
+}
+
+TEST(CpuTest, BusySecondsIncludesInFlightWork) {
+  Simulator sim;
+  Cpu cpu(&sim, 1);
+  sim.Spawn(Compute(cpu, SimTime::Seconds(10)));
+  sim.RunUntil(SimTime::Seconds(4));
+  EXPECT_DOUBLE_EQ(cpu.BusySeconds(), 4.0);
+  EXPECT_EQ(cpu.running(), 1);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(cpu.BusySeconds(), 10.0);
+  EXPECT_EQ(cpu.running(), 0);
+}
+
+Task<> DoTransfer(Channel& ch, uint64_t bytes) {
+  co_await ch.Transfer(bytes);
+}
+
+TEST(ChannelTest, TransferTimeFromBandwidth) {
+  Simulator sim;
+  Channel ch(&sim, /*bytes_per_second=*/1000.0, /*latency=*/SimTime());
+  sim.Spawn(DoTransfer(ch, 2500));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.5);
+  EXPECT_EQ(ch.bytes_transferred(), 2500u);
+}
+
+TEST(ChannelTest, LatencyAddsAfterSerialization) {
+  Simulator sim;
+  Channel ch(&sim, 1000.0, SimTime::Millis(100));
+  sim.Spawn(DoTransfer(ch, 1000));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 1.1);
+}
+
+TEST(ChannelTest, TransfersSerializeOnOneChannel) {
+  Simulator sim;
+  Channel ch(&sim, 1000.0, SimTime());
+  sim.Spawn(DoTransfer(ch, 1000));
+  sim.Spawn(DoTransfer(ch, 1000));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.0);
+  EXPECT_EQ(ch.bytes_transferred(), 2000u);
+}
+
+TEST(ChannelTest, MultipleChannelsShareLoad) {
+  Simulator sim;
+  Channel ch(&sim, 1000.0, SimTime(), /*channels=*/2);
+  for (int i = 0; i < 4; ++i) sim.Spawn(DoTransfer(ch, 1000));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.0);
+}
+
+TEST(ChannelTest, LatencyDoesNotHoldTheChannel) {
+  Simulator sim;
+  // With 1s serialization + 10s latency, two transfers should pipeline:
+  // finish at 11s and 12s, not 22s.
+  Channel ch(&sim, 1000.0, SimTime::Seconds(10));
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i) {
+    sim.Spawn([](Simulator& s, Channel& c, std::vector<double>& d) -> Task<> {
+      co_await c.Transfer(1000);
+      d.push_back(s.Now().seconds());
+    }(sim, ch, done));
+  }
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 11.0);
+  EXPECT_DOUBLE_EQ(done[1], 12.0);
+}
+
+TEST(BusyMeterTest, TracksConcurrentIntervals) {
+  Simulator sim;
+  BusyMeter meter(&sim, 8);
+  sim.ScheduleAt(SimTime::Seconds(0), [&] { meter.OnStart(); });
+  sim.ScheduleAt(SimTime::Seconds(1), [&] { meter.OnStart(); });
+  sim.ScheduleAt(SimTime::Seconds(2), [&] { meter.OnStop(); });
+  sim.ScheduleAt(SimTime::Seconds(3), [&] { meter.OnStop(); });
+  sim.Run();
+  // 1s single + 1s double + 1s single = 4 busy-seconds.
+  EXPECT_DOUBLE_EQ(meter.BusySeconds(), 4.0);
+  EXPECT_EQ(meter.running(), 0);
+}
+
+}  // namespace
+}  // namespace granula::sim

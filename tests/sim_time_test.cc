@@ -1,0 +1,55 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace granula {
+namespace {
+
+TEST(SimTimeTest, Constructors) {
+  EXPECT_EQ(SimTime().nanos(), 0);
+  EXPECT_EQ(SimTime::Nanos(5).nanos(), 5);
+  EXPECT_EQ(SimTime::Micros(2).nanos(), 2000);
+  EXPECT_EQ(SimTime::Millis(3).nanos(), 3000000);
+  EXPECT_EQ(SimTime::Seconds(1.5).nanos(), 1500000000);
+}
+
+TEST(SimTimeTest, Conversions) {
+  SimTime t = SimTime::Seconds(81.59);
+  EXPECT_NEAR(t.seconds(), 81.59, 1e-9);
+  EXPECT_NEAR(t.millis(), 81590.0, 1e-6);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime a = SimTime::Seconds(2.0), b = SimTime::Seconds(0.5);
+  EXPECT_EQ((a + b).nanos(), SimTime::Seconds(2.5).nanos());
+  EXPECT_EQ((a - b).nanos(), SimTime::Seconds(1.5).nanos());
+  EXPECT_EQ((a * 2.0).nanos(), SimTime::Seconds(4.0).nanos());
+  a += b;
+  EXPECT_EQ(a, SimTime::Seconds(2.5));
+  a -= b;
+  EXPECT_EQ(a, SimTime::Seconds(2.0));
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::Seconds(1), SimTime::Seconds(2));
+  EXPECT_GT(SimTime::Max(), SimTime::Seconds(1e9));
+  EXPECT_EQ(SimTime::Millis(1000), SimTime::Seconds(1.0));
+  EXPECT_GE(SimTime::Nanos(1), SimTime::Nanos(1));
+}
+
+TEST(SimTimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::Nanos(12).ToString(), "12ns");
+  EXPECT_EQ(SimTime::Micros(2).ToString(), "2.00us");
+  EXPECT_EQ(SimTime::Millis(3).ToString(), "3.00ms");
+  EXPECT_EQ(SimTime::Seconds(81.59).ToString(), "81.59s");
+  EXPECT_EQ(SimTime::Max().ToString(), "inf");
+}
+
+TEST(SimTimeTest, StreamOperator) {
+  std::ostringstream os;
+  os << SimTime::Seconds(1.0);
+  EXPECT_EQ(os.str(), "1.00s");
+}
+
+}  // namespace
+}  // namespace granula

@@ -1,0 +1,227 @@
+#include "sim/simulator.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+
+namespace granula::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), SimTime());
+  EXPECT_EQ(sim.processed_events(), 0u);
+}
+
+TEST(SimulatorTest, ScheduleAtAdvancesClock) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.ScheduleAt(SimTime::Seconds(2.0),
+                 [&] { times.push_back(sim.Now().seconds()); });
+  sim.ScheduleAt(SimTime::Seconds(1.0),
+                 [&] { times.push_back(sim.Now().seconds()); });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.0);
+  EXPECT_EQ(sim.processed_events(), 2u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(SimTime::Seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+Task<> DelayTwice(Simulator& sim, std::vector<double>& marks) {
+  marks.push_back(sim.Now().seconds());
+  co_await sim.Delay(SimTime::Seconds(1.0));
+  marks.push_back(sim.Now().seconds());
+  co_await sim.Delay(SimTime::Seconds(2.0));
+  marks.push_back(sim.Now().seconds());
+}
+
+TEST(SimulatorTest, CoroutineDelays) {
+  Simulator sim;
+  std::vector<double> marks;
+  ProcessHandle h = sim.Spawn(DelayTwice(sim, marks));
+  EXPECT_FALSE(h.done());
+  sim.Run();
+  EXPECT_TRUE(h.done());
+  ASSERT_EQ(marks.size(), 3u);
+  EXPECT_DOUBLE_EQ(marks[0], 0.0);
+  EXPECT_DOUBLE_EQ(marks[1], 1.0);
+  EXPECT_DOUBLE_EQ(marks[2], 3.0);
+}
+
+Task<int> Answer(Simulator& sim) {
+  co_await sim.Delay(SimTime::Millis(5));
+  co_return 42;
+}
+
+Task<> AwaitsValue(Simulator& sim, int& out) {
+  out = co_await Answer(sim);
+}
+
+TEST(SimulatorTest, TaskReturnsValue) {
+  Simulator sim;
+  int out = 0;
+  sim.Spawn(AwaitsValue(sim, out));
+  sim.Run();
+  EXPECT_EQ(out, 42);
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 0.005);
+}
+
+Task<> Child(Simulator& sim, std::string& log, const char* name,
+             SimTime delay) {
+  co_await sim.Delay(delay);
+  log += name;
+}
+
+Task<> Parent(Simulator& sim, std::string& log) {
+  ProcessHandle a = sim.Spawn(Child(sim, log, "a", SimTime::Seconds(2)));
+  ProcessHandle b = sim.Spawn(Child(sim, log, "b", SimTime::Seconds(1)));
+  co_await a.Join();
+  co_await b.Join();
+  log += "p";
+}
+
+TEST(SimulatorTest, SpawnAndJoinChildren) {
+  Simulator sim;
+  std::string log;
+  sim.Spawn(Parent(sim, log));
+  sim.Run();
+  EXPECT_EQ(log, "bap");
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.0);
+}
+
+TEST(SimulatorTest, JoinCompletedProcessReturnsImmediately) {
+  Simulator sim;
+  std::string log;
+  ProcessHandle h = sim.Spawn(Child(sim, log, "x", SimTime()));
+  sim.Run();
+  ASSERT_TRUE(h.done());
+  bool joined = false;
+  sim.Spawn([](ProcessHandle ph, bool& j) -> Task<> {
+    co_await ph.Join();
+    j = true;
+  }(h, joined));
+  sim.Run();
+  EXPECT_TRUE(joined);
+}
+
+Task<> ManyJoiners(ProcessHandle target, int& counter) {
+  co_await target.Join();
+  ++counter;
+}
+
+TEST(SimulatorTest, MultipleJoinersAllWake) {
+  Simulator sim;
+  std::string log;
+  ProcessHandle target =
+      sim.Spawn(Child(sim, log, "t", SimTime::Seconds(1)));
+  int counter = 0;
+  for (int i = 0; i < 5; ++i) sim.Spawn(ManyJoiners(target, counter));
+  sim.Run();
+  EXPECT_EQ(counter, 5);
+}
+
+TEST(SimulatorTest, JoinAllHelper) {
+  Simulator sim;
+  std::string log;
+  std::vector<ProcessHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(
+        sim.Spawn(Child(sim, log, "c", SimTime::Seconds(i + 1))));
+  }
+  bool all_done = false;
+  sim.Spawn([](std::vector<ProcessHandle> hs, bool& done) -> Task<> {
+    co_await JoinAll(std::move(hs));
+    done = true;
+  }(handles, all_done));
+  sim.Run();
+  EXPECT_TRUE(all_done);
+  EXPECT_EQ(log, "cccc");
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 4.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(SimTime::Seconds(1), [&] { ++fired; });
+  sim.ScheduleAt(SimTime::Seconds(5), [&] { ++fired; });
+  bool more = sim.RunUntil(SimTime::Seconds(3));
+  EXPECT_TRUE(more);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 3.0);
+  more = sim.RunUntil(SimTime::Seconds(10));
+  EXPECT_FALSE(more);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 10.0);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    Simulator sim;
+    std::string log;
+    sim.Spawn(Parent(sim, log));
+    sim.Spawn(Child(sim, log, "z", SimTime::Seconds(1)));
+    sim.Run();
+    return log + "/" + std::to_string(sim.processed_events());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimulatorTest, AbandonedRunDestroysSuspendedProcesses) {
+  // A simulation stopped mid-flight must free every suspended coroutine
+  // frame when the Simulator is destroyed (verified by the LeakSanitizer
+  // build). The processes here are nested three frames deep and parked on
+  // a Delay that never fires.
+  auto nested = [](Simulator& s) -> Task<> {
+    auto inner = [](Simulator& s2) -> Task<> {
+      co_await s2.Delay(SimTime::Seconds(1000));
+    };
+    co_await inner(s);
+  };
+  {
+    Simulator sim;
+    for (int i = 0; i < 10; ++i) sim.Spawn(nested(sim));
+    sim.RunUntil(SimTime::Seconds(1));
+    // Destructor runs with 10 processes still suspended.
+  }
+  // Also: abandoning before the first event ever runs.
+  {
+    Simulator sim;
+    sim.Spawn(nested(sim));
+  }
+  SUCCEED();
+}
+
+Task<> DeepChain(Simulator& sim, int depth, int& leaf_count) {
+  if (depth == 0) {
+    ++leaf_count;
+    co_return;
+  }
+  co_await sim.Delay(SimTime::Nanos(1));
+  co_await DeepChain(sim, depth - 1, leaf_count);
+}
+
+TEST(SimulatorTest, DeepTaskChain) {
+  Simulator sim;
+  int leaves = 0;
+  sim.Spawn(DeepChain(sim, 500, leaves));
+  sim.Run();
+  EXPECT_EQ(leaves, 1);
+  EXPECT_EQ(sim.Now().nanos(), 500);
+}
+
+}  // namespace
+}  // namespace granula::sim

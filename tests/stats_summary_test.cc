@@ -1,0 +1,61 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace granula {
+namespace {
+
+TEST(SummaryTest, EmptyIsAllZero) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Stdev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Stdev(), 2.13809, 1e-5);  // sample stdev
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_NEAR(s.Cv(), 2.13809 / 5.0, 1e-5);
+}
+
+TEST(SummaryTest, SingleSample) {
+  Summary s({42.0});
+  EXPECT_DOUBLE_EQ(s.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Stdev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 42.0);
+}
+
+TEST(SummaryTest, Percentiles) {
+  Summary s({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(12.5), 15.0);  // interpolated
+  EXPECT_DOUBLE_EQ(s.Percentile(-5), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(200), 50.0);
+}
+
+TEST(SummaryTest, AddInvalidatesCache) {
+  Summary s({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 10.0);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.0);
+}
+
+TEST(SummaryTest, ZeroMeanCv) {
+  Summary s({-1.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.Cv(), 0.0);
+}
+
+}  // namespace
+}  // namespace granula

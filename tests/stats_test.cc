@@ -1,0 +1,60 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace granula::graph {
+namespace {
+
+TEST(DegreeStatsTest, UndirectedStar) {
+  DegreeStats s = ComputeDegreeStats(MakeStar(5));
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+  EXPECT_EQ(s.histogram.at(1), 4u);
+  EXPECT_EQ(s.histogram.at(4), 1u);
+}
+
+TEST(DegreeStatsTest, RegularGraphGiniZero) {
+  DegreeStats s = ComputeDegreeStats(MakeCycle(10));
+  EXPECT_EQ(s.min, 2u);
+  EXPECT_EQ(s.max, 2u);
+  EXPECT_NEAR(s.gini, 0.0, 1e-9);
+}
+
+TEST(DegreeStatsTest, DirectedCountsOutDegree) {
+  auto g = Graph::Create(3, {{0, 1}, {0, 2}}, true);
+  DegreeStats s = ComputeDegreeStats(*g);
+  EXPECT_EQ(s.max, 2u);
+  EXPECT_EQ(s.histogram.at(0), 2u);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  auto g = Graph::Create(0, {}, false);
+  DegreeStats s = ComputeDegreeStats(*g);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.histogram.size(), 0u);
+}
+
+TEST(ConnectedComponentsTest, CountsComponents) {
+  EXPECT_EQ(CountConnectedComponents(MakePath(10)), 1u);
+  auto g = Graph::Create(6, {{0, 1}, {2, 3}}, false);
+  EXPECT_EQ(CountConnectedComponents(*g), 4u);  // {0,1},{2,3},{4},{5}
+  auto empty = Graph::Create(5, {}, false);
+  EXPECT_EQ(CountConnectedComponents(*empty), 5u);
+}
+
+TEST(EccentricityTest, DisconnectedIgnoresUnreachable) {
+  auto g = Graph::Create(5, {{0, 1}, {1, 2}}, false);
+  EXPECT_EQ(Eccentricity(*g, 0), 2u);
+}
+
+TEST(EccentricityTest, DirectedTraversesBothWays) {
+  auto g = Graph::Create(3, {{1, 0}, {1, 2}}, true);
+  // From 0: up the reverse edge to 1, then to 2.
+  EXPECT_EQ(Eccentricity(*g, 0), 2u);
+}
+
+}  // namespace
+}  // namespace granula::graph

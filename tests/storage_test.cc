@@ -1,0 +1,203 @@
+#include "cluster/storage.h"
+
+#include <gtest/gtest.h>
+
+namespace granula::cluster {
+namespace {
+
+ClusterConfig TestConfig() {
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.cores_per_node = 2;
+  config.disk_bytes_per_sec = 1000.0;
+  config.net_bytes_per_sec = 4000.0;
+  config.net_latency = SimTime();
+  return config;
+}
+
+TEST(LocalFsTest, StatAndMissing) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  LocalFs fs(&cluster);
+  ASSERT_TRUE(fs.CreateFile(1, "/data/g.e", 5000).ok());
+  auto info = fs.Stat(1, "/data/g.e");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size_bytes, 5000u);
+  EXPECT_FALSE(fs.Stat(0, "/data/g.e").ok());  // other node: not there
+  EXPECT_FALSE(fs.Stat(1, "/nope").ok());
+  EXPECT_FALSE(fs.CreateFile(9, "/x", 1).ok());  // bad node
+}
+
+TEST(LocalFsTest, ReadTimeIsSizeOverDiskBandwidth) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  LocalFs fs(&cluster);
+  ASSERT_TRUE(fs.CreateFile(0, "/f", 3000).ok());
+  sim.Spawn([](LocalFs& f) -> sim::Task<> {
+    co_await f.Read(0, "/f");
+  }(fs));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 3.0);
+}
+
+TEST(LocalFsTest, WriteCreatesFile) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  LocalFs fs(&cluster);
+  sim.Spawn([](LocalFs& f) -> sim::Task<> {
+    co_await f.Write(2, "/out", 1000);
+  }(fs));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 1.0);
+  EXPECT_TRUE(fs.Stat(2, "/out").ok());
+}
+
+TEST(SharedFsTest, RemoteReadGoesThroughServerDiskAndNetwork) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  SharedFs fs(&cluster, /*server_node=*/0);
+  ASSERT_TRUE(fs.CreateFile("/g.e", 2000).ok());
+  sim.Spawn([](SharedFs& f) -> sim::Task<> {
+    co_await f.ReadAll(3, "/g.e");
+  }(fs));
+  sim.Run();
+  // 2s server disk + 0.5s network.
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.5);
+}
+
+TEST(SharedFsTest, ServerLocalReadSkipsNetwork) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  SharedFs fs(&cluster, 0);
+  ASSERT_TRUE(fs.CreateFile("/g.e", 2000).ok());
+  sim.Spawn([](SharedFs& f) -> sim::Task<> {
+    co_await f.ReadAll(0, "/g.e");
+  }(fs));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 2.0);
+}
+
+TEST(SharedFsTest, ConcurrentReadersSerializeAtServer) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  SharedFs fs(&cluster, 0);
+  ASSERT_TRUE(fs.CreateFile("/g.e", 1000).ok());
+  for (uint32_t reader = 1; reader <= 3; ++reader) {
+    sim.Spawn([](SharedFs& f, uint32_t r) -> sim::Task<> {
+      co_await f.ReadAll(r, "/g.e");
+    }(fs, reader));
+  }
+  sim.Run();
+  // Three 1s disk reads serialize; last finishes at 3s + 0.25s net.
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 3.25);
+}
+
+TEST(HdfsTest, BlockPlacementAndStat) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  Hdfs::Options opts;
+  opts.block_size = 1000;
+  opts.replication = 2;
+  Hdfs hdfs(&cluster, opts);
+  ASSERT_TRUE(hdfs.CreateFile("/g.e", 3500).ok());
+  auto info = hdfs.Stat("/g.e");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size_bytes, 3500u);
+  auto blocks = hdfs.GetBlocks("/g.e");
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 4u);
+  EXPECT_EQ((*blocks)[0].bytes, 1000u);
+  EXPECT_EQ((*blocks)[3].bytes, 500u);
+  for (const auto& b : *blocks) {
+    EXPECT_EQ(b.replicas.size(), 2u);
+    for (uint32_t r : b.replicas) EXPECT_LT(r, 4u);
+  }
+  // Round-robin start rotates between blocks.
+  EXPECT_NE((*blocks)[0].replicas[0], (*blocks)[1].replicas[0]);
+}
+
+TEST(HdfsTest, RejectsBadReplication) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  Hdfs::Options opts;
+  opts.replication = 9;  // > num_nodes
+  Hdfs hdfs(&cluster, opts);
+  EXPECT_FALSE(hdfs.CreateFile("/g.e", 100).ok());
+}
+
+TEST(HdfsTest, LocalBlockReadUsesOwnDisk) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  Hdfs::Options opts;
+  opts.block_size = 1000;
+  opts.replication = 1;
+  Hdfs hdfs(&cluster, opts);
+  ASSERT_TRUE(hdfs.CreateFile("/g.e", 1000).ok());
+  auto blocks = hdfs.GetBlocks("/g.e");
+  ASSERT_TRUE(blocks.ok());
+  uint32_t holder = (*blocks)[0].replicas[0];
+  sim.Spawn([](Hdfs& h, uint32_t reader, Hdfs::Block b) -> sim::Task<> {
+    co_await h.ReadBlock(reader, b);
+  }(hdfs, holder, (*blocks)[0]));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 1.0);  // disk only, no network
+  EXPECT_EQ(cluster.network_bytes_sent(), 0u);
+}
+
+TEST(HdfsTest, RemoteBlockReadAddsNetwork) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  Hdfs::Options opts;
+  opts.block_size = 1000;
+  opts.replication = 1;
+  Hdfs hdfs(&cluster, opts);
+  ASSERT_TRUE(hdfs.CreateFile("/g.e", 1000).ok());
+  auto blocks = hdfs.GetBlocks("/g.e");
+  uint32_t holder = (*blocks)[0].replicas[0];
+  uint32_t reader = (holder + 1) % 4;
+  sim.Spawn([](Hdfs& h, uint32_t r, Hdfs::Block b) -> sim::Task<> {
+    co_await h.ReadBlock(r, b);
+  }(hdfs, reader, (*blocks)[0]));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 1.25);  // 1s disk + 0.25s network
+  EXPECT_EQ(cluster.network_bytes_sent(), 1000u);
+}
+
+TEST(HdfsTest, ParallelBlockReadsOverlapAcrossNodes) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  Hdfs::Options opts;
+  opts.block_size = 1000;
+  opts.replication = 1;
+  Hdfs hdfs(&cluster, opts);
+  // 4 blocks, one per node (round-robin with replication 1).
+  ASSERT_TRUE(hdfs.CreateFile("/g.e", 4000).ok());
+  auto blocks = hdfs.GetBlocks("/g.e");
+  for (const auto& b : *blocks) {
+    uint32_t holder = b.replicas[0];
+    sim.Spawn([](Hdfs& h, uint32_t r, Hdfs::Block blk) -> sim::Task<> {
+      co_await h.ReadBlock(r, blk);
+    }(hdfs, holder, b));
+  }
+  sim.Run();
+  // All four blocks read in parallel on their own disks.
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 1.0);
+}
+
+TEST(HdfsTest, WriteReplicatesOverNetwork) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TestConfig());
+  Hdfs::Options opts;
+  opts.block_size = 100000;
+  opts.replication = 3;
+  Hdfs hdfs(&cluster, opts);
+  sim.Spawn([](Hdfs& h) -> sim::Task<> {
+    co_await h.WriteFromNode(1, "/out", 1000);
+  }(hdfs));
+  sim.Run();
+  EXPECT_TRUE(hdfs.Stat("/out").ok());
+  EXPECT_EQ(cluster.network_bytes_sent(), 2000u);  // two replica pushes
+}
+
+}  // namespace
+}  // namespace granula::cluster

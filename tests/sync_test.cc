@@ -1,0 +1,202 @@
+#include "sim/sync.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace granula::sim {
+namespace {
+
+Task<> WaitForEvent(Event& ev, std::vector<int>& log, int id) {
+  co_await ev.Wait();
+  log.push_back(id);
+}
+
+TEST(EventTest, TriggerWakesAllWaiters) {
+  Simulator sim;
+  Event ev(&sim);
+  std::vector<int> log;
+  for (int i = 0; i < 3; ++i) sim.Spawn(WaitForEvent(ev, log, i));
+  sim.Spawn([](Simulator& s, Event& e) -> Task<> {
+    co_await s.Delay(SimTime::Seconds(1));
+    e.Trigger();
+  }(sim, ev));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(ev.triggered());
+}
+
+TEST(EventTest, WaitAfterTriggerIsImmediate) {
+  Simulator sim;
+  Event ev(&sim);
+  ev.Trigger();
+  std::vector<int> log;
+  sim.Spawn(WaitForEvent(ev, log, 7));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{7}));
+  EXPECT_EQ(sim.Now(), SimTime());
+}
+
+TEST(EventTest, DoubleTriggerIsIdempotent) {
+  Simulator sim;
+  Event ev(&sim);
+  ev.Trigger();
+  ev.Trigger();
+  EXPECT_TRUE(ev.triggered());
+}
+
+Task<> BarrierWorker(Simulator& sim, Barrier& barrier, SimTime work,
+                     std::vector<double>& release_times) {
+  co_await sim.Delay(work);
+  co_await barrier.Arrive();
+  release_times.push_back(sim.Now().seconds());
+}
+
+TEST(BarrierTest, ReleasesAllAtLastArrival) {
+  Simulator sim;
+  Barrier barrier(&sim, 3);
+  std::vector<double> releases;
+  sim.Spawn(BarrierWorker(sim, barrier, SimTime::Seconds(1), releases));
+  sim.Spawn(BarrierWorker(sim, barrier, SimTime::Seconds(5), releases));
+  sim.Spawn(BarrierWorker(sim, barrier, SimTime::Seconds(3), releases));
+  sim.Run();
+  ASSERT_EQ(releases.size(), 3u);
+  for (double t : releases) EXPECT_DOUBLE_EQ(t, 5.0);
+  EXPECT_EQ(barrier.generation(), 1u);
+}
+
+Task<> IterativeWorker(Simulator& sim, Barrier& barrier, int rounds,
+                       SimTime step, std::vector<double>& marks) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await sim.Delay(step);
+    co_await barrier.Arrive();
+  }
+  marks.push_back(sim.Now().seconds());
+}
+
+TEST(BarrierTest, ReusableAcrossGenerations) {
+  Simulator sim;
+  Barrier barrier(&sim, 2);
+  std::vector<double> marks;
+  sim.Spawn(IterativeWorker(sim, barrier, 3, SimTime::Seconds(1), marks));
+  sim.Spawn(IterativeWorker(sim, barrier, 3, SimTime::Seconds(2), marks));
+  sim.Run();
+  // Slow worker paces both: rounds end at 2, 4, 6.
+  ASSERT_EQ(marks.size(), 2u);
+  EXPECT_DOUBLE_EQ(marks[0], 6.0);
+  EXPECT_DOUBLE_EQ(marks[1], 6.0);
+  EXPECT_EQ(barrier.generation(), 3u);
+}
+
+Task<> UseSemaphore(Simulator& sim, Semaphore& sem, SimTime hold,
+                    std::vector<double>& start_times) {
+  co_await sem.Acquire();
+  start_times.push_back(sim.Now().seconds());
+  co_await sim.Delay(hold);
+  sem.Release();
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(&sim, 2);
+  std::vector<double> starts;
+  for (int i = 0; i < 6; ++i) {
+    sim.Spawn(UseSemaphore(sim, sem, SimTime::Seconds(1), starts));
+  }
+  sim.Run();
+  // 2 at t=0, 2 at t=1, 2 at t=2.
+  ASSERT_EQ(starts.size(), 6u);
+  EXPECT_EQ(std::count(starts.begin(), starts.end(), 0.0), 2);
+  EXPECT_EQ(std::count(starts.begin(), starts.end(), 1.0), 2);
+  EXPECT_EQ(std::count(starts.begin(), starts.end(), 2.0), 2);
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(SemaphoreTest, FifoOrdering) {
+  Simulator sim;
+  Semaphore sem(&sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn([](Simulator& s, Semaphore& sm, std::vector<int>& ord,
+                 int id) -> Task<> {
+      co_await sm.Acquire();
+      ord.push_back(id);
+      co_await s.Delay(SimTime::Seconds(1));
+      sm.Release();
+    }(sim, sem, order, i));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+Task<> Producer(Simulator& sim, Mailbox<int>& mb, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim.Delay(SimTime::Seconds(1));
+    mb.Send(i);
+  }
+}
+
+Task<> Consumer(Simulator& sim, Mailbox<int>& mb, int count,
+                std::vector<std::pair<int, double>>& received) {
+  for (int i = 0; i < count; ++i) {
+    int v = co_await mb.Receive();
+    received.push_back({v, sim.Now().seconds()});
+  }
+}
+
+TEST(MailboxTest, ProducerConsumer) {
+  Simulator sim;
+  Mailbox<int> mb(&sim);
+  std::vector<std::pair<int, double>> received;
+  sim.Spawn(Producer(sim, mb, 3));
+  sim.Spawn(Consumer(sim, mb, 3, received));
+  sim.Run();
+  ASSERT_EQ(received.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(received[i].first, i);
+    EXPECT_DOUBLE_EQ(received[i].second, i + 1.0);
+  }
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(MailboxTest, BufferedSendsConsumedImmediately) {
+  Simulator sim;
+  Mailbox<std::string> mb(&sim);
+  mb.Send("a");
+  mb.Send("b");
+  EXPECT_EQ(mb.size(), 2u);
+  std::vector<std::string> got;
+  sim.Spawn([](Mailbox<std::string>& m, std::vector<std::string>& g)
+                -> Task<> {
+    g.push_back(co_await m.Receive());
+    g.push_back(co_await m.Receive());
+  }(mb, got));
+  sim.Run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(MailboxTest, MultipleReceiversServedInOrder) {
+  Simulator sim;
+  Mailbox<int> mb(&sim);
+  std::vector<std::pair<int, int>> got;  // (receiver, value)
+  for (int r = 0; r < 2; ++r) {
+    sim.Spawn([](Mailbox<int>& m, std::vector<std::pair<int, int>>& g,
+                 int id) -> Task<> {
+      int v = co_await m.Receive();
+      g.push_back({id, v});
+    }(mb, got, r));
+  }
+  sim.Spawn([](Simulator& s, Mailbox<int>& m) -> Task<> {
+    co_await s.Delay(SimTime::Seconds(1));
+    m.Send(100);
+    m.Send(200);
+  }(sim, mb));
+  sim.Run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{1, 200}));
+}
+
+}  // namespace
+}  // namespace granula::sim

@@ -1,0 +1,202 @@
+#include "granula/visual/svg.h"
+#include "granula/visual/text.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+namespace {
+
+PerformanceArchive MakeArchive() {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job", "Root");
+  OpId setup = logger.StartOperation(root, "Job", "job", "Setup", "Setup");
+  now = SimTime::Seconds(2);
+  logger.EndOperation(setup);
+  OpId process =
+      logger.StartOperation(root, "Job", "job", "Process", "Process");
+  for (int w = 1; w <= 2; ++w) {
+    OpId step = logger.StartOperation(
+        process, "Worker", "Worker-" + std::to_string(w), "LocalStep",
+        "LocalStep-" + std::to_string(w));
+    OpId compute = logger.StartOperation(
+        step, "Worker", "Worker-" + std::to_string(w), "Compute", "Compute");
+    now = SimTime::Seconds(2.0 + 3 * w);
+    logger.EndOperation(compute);
+    logger.EndOperation(step);
+  }
+  now = SimTime::Seconds(10);
+  logger.EndOperation(process);
+  logger.EndOperation(root);
+
+  PerformanceModel model("m");
+  (void)model.AddRoot("Job", "Root");
+  (void)model.AddOperation("Job", "Setup", "Job", "Root");
+  (void)model.AddOperation("Job", "Process", "Job", "Root");
+  (void)model.AddOperation("Worker", "LocalStep", "Job", "Process");
+  (void)model.AddOperation("Worker", "Compute", "Worker", "LocalStep");
+
+  std::vector<EnvironmentRecord> env;
+  for (int t = 1; t <= 10; ++t) {
+    for (uint32_t node = 0; node < 2; ++node) {
+      EnvironmentRecord r;
+      r.node = node;
+      r.hostname = "node" + std::to_string(339 + node);
+      r.time_seconds = t;
+      r.cpu_seconds_per_second = (t > 2 && t <= 8) ? 4.0 : 0.5;
+      env.push_back(r);
+    }
+  }
+  auto archive =
+      Archiver().Build(model, logger.records(), std::move(env), {});
+  EXPECT_TRUE(archive.ok()) << archive.status();
+  return std::move(archive).value();
+}
+
+TEST(TextVisualTest, BreakdownBarShowsPhasesAndPercents) {
+  PerformanceArchive archive = MakeArchive();
+  std::string bar = RenderBreakdownBar(archive, 50);
+  EXPECT_NE(bar.find("Setup"), std::string::npos);
+  EXPECT_NE(bar.find("Process"), std::string::npos);
+  EXPECT_NE(bar.find("20.0%"), std::string::npos);
+  EXPECT_NE(bar.find("80.0%"), std::string::npos);
+  EXPECT_NE(bar.find("10.00s"), std::string::npos);
+  // Bar body sums to the requested width.
+  size_t bar_line = bar.find("|");
+  ASSERT_NE(bar_line, std::string::npos);
+  size_t close = bar.find("|", bar_line + 1);
+  EXPECT_EQ(close - bar_line - 1, 50u);
+}
+
+TEST(TextVisualTest, BreakdownBarEmptyArchive) {
+  PerformanceArchive empty;
+  EXPECT_EQ(RenderBreakdownBar(empty), "(empty archive)\n");
+}
+
+TEST(TextVisualTest, OperationTreeDepthLimit) {
+  PerformanceArchive archive = MakeArchive();
+  std::string full = RenderOperationTree(archive);
+  EXPECT_NE(full.find("Compute"), std::string::npos);
+  std::string shallow = RenderOperationTree(archive, 2);
+  EXPECT_EQ(shallow.find("Compute"), std::string::npos);
+  EXPECT_NE(shallow.find("Process"), std::string::npos);
+}
+
+TEST(TextVisualTest, UtilizationChartAnnotatesPhases) {
+  PerformanceArchive archive = MakeArchive();
+  std::string chart = RenderUtilizationChart(archive, 30);
+  EXPECT_NE(chart.find("Process"), std::string::npos);
+  EXPECT_NE(chart.find("Setup"), std::string::npos);
+  EXPECT_NE(chart.find("peak 8.00"), std::string::npos);
+}
+
+TEST(TextVisualTest, UtilizationChartNoEnvironment) {
+  PerformanceArchive archive = MakeArchive();
+  archive.environment.clear();
+  EXPECT_EQ(RenderUtilizationChart(archive), "(no environment log)\n");
+}
+
+TEST(TextVisualTest, ActorTimelineListsWorkers) {
+  PerformanceArchive archive = MakeArchive();
+  std::string timeline =
+      RenderActorTimeline(archive, "Worker", "LocalStep", 40);
+  EXPECT_NE(timeline.find("Worker-1"), std::string::npos);
+  EXPECT_NE(timeline.find("Worker-2"), std::string::npos);
+  EXPECT_NE(timeline.find("'#' Compute"), std::string::npos);
+}
+
+TEST(TextVisualTest, ActorTimelineNoMatches) {
+  PerformanceArchive archive = MakeArchive();
+  EXPECT_EQ(RenderActorTimeline(archive, "Nobody", "Nothing"),
+            "(no matching operations)\n");
+}
+
+void ExpectWellFormedSvg(const std::string& svg) {
+  EXPECT_EQ(svg.find("<svg"), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Balanced rect/text elements are hard to check; at least no raw '&'.
+  for (size_t i = 0; i < svg.size(); ++i) {
+    if (svg[i] == '&') {
+      EXPECT_TRUE(svg.compare(i, 5, "&amp;") == 0 ||
+                  svg.compare(i, 4, "&lt;") == 0 ||
+                  svg.compare(i, 4, "&gt;") == 0)
+          << "unescaped & at " << i;
+    }
+  }
+}
+
+TEST(SvgVisualTest, BreakdownSvg) {
+  PerformanceArchive archive = MakeArchive();
+  std::string svg = RenderBreakdownSvg(archive);
+  ExpectWellFormedSvg(svg);
+  EXPECT_NE(svg.find("Setup"), std::string::npos);
+  EXPECT_NE(svg.find("20.0%"), std::string::npos);
+}
+
+TEST(SvgVisualTest, UtilizationSvg) {
+  PerformanceArchive archive = MakeArchive();
+  std::string svg = RenderUtilizationSvg(archive);
+  ExpectWellFormedSvg(svg);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("node339"), std::string::npos);
+  EXPECT_NE(svg.find("CPU time / second"), std::string::npos);
+}
+
+TEST(SvgVisualTest, TimelineSvg) {
+  PerformanceArchive archive = MakeArchive();
+  std::string svg = RenderTimelineSvg(archive, "Worker", "LocalStep");
+  ExpectWellFormedSvg(svg);
+  EXPECT_NE(svg.find("Worker-1"), std::string::npos);
+  EXPECT_NE(svg.find("Compute"), std::string::npos);
+}
+
+TEST(SvgVisualTest, EmptyInputsDegradeGracefully) {
+  PerformanceArchive empty;
+  ExpectWellFormedSvg(RenderBreakdownSvg(empty));
+  ExpectWellFormedSvg(RenderUtilizationSvg(empty));
+  ExpectWellFormedSvg(RenderTimelineSvg(empty, "W", "M"));
+}
+
+TEST(SvgVisualTest, WriteSvgFile) {
+  PerformanceArchive archive = MakeArchive();
+  std::string path = testing::TempDir() + "/granula_test.svg";
+  ASSERT_TRUE(WriteSvgFile(path, RenderBreakdownSvg(archive)).ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  ExpectWellFormedSvg(contents);
+  EXPECT_FALSE(WriteSvgFile("/nonexistent-dir/x.svg", "<svg/>").ok());
+}
+
+
+TEST(SvgVisualTest, ComparisonSvg) {
+  PerformanceArchive baseline = MakeArchive();
+  PerformanceArchive candidate = MakeArchive();
+  // Stretch the candidate's Process phase by editing its infos.
+  ArchivedOperation* process =
+      const_cast<ArchivedOperation*>(candidate.FindByPath("Root/Process"));
+  ASSERT_NE(process, nullptr);
+  process->SetInfo("EndTime", Json(SimTime::Seconds(14).nanos()), "t");
+  const_cast<ArchivedOperation*>(candidate.FindByPath("Root"))
+      ->SetInfo("EndTime", Json(SimTime::Seconds(14).nanos()), "t");
+
+  std::string svg = RenderComparisonSvg(baseline, candidate);
+  ExpectWellFormedSvg(svg);
+  EXPECT_NE(svg.find("baseline"), std::string::npos);
+  EXPECT_NE(svg.find("candidate"), std::string::npos);
+  EXPECT_NE(svg.find("+50.0%"), std::string::npos);  // 8s -> 12s Process
+  EXPECT_NE(svg.find("14.00s"), std::string::npos);
+
+  PerformanceArchive empty;
+  ExpectWellFormedSvg(RenderComparisonSvg(empty, baseline));
+}
+
+}  // namespace
+}  // namespace granula::core

@@ -356,41 +356,47 @@ class Parser {
             out += '\f';
             break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return Error("bad hex digit in \\u escape");
-              }
-            }
-            // UTF-8 encode the code point (surrogate pairs: decode the pair).
-            if (code >= 0xd800 && code <= 0xdbff &&
-                pos_ + 6 <= text_.size() && text_[pos_] == '\\' &&
-                text_[pos_ + 1] == 'u') {
-              pos_ += 2;
-              unsigned low = 0;
+            // Reads 4 hex digits at `at`; -1 when truncated or non-hex.
+            auto hex4 = [this](size_t at) -> int {
+              if (at + 4 > text_.size()) return -1;
+              unsigned value = 0;
               for (int i = 0; i < 4; ++i) {
-                char h = text_[pos_++];
-                low <<= 4;
+                char h = text_[at + i];
+                value <<= 4;
                 if (h >= '0' && h <= '9') {
-                  low |= static_cast<unsigned>(h - '0');
+                  value |= static_cast<unsigned>(h - '0');
                 } else if (h >= 'a' && h <= 'f') {
-                  low |= static_cast<unsigned>(h - 'a' + 10);
+                  value |= static_cast<unsigned>(h - 'a' + 10);
                 } else if (h >= 'A' && h <= 'F') {
-                  low |= static_cast<unsigned>(h - 'A' + 10);
+                  value |= static_cast<unsigned>(h - 'A' + 10);
                 } else {
-                  return Error("bad hex digit in \\u escape");
+                  return -1;
                 }
               }
-              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+              return static_cast<int>(value);
+            };
+            int parsed = hex4(pos_);
+            if (parsed < 0) return Error("bad \\u escape");
+            pos_ += 4;
+            unsigned code = static_cast<unsigned>(parsed);
+            // UTF-8 encode the code point. A high surrogate pairs with an
+            // immediately following low surrogate; any unpaired surrogate
+            // would be invalid UTF-8, so it decodes to U+FFFD instead.
+            if (code >= 0xd800 && code <= 0xdbff) {
+              int low = -1;
+              if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                  text_[pos_ + 1] == 'u') {
+                low = hex4(pos_ + 2);
+              }
+              if (low >= 0xdc00 && low <= 0xdfff) {
+                pos_ += 6;
+                code = 0x10000 + ((code - 0xd800) << 10) +
+                       (static_cast<unsigned>(low) - 0xdc00);
+              } else {
+                code = 0xfffd;
+              }
+            } else if (code >= 0xdc00 && code <= 0xdfff) {
+              code = 0xfffd;  // lone low surrogate
             }
             if (code < 0x80) {
               out += static_cast<char>(code);

@@ -21,8 +21,11 @@ class SimTime {
   static constexpr SimTime Millis(int64_t ms) {
     return SimTime(ms * 1000000);
   }
+  // Rounds to the nearest nanosecond: many second-denominated literals
+  // (e.g. 81.59) are not exactly representable, and truncation would make
+  // them drift by 1 ns per conversion.
   static constexpr SimTime Seconds(double s) {
-    return SimTime(static_cast<int64_t>(s * 1e9));
+    return SimTime(static_cast<int64_t>(s * 1e9 + (s < 0 ? -0.5 : 0.5)));
   }
   static constexpr SimTime Max() { return SimTime(INT64_MAX); }
 

@@ -192,6 +192,7 @@ std::string PerformanceArchive::ToJsonString(int indent) const {
     env.Append(std::move(entry));
   }
   j["environment"] = std::move(env);
+  if (!lint.clean()) j["quarantined"] = lint.ToJson();
   return j.Dump(indent);
 }
 
@@ -221,6 +222,11 @@ Result<PerformanceArchive> PerformanceArchive::FromJsonString(
       r.disk_bytes_per_second = entry.GetDouble("disk_bps");
       archive.environment.push_back(std::move(r));
     }
+  }
+  if (const Json* quarantined = j.Find("quarantined");
+      quarantined != nullptr) {
+    GRANULA_ASSIGN_OR_RETURN(archive.lint,
+                             LintReport::FromJson(*quarantined));
   }
   return archive;
 }

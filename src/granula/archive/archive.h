@@ -12,6 +12,7 @@
 #include "common/json.h"
 #include "common/result.h"
 #include "common/sim_time.h"
+#include "granula/archive/lint.h"
 
 namespace granula::core {
 
@@ -84,6 +85,10 @@ class PerformanceArchive {
   std::string model_name;
   std::unique_ptr<ArchivedOperation> root;
   std::vector<EnvironmentRecord> environment;
+  // Lint findings from archiving: what was quarantined or repaired when the
+  // log was dirty (serialized as the "quarantined" section). Empty for a
+  // clean log.
+  LintReport lint;
 
   // Path query: "/" separated mission ids (falling back to mission types),
   // e.g. "GiraphJob/ProcessGraph/Superstep-4". Leading element matches the

@@ -1,8 +1,7 @@
 #include "granula/archive/archiver.h"
 
 #include <algorithm>
-#include <optional>
-#include <set>
+#include <memory>
 
 #include "common/strings.h"
 
@@ -10,24 +9,17 @@ namespace granula::core {
 
 namespace {
 
-// Pre-assembly view of one logged operation.
-struct PendingOp {
-  const LogRecord* start = nullptr;
-  std::optional<SimTime> end_time;
-  std::vector<const LogRecord*> infos;
-  std::vector<uint64_t> children;  // in start-record seq order
-};
-
-// Recursively assembles op `id`. Operations missing from `model` are
-// spliced out: their children are hoisted into `out` directly.
-void Assemble(uint64_t id, const std::map<uint64_t, PendingOp>& pending,
+// Recursively assembles op `id` from the linted view. Operations missing
+// from `model` are spliced out: their children are hoisted into `out`
+// directly.
+void Assemble(uint64_t id, const LintedLog& linted,
               const PerformanceModel& model, bool* saw_unmodeled,
               std::vector<std::unique_ptr<ArchivedOperation>>* out) {
-  const PendingOp& p = pending.at(id);
+  const LintedLog::Op& p = linted.ops.at(id);
 
   std::vector<std::unique_ptr<ArchivedOperation>> children;
   for (uint64_t child : p.children) {
-    Assemble(child, pending, model, saw_unmodeled, &children);
+    Assemble(child, linted, model, saw_unmodeled, &children);
   }
 
   bool modeled =
@@ -45,7 +37,8 @@ void Assemble(uint64_t id, const std::map<uint64_t, PendingOp>& pending,
   op->mission_id = p.start->mission_id;
   op->SetInfo("StartTime", Json(p.start->time.nanos()), "platform log");
   if (p.end_time.has_value()) {
-    op->SetInfo("EndTime", Json(p.end_time->nanos()), "platform log");
+    op->SetInfo("EndTime", Json(p.end_time->nanos()),
+                "platform log" + p.end_provenance);
   }
   for (const LogRecord* info : p.infos) {
     op->SetInfo(info->info_name, info->info_value, "platform log");
@@ -92,83 +85,17 @@ Result<PerformanceArchive> Archiver::Build(
   PerformanceModel effective =
       options_.max_level > 0 ? model.WithMaxLevel(options_.max_level) : model;
 
-  // Index the flat stream (which may be arbitrarily ordered) by op id.
-  std::map<uint64_t, PendingOp> pending;
-  std::vector<const LogRecord*> starts;
-  for (const LogRecord& r : records) {
-    if (r.kind == LogRecord::Kind::kStartOp) {
-      PendingOp& p = pending[r.op_id];
-      if (p.start != nullptr) {
-        return Status::Corruption(
-            StrFormat("duplicate StartOp for op %llu",
-                      static_cast<unsigned long long>(r.op_id)));
-      }
-      p.start = &r;
-      starts.push_back(&r);
-    }
+  LintedLog linted = LintAndRepair(records);
+  if (options_.tolerance == Tolerance::kStrict && linted.report.HasFatal()) {
+    return Status::Corruption(linted.report.Summary());
   }
-  std::sort(starts.begin(), starts.end(),
-            [](const LogRecord* a, const LogRecord* b) {
-              return a->seq < b->seq;
-            });
-  for (const LogRecord& r : records) {
-    auto it = pending.find(r.op_id);
-    if (it == pending.end() || it->second.start == nullptr) {
-      if (r.kind != LogRecord::Kind::kStartOp) continue;  // orphan: ignore
-    }
-    switch (r.kind) {
-      case LogRecord::Kind::kStartOp:
-        break;  // already indexed
-      case LogRecord::Kind::kEndOp:
-        it->second.end_time = r.time;
-        break;
-      case LogRecord::Kind::kInfo:
-        it->second.infos.push_back(&r);
-        break;
-    }
-  }
-
-  // Wire children (in emission order) and find the root.
-  std::vector<uint64_t> roots;
-  for (const LogRecord* start : starts) {
-    uint64_t parent = start->parent_id;
-    if (parent != kNoOp && pending.count(parent) > 0 &&
-        pending[parent].start != nullptr) {
-      if (parent == start->op_id) {
-        return Status::Corruption("operation is its own parent");
-      }
-      pending[parent].children.push_back(start->op_id);
-    } else {
-      roots.push_back(start->op_id);
-    }
-  }
-  if (roots.empty()) {
+  if (linted.root == kNoOp) {
     return Status::Corruption("log contains no root operation");
-  }
-  if (roots.size() > 1) {
-    return Status::Corruption(
-        StrFormat("log contains %zu root operations", roots.size()));
-  }
-
-  // Reject cycles among non-root records (defensive: a hand-crafted log
-  // could contain A->B->A, unreachable from the root).
-  std::set<uint64_t> reachable;
-  std::vector<uint64_t> stack{roots[0]};
-  while (!stack.empty()) {
-    uint64_t id = stack.back();
-    stack.pop_back();
-    if (!reachable.insert(id).second) {
-      return Status::Corruption("cycle in operation parent links");
-    }
-    for (uint64_t child : pending[id].children) stack.push_back(child);
-  }
-  if (reachable.size() != pending.size()) {
-    return Status::Corruption("operations unreachable from the root");
   }
 
   std::vector<std::unique_ptr<ArchivedOperation>> assembled;
   bool saw_unmodeled = false;
-  Assemble(roots[0], pending, effective, &saw_unmodeled, &assembled);
+  Assemble(linted.root, linted, effective, &saw_unmodeled, &assembled);
   if (options_.strict && saw_unmodeled) {
     return Status::FailedPrecondition(
         "strict mode: log contains operations absent from the model");
@@ -183,6 +110,7 @@ Result<PerformanceArchive> Archiver::Build(
   archive.root = std::move(assembled[0]);
   archive.environment = std::move(environment);
   archive.job_metadata = std::move(job_metadata);
+  archive.lint = std::move(linted.report);
   FinalizeOperation(*archive.root, effective);
   return archive;
 }

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "granula/archive/archive.h"
+#include "granula/archive/lint.h"
 #include "granula/model/performance_model.h"
 #include "granula/monitor/job_logger.h"
 
@@ -19,6 +20,13 @@ namespace granula::core {
 //
 // Behavior highlights:
 //  * Records may arrive in any order; the tree is rebuilt from ids.
+//  * Every input stream runs through the LogLint pass (lint.h) first.
+//    Under Tolerance::kStrict any fatal defect (duplicate records,
+//    inverted EndOp, orphan records, cycles, multiple roots) rejects the
+//    log with a Corruption status carrying the lint summary. Under
+//    Tolerance::kRepair the offending records and subtrees are quarantined
+//    into the archive's `quarantined` section and the best-effort tree is
+//    built from what survives.
 //  * Operations not present in the model are *filtered out*; their children
 //    are re-attached to the nearest modeled ancestor. This is how the same
 //    log supports both coarse and fine models (requirement R3): archiving
@@ -26,9 +34,17 @@ namespace granula::core {
 //    cheap archive.
 //  * A missing EndOp is repaired with the max end time of the subtree (and
 //    a "(repaired)" provenance), so one lost record does not void a run.
+//    This repair applies in both tolerance modes.
 //  * Info-derivation rules from the model run bottom-up after assembly.
 class Archiver {
  public:
+  // How to treat defective log streams (see lint.h for the defect
+  // classes).
+  enum class Tolerance {
+    kStrict,  // any fatal lint finding fails the archive (default)
+    kRepair,  // quarantine bad records/subtrees, build best-effort tree
+  };
+
   struct Options {
     // Drop operations whose model level exceeds this (0 = keep all levels
     // present in the model).
@@ -36,6 +52,7 @@ class Archiver {
     // If true, operations absent from the model fail the archive instead
     // of being filtered (useful for model-coverage testing).
     bool strict = false;
+    Tolerance tolerance = Tolerance::kStrict;
   };
 
   Archiver() = default;

@@ -1,0 +1,356 @@
+#include "granula/archive/lint.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace granula::core {
+
+std::string_view LintDefectName(LintDefect defect) {
+  switch (defect) {
+    case LintDefect::kDuplicateStartOp:
+      return "duplicate_start_op";
+    case LintDefect::kDuplicateEndOp:
+      return "duplicate_end_op";
+    case LintDefect::kEndBeforeStart:
+      return "end_before_start";
+    case LintDefect::kOrphanInfo:
+      return "orphan_info";
+    case LintDefect::kOrphanEndOp:
+      return "orphan_end_op";
+    case LintDefect::kParentCycle:
+      return "parent_cycle";
+    case LintDefect::kUnreachableSubtree:
+      return "unreachable_subtree";
+    case LintDefect::kMultipleRoots:
+      return "multiple_roots";
+    case LintDefect::kMissingEndTime:
+      return "missing_end_time";
+  }
+  return "unknown";
+}
+
+Result<LintDefect> ParseLintDefect(std::string_view name) {
+  for (LintDefect defect :
+       {LintDefect::kDuplicateStartOp, LintDefect::kDuplicateEndOp,
+        LintDefect::kEndBeforeStart, LintDefect::kOrphanInfo,
+        LintDefect::kOrphanEndOp, LintDefect::kParentCycle,
+        LintDefect::kUnreachableSubtree, LintDefect::kMultipleRoots,
+        LintDefect::kMissingEndTime}) {
+    if (LintDefectName(defect) == name) return defect;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown lint defect '%.*s'", static_cast<int>(name.size()),
+                name.data()));
+}
+
+Json LintFinding::ToJson() const {
+  Json j;
+  j["defect"] = std::string(LintDefectName(defect));
+  j["op"] = op_id;
+  j["seq"] = seq;
+  j["repaired"] = repaired;
+  j["detail"] = detail;
+  return j;
+}
+
+Result<LintFinding> LintFinding::FromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::Corruption("lint finding must be a JSON object");
+  }
+  LintFinding finding;
+  GRANULA_ASSIGN_OR_RETURN(finding.defect,
+                           ParseLintDefect(j.GetString("defect")));
+  finding.op_id = static_cast<uint64_t>(j.GetInt("op"));
+  finding.seq = static_cast<uint64_t>(j.GetInt("seq"));
+  finding.repaired = j.GetBool("repaired");
+  finding.detail = j.GetString("detail");
+  return finding;
+}
+
+bool LintReport::HasFatal() const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const LintFinding& f) {
+                       return f.defect != LintDefect::kMissingEndTime;
+                     });
+}
+
+size_t LintReport::CountOf(LintDefect defect) const {
+  return static_cast<size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [defect](const LintFinding& f) {
+                      return f.defect == defect;
+                    }));
+}
+
+std::string LintReport::Summary() const {
+  if (findings.empty()) return "log lint: clean";
+  std::string out = StrFormat("log lint: %zu finding(s)", findings.size());
+  for (const LintFinding& f : findings) {
+    out += StrFormat("\n  [%s] op %llu seq %llu: %s%s",
+                     std::string(LintDefectName(f.defect)).c_str(),
+                     static_cast<unsigned long long>(f.op_id),
+                     static_cast<unsigned long long>(f.seq),
+                     f.detail.c_str(), f.repaired ? " (repaired)" : "");
+  }
+  return out;
+}
+
+Json LintReport::ToJson() const {
+  Json j = Json::MakeArray();
+  for (const LintFinding& f : findings) j.Append(f.ToJson());
+  return j;
+}
+
+Result<LintReport> LintReport::FromJson(const Json& j) {
+  if (!j.is_array()) {
+    return Status::Corruption("quarantine section must be a JSON array");
+  }
+  LintReport report;
+  for (const Json& entry : j.AsArray()) {
+    GRANULA_ASSIGN_OR_RETURN(auto finding, LintFinding::FromJson(entry));
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+namespace {
+
+std::string OpName(const LogRecord& start) {
+  const std::string& actor =
+      start.actor_id.empty() ? start.actor_type : start.actor_id;
+  const std::string& mission =
+      start.mission_id.empty() ? start.mission_type : start.mission_id;
+  return actor + " @ " + mission;
+}
+
+}  // namespace
+
+LintedLog LintAndRepair(const std::vector<LogRecord>& records) {
+  LintedLog out;
+  std::vector<LintFinding>& findings = out.report.findings;
+
+  // Pass 1: index StartOps. The lowest-seq start wins; later duplicates
+  // are quarantined (ties keep the earlier array position, which only
+  // matters for hand-crafted logs that reuse a seq).
+  for (const LogRecord& r : records) {
+    if (r.kind != LogRecord::Kind::kStartOp) continue;
+    LintedLog::Op& op = out.ops[r.op_id];
+    if (op.start == nullptr) {
+      op.start = &r;
+      continue;
+    }
+    const LogRecord* loser = &r;
+    if (r.seq < op.start->seq) {
+      loser = op.start;
+      op.start = &r;
+    }
+    findings.push_back(
+        {LintDefect::kDuplicateStartOp, r.op_id, loser->seq, true,
+         StrFormat("duplicate StartOp for %s", OpName(*loser).c_str())});
+  }
+
+  // Pass 2: attach EndOps and Infos; stray records are quarantined.
+  std::map<uint64_t, std::vector<const LogRecord*>> ends;
+  for (const LogRecord& r : records) {
+    if (r.kind == LogRecord::Kind::kStartOp) continue;
+    auto it = out.ops.find(r.op_id);
+    if (it == out.ops.end()) {
+      bool is_end = r.kind == LogRecord::Kind::kEndOp;
+      findings.push_back(
+          {is_end ? LintDefect::kOrphanEndOp : LintDefect::kOrphanInfo,
+           r.op_id, r.seq, true,
+           StrFormat("%s record for an operation with no StartOp",
+                     is_end ? "EndOp" : StrFormat("Info '%s'",
+                                                  r.info_name.c_str())
+                                            .c_str())});
+      continue;
+    }
+    if (r.kind == LogRecord::Kind::kEndOp) {
+      ends[r.op_id].push_back(&r);
+    } else {
+      it->second.infos.push_back(&r);
+    }
+  }
+  for (auto& [id, op] : out.ops) {
+    std::sort(op.infos.begin(), op.infos.end(),
+              [](const LogRecord* a, const LogRecord* b) {
+                return a->seq < b->seq;
+              });
+  }
+
+  // Resolve ends per op: the first (by seq) end not earlier than the start
+  // wins; inverted ends and later duplicates are quarantined.
+  for (auto& [id, candidates] : ends) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const LogRecord* a, const LogRecord* b) {
+                return a->seq < b->seq;
+              });
+    LintedLog::Op& op = out.ops[id];
+    for (const LogRecord* end : candidates) {
+      if (end->time < op.start->time) {
+        findings.push_back(
+            {LintDefect::kEndBeforeStart, id, end->seq, true,
+             StrFormat("EndOp at %s precedes StartOp at %s",
+                       end->time.ToString().c_str(),
+                       op.start->time.ToString().c_str())});
+        if (!op.end_time.has_value()) {
+          op.end_provenance = " (inverted EndOp quarantined)";
+        }
+      } else if (op.end_time.has_value()) {
+        findings.push_back(
+            {LintDefect::kDuplicateEndOp, id, end->seq, true,
+             StrFormat("duplicate EndOp at %s; first EndOp at %s wins",
+                       end->time.ToString().c_str(),
+                       op.end_time->ToString().c_str())});
+        op.end_provenance = " (duplicate EndOp quarantined)";
+      } else {
+        op.end_time = end->time;
+        // A valid end supersedes any earlier inverted-end provenance.
+        op.end_provenance.clear();
+      }
+    }
+  }
+
+  // Pass 3: parent graph. Classify every op's parent chain as reaching a
+  // root (parent == kNoOp or a parent absent from the log), looping (a
+  // cycle, incl. self-parent), or dangling off a cycle.
+  enum class Fate { kUnknown, kRoot, kCycle, kDangling };
+  std::map<uint64_t, Fate> fate;
+  std::map<uint64_t, uint64_t> root_of;  // op -> root its chain reaches
+  for (const auto& [id, op] : out.ops) {
+    if (fate.count(id) > 0) continue;
+    std::vector<uint64_t> path;
+    std::set<uint64_t> on_path;
+    uint64_t cur = id;
+    Fate terminal = Fate::kRoot;
+    uint64_t root = cur;
+    while (true) {
+      if (auto it = fate.find(cur); it != fate.end()) {
+        terminal = it->second == Fate::kRoot ? Fate::kRoot : Fate::kDangling;
+        root = terminal == Fate::kRoot ? root_of.at(cur) : kNoOp;
+        break;
+      }
+      if (on_path.count(cur) > 0) {
+        // Found a cycle: everything from the first occurrence of `cur`
+        // onward is on the cycle; the prefix dangles off it.
+        auto cycle_start = std::find(path.begin(), path.end(), cur);
+        uint64_t min_id = *std::min_element(cycle_start, path.end());
+        findings.push_back(
+            {LintDefect::kParentCycle, min_id,
+             out.ops.at(min_id).start->seq, false,
+             StrFormat("parent links of %zu operation(s) form a cycle",
+                       static_cast<size_t>(path.end() - cycle_start))});
+        for (auto it = cycle_start; it != path.end(); ++it) {
+          fate[*it] = Fate::kCycle;
+        }
+        path.erase(cycle_start, path.end());
+        terminal = Fate::kDangling;
+        root = kNoOp;
+        break;
+      }
+      path.push_back(cur);
+      on_path.insert(cur);
+      uint64_t parent = out.ops.at(cur).start->parent_id;
+      if (parent == kNoOp || out.ops.count(parent) == 0) {
+        terminal = Fate::kRoot;
+        root = cur;
+        break;
+      }
+      cur = parent;
+    }
+    for (uint64_t op_id : path) {
+      fate[op_id] = terminal;
+      if (terminal == Fate::kRoot) root_of[op_id] = root;
+    }
+  }
+
+  // Pick the primary root: largest subtree, ties broken by lowest seq.
+  std::map<uint64_t, uint64_t> subtree_size;  // root -> member count
+  for (const auto& [id, root] : root_of) {
+    (void)id;
+    ++subtree_size[root];
+  }
+  for (const auto& [root, size] : subtree_size) {
+    (void)size;
+    if (out.root == kNoOp) {
+      out.root = root;
+      continue;
+    }
+    uint64_t best = subtree_size[out.root];
+    uint64_t cand = subtree_size[root];
+    if (cand > best ||
+        (cand == best &&
+         out.ops.at(root).start->seq < out.ops.at(out.root).start->seq)) {
+      out.root = root;
+    }
+  }
+
+  // Quarantine everything not under the primary root.
+  std::set<uint64_t> doomed;
+  for (const auto& [id, f] : fate) {
+    if (f == Fate::kRoot && root_of.at(id) == out.root) continue;
+    doomed.insert(id);
+    if (f == Fate::kRoot && id == root_of.at(id)) {
+      findings.push_back(
+          {LintDefect::kMultipleRoots, id, out.ops.at(id).start->seq, false,
+           StrFormat("extra root %s (subtree of %llu operation(s)) "
+                     "quarantined",
+                     OpName(*out.ops.at(id).start).c_str(),
+                     static_cast<unsigned long long>(subtree_size[id]))});
+    } else if (f == Fate::kRoot) {
+      findings.push_back(
+          {LintDefect::kUnreachableSubtree, id, out.ops.at(id).start->seq,
+           false,
+           StrFormat("%s belongs to a quarantined root's subtree",
+                     OpName(*out.ops.at(id).start).c_str())});
+    } else if (f == Fate::kDangling) {
+      findings.push_back(
+          {LintDefect::kUnreachableSubtree, id, out.ops.at(id).start->seq,
+           false,
+           StrFormat("%s hangs off a parent cycle, unreachable from any "
+                     "root",
+                     OpName(*out.ops.at(id).start).c_str())});
+    }
+    // Cycle members were already reported as one kParentCycle finding.
+  }
+  for (uint64_t id : doomed) out.ops.erase(id);
+
+  // Wire surviving children in start-seq order, and flag missing ends.
+  std::vector<const LogRecord*> starts;
+  starts.reserve(out.ops.size());
+  for (const auto& [id, op] : out.ops) starts.push_back(op.start);
+  std::sort(starts.begin(), starts.end(),
+            [](const LogRecord* a, const LogRecord* b) {
+              return a->seq < b->seq;
+            });
+  for (const LogRecord* start : starts) {
+    if (start->op_id == out.root) continue;
+    out.ops.at(start->parent_id).children.push_back(start->op_id);
+  }
+  for (const auto& [id, op] : out.ops) {
+    if (!op.end_time.has_value() && ends.count(id) == 0) {
+      findings.push_back(
+          {LintDefect::kMissingEndTime, id, op.start->seq, true,
+           StrFormat("no EndOp for %s; EndTime repaired from the subtree",
+                     OpName(*op.start).c_str())});
+    }
+  }
+
+  // Deterministic report order regardless of input record order.
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              if (a.seq != b.seq) return a.seq < b.seq;
+              if (a.op_id != b.op_id) return a.op_id < b.op_id;
+              if (a.defect != b.defect) return a.defect < b.defect;
+              return a.detail < b.detail;
+            });
+  return out;
+}
+
+LintReport LintLog(const std::vector<LogRecord>& records) {
+  return LintAndRepair(records).report;
+}
+
+}  // namespace granula::core

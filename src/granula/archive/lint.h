@@ -1,0 +1,106 @@
+#ifndef GRANULA_GRANULA_ARCHIVE_LINT_H_
+#define GRANULA_GRANULA_ARCHIVE_LINT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+
+// Defect classes found in a raw platform-log stream. Real monitoring output
+// (Giraph on YARN, PowerGraph on MPI) arrives incomplete, reordered, and
+// partially corrupt; the lint pass classifies every such defect so the
+// archiver can either reject the log (strict) or quarantine the offending
+// records and build a best-effort archive (repair).
+enum class LintDefect {
+  kDuplicateStartOp,    // a second StartOp for an already-started op
+  kDuplicateEndOp,      // a second EndOp; the first one wins
+  kEndBeforeStart,      // EndOp timestamped earlier than the StartOp
+  kOrphanInfo,          // Info record for an op with no StartOp
+  kOrphanEndOp,         // EndOp record for an op with no StartOp
+  kParentCycle,         // parent links form a cycle (incl. self-parent)
+  kUnreachableSubtree,  // op hangs off a cycle, reachable from no root
+  kMultipleRoots,       // extra root next to the primary one
+  kMissingEndTime,      // no (usable) EndOp; repaired from the subtree
+};
+
+// Stable lowercase name, e.g. "duplicate_end_op". Used in the archive's
+// quarantine section, so it must roundtrip through ParseLintDefect.
+std::string_view LintDefectName(LintDefect defect);
+Result<LintDefect> ParseLintDefect(std::string_view name);
+
+// One classified defect. `repaired` is true when repair mode keeps the
+// operation alive (only stray records are quarantined); false when the
+// whole operation or subtree is quarantined.
+struct LintFinding {
+  LintDefect defect = LintDefect::kMissingEndTime;
+  uint64_t op_id = 0;  // offending operation (0 when unknown)
+  uint64_t seq = 0;    // offending record's emission seq (0 when n/a)
+  bool repaired = false;
+  std::string detail;
+
+  Json ToJson() const;
+  static Result<LintFinding> FromJson(const Json& j);
+  bool operator==(const LintFinding&) const = default;
+};
+
+// The structured result of linting one log stream. Serialized verbatim
+// into the archive's "quarantined" section in repair mode, so analysts can
+// audit exactly what was dropped or fixed up.
+struct LintReport {
+  std::vector<LintFinding> findings;  // sorted by (seq, op_id, defect)
+
+  bool clean() const { return findings.empty(); }
+  // True when any finding voids the log in strict mode. kMissingEndTime is
+  // exempt: a lost EndOp has always been repaired in place.
+  bool HasFatal() const;
+  size_t CountOf(LintDefect defect) const;
+  // Human-readable one-line-per-finding rendering for CLI output and
+  // strict-mode error messages.
+  std::string Summary() const;
+
+  Json ToJson() const;
+  static Result<LintReport> FromJson(const Json& j);
+  bool operator==(const LintReport&) const = default;
+};
+
+// The linted — and, where possible, repaired — view of a log stream: the
+// records that survive quarantine, indexed per operation and ready for
+// tree assembly. Pointers alias into the input record vector.
+struct LintedLog {
+  struct Op {
+    const LogRecord* start = nullptr;
+    std::optional<SimTime> end_time;
+    std::vector<const LogRecord*> infos;  // in seq order
+    std::vector<uint64_t> children;       // in start-record seq order
+    // Provenance suffix for EndTime when a repair touched it, e.g.
+    // " (duplicate EndOp quarantined)". Empty when the log was clean.
+    std::string end_provenance;
+  };
+
+  LintReport report;
+  std::map<uint64_t, Op> ops;  // survivors only
+  uint64_t root = kNoOp;       // chosen primary root; kNoOp when none
+};
+
+// Classifies every defect in `records` and computes the best-effort
+// repaired view: first record wins on duplicates, inverted/duplicate ends
+// and orphan records are dropped, and of several roots the one with the
+// largest subtree (ties: lowest seq) is kept. Deterministic for any input
+// order — decisions key on record seq, never on array position.
+LintedLog LintAndRepair(const std::vector<LogRecord>& records);
+
+// Classification only (same findings, without the repaired view).
+LintReport LintLog(const std::vector<LogRecord>& records);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_ARCHIVE_LINT_H_

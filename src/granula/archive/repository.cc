@@ -1,10 +1,12 @@
 #include "granula/archive/repository.h"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <thread>
 
 #include "common/strings.h"
 
@@ -27,38 +29,128 @@ std::string ArchiveRepository::PathFor(const std::string& name) const {
   return directory_ + "/" + name + ".json";
 }
 
+Status ArchiveRepository::WriteAtomic(const std::string& name,
+                                      const std::string& payload) const {
+  const std::string path = PathFor(name);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) {
+      return Status::IoError(StrFormat("cannot write %s", tmp.c_str()));
+    }
+    file << payload;
+    file.flush();
+    if (!file.good()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return Status::IoError(StrFormat("write failed for %s", tmp.c_str()));
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    return Status::IoError(StrFormat("cannot move %s into place: %s",
+                                     tmp.c_str(), ec.message().c_str()));
+  }
+  return Status::OK();
+}
+
+std::string ArchiveRepository::AutoName(
+    const PerformanceArchive& archive,
+    std::vector<std::string>* taken) {
+  auto platform_it = archive.job_metadata.find("platform");
+  auto algorithm_it = archive.job_metadata.find("algorithm");
+  std::string prefix =
+      (platform_it != archive.job_metadata.end() ? platform_it->second
+                                                 : "run") +
+      "-" +
+      (algorithm_it != archive.job_metadata.end() ? algorithm_it->second
+                                                  : "job");
+  // One past the highest index already used, on disk or in this batch.
+  // Scanning for the max (instead of the first gap) keeps auto-names
+  // collision-free across deletions.
+  int max_index = 0;
+  auto consider = [&](const std::string& name) {
+    if (name.rfind(prefix + "-", 0) != 0) return;
+    std::string digits = name.substr(prefix.size() + 1);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return;
+    }
+    max_index = std::max(max_index, std::atoi(digits.c_str()));
+  };
+  std::error_code ec;
+  fs::directory_iterator it(directory_, ec);
+  if (!ec) {
+    for (fs::directory_iterator end; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (it->path().extension() != ".json") continue;
+      consider(it->path().stem().string());
+    }
+  }
+  for (const std::string& name : *taken) consider(name);
+  // Removed archives leave no file behind; the high-water mark keeps
+  // their indices retired anyway.
+  int& high = high_water_[prefix];
+  max_index = std::max(max_index, high);
+  high = max_index + 1;
+  std::string name = StrFormat("%s-%03d", prefix.c_str(), high);
+  taken->push_back(name);
+  return name;
+}
+
 Result<std::string> ArchiveRepository::Save(
     const PerformanceArchive& archive, const std::string& explicit_name) {
   GRANULA_RETURN_IF_ERROR(Init());
   std::string name = explicit_name;
   if (name.empty()) {
-    auto platform_it = archive.job_metadata.find("platform");
-    auto algorithm_it = archive.job_metadata.find("algorithm");
-    std::string prefix =
-        (platform_it != archive.job_metadata.end() ? platform_it->second
-                                                   : "run") +
-        "-" +
-        (algorithm_it != archive.job_metadata.end() ? algorithm_it->second
-                                                    : "job");
-    for (int index = 1;; ++index) {
-      std::string candidate = StrFormat("%s-%03d", prefix.c_str(), index);
-      if (!fs::exists(PathFor(candidate))) {
-        name = candidate;
-        break;
-      }
-    }
+    std::vector<std::string> taken;
+    name = AutoName(archive, &taken);
   }
-  std::ofstream file(PathFor(name));
-  if (!file) {
-    return Status::IoError(
-        StrFormat("cannot write %s", PathFor(name).c_str()));
-  }
-  file << archive.ToJsonString();
-  if (!file.good()) {
-    return Status::IoError(
-        StrFormat("write failed for %s", PathFor(name).c_str()));
-  }
+  GRANULA_RETURN_IF_ERROR(WriteAtomic(name, archive.ToJsonString()));
   return name;
+}
+
+Result<std::vector<std::string>> ArchiveRepository::SaveAll(
+    const std::vector<const PerformanceArchive*>& archives,
+    int num_threads) {
+  GRANULA_RETURN_IF_ERROR(Init());
+  // Assign all names up front (single-threaded: auto-naming scans the
+  // directory), then fan the serialize+write work out to a thread pool.
+  std::vector<std::string> names(archives.size());
+  std::vector<std::string> taken;
+  for (size_t i = 0; i < archives.size(); ++i) {
+    if (archives[i] == nullptr) {
+      return Status::InvalidArgument("SaveAll: null archive");
+    }
+    names[i] = AutoName(*archives[i], &taken);
+  }
+
+  unsigned workers = num_threads > 0
+                         ? static_cast<unsigned>(num_threads)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(
+      workers, std::max<size_t>(archives.size(), size_t{1}));
+
+  std::vector<Status> statuses(archives.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < archives.size();
+         i = next.fetch_add(1)) {
+      statuses[i] = WriteAtomic(names[i], archives[i]->ToJsonString());
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return names;
 }
 
 Result<std::vector<ArchiveRepository::Entry>> ArchiveRepository::List()
@@ -69,11 +161,20 @@ Result<std::vector<ArchiveRepository::Entry>> ArchiveRepository::List()
         StrFormat("no repository at %s", directory_.c_str()));
   }
   std::vector<Entry> entries;
-  for (const fs::directory_entry& file :
-       fs::directory_iterator(directory_, ec)) {
-    if (ec) break;
-    if (file.path().extension() != ".json") continue;
-    std::string name = file.path().stem().string();
+  fs::directory_iterator it(directory_, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("cannot list %s: %s",
+                                     directory_.c_str(),
+                                     ec.message().c_str()));
+  }
+  for (fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) {
+      return Status::IoError(StrFormat("error while listing %s: %s",
+                                       directory_.c_str(),
+                                       ec.message().c_str()));
+    }
+    if (it->path().extension() != ".json") continue;
+    std::string name = it->path().stem().string();
     auto archive = Load(name);
     if (!archive.ok()) continue;  // foreign or corrupt file: skip
     Entry entry;

@@ -1,6 +1,7 @@
 #ifndef GRANULA_GRANULA_ARCHIVE_REPOSITORY_H_
 #define GRANULA_GRANULA_ARCHIVE_REPOSITORY_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,7 +16,13 @@ namespace granula::core {
 // reload, re-visualize, and diff without re-running experiments.
 //
 // Layout: <directory>/<name>.json, where auto-generated names are
-// "<platform>-<algorithm>-<NNN>" with NNN a monotonically growing index.
+// "<platform>-<algorithm>-<NNN>" with NNN one past the highest index
+// already on disk (never reusing a previously assigned name, even after
+// deletions — names act as stable experiment ids).
+//
+// Durability: every save writes <name>.json.tmp and renames it into place,
+// so a crash or full disk mid-write never leaves a truncated .json visible
+// to List()/Load().
 class ArchiveRepository {
  public:
   explicit ArchiveRepository(std::string directory)
@@ -30,6 +37,17 @@ class ArchiveRepository {
   Result<std::string> Save(const PerformanceArchive& archive,
                            const std::string& name = "");
 
+  // Batch save: archives N jobs across a std::thread pool (serialization
+  // dominates the cost, so this scales with cores). Names are assigned
+  // up front, exactly as N sequential Save() calls would; the returned
+  // vector is parallel to `archives`. On any failure the first error is
+  // returned and the remaining archives are still attempted, so a batch
+  // never leaves half-written files behind. `num_threads` <= 0 picks the
+  // hardware concurrency.
+  Result<std::vector<std::string>> SaveAll(
+      const std::vector<const PerformanceArchive*>& archives,
+      int num_threads = 0);
+
   struct Entry {
     std::string name;
     std::string platform;
@@ -38,7 +56,8 @@ class ArchiveRepository {
     uint64_t operations = 0;
   };
   // All archives in the repository, sorted by name. Unreadable or invalid
-  // files are skipped (a shared directory may contain foreign data).
+  // files are skipped (a shared directory may contain foreign data), but
+  // directory-iteration failures are surfaced as IoError.
   Result<std::vector<Entry>> List() const;
 
   Result<PerformanceArchive> Load(const std::string& name) const;
@@ -48,7 +67,20 @@ class ArchiveRepository {
  private:
   std::string PathFor(const std::string& name) const;
 
+  // Serializes `payload` to <name>.json.tmp, then renames into place.
+  Status WriteAtomic(const std::string& name,
+                     const std::string& payload) const;
+
+  // Auto-name for `archive`: "<platform>-<algorithm>-<NNN>". `taken` keeps
+  // names unique within one batch before anything reaches the disk.
+  std::string AutoName(const PerformanceArchive& archive,
+                       std::vector<std::string>* taken);
+
   std::string directory_;
+  // Highest auto-index handed out per prefix. The disk scan alone would
+  // forget an index once its file is Remove()d; this keeps names
+  // monotonically increasing for the repository's lifetime.
+  std::map<std::string, int> high_water_;
 };
 
 }  // namespace granula::core

@@ -1,6 +1,124 @@
 #include "granula/monitor/job_logger.h"
 
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
 namespace granula::core {
+
+namespace {
+
+std::string_view KindName(LogRecord::Kind kind) {
+  switch (kind) {
+    case LogRecord::Kind::kStartOp:
+      return "start";
+    case LogRecord::Kind::kEndOp:
+      return "end";
+    case LogRecord::Kind::kInfo:
+      return "info";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Json LogRecord::ToJson() const {
+  Json j;
+  j["kind"] = std::string(KindName(kind));
+  j["seq"] = seq;
+  j["t"] = time.nanos();
+  j["op"] = op_id;
+  if (kind == Kind::kStartOp) {
+    j["parent"] = parent_id;
+    j["actor_type"] = actor_type;
+    if (!actor_id.empty()) j["actor_id"] = actor_id;
+    j["mission_type"] = mission_type;
+    if (!mission_id.empty()) j["mission_id"] = mission_id;
+  }
+  if (kind == Kind::kInfo) {
+    j["name"] = info_name;
+    j["value"] = info_value;
+  }
+  return j;
+}
+
+Result<LogRecord> LogRecord::FromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::Corruption("log record must be a JSON object");
+  }
+  LogRecord r;
+  std::string kind = j.GetString("kind");
+  if (kind == "start") {
+    r.kind = Kind::kStartOp;
+  } else if (kind == "end") {
+    r.kind = Kind::kEndOp;
+  } else if (kind == "info") {
+    r.kind = Kind::kInfo;
+  } else {
+    return Status::Corruption(
+        StrFormat("unknown log record kind '%s'", kind.c_str()));
+  }
+  r.seq = static_cast<uint64_t>(j.GetInt("seq"));
+  r.time = SimTime::Nanos(j.GetInt("t"));
+  r.op_id = static_cast<uint64_t>(j.GetInt("op"));
+  if (r.kind == Kind::kStartOp) {
+    r.parent_id = static_cast<uint64_t>(j.GetInt("parent"));
+    r.actor_type = j.GetString("actor_type");
+    r.actor_id = j.GetString("actor_id");
+    r.mission_type = j.GetString("mission_type");
+    r.mission_id = j.GetString("mission_id");
+  }
+  if (r.kind == Kind::kInfo) {
+    r.info_name = j.GetString("name");
+    if (const Json* value = j.Find("value")) r.info_value = *value;
+  }
+  return r;
+}
+
+Status WriteLogRecords(const std::string& path,
+                       const std::vector<LogRecord>& records) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::IoError(StrFormat("cannot write %s", path.c_str()));
+  }
+  for (const LogRecord& r : records) {
+    file << r.ToJson().Dump(0) << '\n';
+  }
+  file.flush();
+  if (!file.good()) {
+    return Status::IoError(StrFormat("write failed for %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<LogRecord>> ReadLogRecords(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::vector<LogRecord> records;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      return Status::Corruption(StrFormat("%s:%zu: %s", path.c_str(),
+                                          line_number,
+                                          parsed.status().ToString().c_str()));
+    }
+    auto record = LogRecord::FromJson(*parsed);
+    if (!record.ok()) {
+      return Status::Corruption(StrFormat("%s:%zu: %s", path.c_str(),
+                                          line_number,
+                                          record.status().ToString().c_str()));
+    }
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
 
 OpId JobLogger::StartOperation(OpId parent, std::string actor_type,
                                std::string actor_id,

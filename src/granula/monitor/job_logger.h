@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/json.h"
+#include "common/result.h"
 #include "common/sim_time.h"
 
 namespace granula::core {
@@ -34,7 +36,20 @@ struct LogRecord {
   // kInfo only.
   std::string info_name;
   Json info_value;
+
+  // Serialization for captured logs. Keeps `seq` and `kind` exactly, so a
+  // log written to disk lints and archives identically to the in-memory
+  // stream (the provenance the lint pass keys on).
+  Json ToJson() const;
+  static Result<LogRecord> FromJson(const Json& j);
 };
+
+// Captured-log persistence: one compact JSON object per line (JSONL), the
+// flat order-independent format the archiver expects back. Enables
+// offline lint/repair of logs scraped from real platforms.
+Status WriteLogRecords(const std::string& path,
+                       const std::vector<LogRecord>& records);
+Result<std::vector<LogRecord>> ReadLogRecords(const std::string& path);
 
 // Identifies a started operation in the log stream.
 using OpId = uint64_t;

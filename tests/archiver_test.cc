@@ -172,16 +172,24 @@ TEST(ArchiverTest, DuplicateStartFails) {
   EXPECT_EQ(archive.status().code(), StatusCode::kCorruption);
 }
 
-TEST(ArchiverTest, OrphanInfoRecordsIgnored) {
+TEST(ArchiverTest, OrphanInfoRejectedStrictQuarantinedInRepair) {
   std::vector<LogRecord> records = SampleLog();
   LogRecord orphan;
   orphan.kind = LogRecord::Kind::kInfo;
+  orphan.seq = 999;
   orphan.op_id = 999;
   orphan.info_name = "ghost";
   orphan.info_value = Json(int64_t{1});
   records.push_back(orphan);
-  auto archive = Archiver().Build(SampleModel(), records, {}, {});
-  EXPECT_TRUE(archive.ok()) << archive.status();
+  auto strict = Archiver().Build(SampleModel(), records, {}, {});
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+
+  Archiver::Options options;
+  options.tolerance = Archiver::Tolerance::kRepair;
+  auto repaired = Archiver(options).Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  EXPECT_EQ(repaired->lint.CountOf(LintDefect::kOrphanInfo), 1u);
+  EXPECT_EQ(repaired->OperationCount(), 5u);
 }
 
 TEST(ArchiverTest, RootNotInModelFails) {

@@ -1,5 +1,7 @@
 #include "granula/monitor/job_logger.h"
 
+#include <fstream>
+
 #include <gtest/gtest.h>
 
 namespace granula::core {
@@ -62,6 +64,72 @@ TEST(JobLoggerTest, TakeRecordsMovesOut) {
   auto taken = logger.TakeRecords();
   EXPECT_EQ(taken.size(), 1u);
   EXPECT_TRUE(logger.records().empty());
+}
+
+TEST(JobLoggerTest, RecordJsonRoundtrip) {
+  SimTime now = SimTime::Seconds(1.5);
+  JobLogger logger([&now] { return now; });
+  OpId op = logger.StartOperation(kNoOp, "Worker", "Worker-3", "Superstep",
+                                  "Superstep-4");
+  logger.AddInfo(op, "MessagesSent", Json(int64_t{12345}));
+  now = SimTime::Seconds(2.5);
+  logger.EndOperation(op);
+  for (const LogRecord& r : logger.records()) {
+    auto parsed = LogRecord::FromJson(r.ToJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->kind, r.kind);
+    EXPECT_EQ(parsed->seq, r.seq);
+    EXPECT_EQ(parsed->time, r.time);
+    EXPECT_EQ(parsed->op_id, r.op_id);
+    EXPECT_EQ(parsed->parent_id, r.parent_id);
+    EXPECT_EQ(parsed->actor_type, r.actor_type);
+    EXPECT_EQ(parsed->actor_id, r.actor_id);
+    EXPECT_EQ(parsed->mission_type, r.mission_type);
+    EXPECT_EQ(parsed->mission_id, r.mission_id);
+    EXPECT_EQ(parsed->info_name, r.info_name);
+    EXPECT_EQ(parsed->info_value, r.info_value);
+  }
+  EXPECT_FALSE(LogRecord::FromJson(Json("not an object")).ok());
+  Json bad_kind;
+  bad_kind["kind"] = "telepathy";
+  EXPECT_FALSE(LogRecord::FromJson(bad_kind).ok());
+}
+
+TEST(JobLoggerTest, LogFileRoundtrip) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job-0", "Root");
+  OpId step = logger.StartOperation(root, "Worker", "w-1", "Step", "Step-1");
+  logger.AddInfo(step, "Items", Json(int64_t{7}));
+  now = SimTime::Seconds(3);
+  logger.EndOperation(step);
+  logger.EndOperation(root);
+  std::vector<LogRecord> records = logger.TakeRecords();
+
+  std::string path = testing::TempDir() + "/job_logger_roundtrip.jsonl";
+  ASSERT_TRUE(WriteLogRecords(path, records).ok());
+  auto loaded = ReadLogRecords(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].ToJson(), records[i].ToJson()) << "record " << i;
+  }
+  EXPECT_EQ(ReadLogRecords(path + ".missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(JobLoggerTest, ReadLogRejectsCorruptLineWithContext) {
+  std::string path = testing::TempDir() + "/job_logger_corrupt.jsonl";
+  {
+    std::ofstream file(path);
+    file << R"({"kind":"start","seq":0,"t":0,"op":1,"parent":0,)"
+         << R"("actor_type":"A","mission_type":"M"})" << "\n";
+    file << "{truncated\n";
+  }
+  auto loaded = ReadLogRecords(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  // The error names the file and line of the bad record.
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos);
 }
 
 }  // namespace

@@ -114,6 +114,39 @@ TEST(JsonTest, ParseUnicodeEscapes) {
   EXPECT_EQ(r->AsArray()[2].AsString(), "\xf0\x9f\x98\x80");
 }
 
+TEST(JsonTest, UnpairedSurrogateBecomesReplacementChar) {
+  // An unpaired UTF-16 surrogate in a \u escape cannot be encoded as
+  // UTF-8; it decodes to U+FFFD (EF BF BD) instead of invalid bytes.
+  auto lone_high = Json::Parse(R"("a\ud800b")");
+  ASSERT_TRUE(lone_high.ok());
+  EXPECT_EQ(lone_high->AsString(), "a\xef\xbf\xbd"  "b");
+
+  auto lone_low = Json::Parse(R"("a\udc00b")");
+  ASSERT_TRUE(lone_low.ok());
+  EXPECT_EQ(lone_low->AsString(), "a\xef\xbf\xbd"  "b");
+
+  // A high surrogate followed by a non-surrogate escape: the high decodes
+  // to U+FFFD and the next escape decodes on its own.
+  auto high_then_bmp = Json::Parse(R"("\ud800A")");
+  ASSERT_TRUE(high_then_bmp.ok());
+  EXPECT_EQ(high_then_bmp->AsString(), "\xef\xbf\xbd" "A");
+
+  // A high surrogate at end of string.
+  auto high_at_end = Json::Parse(R"("\ud800")");
+  ASSERT_TRUE(high_at_end.ok());
+  EXPECT_EQ(high_at_end->AsString(), "\xef\xbf\xbd");
+
+  // Valid escaped pairs still combine.
+  auto pair = Json::Parse(R"("\ud83d\ude00")");
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->AsString(), "\xf0\x9f\x98\x80");
+
+  // The replacement character survives a dump/parse round-trip.
+  auto redumped = Json::Parse(lone_high->Dump(0));
+  ASSERT_TRUE(redumped.ok());
+  EXPECT_EQ(*redumped, *lone_high);
+}
+
 TEST(JsonTest, RoundtripComplexDocument) {
   Json doc;
   doc["job"] = "BFS";

@@ -1,0 +1,422 @@
+#include "granula/archive/lint.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "granula/archive/archiver.h"
+#include "granula/models/models.h"
+
+namespace granula::core {
+namespace {
+
+// Root(0-10s) -> PhaseA(0-6s) -> Step-1, Step-2; PhaseB(6-10s).
+// Op ids: Root=1, PhaseA=2, Step-1=3, Step-2=4, PhaseB=5.
+std::vector<LogRecord> CleanLog() {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job-0", "Root");
+  OpId phase_a =
+      logger.StartOperation(root, "Job", "job-0", "PhaseA", "PhaseA");
+  OpId step1 =
+      logger.StartOperation(phase_a, "Worker", "Worker-1", "Step", "Step-1");
+  logger.AddInfo(step1, "Items", Json(int64_t{100}));
+  now = SimTime::Seconds(4);
+  logger.EndOperation(step1);
+  OpId step2 =
+      logger.StartOperation(phase_a, "Worker", "Worker-2", "Step", "Step-2");
+  now = SimTime::Seconds(6);
+  logger.EndOperation(step2);
+  logger.EndOperation(phase_a);
+  OpId phase_b =
+      logger.StartOperation(root, "Job", "job-0", "PhaseB", "PhaseB");
+  now = SimTime::Seconds(10);
+  logger.EndOperation(phase_b);
+  logger.EndOperation(root);
+  return logger.TakeRecords();
+}
+
+PerformanceModel SampleModel() {
+  PerformanceModel model("sample");
+  (void)model.AddRoot("Job", "Root");
+  (void)model.AddOperation("Job", "PhaseA", "Job", "Root");
+  (void)model.AddOperation("Job", "PhaseB", "Job", "Root");
+  (void)model.AddOperation("Worker", "Step", "Job", "PhaseA");
+  return model;
+}
+
+Archiver RepairArchiver() {
+  Archiver::Options options;
+  options.tolerance = Archiver::Tolerance::kRepair;
+  return Archiver(options);
+}
+
+// A usable archive: root present with a positive duration, and the
+// derivation rules ran (every op carries the implicit Duration info).
+void ExpectUsable(const PerformanceArchive& archive) {
+  ASSERT_NE(archive.root, nullptr);
+  EXPECT_EQ(archive.root->mission_type, "Root");
+  EXPECT_GT(archive.root->Duration(), SimTime());
+  archive.root->Visit([](const ArchivedOperation& op) {
+    EXPECT_TRUE(op.HasInfo("Duration")) << op.DisplayName();
+  });
+}
+
+// ---- corruption class 1: truncated log (a StartOp lost mid-stream) ----
+
+TEST(LintTest, TruncatedLog) {
+  std::vector<LogRecord> records = CleanLog();
+  // Lose Step-1's StartOp: its Info and EndOp records become orphans.
+  records.erase(std::remove_if(records.begin(), records.end(),
+                               [](const LogRecord& r) {
+                                 return r.kind == LogRecord::Kind::kStartOp &&
+                                        r.op_id == 3;
+                               }),
+                records.end());
+  LintReport report = LintLog(records);
+  EXPECT_EQ(report.CountOf(LintDefect::kOrphanInfo), 1u);
+  EXPECT_EQ(report.CountOf(LintDefect::kOrphanEndOp), 1u);
+  EXPECT_TRUE(report.HasFatal());
+
+  auto strict = Archiver().Build(SampleModel(), records, {}, {});
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+
+  auto repaired = RepairArchiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  ExpectUsable(*repaired);
+  EXPECT_EQ(repaired->OperationCount(), 4u);  // Step-1 is gone
+  EXPECT_EQ(repaired->lint.CountOf(LintDefect::kOrphanEndOp), 1u);
+  EXPECT_EQ(repaired->lint.CountOf(LintDefect::kOrphanInfo), 1u);
+}
+
+// ---- corruption class 2: duplicate EndOp ----
+
+TEST(LintTest, DuplicateEndOp) {
+  std::vector<LogRecord> records = CleanLog();
+  // A second, later EndOp for Step-1 (op 3): the first one must win.
+  LogRecord dup;
+  dup.kind = LogRecord::Kind::kEndOp;
+  dup.seq = 100;
+  dup.op_id = 3;
+  dup.time = SimTime::Seconds(9);
+  records.push_back(dup);
+
+  LintReport report = LintLog(records);
+  EXPECT_EQ(report.CountOf(LintDefect::kDuplicateEndOp), 1u);
+  EXPECT_TRUE(report.HasFatal());
+
+  auto strict = Archiver().Build(SampleModel(), records, {}, {});
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(strict.status().message().find("duplicate_end_op"),
+            std::string::npos);
+
+  auto repaired = RepairArchiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  ExpectUsable(*repaired);
+  const ArchivedOperation* step = repaired->FindByPath("Root/PhaseA/Step-1");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->EndTime(), SimTime::Seconds(4));  // first EndOp wins
+  EXPECT_NE(step->FindInfo("EndTime")->source.find("quarantined"),
+            std::string::npos);
+  EXPECT_EQ(repaired->lint.CountOf(LintDefect::kDuplicateEndOp), 1u);
+}
+
+// ---- corruption class 3: inverted EndOp (end before start) ----
+
+TEST(LintTest, EndBeforeStart) {
+  std::vector<LogRecord> records = CleanLog();
+  // Rewrite Step-2's EndOp (op 4, ends at 6s, starts at 4s) to end at 1s.
+  for (LogRecord& r : records) {
+    if (r.kind == LogRecord::Kind::kEndOp && r.op_id == 4) {
+      r.time = SimTime::Seconds(1);
+    }
+  }
+  LintReport report = LintLog(records);
+  EXPECT_EQ(report.CountOf(LintDefect::kEndBeforeStart), 1u);
+  EXPECT_TRUE(report.HasFatal());
+
+  auto strict = Archiver().Build(SampleModel(), records, {}, {});
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+
+  auto repaired = RepairArchiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  ExpectUsable(*repaired);
+  const ArchivedOperation* step = repaired->FindByPath("Root/PhaseA/Step-2");
+  ASSERT_NE(step, nullptr);
+  // The inverted end is quarantined; EndTime is repaired to the start (no
+  // children), never negative.
+  EXPECT_GE(step->Duration(), SimTime());
+  EXPECT_EQ(step->EndTime(), step->StartTime());
+  EXPECT_EQ(repaired->lint.CountOf(LintDefect::kEndBeforeStart), 1u);
+}
+
+// ---- corruption class 4: orphan Info ----
+
+TEST(LintTest, OrphanInfo) {
+  std::vector<LogRecord> records = CleanLog();
+  LogRecord orphan;
+  orphan.kind = LogRecord::Kind::kInfo;
+  orphan.seq = 101;
+  orphan.op_id = 42;  // never started
+  orphan.info_name = "ghost";
+  orphan.info_value = Json(int64_t{1});
+  records.push_back(orphan);
+
+  LintReport report = LintLog(records);
+  EXPECT_EQ(report.CountOf(LintDefect::kOrphanInfo), 1u);
+  EXPECT_TRUE(report.HasFatal());
+
+  auto strict = Archiver().Build(SampleModel(), records, {}, {});
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+
+  auto repaired = RepairArchiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  ExpectUsable(*repaired);
+  EXPECT_EQ(repaired->OperationCount(), 5u);  // nothing else lost
+  EXPECT_EQ(repaired->lint.CountOf(LintDefect::kOrphanInfo), 1u);
+}
+
+// ---- corruption class 5: parent cycle ----
+
+TEST(LintTest, ParentCycle) {
+  std::vector<LogRecord> records = CleanLog();
+  // Hand-craft a two-op cycle (A->B->A) plus a child dangling off it.
+  LogRecord a;
+  a.kind = LogRecord::Kind::kStartOp;
+  a.seq = 102;
+  a.op_id = 50;
+  a.parent_id = 51;
+  a.actor_type = "Ghost";
+  a.mission_type = "A";
+  LogRecord b = a;
+  b.seq = 103;
+  b.op_id = 51;
+  b.parent_id = 50;
+  b.mission_type = "B";
+  LogRecord child = a;
+  child.seq = 104;
+  child.op_id = 52;
+  child.parent_id = 50;
+  child.mission_type = "C";
+  records.push_back(a);
+  records.push_back(b);
+  records.push_back(child);
+
+  LintReport report = LintLog(records);
+  EXPECT_EQ(report.CountOf(LintDefect::kParentCycle), 1u);
+  EXPECT_EQ(report.CountOf(LintDefect::kUnreachableSubtree), 1u);
+  EXPECT_TRUE(report.HasFatal());
+
+  auto strict = Archiver().Build(SampleModel(), records, {}, {});
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+
+  auto repaired = RepairArchiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  ExpectUsable(*repaired);
+  EXPECT_EQ(repaired->OperationCount(), 5u);  // the cycle is quarantined
+}
+
+TEST(LintTest, SelfParentIsACycle) {
+  std::vector<LogRecord> records = CleanLog();
+  LogRecord self;
+  self.kind = LogRecord::Kind::kStartOp;
+  self.seq = 105;
+  self.op_id = 60;
+  self.parent_id = 60;
+  self.actor_type = "Ghost";
+  self.mission_type = "Self";
+  records.push_back(self);
+  LintReport report = LintLog(records);
+  EXPECT_EQ(report.CountOf(LintDefect::kParentCycle), 1u);
+  auto repaired = RepairArchiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  EXPECT_EQ(repaired->OperationCount(), 5u);
+}
+
+// ---- corruption class 6: multiple roots ----
+
+TEST(LintTest, MultipleRoots) {
+  std::vector<LogRecord> records = CleanLog();
+  // An interleaved foreign job: a second root with one child.
+  LogRecord other_root;
+  other_root.kind = LogRecord::Kind::kStartOp;
+  other_root.seq = 106;
+  other_root.op_id = 70;
+  other_root.parent_id = kNoOp;
+  other_root.actor_type = "Job";
+  other_root.mission_type = "Root";
+  LogRecord other_child = other_root;
+  other_child.seq = 107;
+  other_child.op_id = 71;
+  other_child.parent_id = 70;
+  other_child.mission_type = "PhaseA";
+  records.push_back(other_root);
+  records.push_back(other_child);
+
+  LintReport report = LintLog(records);
+  EXPECT_EQ(report.CountOf(LintDefect::kMultipleRoots), 1u);
+  EXPECT_EQ(report.CountOf(LintDefect::kUnreachableSubtree), 1u);
+  EXPECT_TRUE(report.HasFatal());
+
+  auto strict = Archiver().Build(SampleModel(), records, {}, {});
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+
+  // Repair keeps the larger subtree (the real job, 5 ops) and quarantines
+  // the 2-op foreign one.
+  auto repaired = RepairArchiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  ExpectUsable(*repaired);
+  EXPECT_EQ(repaired->OperationCount(), 5u);
+  EXPECT_EQ(repaired->root->Duration(), SimTime::Seconds(10));
+}
+
+// ---- duplicate StartOp keeps the first record ----
+
+TEST(LintTest, DuplicateStartOpKeepsFirst) {
+  std::vector<LogRecord> records = CleanLog();
+  LogRecord dup = records[0];  // Root's StartOp
+  dup.seq = 108;
+  dup.time = SimTime::Seconds(3);
+  records.push_back(dup);
+  LintReport report = LintLog(records);
+  EXPECT_EQ(report.CountOf(LintDefect::kDuplicateStartOp), 1u);
+  auto repaired = RepairArchiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  EXPECT_EQ(repaired->root->StartTime(), SimTime());  // first start wins
+}
+
+// ---- clean logs stay clean ----
+
+TEST(LintTest, CleanLogHasNoFindings) {
+  LintReport report = LintLog(CleanLog());
+  EXPECT_TRUE(report.clean());
+  EXPECT_FALSE(report.HasFatal());
+  EXPECT_EQ(report.Summary(), "log lint: clean");
+  auto archive = RepairArchiver().Build(SampleModel(), CleanLog(), {}, {});
+  ASSERT_TRUE(archive.ok());
+  EXPECT_TRUE(archive->lint.clean());
+  // No quarantine section for a clean archive.
+  EXPECT_EQ(archive->ToJsonString().find("quarantined"), std::string::npos);
+}
+
+// ---- missing EndOp is a non-fatal, repaired finding in both modes ----
+
+TEST(LintTest, MissingEndIsNonFatal) {
+  std::vector<LogRecord> records = CleanLog();
+  records.erase(std::remove_if(records.begin(), records.end(),
+                               [](const LogRecord& r) {
+                                 return r.kind == LogRecord::Kind::kEndOp &&
+                                        r.op_id == 2;  // PhaseA
+                               }),
+                records.end());
+  LintReport report = LintLog(records);
+  EXPECT_EQ(report.CountOf(LintDefect::kMissingEndTime), 1u);
+  EXPECT_FALSE(report.HasFatal());
+  auto strict = Archiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(strict.ok()) << strict.status();
+  EXPECT_EQ(strict->lint.CountOf(LintDefect::kMissingEndTime), 1u);
+}
+
+// ---- repair is deterministic under record reordering ----
+
+TEST(LintTest, RepairIsOrderIndependent) {
+  std::vector<LogRecord> records = CleanLog();
+  LogRecord dup;
+  dup.kind = LogRecord::Kind::kEndOp;
+  dup.seq = 100;
+  dup.op_id = 3;
+  dup.time = SimTime::Seconds(9);
+  records.push_back(dup);
+  LogRecord orphan;
+  orphan.kind = LogRecord::Kind::kInfo;
+  orphan.seq = 101;
+  orphan.op_id = 42;
+  orphan.info_name = "ghost";
+  records.push_back(orphan);
+
+  auto ordered = RepairArchiver().Build(SampleModel(), records, {}, {});
+  Rng rng(7);
+  rng.Shuffle(records);
+  auto shuffled = RepairArchiver().Build(SampleModel(), records, {}, {});
+  ASSERT_TRUE(ordered.ok());
+  ASSERT_TRUE(shuffled.ok());
+  EXPECT_EQ(ordered->ToJsonString(), shuffled->ToJsonString());
+}
+
+// ---- quarantine section survives the JSON round-trip ----
+
+TEST(LintTest, QuarantinedArchiveRoundtrips) {
+  std::vector<LogRecord> records = CleanLog();
+  LogRecord dup;
+  dup.kind = LogRecord::Kind::kEndOp;
+  dup.seq = 100;
+  dup.op_id = 3;
+  dup.time = SimTime::Seconds(9);
+  records.push_back(dup);
+  LogRecord orphan;
+  orphan.kind = LogRecord::Kind::kInfo;
+  orphan.seq = 101;
+  orphan.op_id = 42;
+  orphan.info_name = "ghost";
+  records.push_back(orphan);
+
+  auto archive = RepairArchiver().Build(SampleModel(), records, {},
+                                        {{"platform", "test"}});
+  ASSERT_TRUE(archive.ok()) << archive.status();
+  ASSERT_FALSE(archive->lint.clean());
+
+  auto reloaded =
+      PerformanceArchive::FromJsonString(archive->ToJsonString());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->lint, archive->lint);
+  EXPECT_EQ(reloaded->ToJsonString(), archive->ToJsonString());
+}
+
+// ---- defect names roundtrip ----
+
+TEST(LintTest, DefectNamesRoundtrip) {
+  for (LintDefect defect :
+       {LintDefect::kDuplicateStartOp, LintDefect::kDuplicateEndOp,
+        LintDefect::kEndBeforeStart, LintDefect::kOrphanInfo,
+        LintDefect::kOrphanEndOp, LintDefect::kParentCycle,
+        LintDefect::kUnreachableSubtree, LintDefect::kMultipleRoots,
+        LintDefect::kMissingEndTime}) {
+    auto parsed = ParseLintDefect(LintDefectName(defect));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, defect);
+  }
+  EXPECT_FALSE(ParseLintDefect("nonsense").ok());
+}
+
+// ---- end-to-end: a dirty PowerGraph-style log still archives ----
+
+TEST(LintTest, DirtyLogUnderRealModel) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId job =
+      logger.StartOperation(kNoOp, "Job", "job-0", "GraphProcessingJob");
+  OpId load = logger.StartOperation(job, "Job", "job-0", "LoadGraph");
+  now = SimTime::Seconds(5);
+  logger.EndOperation(load);
+  logger.EndOperation(load);  // duplicate
+  now = SimTime::Seconds(9);
+  logger.EndOperation(job);
+  std::vector<LogRecord> records = logger.TakeRecords();
+  LogRecord orphan;
+  orphan.kind = LogRecord::Kind::kEndOp;
+  orphan.seq = 200;
+  orphan.op_id = 77;
+  records.push_back(orphan);
+
+  auto repaired =
+      RepairArchiver().Build(MakePowerGraphModel(), records, {}, {});
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  EXPECT_EQ(repaired->lint.CountOf(LintDefect::kDuplicateEndOp), 1u);
+  EXPECT_EQ(repaired->lint.CountOf(LintDefect::kOrphanEndOp), 1u);
+  ASSERT_NE(repaired->root, nullptr);
+  EXPECT_EQ(repaired->root->Duration(), SimTime::Seconds(9));
+}
+
+}  // namespace
+}  // namespace granula::core

@@ -19,6 +19,19 @@ TEST(SimTimeTest, Conversions) {
   EXPECT_NEAR(t.millis(), 81590.0, 1e-6);
 }
 
+TEST(SimTimeTest, SecondsRoundsToNearestNano) {
+  // 81.59 is not exactly representable; truncation used to yield
+  // 81589999999 ns, off by 1 ns per conversion.
+  EXPECT_EQ(SimTime::Seconds(81.59).nanos(), 81590000000);
+  EXPECT_EQ(SimTime::Seconds(0.1).nanos(), 100000000);
+  EXPECT_EQ(SimTime::Seconds(-81.59).nanos(), -81590000000);
+  EXPECT_EQ(SimTime::Seconds(1e-9).nanos(), 1);
+  EXPECT_EQ(SimTime::Seconds(0.0).nanos(), 0);
+  // Round-trip through seconds() is exact once rounded.
+  SimTime t = SimTime::Seconds(81.59);
+  EXPECT_EQ(SimTime::Seconds(t.seconds()), t);
+}
+
 TEST(SimTimeTest, Arithmetic) {
   SimTime a = SimTime::Seconds(2.0), b = SimTime::Seconds(0.5);
   EXPECT_EQ((a + b).nanos(), SimTime::Seconds(2.5).nanos());

@@ -4,8 +4,11 @@
 //                    [--workers=8] [--nodes=8] [--source=1] [--iterations=10]
 //                    [--model-level=0] [--archive-out=run.json]
 //                    [--svg-prefix=run] [--html-out=report.html]
-//                    [--save-repo=DIR]
+//                    [--save-repo=DIR] [--log-out=run.jsonl]
 //                    [--slow-node=ID:FACTOR]
+//   granula lint     --log=run.jsonl [--model=giraph|...]
+//                    [--tolerance=strict|repair] [--archive-out=fixed.json]
+//                    (exit 3 when the log has fatal defects)
 //   granula analyze  --archive=run.json [--capacity=128]
 //   granula compare  --baseline=a.json --candidate=b.json [--tolerance=0.1]
 //                    [--depth=0] [--svg-out=cmp.svg]   (exit 2 on regressions)
@@ -30,6 +33,7 @@
 #include "granula/analysis/chokepoint.h"
 #include "granula/analysis/regression.h"
 #include "granula/archive/archiver.h"
+#include "granula/archive/lint.h"
 #include "granula/archive/repository.h"
 #include "granula/models/models.h"
 #include "granula/visual/model_view.h"
@@ -134,6 +138,17 @@ graph::Graph ParseGraphSpec(const std::string& spec) {
   Die("unknown graph spec '" + spec + "' (datagen:|rmat:|uniform:|file:)");
 }
 
+core::PerformanceModel ModelByName(const std::string& name) {
+  if (name == "giraph") return core::MakeGiraphModel();
+  if (name == "powergraph") return core::MakePowerGraphModel();
+  if (name == "hadoop") return core::MakeHadoopModel();
+  if (name == "pgxd") return core::MakePgxdModel();
+  if (name == "graphmat") return core::MakeGraphMatModel();
+  if (name == "domain") return core::MakeGraphProcessingDomainModel();
+  Die("unknown model '" + name +
+      "' (giraph|powergraph|hadoop|pgxd|graphmat|domain)");
+}
+
 core::PerformanceArchive LoadArchive(const std::string& path) {
   std::ifstream file(path);
   if (!file) Die("cannot open archive " + path);
@@ -202,6 +217,14 @@ int CmdRun(const Flags& flags) {
   }
   if (!result.ok()) Die(result.status().ToString());
 
+  if (flags.Has("log-out")) {
+    Status log_status =
+        core::WriteLogRecords(flags.Get("log-out"), result->records);
+    if (!log_status.ok()) Die(log_status.ToString());
+    std::printf("raw platform log written to %s\n",
+                flags.Get("log-out").c_str());
+  }
+
   core::Archiver::Options archiver_options;
   archiver_options.max_level =
       static_cast<int>(flags.GetInt("model-level", 0));
@@ -263,6 +286,45 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+int CmdLint(const Flags& flags) {
+  if (!flags.Has("log")) Die("lint requires --log=FILE (JSONL, see run --log-out)");
+  auto records = core::ReadLogRecords(flags.Get("log"));
+  if (!records.ok()) Die(records.status().ToString());
+
+  core::LintReport report = core::LintLog(*records);
+  std::printf("%zu record(s) in %s\n%s\n", records->size(),
+              flags.Get("log").c_str(), report.Summary().c_str());
+
+  if (flags.Has("model") || flags.Has("archive-out")) {
+    if (!flags.Has("model")) Die("--archive-out requires --model=NAME");
+    core::Archiver::Options options;
+    std::string tolerance = flags.Get("tolerance", "repair");
+    if (tolerance == "strict") {
+      options.tolerance = core::Archiver::Tolerance::kStrict;
+    } else if (tolerance == "repair") {
+      options.tolerance = core::Archiver::Tolerance::kRepair;
+    } else {
+      Die("unknown --tolerance '" + tolerance + "' (want strict|repair)");
+    }
+    auto archive = core::Archiver(options).Build(
+        ModelByName(flags.Get("model")), *records, {},
+        {{"source_log", flags.Get("log")}});
+    if (!archive.ok()) Die(archive.status().ToString());
+    std::printf("archive built: %llu operation(s), %zu finding(s) "
+                "quarantined\n",
+                static_cast<unsigned long long>(archive->OperationCount()),
+                archive->lint.findings.size());
+    if (flags.Has("archive-out")) {
+      std::ofstream out(flags.Get("archive-out"));
+      if (!out) Die("cannot write " + flags.Get("archive-out"));
+      out << archive->ToJsonString();
+      std::printf("repaired archive written to %s\n",
+                  flags.Get("archive-out").c_str());
+    }
+  }
+  return report.HasFatal() ? 3 : 0;
+}
+
 int CmdAnalyze(const Flags& flags) {
   if (!flags.Has("archive")) Die("analyze requires --archive=FILE");
   core::PerformanceArchive archive = LoadArchive(flags.Get("archive"));
@@ -300,13 +362,14 @@ int CmdCompare(const Flags& flags) {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: granula run|analyze|compare|list|model|table1 [--flags]\n"
+                 "usage: granula run|lint|analyze|compare|list|model|table1 [--flags]\n"
                  "       (see the header of tools/granula_cli.cc)\n");
     return 64;
   }
   std::string command = argv[1];
   Flags flags(argc, argv);
   if (command == "run") return CmdRun(flags);
+  if (command == "lint") return CmdLint(flags);
   if (command == "analyze") return CmdAnalyze(flags);
   if (command == "compare") return CmdCompare(flags);
   if (command == "list") {

@@ -1,0 +1,115 @@
+#ifndef GRANULA_COMMON_THREAD_POOL_H_
+#define GRANULA_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace granula {
+
+// Host-side data-parallel executor for the compute hot paths of the
+// simulated engines.
+//
+// Determinism contract (see DESIGN.md "Host parallelism vs. simulated
+// parallelism"): the chunk decomposition of a ParallelFor depends only on
+// (range, grain) — never on the thread count — and a chunk is identified by
+// its index. Callers route every side effect of chunk `c` into state owned
+// by `c` (a shard, a per-chunk counter) and reduce in chunk order after the
+// call, so GRANULA_HOST_THREADS=1 and =N produce bit-identical results.
+// Which host thread happens to run a chunk is the only nondeterministic
+// part, and it is unobservable.
+class ThreadPool {
+ public:
+  // fn(chunk_index, begin, end) processes one grain-sized chunk.
+  using ChunkFn = std::function<void(uint64_t, uint64_t, uint64_t)>;
+
+  // num_threads < 1 is clamped to 1. One of the threads is the caller of
+  // ParallelFor itself; a pool of size 1 spawns no workers and runs
+  // everything inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Joins all workers and respawns with the new count. Must not be called
+  // concurrently with ParallelFor. Used by tests and benches to sweep the
+  // host-thread axis inside one process.
+  void Resize(int num_threads);
+
+  // Runs fn over every chunk of [begin, end) and blocks until all chunks
+  // completed. Chunks are (chunk_index, chunk_begin, chunk_end) with
+  // chunk_begin = begin + chunk_index * grain. The caller thread
+  // participates. Reentrant calls from inside a chunk run inline (no
+  // deadlock, same decomposition). Exceptions from chunks are rethrown
+  // (first one wins).
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                   const ChunkFn& fn);
+
+  static uint64_t NumChunks(uint64_t count, uint64_t grain) {
+    if (count == 0) return 0;
+    if (grain == 0) grain = 1;
+    return (count + grain - 1) / grain;
+  }
+
+  // The process-wide pool, created on first use with GRANULA_HOST_THREADS
+  // threads (default: std::thread::hardware_concurrency).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+  // Pulls chunks off the shared cursor until the current job is drained.
+  void RunChunks();
+  void Spawn();
+  void Shutdown();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // job_gen_ bumped or shutdown
+  std::condition_variable done_cv_;   // all chunks done, workers drained
+  uint64_t job_gen_ = 0;
+  bool shutdown_ = false;
+  int workers_in_job_ = 0;
+
+  // Current job; written under mu_ before the gen bump, read by
+  // participating workers only after observing the bump under mu_.
+  const ChunkFn* job_fn_ = nullptr;
+  uint64_t job_begin_ = 0;
+  uint64_t job_end_ = 0;
+  uint64_t job_grain_ = 1;
+  uint64_t job_chunks_ = 0;
+  std::atomic<uint64_t> next_chunk_{0};
+  std::atomic<uint64_t> done_chunks_{0};
+  std::exception_ptr job_error_;
+  std::mutex error_mu_;
+};
+
+// Chunk grain that yields at most `max_chunks` chunks over `count` items
+// (never below `min_grain`). Depends only on the inputs, so the chunk
+// decomposition — and therefore every chunk-indexed merge — is identical
+// for every host-thread count.
+inline uint64_t ChunkedGrain(uint64_t count, uint64_t max_chunks = 64,
+                             uint64_t min_grain = 256) {
+  if (max_chunks == 0) max_chunks = 1;
+  uint64_t grain = (count + max_chunks - 1) / max_chunks;
+  return grain < min_grain ? min_grain : grain;
+}
+
+// Convenience: ParallelFor on the process-wide pool.
+inline void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                        const ThreadPool::ChunkFn& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace granula
+
+#endif  // GRANULA_COMMON_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace granula::graph {
 
@@ -18,6 +19,14 @@ uint64_t SampleCumulative(const std::vector<double>& cumulative, Rng& rng) {
   auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
   if (it == cumulative.end()) --it;
   return static_cast<uint64_t>(it - cumulative.begin());
+}
+
+
+// Independent per-chunk generator so edge sampling parallelizes: the stream
+// depends only on (seed, chunk), never on the host-thread count.
+Rng ChunkRng(uint64_t seed, uint64_t chunk) {
+  uint64_t state = seed + 0x9e3779b97f4a7c15ull * (chunk + 1);
+  return Rng(SplitMix64(state));
 }
 
 }  // namespace
@@ -44,13 +53,18 @@ Result<Graph> GenerateDatagen(const DatagenConfig& config) {
   for (uint64_t v = 0; v < n; ++v) rank[v] = v + 1;
   rng.Shuffle(rank);
 
+  // The pow() per vertex is pure, so it parallelizes without touching the
+  // sequential sampling stream below; the sum stays sequential to keep its
+  // floating-point fold order (and thus the generated graph) unchanged.
   std::vector<double> weight(n);
+  ParallelFor(0, n, ChunkedGrain(n), [&](uint64_t, uint64_t b, uint64_t e) {
+    for (uint64_t v = b; v < e; ++v) {
+      weight[v] = std::pow(static_cast<double>(rank[v]),
+                           -1.0 / config.degree_exponent);
+    }
+  });
   double weight_sum = 0;
-  for (uint64_t v = 0; v < n; ++v) {
-    weight[v] = std::pow(static_cast<double>(rank[v]),
-                         -1.0 / config.degree_exponent);
-    weight_sum += weight[v];
-  }
+  for (uint64_t v = 0; v < n; ++v) weight_sum += weight[v];
   // Normalize so the expected total degree hits avg_degree * n.
   double scale =
       config.avg_degree * static_cast<double>(n) / weight_sum;
@@ -79,6 +93,10 @@ Result<Graph> GenerateDatagen(const DatagenConfig& config) {
     cumulative[v] = acc;
   }
 
+  // The rejection-sampling loop consumes one sequential random stream; it
+  // stays single-threaded so a seed keeps producing the exact same graph
+  // (downstream tests and archived runs depend on the content, not just
+  // the statistics). Rmat/Uniform below chunk their streams instead.
   const uint64_t m = static_cast<uint64_t>(
       config.avg_degree * static_cast<double>(n) / 2.0);
   std::vector<Edge> edges;
@@ -113,28 +131,33 @@ Result<Graph> GenerateRmat(const RmatConfig& config) {
   const uint64_t n = uint64_t{1} << config.scale;
   const uint64_t m =
       static_cast<uint64_t>(config.edge_factor * static_cast<double>(n));
-  Rng rng(config.seed);
-  std::vector<Edge> edges;
-  edges.reserve(m);
-  for (uint64_t i = 0; i < m; ++i) {
-    uint64_t src = 0, dst = 0;
-    for (uint64_t bit = 0; bit < config.scale; ++bit) {
-      double u = rng.NextDouble();
-      src <<= 1;
-      dst <<= 1;
-      if (u < config.a) {
-        // top-left quadrant: neither bit set
-      } else if (u < config.a + config.b) {
-        dst |= 1;
-      } else if (u < config.a + config.b + config.c) {
-        src |= 1;
-      } else {
-        src |= 1;
-        dst |= 1;
+  // Each chunk samples its slice of the edge array from its own
+  // (seed, chunk)-derived stream — same graph for any host-thread count.
+  std::vector<Edge> edges(m);
+  const uint64_t grain = ChunkedGrain(m, /*max_chunks=*/64,
+                                      /*min_grain=*/8192);
+  ParallelFor(0, m, grain, [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+    Rng crng = ChunkRng(config.seed, chunk);
+    for (uint64_t i = cb; i < ce; ++i) {
+      uint64_t src = 0, dst = 0;
+      for (uint64_t bit = 0; bit < config.scale; ++bit) {
+        double u = crng.NextDouble();
+        src <<= 1;
+        dst <<= 1;
+        if (u < config.a) {
+          // top-left quadrant: neither bit set
+        } else if (u < config.a + config.b) {
+          dst |= 1;
+        } else if (u < config.a + config.b + config.c) {
+          src |= 1;
+        } else {
+          src |= 1;
+          dst |= 1;
+        }
       }
+      edges[i] = Edge{src, dst};
     }
-    edges.push_back(Edge{src, dst});
-  }
+  });
   return Graph::Create(n, std::move(edges), /*directed=*/true);
 }
 
@@ -143,15 +166,25 @@ Result<Graph> GenerateUniform(uint64_t num_vertices, uint64_t num_edges,
   if (num_vertices < 2) {
     return Status::InvalidArgument("need at least 2 vertices");
   }
-  Rng rng(seed);
-  std::vector<Edge> edges;
-  edges.reserve(num_edges);
-  while (edges.size() < num_edges) {
-    VertexId src = rng.NextBounded(num_vertices);
-    VertexId dst = rng.NextBounded(num_vertices);
-    if (src == dst) continue;
-    edges.push_back(Edge{src, dst});
-  }
+  // Each chunk rejection-samples its exact slice of the edge array from
+  // its own (seed, chunk)-derived stream (num_vertices >= 2, so rejection
+  // always terminates).
+  std::vector<Edge> edges(num_edges);
+  const uint64_t grain = ChunkedGrain(num_edges, /*max_chunks=*/64,
+                                      /*min_grain=*/8192);
+  ParallelFor(0, num_edges, grain,
+              [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                Rng crng = ChunkRng(seed, chunk);
+                for (uint64_t i = cb; i < ce; ++i) {
+                  for (;;) {
+                    VertexId src = crng.NextBounded(num_vertices);
+                    VertexId dst = crng.NextBounded(num_vertices);
+                    if (src == dst) continue;
+                    edges[i] = Edge{src, dst};
+                    break;
+                  }
+                }
+              });
   return Graph::Create(num_vertices, std::move(edges), /*directed=*/false);
 }
 

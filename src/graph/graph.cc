@@ -1,8 +1,11 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace granula::graph {
 
@@ -20,44 +23,100 @@ Result<Graph> Graph::Create(uint64_t num_vertices, std::vector<Edge> edges,
   return Graph(num_vertices, std::move(edges), directed);
 }
 
+namespace {
+
+// Shared parallel CSR construction. `emit(e, f)` calls f(from, to) for each
+// arc the edge contributes. Counting and placement use atomics (placement
+// order within a list is scheduling-dependent), then per-vertex sorting
+// canonicalizes the lists, so the final CSR is deterministic for any host
+// thread count.
+template <typename EmitFn>
+void BuildCsrArcs(uint64_t n, std::span<const Edge> edges, EmitFn emit,
+                  std::vector<uint64_t>* offsets,
+                  std::vector<VertexId>* targets) {
+  offsets->assign(n + 1, 0);
+  const uint64_t m = edges.size();
+  const uint64_t grain = ChunkedGrain(m, /*max_chunks=*/256,
+                                      /*min_grain=*/4096);
+  std::unique_ptr<std::atomic<uint64_t>[]> counts(
+      new std::atomic<uint64_t>[n]);
+  ParallelFor(0, n, ChunkedGrain(n, 256, 4096),
+              [&](uint64_t, uint64_t b, uint64_t e) {
+                for (uint64_t v = b; v < e; ++v) {
+                  counts[v].store(0, std::memory_order_relaxed);
+                }
+              });
+  ParallelFor(0, m, grain, [&](uint64_t, uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) {
+      emit(edges[i], [&](VertexId from, VertexId) {
+        counts[from].fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  for (uint64_t v = 0; v < n; ++v) {
+    (*offsets)[v + 1] =
+        (*offsets)[v] + counts[v].load(std::memory_order_relaxed);
+  }
+
+  targets->resize((*offsets)[n]);
+  // Reuse the counts as placement cursors (relative to each list's start).
+  ParallelFor(0, n, ChunkedGrain(n, 256, 4096),
+              [&](uint64_t, uint64_t b, uint64_t e) {
+                for (uint64_t v = b; v < e; ++v) {
+                  counts[v].store(0, std::memory_order_relaxed);
+                }
+              });
+  ParallelFor(0, m, grain, [&](uint64_t, uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) {
+      emit(edges[i], [&](VertexId from, VertexId to) {
+        uint64_t slot =
+            counts[from].fetch_add(1, std::memory_order_relaxed);
+        (*targets)[(*offsets)[from] + slot] = to;
+      });
+    }
+  });
+  // Sorted neighbor lists make lookups and tests deterministic (and erase
+  // the nondeterministic placement order above).
+  ParallelFor(0, n, ChunkedGrain(n, 256, 256),
+              [&](uint64_t, uint64_t b, uint64_t e) {
+                for (uint64_t v = b; v < e; ++v) {
+                  std::sort(
+                      targets->begin() + static_cast<int64_t>((*offsets)[v]),
+                      targets->begin() +
+                          static_cast<int64_t>((*offsets)[v + 1]));
+                }
+              });
+}
+
+}  // namespace
+
 Csr Csr::Build(const Graph& graph, bool out) {
   Csr csr;
-  uint64_t n = graph.num_vertices();
-  csr.offsets_.assign(n + 1, 0);
+  if (!graph.directed()) {
+    return BuildUndirected(graph.num_vertices(), graph.edges());
+  }
+  BuildCsrArcs(
+      graph.num_vertices(), graph.edges(),
+      [out](const Edge& e, auto&& arc) {
+        if (out) {
+          arc(e.src, e.dst);
+        } else {
+          arc(e.dst, e.src);
+        }
+      },
+      &csr.offsets_, &csr.targets_);
+  return csr;
+}
 
-  auto count_arc = [&](VertexId v) { ++csr.offsets_[v + 1]; };
-  for (const Edge& e : graph.edges()) {
-    if (graph.directed()) {
-      count_arc(out ? e.src : e.dst);
-    } else {
-      count_arc(e.src);
-      count_arc(e.dst);
-    }
-  }
-  for (uint64_t v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
-
-  csr.targets_.resize(csr.offsets_[n]);
-  std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
-  auto place = [&](VertexId from, VertexId to) {
-    csr.targets_[cursor[from]++] = to;
-  };
-  for (const Edge& e : graph.edges()) {
-    if (graph.directed()) {
-      if (out) {
-        place(e.src, e.dst);
-      } else {
-        place(e.dst, e.src);
-      }
-    } else {
-      place(e.src, e.dst);
-      place(e.dst, e.src);
-    }
-  }
-  // Sorted neighbor lists make lookups and tests deterministic.
-  for (uint64_t v = 0; v < n; ++v) {
-    std::sort(csr.targets_.begin() + static_cast<int64_t>(csr.offsets_[v]),
-              csr.targets_.begin() + static_cast<int64_t>(csr.offsets_[v + 1]));
-  }
+Csr Csr::BuildUndirected(uint64_t num_vertices, std::span<const Edge> edges) {
+  Csr csr;
+  BuildCsrArcs(
+      num_vertices, edges,
+      [](const Edge& e, auto&& arc) {
+        arc(e.src, e.dst);
+        arc(e.dst, e.src);
+      },
+      &csr.offsets_, &csr.targets_);
   return csr;
 }
 

@@ -51,10 +51,20 @@ class Graph {
 
 // Compressed sparse row adjacency built from a Graph. For undirected graphs
 // each edge appears in both endpoints' neighbor lists. For directed graphs,
-// `out` selects out- or in-neighbors.
+// `out` selects out- or in-neighbors. Construction runs on the host thread
+// pool (parallel counting, prefix sum, placement, per-vertex sort); the
+// result is identical for every host-thread count because neighbor lists
+// are sorted.
 class Csr {
  public:
   static Csr Build(const Graph& graph, bool out = true);
+
+  // Adjacency of the *undirected view* of an edge set: both endpoints list
+  // each other regardless of the graph's directedness. This is what the
+  // platform engines traverse (they treat every input as undirected), and
+  // it also builds per-partition adjacency from a partition's local edges.
+  static Csr BuildUndirected(uint64_t num_vertices,
+                             std::span<const Edge> edges);
 
   uint64_t num_vertices() const { return offsets_.size() - 1; }
   uint64_t num_arcs() const { return targets_.size(); }

@@ -1,7 +1,6 @@
 #include "platforms/giraph.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 
 #include "algorithms/pregel.h"
@@ -9,6 +8,7 @@
 #include "cluster/provisioning.h"
 #include "cluster/storage.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "granula/models/models.h"
 #include "graph/partition.h"
 #include "platforms/message_store.h"
@@ -76,18 +76,24 @@ class GiraphJob {
                              graph::PartitionEdgeCut(graph_, workers));
     values_.resize(graph_.num_vertices());
     active_.resize(graph_.num_vertices());
+    partition_active_.assign(workers, 0);
+    active_total_ = 0;
     for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
       values_[v] = program_.InitialValue(v, graph_.num_vertices());
-      active_[v] = program_.InitiallyActive(v) ? 1 : 0;
+      bool is_active = program_.InitiallyActive(v);
+      active_[v] = is_active ? 1 : 0;
+      if (is_active) {
+        ++active_total_;
+        ++partition_active_[partition_.owner[v]];
+      }
     }
+    // Per-partition pending-message counts, maintained at Deliver time, let
+    // the master and idle workers skip O(V) frontier scans.
+    messages_.SetOwners(&partition_.owner, workers);
     // Undirected adjacency, shared by all workers (each consults only its
-    // owned vertices).
-    neighbors_.resize(graph_.num_vertices());
-    for (const graph::Edge& e : graph_.edges()) {
-      neighbors_[e.src].push_back(e.dst);
-      neighbors_[e.dst].push_back(e.src);
-    }
-    for (auto& list : neighbors_) std::sort(list.begin(), list.end());
+    // owned vertices). Built on the host pool.
+    adjacency_ = graph::Csr::BuildUndirected(graph_.num_vertices(),
+                                             graph_.edges());
 
     sim_.Spawn(Main());
     sim_.Run();
@@ -205,11 +211,11 @@ class GiraphJob {
   }
 
   // ------------------------------------------------------ process graph --
+  // O(1): active vertices and merged deliveries are counted incrementally
+  // (per-chunk deltas at compute time, per-partition counts at Deliver
+  // time) instead of scanning all vertices each superstep.
   bool AnyComputeCandidate() const {
-    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
-      if (active_[v] != 0 || messages_.HasCurrent(v)) return true;
-    }
-    return false;
+    return active_total_ > 0 || messages_.current_total() > 0;
   }
 
   sim::Task<> RunProcessGraph(OpId root) {
@@ -262,19 +268,33 @@ class GiraphJob {
     }
   }
 
-  // The Pregel vertex view handed to algorithm programs.
+  // The Pregel vertex view handed to algorithm programs. One instance per
+  // ParallelFor chunk: deliveries go to the chunk's message-store shard and
+  // all statistics accumulate chunk-locally, to be merged in chunk order
+  // after the parallel region (the determinism contract of ThreadPool).
   class VertexContext : public algo::PregelVertexContext {
    public:
-    VertexContext(GiraphJob* job, uint32_t worker)
-        : job_(job), worker_(worker) {}
+    VertexContext(GiraphJob* job, uint32_t worker, uint64_t shard)
+        : job_(job),
+          worker_(worker),
+          shard_(shard),
+          remote_bytes_(job->job_config_.num_workers, 0) {}
 
     void Reset(VertexId v) {
       vertex_ = v;
       voted_halt_ = false;
     }
     bool voted_halt() const { return voted_halt_; }
+    void AddReceived(uint64_t n) { received_ += n; }
+    void AddComputed() { ++computed_; }
+    void AddActiveDelta(int64_t d) { active_delta_ += d; }
+    uint64_t computed() const { return computed_; }
+    uint64_t received() const { return received_; }
     uint64_t messages_sent() const { return messages_sent_; }
-    const std::map<uint32_t, uint64_t>& remote_bytes() const {
+    int64_t active_delta() const { return active_delta_; }
+    // Flat per-target-worker byte counts (indexed by worker id; zero for
+    // local or unused workers) — replaces the former std::map.
+    const std::vector<uint64_t>& remote_bytes() const {
       return remote_bytes_;
     }
 
@@ -286,10 +306,10 @@ class GiraphJob {
     double value() const override { return job_->values_[vertex_]; }
     void set_value(double v) override { job_->values_[vertex_] = v; }
     std::span<const VertexId> neighbors() const override {
-      return job_->neighbors_[vertex_];
+      return job_->adjacency_.neighbors(vertex_);
     }
     void SendTo(VertexId target, double message) override {
-      job_->messages_.Deliver(target, message);
+      job_->messages_.Deliver(shard_, target, message);
       ++messages_sent_;
       uint32_t target_worker = job_->partition_.owner[target];
       if (target_worker != worker_) {
@@ -297,17 +317,23 @@ class GiraphJob {
       }
     }
     void SendToAllNeighbors(double message) override {
-      for (VertexId nbr : job_->neighbors_[vertex_]) SendTo(nbr, message);
+      for (VertexId nbr : job_->adjacency_.neighbors(vertex_)) {
+        SendTo(nbr, message);
+      }
     }
     void VoteToHalt() override { voted_halt_ = true; }
 
    private:
     GiraphJob* job_;
     uint32_t worker_;
+    uint64_t shard_;
     VertexId vertex_ = 0;
     bool voted_halt_ = false;
+    uint64_t computed_ = 0;
+    uint64_t received_ = 0;
     uint64_t messages_sent_ = 0;
-    std::map<uint32_t, uint64_t> remote_bytes_;
+    int64_t active_delta_ = 0;
+    std::vector<uint64_t> remote_bytes_;
   };
 
   sim::Task<> WorkerSuperstep(uint32_t w) {
@@ -330,16 +356,59 @@ class GiraphJob {
         local, "Worker", actor_id, "Compute",
         StrFormat("Compute-%llu",
                   static_cast<unsigned long long>(superstep_)));
-    VertexContext ctx(this, w);
     uint64_t vertices_computed = 0;
     uint64_t messages_received = 0;
-    for (VertexId v : partition_.partitions[w].vertices) {
-      if (active_[v] == 0 && !messages_.HasCurrent(v)) continue;
-      ctx.Reset(v);
-      messages_received += messages_.CurrentDeliveryCount(v);
-      program_.Compute(ctx, messages_.CurrentMessages(v));
-      active_[v] = ctx.voted_halt() ? 0 : 1;
-      ++vertices_computed;
+    uint64_t messages_sent = 0;
+    std::vector<uint64_t> remote_bytes(job_config_.num_workers, 0);
+    // Frontier fast path: a partition with no active vertices and no
+    // delivered messages has nothing to compute — skip the vertex scan
+    // entirely (the loop below would visit every vertex just to skip it).
+    if (partition_active_[w] > 0 || messages_.CurrentPartitionCount(w) > 0) {
+      const std::vector<VertexId>& verts = partition_.partitions[w].vertices;
+      const uint64_t grain = ChunkedGrain(verts.size());
+      const uint64_t chunks = ThreadPool::NumChunks(verts.size(), grain);
+      const uint64_t first_shard = messages_.AddShards(chunks);
+      std::vector<VertexContext> ctxs;
+      ctxs.reserve(chunks);
+      for (uint64_t c = 0; c < chunks; ++c) {
+        ctxs.emplace_back(this, w, first_shard + c);
+      }
+      // Host-parallel vertex loop. Chunks touch disjoint vertices (values,
+      // active flags) and deliver into their own shards; the simulator is
+      // suspended, so no simulation state moves underneath us.
+      ParallelFor(0, verts.size(), grain,
+                  [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                    VertexContext& ctx = ctxs[chunk];
+                    for (uint64_t i = cb; i < ce; ++i) {
+                      VertexId v = verts[i];
+                      if (active_[v] == 0 && !messages_.HasCurrent(v)) {
+                        continue;
+                      }
+                      ctx.Reset(v);
+                      ctx.AddReceived(messages_.CurrentDeliveryCount(v));
+                      program_.Compute(ctx, messages_.CurrentMessages(v));
+                      uint8_t now_active = ctx.voted_halt() ? 0 : 1;
+                      ctx.AddActiveDelta(static_cast<int64_t>(now_active) -
+                                         static_cast<int64_t>(active_[v]));
+                      active_[v] = now_active;
+                      ctx.AddComputed();
+                    }
+                  });
+      // Deterministic reduction in chunk order.
+      int64_t active_delta = 0;
+      for (const VertexContext& ctx : ctxs) {
+        vertices_computed += ctx.computed();
+        messages_received += ctx.received();
+        messages_sent += ctx.messages_sent();
+        active_delta += ctx.active_delta();
+        for (uint32_t t = 0; t < job_config_.num_workers; ++t) {
+          remote_bytes[t] += ctx.remote_bytes()[t];
+        }
+      }
+      partition_active_[w] = static_cast<uint64_t>(
+          static_cast<int64_t>(partition_active_[w]) + active_delta);
+      active_total_ = static_cast<uint64_t>(
+          static_cast<int64_t>(active_total_) + active_delta);
     }
     SimTime compute_cost =
         cost_.compute_per_vertex * static_cast<double>(vertices_computed) +
@@ -348,16 +417,19 @@ class GiraphJob {
                           job_config_.compute_threads);
     logger_.AddInfo(compute, "VerticesComputed", Json(vertices_computed));
     logger_.AddInfo(compute, "MessagesReceived", Json(messages_received));
-    logger_.AddInfo(compute, "MessagesSent", Json(ctx.messages_sent()));
+    logger_.AddInfo(compute, "MessagesSent", Json(messages_sent));
     logger_.EndOperation(compute);
 
-    // Message: flush outgoing buffers over the network.
+    // Message: flush outgoing buffers over the network (ascending worker
+    // id, as the former std::map iteration did).
     OpId message = logger_.StartOperation(
         local, "Worker", actor_id, "Message",
         StrFormat("Message-%llu",
                   static_cast<unsigned long long>(superstep_)));
     uint64_t bytes_sent = 0;
-    for (const auto& [target, bytes] : ctx.remote_bytes()) {
+    for (uint32_t target = 0; target < job_config_.num_workers; ++target) {
+      uint64_t bytes = remote_bytes[target];
+      if (bytes == 0) continue;
       bytes_sent += bytes;
       co_await cluster_.Send(WorkerNode(w), WorkerNode(target), bytes);
     }
@@ -457,9 +529,13 @@ class GiraphJob {
   sim::Barrier end_barrier_;
 
   graph::EdgeCutResult partition_;
-  std::vector<std::vector<VertexId>> neighbors_;
+  graph::Csr adjacency_;
   std::vector<double> values_;
   std::vector<uint8_t> active_;
+  // Frontier bookkeeping (replaces O(V) scans): live counts of active
+  // vertices, total and per partition, updated with per-chunk deltas.
+  uint64_t active_total_ = 0;
+  std::vector<uint64_t> partition_active_;
   MessageStore messages_;
   std::vector<cluster::YarnManager::Container> containers_;
 

@@ -8,6 +8,7 @@
 #include "cluster/provisioning.h"
 #include "cluster/storage.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "granula/models/models.h"
 #include "graph/partition.h"
 #include "sim/simulator.h"
@@ -62,17 +63,15 @@ class GraphMatJob {
     next_active_.assign(n, 0);
     acc_.assign(n, 0.0);
     acc_has_.assign(n, 0);
-    degree_.assign(n, 0);
-    neighbors_.resize(n);
-    for (const graph::Edge& e : graph_.edges()) {
-      ++degree_[e.src];
-      ++degree_[e.dst];
-      neighbors_[e.src].push_back(e.dst);
-      neighbors_[e.dst].push_back(e.src);
-    }
+    // Undirected adjacency in CSR form (the matrix slice rows), built on
+    // the host pool; vertex degree comes from the CSR.
+    adjacency_ = graph::Csr::BuildUndirected(n, graph_.edges());
+    active_count_ = 0;
     for (VertexId v = 0; v < n; ++v) {
       values_[v] = program_.InitialValue(v, n);
-      active_[v] = program_.InitiallyActive(v) ? 1 : 0;
+      bool is_active = program_.InitiallyActive(v);
+      active_[v] = is_active ? 1 : 0;
+      if (is_active) ++active_count_;
     }
 
     sim_.Spawn(Main());
@@ -159,12 +158,9 @@ class GraphMatJob {
     logger_.EndOperation(op);
   }
 
-  bool AnyActive() const {
-    for (uint8_t a : active_) {
-      if (a != 0) return true;
-    }
-    return false;
-  }
+  // O(1): the active-set size is maintained incrementally (Apply counts
+  // 0->1 transitions of next_active_) instead of scanning all vertices.
+  bool AnyActive() const { return active_count_ > 0; }
 
   sim::Task<> RunProcessGraph(OpId root) {
     process_op_ = logger_.StartOperation(
@@ -191,15 +187,26 @@ class GraphMatJob {
       logger_.EndOperation(iteration_op_);
 
       ++iteration_;
-      std::fill(acc_.begin(), acc_.end(), 0.0);
-      std::fill(acc_has_.begin(), acc_has_.end(), 0);
+      const uint64_t n = graph_.num_vertices();
+      const uint64_t fill_grain = ChunkedGrain(n);
+      ParallelFor(0, n, fill_grain, [&](uint64_t, uint64_t b, uint64_t e) {
+        std::fill(acc_.begin() + b, acc_.begin() + e, 0.0);
+        std::fill(acc_has_.begin() + b, acc_has_.begin() + e, 0);
+      });
       if (program_.always_active()) {
         bool more = max_iters == 0 || iteration_ < max_iters;
-        std::fill(active_.begin(), active_.end(), more ? 1 : 0);
+        ParallelFor(0, n, fill_grain, [&](uint64_t, uint64_t b, uint64_t e) {
+          std::fill(active_.begin() + b, active_.begin() + e, more ? 1 : 0);
+        });
+        active_count_ = more ? n : 0;
       } else {
         active_.swap(next_active_);
+        active_count_ = next_active_count_;
       }
-      std::fill(next_active_.begin(), next_active_.end(), 0);
+      ParallelFor(0, n, fill_grain, [&](uint64_t, uint64_t b, uint64_t e) {
+        std::fill(next_active_.begin() + b, next_active_.begin() + e, 0);
+      });
+      next_active_count_ = 0;
     }
     co_await sim::JoinAll(std::move(loops));
     logger_.AddInfo(process_op_, "Iterations", Json(iteration_));
@@ -223,21 +230,46 @@ class GraphMatJob {
         iteration_op_, "Rank", RankActor(rank), "Spmv",
         StrFormat("Spmv-%llu",
                   static_cast<unsigned long long>(iteration_)));
+    // Host-parallel pull-style SpMV: each chunk folds into its own rows'
+    // accumulators only, so chunks never contend and the fold order per
+    // row is the fixed CSR neighbor order.
     uint64_t streamed_edges = 0;
     uint64_t active_nonzeros = 0;
-    for (VertexId v : owned) {
-      streamed_edges += neighbors_[v].size();
-      for (VertexId u : neighbors_[v]) {
-        if (active_[u] == 0) continue;
-        ++active_nonzeros;
-        double contribution =
-            program_.Gather(v, u, values_[u], degree_[u]);
-        if (acc_has_[v] != 0) {
-          acc_[v] = program_.Sum(acc_[v], contribution);
-        } else {
-          acc_[v] = contribution;
-          acc_has_[v] = 1;
-        }
+    uint64_t active_owned = 0;
+    const uint64_t grain = ChunkedGrain(owned.size());
+    const uint64_t chunks = ThreadPool::NumChunks(owned.size(), grain);
+    {
+      struct SpmvStats {
+        uint64_t streamed = 0;
+        uint64_t nonzeros = 0;
+        uint64_t active_owned = 0;
+      };
+      std::vector<SpmvStats> stats(chunks);
+      ParallelFor(0, owned.size(), grain,
+                  [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                    SpmvStats& mine = stats[chunk];
+                    for (uint64_t i = cb; i < ce; ++i) {
+                      VertexId v = owned[i];
+                      if (active_[v] != 0) ++mine.active_owned;
+                      mine.streamed += adjacency_.degree(v);
+                      for (VertexId u : adjacency_.neighbors(v)) {
+                        if (active_[u] == 0) continue;
+                        ++mine.nonzeros;
+                        double contribution = program_.Gather(
+                            v, u, values_[u], adjacency_.degree(u));
+                        if (acc_has_[v] != 0) {
+                          acc_[v] = program_.Sum(acc_[v], contribution);
+                        } else {
+                          acc_[v] = contribution;
+                          acc_has_[v] = 1;
+                        }
+                      }
+                    }
+                  });
+      for (const SpmvStats& mine : stats) {
+        streamed_edges += mine.streamed;
+        active_nonzeros += mine.nonzeros;
+        active_owned += mine.active_owned;
       }
     }
     co_await RunOnThreads(
@@ -248,10 +280,6 @@ class GraphMatJob {
         job_config_.compute_threads);
     // Sparse-vector exchange: owned entries of x that other ranks' slices
     // reference (approximate: all active owned entries broadcast).
-    uint64_t active_owned = 0;
-    for (VertexId v : owned) {
-      if (active_[v] != 0) ++active_owned;
-    }
     uint64_t bytes = active_owned * cost_.bytes_per_nonzero;
     if (bytes > 0 && job_config_.num_workers > 1) {
       co_await cluster_.Send(rank, (rank + 1) % job_config_.num_workers,
@@ -268,16 +296,36 @@ class GraphMatJob {
         StrFormat("Apply-%llu",
                   static_cast<unsigned long long>(iteration_)));
     uint64_t applies = 0;
-    for (VertexId v : owned) {
-      if (acc_has_[v] == 0 && active_[v] == 0) continue;
-      double acc = acc_has_[v] != 0 ? acc_[v] : program_.GatherInit();
-      algo::GasProgram::ApplyResult r =
-          program_.Apply(v, values_[v], acc, graph_.num_vertices());
-      if (r.new_value != values_[v]) {
-        values_[v] = r.new_value;
-        if (r.scatter) next_active_[v] = 1;
+    {
+      std::vector<uint64_t> chunk_applies(chunks, 0);
+      std::vector<uint64_t> chunk_newly_active(chunks, 0);
+      ParallelFor(0, owned.size(), grain,
+                  [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                    uint64_t count = 0;
+                    uint64_t newly_active = 0;
+                    for (uint64_t i = cb; i < ce; ++i) {
+                      VertexId v = owned[i];
+                      if (acc_has_[v] == 0 && active_[v] == 0) continue;
+                      double acc =
+                          acc_has_[v] != 0 ? acc_[v] : program_.GatherInit();
+                      algo::GasProgram::ApplyResult r = program_.Apply(
+                          v, values_[v], acc, graph_.num_vertices());
+                      if (r.new_value != values_[v]) {
+                        values_[v] = r.new_value;
+                        if (r.scatter && next_active_[v] == 0) {
+                          next_active_[v] = 1;
+                          ++newly_active;
+                        }
+                      }
+                      ++count;
+                    }
+                    chunk_applies[chunk] = count;
+                    chunk_newly_active[chunk] = newly_active;
+                  });
+      for (uint64_t c = 0; c < chunks; ++c) {
+        applies += chunk_applies[c];
+        next_active_count_ += chunk_newly_active[c];
       }
-      ++applies;
     }
     co_await RunOnThreads(
         &sim_, &RankCpu(rank),
@@ -346,12 +394,14 @@ class GraphMatJob {
   sim::Barrier stage_barrier_;
 
   graph::EdgeCutResult partition_;
-  std::vector<std::vector<VertexId>> neighbors_;
+  graph::Csr adjacency_;
   std::vector<double> values_;
   std::vector<uint8_t> active_, next_active_;
   std::vector<double> acc_;
   std::vector<uint8_t> acc_has_;
-  std::vector<uint64_t> degree_;
+  // Frontier bookkeeping (replaces the O(V) AnyActive scan).
+  uint64_t active_count_ = 0;
+  uint64_t next_active_count_ = 0;
 
   uint64_t input_bytes_ = 0;
   uint64_t iteration_ = 0;

@@ -1,7 +1,6 @@
 #include "platforms/hadoop.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 
 #include "algorithms/pregel.h"

@@ -1,15 +1,16 @@
 #include "platforms/pgxd.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 
 #include "algorithms/gas.h"
 #include "cluster/monitor.h"
 #include "cluster/storage.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "granula/models/models.h"
 #include "graph/partition.h"
+#include "platforms/sharded_accumulator.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 
@@ -36,6 +37,7 @@ class PgxdJob {
         localfs_(&cluster_),
         monitor_(&cluster_, job_config.monitor_interval),
         logger_([this] { return sim_.Now(); }),
+        accumulator_(graph.num_vertices()),
         start_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
         end_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
         stage_barrier_(&sim_,
@@ -65,17 +67,20 @@ class PgxdJob {
     next_active_.assign(n, 0);
     acc_.assign(n, 0.0);
     acc_has_.assign(n, 0);
-    degree_.assign(n, 0);
-    neighbors_.resize(n);
-    for (const graph::Edge& e : graph_.edges()) {
-      ++degree_[e.src];
-      ++degree_[e.dst];
-      neighbors_[e.src].push_back(e.dst);
-      neighbors_[e.dst].push_back(e.src);
-    }
+    // Undirected adjacency in CSR form, built on the host pool; vertex
+    // degree comes from the CSR.
+    adjacency_ = graph::Csr::BuildUndirected(n, graph_.edges());
+    total_degree_ = adjacency_.num_arcs();
+    active_count_ = 0;
+    frontier_edges_ = 0;
     for (VertexId v = 0; v < n; ++v) {
       values_[v] = program_.InitialValue(v, n);
-      active_[v] = program_.InitiallyActive(v) ? 1 : 0;
+      bool is_active = program_.InitiallyActive(v);
+      active_[v] = is_active ? 1 : 0;
+      if (is_active) {
+        ++active_count_;
+        frontier_edges_ += adjacency_.degree(v);
+      }
     }
 
     sim_.Spawn(Main());
@@ -171,21 +176,11 @@ class PgxdJob {
     logger_.EndOperation(op);
   }
 
-  bool AnyActive() const {
-    for (uint8_t a : active_) {
-      if (a != 0) return true;
-    }
-    return false;
-  }
-
-  // Frontier incident edges, the direction heuristic's input.
-  uint64_t FrontierEdges() const {
-    uint64_t edges = 0;
-    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
-      if (active_[v] != 0) edges += degree_[v];
-    }
-    return edges;
-  }
+  // O(1): both the active-set size and the frontier's incident-edge count
+  // (the direction heuristic's input) are maintained incrementally at
+  // Apply time instead of scanning all vertices each iteration.
+  bool AnyActive() const { return active_count_ > 0; }
+  uint64_t FrontierEdges() const { return frontier_edges_; }
 
   bool ChoosePush(uint64_t frontier_edges) const {
     switch (direction_) {
@@ -235,15 +230,29 @@ class PgxdJob {
       logger_.EndOperation(iteration_op_);
 
       ++iteration_;
-      std::fill(acc_.begin(), acc_.end(), 0.0);
-      std::fill(acc_has_.begin(), acc_has_.end(), 0);
+      const uint64_t n = graph_.num_vertices();
+      const uint64_t fill_grain = ChunkedGrain(n);
+      ParallelFor(0, n, fill_grain, [&](uint64_t, uint64_t b, uint64_t e) {
+        std::fill(acc_.begin() + b, acc_.begin() + e, 0.0);
+        std::fill(acc_has_.begin() + b, acc_has_.begin() + e, 0);
+      });
       if (program_.always_active()) {
         bool more = max_iters == 0 || iteration_ < max_iters;
-        std::fill(active_.begin(), active_.end(), more ? 1 : 0);
+        ParallelFor(0, n, fill_grain, [&](uint64_t, uint64_t b, uint64_t e) {
+          std::fill(active_.begin() + b, active_.begin() + e, more ? 1 : 0);
+        });
+        active_count_ = more ? n : 0;
+        frontier_edges_ = more ? total_degree_ : 0;
       } else {
         active_.swap(next_active_);
+        active_count_ = next_active_count_;
+        frontier_edges_ = next_frontier_edges_;
       }
-      std::fill(next_active_.begin(), next_active_.end(), 0);
+      ParallelFor(0, n, fill_grain, [&](uint64_t, uint64_t b, uint64_t e) {
+        std::fill(next_active_.begin() + b, next_active_.begin() + e, 0);
+      });
+      next_active_count_ = 0;
+      next_frontier_edges_ = 0;
     }
     co_await sim::JoinAll(std::move(loops));
     logger_.AddInfo(process_op_, "Iterations", Json(iteration_));
@@ -260,7 +269,7 @@ class PgxdJob {
 
   void Contribute(VertexId target, VertexId source) {
     double contribution = program_.Gather(target, source, values_[source],
-                                          degree_[source]);
+                                          adjacency_.degree(source));
     if (acc_has_[target] != 0) {
       acc_[target] = program_.Sum(acc_[target], contribution);
     } else {
@@ -271,6 +280,8 @@ class PgxdJob {
 
   sim::Task<> NodeIteration(uint32_t node) {
     const auto& owned = partition_.partitions[node].vertices;
+    const uint64_t grain = ChunkedGrain(owned.size());
+    const uint64_t chunks = ThreadPool::NumChunks(owned.size(), grain);
 
     // --- Traverse (push or pull). Both directions compute the same
     // accumulators — contributions flow from active vertices to their
@@ -283,14 +294,41 @@ class PgxdJob {
           iteration_op_, "Node", NodeActor(node), "Push",
           StrFormat("Push-%llu",
                     static_cast<unsigned long long>(iteration_)));
-      for (VertexId v : owned) {
-        if (active_[v] == 0) continue;
-        for (VertexId u : neighbors_[v]) {
-          Contribute(u, v);
-          ++edge_ops;
-          if (partition_.owner[u] != node) ++remote_updates;
+      // Push writes accumulators of arbitrary targets, so chunks emit into
+      // their own accumulator shards; the merge below folds them in chunk
+      // order — the order the sequential loop would have used.
+      const uint64_t first_shard = accumulator_.AddShards(chunks);
+      {
+        std::vector<uint64_t> chunk_ops(chunks, 0);
+        std::vector<uint64_t> chunk_remote(chunks, 0);
+        ParallelFor(0, owned.size(), grain,
+                    [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                      uint64_t ops = 0;
+                      uint64_t remote = 0;
+                      const uint64_t shard = first_shard + chunk;
+                      for (uint64_t i = cb; i < ce; ++i) {
+                        VertexId v = owned[i];
+                        if (active_[v] == 0) continue;
+                        for (VertexId u : adjacency_.neighbors(v)) {
+                          accumulator_.Emit(
+                              shard, u,
+                              program_.Gather(u, v, values_[v],
+                                              adjacency_.degree(v)));
+                          ++ops;
+                          if (partition_.owner[u] != node) ++remote;
+                        }
+                      }
+                      chunk_ops[chunk] = ops;
+                      chunk_remote[chunk] = remote;
+                    });
+        for (uint64_t c = 0; c < chunks; ++c) {
+          edge_ops += chunk_ops[c];
+          remote_updates += chunk_remote[c];
         }
       }
+      accumulator_.MergeInto(&acc_, &acc_has_, [this](double a, double b) {
+        return program_.Sum(a, b);
+      });
       co_await RunOnThreads(
           &sim_, &NodeCpu(node),
           cost_.push_per_edge * static_cast<double>(edge_ops),
@@ -300,12 +338,30 @@ class PgxdJob {
           iteration_op_, "Node", NodeActor(node), "Pull",
           StrFormat("Pull-%llu",
                     static_cast<unsigned long long>(iteration_)));
-      for (VertexId v : owned) {
-        for (VertexId u : neighbors_[v]) {
-          ++edge_ops;  // the pull scan reads every incident edge
-          if (active_[u] == 0) continue;
-          Contribute(v, u);
-          if (partition_.owner[u] != node) ++remote_updates;
+      // Pull accumulates into the scanning vertex itself, so chunks write
+      // disjoint accumulators and no sharding is needed.
+      {
+        std::vector<uint64_t> chunk_ops(chunks, 0);
+        std::vector<uint64_t> chunk_remote(chunks, 0);
+        ParallelFor(0, owned.size(), grain,
+                    [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                      uint64_t ops = 0;
+                      uint64_t remote = 0;
+                      for (uint64_t i = cb; i < ce; ++i) {
+                        VertexId v = owned[i];
+                        for (VertexId u : adjacency_.neighbors(v)) {
+                          ++ops;  // the pull scan reads every incident edge
+                          if (active_[u] == 0) continue;
+                          Contribute(v, u);
+                          if (partition_.owner[u] != node) ++remote;
+                        }
+                      }
+                      chunk_ops[chunk] = ops;
+                      chunk_remote[chunk] = remote;
+                    });
+        for (uint64_t c = 0; c < chunks; ++c) {
+          edge_ops += chunk_ops[c];
+          remote_updates += chunk_remote[c];
         }
       }
       co_await RunOnThreads(
@@ -329,16 +385,41 @@ class PgxdJob {
         StrFormat("Apply-%llu",
                   static_cast<unsigned long long>(iteration_)));
     uint64_t applies = 0;
-    for (VertexId v : owned) {
-      if (acc_has_[v] == 0 && active_[v] == 0) continue;
-      double acc = acc_has_[v] != 0 ? acc_[v] : program_.GatherInit();
-      algo::GasProgram::ApplyResult r =
-          program_.Apply(v, values_[v], acc, graph_.num_vertices());
-      if (r.new_value != values_[v]) {
-        values_[v] = r.new_value;
-        if (r.scatter) next_active_[v] = 1;
+    {
+      std::vector<uint64_t> chunk_applies(chunks, 0);
+      std::vector<uint64_t> chunk_newly_active(chunks, 0);
+      std::vector<uint64_t> chunk_frontier(chunks, 0);
+      ParallelFor(0, owned.size(), grain,
+                  [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                    uint64_t count = 0;
+                    uint64_t newly_active = 0;
+                    uint64_t frontier = 0;
+                    for (uint64_t i = cb; i < ce; ++i) {
+                      VertexId v = owned[i];
+                      if (acc_has_[v] == 0 && active_[v] == 0) continue;
+                      double acc =
+                          acc_has_[v] != 0 ? acc_[v] : program_.GatherInit();
+                      algo::GasProgram::ApplyResult r = program_.Apply(
+                          v, values_[v], acc, graph_.num_vertices());
+                      if (r.new_value != values_[v]) {
+                        values_[v] = r.new_value;
+                        if (r.scatter && next_active_[v] == 0) {
+                          next_active_[v] = 1;
+                          ++newly_active;
+                          frontier += adjacency_.degree(v);
+                        }
+                      }
+                      ++count;
+                    }
+                    chunk_applies[chunk] = count;
+                    chunk_newly_active[chunk] = newly_active;
+                    chunk_frontier[chunk] = frontier;
+                  });
+      for (uint64_t c = 0; c < chunks; ++c) {
+        applies += chunk_applies[c];
+        next_active_count_ += chunk_newly_active[c];
+        next_frontier_edges_ += chunk_frontier[c];
       }
-      ++applies;
     }
     co_await RunOnThreads(
         &sim_, &NodeCpu(node),
@@ -401,18 +482,25 @@ class PgxdJob {
   cluster::LocalFs localfs_;
   cluster::EnvironmentMonitor monitor_;
   JobLogger logger_;
+  ShardedAccumulator accumulator_;
 
   sim::Barrier start_barrier_;
   sim::Barrier end_barrier_;
   sim::Barrier stage_barrier_;
 
   graph::EdgeCutResult partition_;
-  std::vector<std::vector<VertexId>> neighbors_;
+  graph::Csr adjacency_;
   std::vector<double> values_;
   std::vector<uint8_t> active_, next_active_;
   std::vector<double> acc_;
   std::vector<uint8_t> acc_has_;
-  std::vector<uint64_t> degree_;
+  // Frontier bookkeeping (replaces the O(V) AnyActive/FrontierEdges
+  // scans).
+  uint64_t active_count_ = 0;
+  uint64_t next_active_count_ = 0;
+  uint64_t frontier_edges_ = 0;
+  uint64_t next_frontier_edges_ = 0;
+  uint64_t total_degree_ = 0;
 
   uint64_t input_bytes_ = 0;
   uint64_t iteration_ = 0;

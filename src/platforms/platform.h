@@ -2,7 +2,6 @@
 #define GRANULA_PLATFORMS_PLATFORM_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 

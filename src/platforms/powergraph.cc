@@ -1,7 +1,6 @@
 #include "platforms/powergraph.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 
 #include "algorithms/gas.h"
@@ -9,6 +8,7 @@
 #include "cluster/provisioning.h"
 #include "cluster/storage.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "granula/models/models.h"
 #include "graph/partition.h"
 #include "sim/simulator.h"
@@ -76,9 +76,20 @@ class PowerGraphJob {
       ++degree_[e.src];
       ++degree_[e.dst];
     }
+    active_count_ = 0;
     for (VertexId v = 0; v < n; ++v) {
       values_[v] = program_.InitialValue(v, n);
-      active_[v] = program_.InitiallyActive(v) ? 1 : 0;
+      bool is_active = program_.InitiallyActive(v);
+      active_[v] = is_active ? 1 : 0;
+      if (is_active) ++active_count_;
+    }
+    // Per-rank local adjacency over the rank's edge share, in CSR form
+    // (replaces the per-edge scans in Gather/Scatter with pull-style loops
+    // over replica vertices). Built on the host pool.
+    local_adjacency_.resize(ranks);
+    for (uint32_t r = 0; r < ranks; ++r) {
+      local_adjacency_[r] = graph::Csr::BuildUndirected(
+          n, partition_.partitions[r].edges);
     }
 
     sim_.Spawn(Main());
@@ -193,12 +204,9 @@ class PowerGraphJob {
   }
 
   // ------------------------------------------------------ process graph --
-  bool AnyActive() const {
-    for (uint8_t a : active_) {
-      if (a != 0) return true;
-    }
-    return false;
-  }
+  // O(1): the active-set size is maintained incrementally (Scatter counts
+  // 0->1 transitions of next_active_) instead of scanning all vertices.
+  bool AnyActive() const { return active_count_ > 0; }
 
   sim::Task<> RunProcessGraph(OpId root) {
     process_op_ = logger_.StartOperation(
@@ -226,16 +234,27 @@ class PowerGraphJob {
 
       // Synchronous-engine bookkeeping between iterations.
       ++iteration_;
-      scatter_flag_.assign(scatter_flag_.size(), 0);
-      std::fill(acc_.begin(), acc_.end(), 0.0);
-      std::fill(acc_has_.begin(), acc_has_.end(), 0);
+      const uint64_t n = graph_.num_vertices();
+      const uint64_t fill_grain = ChunkedGrain(n);
+      ParallelFor(0, n, fill_grain, [&](uint64_t, uint64_t b, uint64_t e) {
+        std::fill(scatter_flag_.begin() + b, scatter_flag_.begin() + e, 0);
+        std::fill(acc_.begin() + b, acc_.begin() + e, 0.0);
+        std::fill(acc_has_.begin() + b, acc_has_.begin() + e, 0);
+      });
       if (program_.always_active()) {
         bool more = max_iters == 0 || iteration_ < max_iters;
-        std::fill(active_.begin(), active_.end(), more ? 1 : 0);
+        ParallelFor(0, n, fill_grain, [&](uint64_t, uint64_t b, uint64_t e) {
+          std::fill(active_.begin() + b, active_.begin() + e, more ? 1 : 0);
+        });
+        active_count_ = more ? n : 0;
       } else {
         active_.swap(next_active_);
+        active_count_ = next_active_count_;
       }
-      std::fill(next_active_.begin(), next_active_.end(), 0);
+      ParallelFor(0, n, fill_grain, [&](uint64_t, uint64_t b, uint64_t e) {
+        std::fill(next_active_.begin() + b, next_active_.begin() + e, 0);
+      });
+      next_active_count_ = 0;
     }
     co_await sim::JoinAll(std::move(loops));
     logger_.AddInfo(process_op_, "Iterations", Json(iteration_));
@@ -252,22 +271,36 @@ class PowerGraphJob {
 
   sim::Task<> RankIteration(uint32_t rank) {
     const auto& part = partition_.partitions[rank];
+    const graph::Csr& adj = local_adjacency_[rank];
+    const std::vector<VertexId>& reps = part.replicas;
+    const uint64_t grain = ChunkedGrain(reps.size());
+    const uint64_t chunks = ThreadPool::NumChunks(reps.size(), grain);
 
     // --- Gather: fold contributions over local edges of active vertices.
+    // Pull form over replica vertices — the same multiset of Gather calls
+    // as the former per-edge loop, but each chunk writes only its own
+    // vertices' accumulators, so the loop parallelizes race-free.
     OpId gather_op = logger_.StartOperation(
         iteration_op_, "Rank", RankActor(rank), "Gather",
         StrFormat("Gather-%llu",
                   static_cast<unsigned long long>(iteration_)));
     uint64_t gather_ops = 0;
-    for (const graph::Edge& e : part.edges) {
-      if (active_[e.src] != 0) {
-        AccumulateGather(e.src, e.dst);
-        ++gather_ops;
-      }
-      if (active_[e.dst] != 0) {
-        AccumulateGather(e.dst, e.src);
-        ++gather_ops;
-      }
+    {
+      std::vector<uint64_t> chunk_ops(chunks, 0);
+      ParallelFor(0, reps.size(), grain,
+                  [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                    uint64_t ops = 0;
+                    for (uint64_t i = cb; i < ce; ++i) {
+                      VertexId v = reps[i];
+                      if (active_[v] == 0) continue;
+                      for (VertexId other : adj.neighbors(v)) {
+                        AccumulateGather(v, other);
+                        ++ops;
+                      }
+                    }
+                    chunk_ops[chunk] = ops;
+                  });
+      for (uint64_t ops : chunk_ops) gather_ops += ops;
     }
     co_await RunOnThreads(
         &sim_, &RankCpu(rank),
@@ -281,14 +314,33 @@ class PowerGraphJob {
         iteration_op_, "Rank", RankActor(rank), "Exchange",
         StrFormat("Exchange-%llu",
                   static_cast<unsigned long long>(iteration_)));
-    std::map<uint32_t, uint64_t> sync_bytes;
-    for (VertexId v : part.replicas) {
-      if (active_[v] != 0 && partition_.master[v] != rank) {
-        sync_bytes[partition_.master[v]] += cost_.bytes_per_sync;
+    // Flat per-master-rank byte counts (replaces the former std::map);
+    // sends below go in ascending rank order, as map iteration did.
+    std::vector<uint64_t> sync_bytes(job_config_.num_workers, 0);
+    {
+      std::vector<std::vector<uint64_t>> chunk_sync(chunks);
+      ParallelFor(0, reps.size(), grain,
+                  [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                    std::vector<uint64_t>& mine = chunk_sync[chunk];
+                    mine.assign(job_config_.num_workers, 0);
+                    for (uint64_t i = cb; i < ce; ++i) {
+                      VertexId v = reps[i];
+                      if (active_[v] != 0 && partition_.master[v] != rank) {
+                        mine[partition_.master[v]] += cost_.bytes_per_sync;
+                      }
+                    }
+                  });
+      for (const std::vector<uint64_t>& mine : chunk_sync) {
+        if (mine.empty()) continue;
+        for (uint32_t t = 0; t < job_config_.num_workers; ++t) {
+          sync_bytes[t] += mine[t];
+        }
       }
     }
-    for (const auto& [target, bytes] : sync_bytes) {
-      co_await cluster_.Send(RankNode(rank), RankNode(target), bytes);
+    for (uint32_t target = 0; target < job_config_.num_workers; ++target) {
+      if (sync_bytes[target] == 0) continue;
+      co_await cluster_.Send(RankNode(rank), RankNode(target),
+                             sync_bytes[target]);
     }
     co_await stage_barrier_.Arrive();  // all gathers complete
     logger_.EndOperation(exchange_op);
@@ -300,46 +352,77 @@ class PowerGraphJob {
         StrFormat("Apply-%llu",
                   static_cast<unsigned long long>(iteration_)));
     uint64_t applies = 0;
-    for (VertexId v : part.replicas) {
-      if (partition_.master[v] != rank || active_[v] == 0) continue;
-      double acc = acc_has_[v] != 0 ? acc_[v] : program_.GatherInit();
-      algo::GasProgram::ApplyResult r =
-          program_.Apply(v, values_[v], acc, graph_.num_vertices());
-      values_[v] = r.new_value;
-      scatter_flag_[v] = r.scatter ? 1 : 0;
-      ++applies;
+    {
+      std::vector<uint64_t> chunk_applies(chunks, 0);
+      ParallelFor(0, reps.size(), grain,
+                  [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                    uint64_t count = 0;
+                    for (uint64_t i = cb; i < ce; ++i) {
+                      VertexId v = reps[i];
+                      if (partition_.master[v] != rank || active_[v] == 0) {
+                        continue;
+                      }
+                      double acc =
+                          acc_has_[v] != 0 ? acc_[v] : program_.GatherInit();
+                      algo::GasProgram::ApplyResult r = program_.Apply(
+                          v, values_[v], acc, graph_.num_vertices());
+                      values_[v] = r.new_value;
+                      scatter_flag_[v] = r.scatter ? 1 : 0;
+                      ++count;
+                    }
+                    chunk_applies[chunk] = count;
+                  });
+      for (uint64_t count : chunk_applies) applies += count;
     }
     co_await RunOnThreads(
         &sim_, &RankCpu(rank),
         cost_.apply_per_vertex * static_cast<double>(applies),
         job_config_.compute_threads);
-    for (const auto& [target, bytes] : sync_bytes) {
-      co_await cluster_.Send(RankNode(target), RankNode(rank), bytes);
+    for (uint32_t target = 0; target < job_config_.num_workers; ++target) {
+      if (sync_bytes[target] == 0) continue;
+      co_await cluster_.Send(RankNode(target), RankNode(rank),
+                             sync_bytes[target]);
     }
     co_await stage_barrier_.Arrive();  // all applies complete
     logger_.AddInfo(apply_op, "Applies", Json(applies));
     logger_.EndOperation(apply_op);
 
-    // --- Scatter: activate neighbors along local edges.
+    // --- Scatter: activate neighbors along local edges. Pull form: each
+    // vertex checks its incident arcs for flagged sources and activates
+    // itself — the same activation set as the per-edge push loop, without
+    // concurrent writes to next_active_.
     OpId scatter_op = logger_.StartOperation(
         iteration_op_, "Rank", RankActor(rank), "Scatter",
         StrFormat("Scatter-%llu",
                   static_cast<unsigned long long>(iteration_)));
     uint64_t scatter_ops = 0;
-    for (const graph::Edge& e : part.edges) {
-      if (scatter_flag_[e.src] != 0) {
-        ++scatter_ops;
-        if (program_.ScatterActivates(e.src, e.dst, values_[e.src],
-                                      values_[e.dst])) {
-          next_active_[e.dst] = 1;
-        }
-      }
-      if (scatter_flag_[e.dst] != 0) {
-        ++scatter_ops;
-        if (program_.ScatterActivates(e.dst, e.src, values_[e.dst],
-                                      values_[e.src])) {
-          next_active_[e.src] = 1;
-        }
+    {
+      std::vector<uint64_t> chunk_ops(chunks, 0);
+      std::vector<uint64_t> chunk_newly_active(chunks, 0);
+      ParallelFor(0, reps.size(), grain,
+                  [&](uint64_t chunk, uint64_t cb, uint64_t ce) {
+                    uint64_t ops = 0;
+                    uint64_t newly_active = 0;
+                    for (uint64_t i = cb; i < ce; ++i) {
+                      VertexId v = reps[i];
+                      for (VertexId other : adj.neighbors(v)) {
+                        if (scatter_flag_[other] == 0) continue;
+                        ++ops;
+                        if (next_active_[v] == 0 &&
+                            program_.ScatterActivates(other, v,
+                                                      values_[other],
+                                                      values_[v])) {
+                          next_active_[v] = 1;
+                          ++newly_active;
+                        }
+                      }
+                    }
+                    chunk_ops[chunk] = ops;
+                    chunk_newly_active[chunk] = newly_active;
+                  });
+      for (uint64_t c = 0; c < chunks; ++c) {
+        scatter_ops += chunk_ops[c];
+        next_active_count_ += chunk_newly_active[c];
       }
     }
     co_await RunOnThreads(
@@ -427,11 +510,15 @@ class PowerGraphJob {
   sim::Barrier stage_barrier_;
 
   graph::VertexCutResult partition_;
+  std::vector<graph::Csr> local_adjacency_;
   std::vector<double> values_;
   std::vector<uint8_t> active_, next_active_, scatter_flag_;
   std::vector<double> acc_;
   std::vector<uint8_t> acc_has_;
   std::vector<uint64_t> degree_;
+  // Frontier bookkeeping (replaces the O(V) AnyActive scan).
+  uint64_t active_count_ = 0;
+  uint64_t next_active_count_ = 0;
 
   uint64_t input_bytes_ = 0;
   uint64_t iteration_ = 0;

@@ -1,0 +1,120 @@
+#ifndef GRANULA_PLATFORMS_SHARDED_ACCUMULATOR_H_
+#define GRANULA_PLATFORMS_SHARDED_ACCUMULATOR_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+
+namespace granula::platform {
+
+// Deterministic scatter-add for push-style traversals: parallel chunks emit
+// (target, value) contributions into their own shards, and MergeInto folds
+// them into a dense accumulator with a caller-supplied Sum.
+//
+// Like MessageStore, shard indices are handed out in deterministic order
+// via AddShards() and the merge folds shards in index order, so for any
+// target the fold order equals the order a sequential loop would have
+// produced (chunks are contiguous subranges of the iteration) — results are
+// identical for every host-thread count. Emissions are bucketed by target
+// range so the merge parallelizes over disjoint vertex ranges.
+class ShardedAccumulator {
+ public:
+  explicit ShardedAccumulator(uint64_t num_vertices)
+      : num_vertices_(num_vertices) {
+    uint64_t width = 1;
+    if (num_vertices_ > 64) {
+      width = std::bit_ceil((num_vertices_ + 63) / 64);
+    }
+    bucket_shift_ = static_cast<uint64_t>(std::countr_zero(width));
+    num_buckets_ = num_vertices_ == 0
+                       ? 0
+                       : ((num_vertices_ + width - 1) >> bucket_shift_);
+  }
+
+  // Reserves `n` shards for one parallel region and returns the index of
+  // the first. Call outside parallel regions; the call order defines the
+  // merge order. Shard storage is recycled across MergeInto calls.
+  uint64_t AddShards(uint64_t n) {
+    uint64_t first = live_shards_;
+    live_shards_ += n;
+    if (shards_.size() < live_shards_) {
+      uint64_t old_size = shards_.size();
+      shards_.resize(live_shards_);
+      for (uint64_t i = old_size; i < live_shards_; ++i) {
+        shards_[i].resize(num_buckets_);
+      }
+    }
+    return first;
+  }
+
+  // Concurrent-safe across *distinct* shards.
+  void Emit(uint64_t shard, graph::VertexId target, double value) {
+    shards_[shard][target >> bucket_shift_].push_back(
+        Contribution{target, value});
+  }
+
+  // Folds every emitted contribution into acc/has (has[t] == 0 means acc[t]
+  // holds no value yet) with `sum(current, value)`, shards in index order,
+  // then recycles the shards. Call outside parallel regions.
+  template <typename SumFn>
+  void MergeInto(std::vector<double>* acc, std::vector<uint8_t>* has,
+                 SumFn&& sum) {
+    std::vector<uint64_t> touched;
+    for (uint64_t b = 0; b < num_buckets_; ++b) {
+      for (const Shard& s : shards_) {
+        if (!s[b].empty()) {
+          touched.push_back(b);
+          break;
+        }
+      }
+    }
+    ParallelFor(0, touched.size(), /*grain=*/1,
+                [&](uint64_t, uint64_t lo, uint64_t hi) {
+                  for (uint64_t i = lo; i < hi; ++i) {
+                    const uint64_t b = touched[i];
+                    for (const Shard& s : shards_) {
+                      for (const Contribution& c : s[b]) {
+                        if ((*has)[c.target] != 0) {
+                          (*acc)[c.target] = sum((*acc)[c.target], c.value);
+                        } else {
+                          (*acc)[c.target] = c.value;
+                          (*has)[c.target] = 1;
+                        }
+                      }
+                    }
+                  }
+                });
+    for (Shard& s : shards_) {
+      for (std::vector<Contribution>& bucket : s) {
+        if (bucket.capacity() * sizeof(Contribution) > kRetainBytes) {
+          std::vector<Contribution>().swap(bucket);
+        } else {
+          bucket.clear();
+        }
+      }
+    }
+    live_shards_ = 0;
+  }
+
+ private:
+  struct Contribution {
+    graph::VertexId target;
+    double value;
+  };
+  using Shard = std::vector<std::vector<Contribution>>;
+
+  static constexpr uint64_t kRetainBytes = 64 * 1024;
+
+  uint64_t num_vertices_;
+  uint64_t bucket_shift_ = 0;
+  uint64_t num_buckets_ = 0;
+  std::vector<Shard> shards_;
+  uint64_t live_shards_ = 0;
+};
+
+}  // namespace granula::platform
+
+#endif  // GRANULA_PLATFORMS_SHARDED_ACCUMULATOR_H_

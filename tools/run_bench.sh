@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the host-parallelism engine benchmarks and emits BENCH_engine.json
+# (google-benchmark JSON) with the superstep-throughput-vs-host-threads
+# curve, the sharded MessageStore deliver/merge microbench, and the parallel
+# CSR build bench.
+#
+# Usage: tools/run_bench.sh [build_dir] [output.json]
+#   build_dir defaults to ./build, output defaults to ./BENCH_engine.json.
+#
+# Notes:
+# - The bench sweeps the thread axis itself (Resize per benchmark arg), so
+#   GRANULA_HOST_THREADS is not needed; the env var only sets the initial
+#   pool size.
+# - The >=3x-at-8-threads acceptance point assumes >=8 physical cores;
+#   on smaller hosts the curve flattens at the core count.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_engine.json}"
+bench="${build_dir}/bench/micro_parallel_engine"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "error: ${bench} not found — build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+echo "host cores: $(nproc 2>/dev/null || sysctl -n hw.ncpu)"
+"${bench}" \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo
+echo "wrote ${out}"
+# Print the superstep-compute scaling summary (speedup vs the 1-thread row
+# of each benchmark family) if python3 is around; the JSON has everything.
+if command -v python3 >/dev/null; then
+  python3 - "${out}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+base = {}
+rows = []
+for b in data.get("benchmarks", []):
+    name = b["name"].split("/")[0]
+    arg = b["name"].split("/")[1].split(":")[0] if "/" in b["name"] else "1"
+    t = b["real_time"]
+    base.setdefault(name, {})[arg] = t
+for name, series in base.items():
+    if "1" not in series:
+        continue
+    speedups = ", ".join(
+        f"{arg}t: {series['1'] / t:.2f}x"
+        for arg, t in sorted(series.items(), key=lambda kv: int(kv[0])))
+    rows.append(f"  {name}: {speedups}")
+print("speedup vs 1 host thread:")
+print("\n".join(rows))
+EOF
+fi

@@ -1,0 +1,108 @@
+// Microbenchmark for the live-monitoring hot paths: StreamingArchiver
+// ingest throughput (records/s) vs. the batch Archiver over the same log,
+// and the cost of a mid-stream Snapshot() as the open-operation table
+// grows. Ingest must keep up with a platform writing records at job
+// speed; Snapshot() runs once per watch poll, so it prices the live view.
+//
+//   build/bench/micro_streaming_ingest [--benchmark_filter=...]
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/live/streaming_archiver.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+namespace {
+
+PerformanceModel BenchModel() {
+  PerformanceModel model("bench");
+  (void)model.AddRoot("Job", "Root");
+  (void)model.AddOperation("Master", "Superstep", "Job", "Root");
+  (void)model.AddOperation("Worker", "Compute", "Master", "Superstep");
+  return model;
+}
+
+// A synthetic job log shaped like a real superstep trace: `supersteps`
+// phases of `workers` worker steps, each with one info record.
+std::vector<LogRecord> MakeLog(int supersteps, int workers) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job-0", "Root");
+  for (int s = 0; s < supersteps; ++s) {
+    OpId step = logger.StartOperation(root, "Master", "master", "Superstep",
+                                      "Superstep-" + std::to_string(s));
+    for (int w = 0; w < workers; ++w) {
+      OpId work = logger.StartOperation(step, "Worker",
+                                        "Worker-" + std::to_string(w),
+                                        "Compute");
+      logger.AddInfo(work, "MessagesSent", Json(int64_t{1000 + w}));
+      now += SimTime::Millis(1);
+      logger.EndOperation(work);
+    }
+    logger.EndOperation(step);
+  }
+  logger.EndOperation(root);
+  return logger.TakeRecords();
+}
+
+void BM_StreamingIngest(benchmark::State& state) {
+  PerformanceModel model = BenchModel();
+  std::vector<LogRecord> records =
+      MakeLog(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    StreamingArchiver archiver(model);
+    archiver.AppendAll(records);
+    archiver.Finish();
+    benchmark::DoNotOptimize(archiver.stats().finalized_operations);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(records.size()));
+  state.counters["records"] = static_cast<double>(records.size());
+}
+BENCHMARK(BM_StreamingIngest)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_BatchArchive(benchmark::State& state) {
+  PerformanceModel model = BenchModel();
+  std::vector<LogRecord> records =
+      MakeLog(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    auto archive = Archiver().Build(model, records, {}, {});
+    benchmark::DoNotOptimize(archive.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(records.size()));
+  state.counters["records"] = static_cast<double>(records.size());
+}
+BENCHMARK(BM_BatchArchive)->Arg(8)->Arg(64)->Arg(256);
+
+// Snapshot cost mid-stream: everything before the last superstep is
+// finalized (and evicted), the last superstep's workers are open. This is
+// the per-poll price of the live view at a steady state.
+void BM_MidStreamSnapshot(benchmark::State& state) {
+  PerformanceModel model = BenchModel();
+  std::vector<LogRecord> records =
+      MakeLog(static_cast<int>(state.range(0)), 16);
+  StreamingArchiver archiver(model);
+  // Stop short of the final EndOps so the tail of the tree stays open.
+  size_t prefix = records.size() - 18;
+  for (size_t i = 0; i < prefix; ++i) archiver.Append(records[i]);
+  for (auto _ : state) {
+    auto snapshot = archiver.Snapshot();
+    benchmark::DoNotOptimize(snapshot.ok());
+  }
+  state.counters["open_ops"] =
+      static_cast<double>(archiver.stats().open_operations);
+  state.counters["finalized"] =
+      static_cast<double>(archiver.stats().finalized_operations);
+}
+BENCHMARK(BM_MidStreamSnapshot)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace granula::core
+
+BENCHMARK_MAIN();

@@ -55,6 +55,18 @@ void ArchivedOperation::Visit(
   for (const auto& child : children) child->Visit(fn);
 }
 
+std::unique_ptr<ArchivedOperation> ArchivedOperation::Clone() const {
+  auto op = std::make_unique<ArchivedOperation>();
+  op->actor_type = actor_type;
+  op->actor_id = actor_id;
+  op->mission_type = mission_type;
+  op->mission_id = mission_id;
+  op->infos = infos;
+  op->children.reserve(children.size());
+  for (const auto& child : children) op->children.push_back(child->Clone());
+  return op;
+}
+
 uint64_t ArchivedOperation::SubtreeSize() const {
   uint64_t count = 1;
   for (const auto& child : children) count += child->SubtreeSize();

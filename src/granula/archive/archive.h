@@ -58,6 +58,10 @@ class ArchivedOperation {
   // Pre-order traversal.
   void Visit(const std::function<void(const ArchivedOperation&)>& fn) const;
 
+  // Deep copy of this operation and its subtree. Used by the streaming
+  // archiver to emit snapshots without giving up its working tree.
+  std::unique_ptr<ArchivedOperation> Clone() const;
+
   // Number of operations in this subtree (including this one).
   uint64_t SubtreeSize() const;
 

@@ -1,9 +1,9 @@
 #include "granula/archive/archiver.h"
 
-#include <algorithm>
 #include <memory>
 
 #include "common/strings.h"
+#include "granula/archive/assembly.h"
 
 namespace granula::core {
 
@@ -11,7 +11,8 @@ namespace {
 
 // Recursively assembles op `id` from the linted view. Operations missing
 // from `model` are spliced out: their children are hoisted into `out`
-// directly.
+// directly. Node construction and child ordering go through the shared
+// assembly core so streaming assembly (granula/live) matches byte-for-byte.
 void Assemble(uint64_t id, const LintedLog& linted,
               const PerformanceModel& model, bool* saw_unmodeled,
               std::vector<std::unique_ptr<ArchivedOperation>>* out) {
@@ -30,49 +31,11 @@ void Assemble(uint64_t id, const LintedLog& linted,
     return;
   }
 
-  auto op = std::make_unique<ArchivedOperation>();
-  op->actor_type = p.start->actor_type;
-  op->actor_id = p.start->actor_id;
-  op->mission_type = p.start->mission_type;
-  op->mission_id = p.start->mission_id;
-  op->SetInfo("StartTime", Json(p.start->time.nanos()), "platform log");
-  if (p.end_time.has_value()) {
-    op->SetInfo("EndTime", Json(p.end_time->nanos()),
-                "platform log" + p.end_provenance);
-  }
-  for (const LogRecord* info : p.infos) {
-    op->SetInfo(info->info_name, info->info_value, "platform log");
-  }
+  std::unique_ptr<ArchivedOperation> op =
+      MakeOperationNode(*p.start, p.end_time, p.end_provenance, p.infos);
   op->children = std::move(children);
-  std::stable_sort(op->children.begin(), op->children.end(),
-                   [](const auto& a, const auto& b) {
-                     return a->StartTime() < b->StartTime();
-                   });
+  SortChildrenByStartTime(op.get());
   out->push_back(std::move(op));
-}
-
-// Post-order: repair missing EndTime from the subtree, then run the
-// model's derivation rules.
-void FinalizeOperation(ArchivedOperation& op, const PerformanceModel& model) {
-  SimTime child_max_end;
-  for (auto& child : op.children) {
-    FinalizeOperation(*child, model);
-    child_max_end = std::max(child_max_end, child->EndTime());
-  }
-  if (!op.HasInfo("EndTime")) {
-    SimTime repaired = std::max(op.StartTime(), child_max_end);
-    op.SetInfo("EndTime", Json(repaired.nanos()),
-               "max end of subtree (repaired)");
-  }
-  const OperationModel* op_model = model.Find(op.actor_type, op.mission_type);
-  if (op_model == nullptr) return;
-  for (const InfoRulePtr& rule : op_model->rules) {
-    Result<Json> derived = rule->Derive(op);
-    if (derived.ok()) {
-      op.SetInfo(rule->info_name(), std::move(derived).value(),
-                 rule->Describe());
-    }
-  }
 }
 
 }  // namespace
@@ -111,7 +74,7 @@ Result<PerformanceArchive> Archiver::Build(
   archive.environment = std::move(environment);
   archive.job_metadata = std::move(job_metadata);
   archive.lint = std::move(linted.report);
-  FinalizeOperation(*archive.root, effective);
+  FinalizeOperationTree(*archive.root, effective);
   return archive;
 }
 

@@ -1,0 +1,62 @@
+#include "granula/archive/assembly.h"
+
+#include <algorithm>
+
+namespace granula::core {
+
+std::unique_ptr<ArchivedOperation> MakeOperationNode(
+    const LogRecord& start, const std::optional<SimTime>& end_time,
+    const std::string& end_provenance,
+    const std::vector<const LogRecord*>& infos) {
+  auto op = std::make_unique<ArchivedOperation>();
+  op->actor_type = start.actor_type;
+  op->actor_id = start.actor_id;
+  op->mission_type = start.mission_type;
+  op->mission_id = start.mission_id;
+  op->SetInfo("StartTime", Json(start.time.nanos()), "platform log");
+  if (end_time.has_value()) {
+    op->SetInfo("EndTime", Json(end_time->nanos()),
+                "platform log" + end_provenance);
+  }
+  for (const LogRecord* info : infos) {
+    op->SetInfo(info->info_name, info->info_value, "platform log");
+  }
+  return op;
+}
+
+void SortChildrenByStartTime(ArchivedOperation* op) {
+  std::stable_sort(op->children.begin(), op->children.end(),
+                   [](const auto& a, const auto& b) {
+                     return a->StartTime() < b->StartTime();
+                   });
+}
+
+void FinalizeOperationNode(ArchivedOperation& op,
+                           const PerformanceModel& model) {
+  SimTime child_max_end;
+  for (const auto& child : op.children) {
+    child_max_end = std::max(child_max_end, child->EndTime());
+  }
+  if (!op.HasInfo("EndTime")) {
+    SimTime repaired = std::max(op.StartTime(), child_max_end);
+    op.SetInfo("EndTime", Json(repaired.nanos()),
+               "max end of subtree (repaired)");
+  }
+  const OperationModel* op_model = model.Find(op.actor_type, op.mission_type);
+  if (op_model == nullptr) return;
+  for (const InfoRulePtr& rule : op_model->rules) {
+    Result<Json> derived = rule->Derive(op);
+    if (derived.ok()) {
+      op.SetInfo(rule->info_name(), std::move(derived).value(),
+                 rule->Describe());
+    }
+  }
+}
+
+void FinalizeOperationTree(ArchivedOperation& op,
+                           const PerformanceModel& model) {
+  for (auto& child : op.children) FinalizeOperationTree(*child, model);
+  FinalizeOperationNode(op, model);
+}
+
+}  // namespace granula::core

@@ -1,0 +1,53 @@
+#ifndef GRANULA_GRANULA_ARCHIVE_ASSEMBLY_H_
+#define GRANULA_GRANULA_ARCHIVE_ASSEMBLY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "granula/archive/archive.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+
+// The assembly core shared by the batch Archiver and the streaming
+// archiver (granula/live): building ArchivedOperation nodes from linted
+// records, ordering children canonically, and finalizing operations
+// bottom-up. Both archivers must go through these helpers — the contract
+// that the final streaming snapshot is byte-identical to the batch archive
+// rests on every node being constructed, ordered, and finalized the same
+// way regardless of when the records arrived.
+
+// Builds the archive node for one operation from its surviving records:
+// the StartOp annotation, the (possibly repaired) end time with its
+// provenance suffix, and the info records in seq order. Children are
+// attached and ordered separately.
+std::unique_ptr<ArchivedOperation> MakeOperationNode(
+    const LogRecord& start, const std::optional<SimTime>& end_time,
+    const std::string& end_provenance,
+    const std::vector<const LogRecord*>& infos);
+
+// Canonical child order: stable sort by StartTime over a start-seq ordered
+// input vector. Callers must present children in start-record seq order
+// first, so ties keep that order.
+void SortChildrenByStartTime(ArchivedOperation* op);
+
+// Finalizes ONE operation whose children are already finalized: repairs a
+// missing EndTime with max(StartTime, max child EndTime) and runs the
+// model's info-derivation rules. The batch archiver applies it post-order
+// over the full tree; the streaming archiver applies it once per operation
+// at eviction time (children are always evicted first, so the two orders
+// see identical subtrees).
+void FinalizeOperationNode(ArchivedOperation& op,
+                           const PerformanceModel& model);
+
+// Post-order FinalizeOperationNode over the whole subtree.
+void FinalizeOperationTree(ArchivedOperation& op,
+                           const PerformanceModel& model);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_ARCHIVE_ASSEMBLY_H_

@@ -1,0 +1,35 @@
+#include "granula/live/alerts.h"
+
+namespace granula::core {
+
+std::vector<LiveAlert> AlertTracker::Update(const PerformanceArchive& archive) {
+  const uint64_t snapshot_index = snapshots_++;
+  const bool in_flight =
+      archive.root != nullptr && archive.root->HasInfo("InFlight");
+  std::vector<LiveAlert> fresh;
+  for (Finding& finding : AnalyzeChokepoints(archive, options_)) {
+    auto key = std::make_pair(static_cast<int>(finding.kind),
+                              finding.operation);
+    if (!seen_.insert(std::move(key)).second) {
+      // Already alerted: keep the stored metric/severity current, since
+      // in-flight numbers sharpen as the operation progresses.
+      for (LiveAlert& alert : alerts_) {
+        if (alert.finding.kind == finding.kind &&
+            alert.finding.operation == finding.operation) {
+          alert.finding = std::move(finding);
+          break;
+        }
+      }
+      continue;
+    }
+    LiveAlert alert;
+    alert.finding = std::move(finding);
+    alert.in_flight = in_flight;
+    alert.snapshot_index = snapshot_index;
+    alerts_.push_back(alert);
+    fresh.push_back(std::move(alert));
+  }
+  return fresh;
+}
+
+}  // namespace granula::core

@@ -1,0 +1,62 @@
+#include "granula/live/log_tailer.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/json.h"
+
+namespace granula::core {
+
+LogTailer::Poll LogTailer::PollOnce() {
+  Poll result;
+
+  std::ifstream file(path_, std::ios::binary);
+  if (!file) return result;  // not created yet — poll again later
+
+  file.seekg(0, std::ios::end);
+  const auto end = file.tellg();
+  if (end < 0) return result;
+  const uint64_t size = static_cast<uint64_t>(end);
+  if (size < offset_) {
+    // The file shrank under us: truncated or rotated. Start over.
+    offset_ = 0;
+    partial_.clear();
+    result.rotated = true;
+  }
+  if (size == offset_) return result;
+
+  file.seekg(static_cast<std::streamoff>(offset_), std::ios::beg);
+  std::string fresh(size - offset_, '\0');
+  file.read(fresh.data(), static_cast<std::streamsize>(fresh.size()));
+  const auto got = file.gcount();
+  if (got <= 0) return result;
+  fresh.resize(static_cast<size_t>(got));
+  offset_ += static_cast<uint64_t>(got);
+
+  partial_ += fresh;
+  size_t line_start = 0;
+  while (true) {
+    size_t newline = partial_.find('\n', line_start);
+    if (newline == std::string::npos) break;
+    std::string_view line(partial_.data() + line_start, newline - line_start);
+    line_start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.find_first_not_of(" \t") == std::string_view::npos) continue;
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      ++result.malformed_lines;
+      continue;
+    }
+    auto record = LogRecord::FromJson(*parsed);
+    if (!record.ok()) {
+      ++result.malformed_lines;
+      continue;
+    }
+    result.records.push_back(std::move(*record));
+  }
+  partial_.erase(0, line_start);
+  total_malformed_ += result.malformed_lines;
+  return result;
+}
+
+}  // namespace granula::core

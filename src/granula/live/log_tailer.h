@@ -1,0 +1,54 @@
+#ifndef GRANULA_GRANULA_LIVE_LOG_TAILER_H_
+#define GRANULA_GRANULA_LIVE_LOG_TAILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+
+// Follows a JSONL platform log being written by a running job — the
+// `tail -f` of the live-monitoring pipeline. Each Poll() returns the
+// records appended since the previous poll.
+//
+// Robustness contract:
+//  * A line is consumed only once its trailing '\n' is on disk; a partial
+//    line (the writer was mid-append) stays buffered across polls.
+//  * The file not existing yet is not an error — the job may not have
+//    opened its log; Poll() simply returns nothing.
+//  * Truncation or rotation (the file shrank, e.g. the job restarted with
+//    a fresh log) is detected by size regression: the tailer restarts
+//    from offset zero, drops its partial-line buffer, and reports
+//    `rotated` so the consumer can reset its own state.
+//  * Malformed lines are counted and skipped, never fatal — mid-job logs
+//    legitimately contain garbage (crashed writers, interleaved output).
+class LogTailer {
+ public:
+  struct Poll {
+    std::vector<LogRecord> records;
+    uint64_t malformed_lines = 0;
+    bool rotated = false;
+  };
+
+  explicit LogTailer(std::string path) : path_(std::move(path)) {}
+
+  // Reads everything appended since the last call. Never blocks beyond
+  // one read of the file's new bytes.
+  Poll PollOnce();
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_consumed() const { return offset_; }
+  uint64_t total_malformed_lines() const { return total_malformed_; }
+
+ private:
+  std::string path_;
+  uint64_t offset_ = 0;    // bytes consumed so far
+  std::string partial_;    // tail bytes with no newline yet
+  uint64_t total_malformed_ = 0;
+};
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_LIVE_LOG_TAILER_H_

@@ -1,0 +1,183 @@
+#include "granula/live/watch.h"
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "granula/live/alerts.h"
+#include "granula/live/log_tailer.h"
+#include "granula/visual/text.h"
+
+namespace granula::core {
+
+namespace {
+
+const char* SeverityLabel(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kCritical:
+      return "critical";
+  }
+  return "info";
+}
+
+void PrintAlert(std::FILE* out, const LiveAlert& alert) {
+  std::fprintf(out, "ALERT [%s] %s %s: %s\n",
+               SeverityLabel(alert.finding.severity),
+               std::string(FindingKindName(alert.finding.kind)).c_str(),
+               alert.finding.operation.c_str(),
+               alert.finding.description.c_str());
+}
+
+void Redraw(std::FILE* out, const PerformanceArchive& archive,
+            const AlertTracker& alerts, const StreamingArchiver& archiver,
+            int max_depth) {
+  std::fprintf(out, "\x1b[2J\x1b[H");  // clear screen, home cursor
+  std::fprintf(out,
+               "granula watch — records %llu, open %llu, finalized %llu, "
+               "watermark %s\n\n",
+               static_cast<unsigned long long>(
+                   archiver.stats().records_ingested),
+               static_cast<unsigned long long>(
+                   archiver.stats().open_operations),
+               static_cast<unsigned long long>(
+                   archiver.stats().finalized_operations),
+               archiver.watermark().ToString().c_str());
+  std::fprintf(out, "%s\n", RenderOperationTree(archive, max_depth).c_str());
+  const auto& raised = alerts.alerts();
+  if (!raised.empty()) {
+    std::fprintf(out, "alerts (%zu):\n", raised.size());
+    const size_t ticker = raised.size() > 5 ? raised.size() - 5 : 0;
+    for (size_t i = ticker; i < raised.size(); ++i) {
+      PrintAlert(out, raised[i]);
+    }
+  }
+  std::fflush(out);
+}
+
+}  // namespace
+
+Result<WatchSummary> WatchLog(const PerformanceModel& model,
+                              const WatchOptions& options, std::FILE* out) {
+  GRANULA_RETURN_IF_ERROR(model.Validate());
+
+  LogTailer tailer(options.log_path);
+  std::optional<StreamingArchiver> archiver;
+  archiver.emplace(model, options.archiver);
+  archiver->SetJobMetadata(options.job_metadata);
+  AlertTracker alerts(options.chokepoints);
+  WatchSummary summary;
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.timeout_s));
+
+  while (true) {
+    LogTailer::Poll poll = tailer.PollOnce();
+    summary.malformed_lines += poll.malformed_lines;
+    if (poll.rotated) {
+      // The job restarted with a fresh log: restart assembly. Alert
+      // dedup state survives on purpose — the analyst already saw those.
+      ++summary.rotations;
+      archiver.emplace(model, options.archiver);
+      archiver->SetJobMetadata(options.job_metadata);
+      if (out != nullptr && !options.quiet && !options.ansi) {
+        std::fprintf(out, "[watch] log rotated; restarting assembly\n");
+      }
+    }
+    summary.records_ingested += poll.records.size();
+    for (const LogRecord& record : poll.records) archiver->Append(record);
+
+    if (!poll.records.empty()) {
+      Result<PerformanceArchive> snapshot = archiver->Snapshot();
+      if (snapshot.ok()) {
+        ++summary.snapshots;
+        std::vector<LiveAlert> fresh = alerts.Update(*snapshot);
+        if (out == nullptr) {
+          // Headless mode: callers only want the summary.
+        } else if (options.ansi) {
+          Redraw(out, *snapshot, alerts, *archiver, options.max_depth);
+        } else {
+          for (const LiveAlert& alert : fresh) PrintAlert(out, alert);
+          if (!options.quiet) {
+            std::fprintf(
+                out, "[watch] records=%llu open=%llu watermark=%s\n",
+                static_cast<unsigned long long>(
+                    archiver->stats().records_ingested),
+                static_cast<unsigned long long>(
+                    archiver->stats().open_operations),
+                archiver->watermark().ToString().c_str());
+          }
+          std::fflush(out);
+        }
+      }
+    }
+
+    if (archiver->complete()) {
+      summary.completed = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(options.poll_interval_ms));
+  }
+
+  // On completion, Finish() seals the tree and the snapshot is the batch
+  // archive. On timeout, snapshot FIRST: the analyst wants the in-flight
+  // watermark view of the stalled job, not a force-finalized guess.
+  Result<PerformanceArchive> final_snapshot = Status::Internal("unset");
+  if (summary.completed) {
+    archiver->Finish();
+    final_snapshot = archiver->Snapshot();
+  } else {
+    final_snapshot = archiver->Snapshot();
+    archiver->Finish();
+  }
+  summary.archiver_stats = archiver->stats();
+  if (final_snapshot.ok()) {
+    // One last analysis over the final tree so a short job still gets its
+    // findings even if every poll raced past it.
+    std::vector<LiveAlert> fresh = alerts.Update(*final_snapshot);
+    summary.alerts = alerts.alerts().size();
+    summary.archive = std::move(*final_snapshot);
+    if (out == nullptr) {
+      // Headless mode: skip the final render.
+    } else if (options.ansi) {
+      Redraw(out, summary.archive, alerts, *archiver, options.max_depth);
+    } else {
+      for (const LiveAlert& alert : fresh) PrintAlert(out, alert);
+      std::fprintf(out, "%s",
+                   RenderOperationTree(summary.archive, options.max_depth)
+                       .c_str());
+    }
+    std::vector<Finding> findings;
+    findings.reserve(alerts.alerts().size());
+    for (const LiveAlert& alert : alerts.alerts()) {
+      findings.push_back(alert.finding);
+    }
+    if (out != nullptr && !findings.empty()) {
+      std::fprintf(out, "%s", RenderFindings(findings).c_str());
+    }
+  }
+  summary.alerts = alerts.alerts().size();
+  for (const LiveAlert& alert : alerts.alerts()) {
+    if (alert.in_flight) ++summary.in_flight_alerts;
+  }
+  if (out != nullptr) {
+    std::fprintf(out, "[watch] %s: %llu record(s), %llu alert(s)%s\n",
+                 summary.completed ? "job completed" : "timed out",
+                 static_cast<unsigned long long>(summary.records_ingested),
+                 static_cast<unsigned long long>(summary.alerts),
+                 summary.completed ? "" : " (job still in flight)");
+    std::fflush(out);
+  }
+  return summary;
+}
+
+}  // namespace granula::core

@@ -1,0 +1,55 @@
+#ifndef GRANULA_GRANULA_LIVE_WATCH_H_
+#define GRANULA_GRANULA_LIVE_WATCH_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "granula/analysis/chokepoint.h"
+#include "granula/archive/archive.h"
+#include "granula/live/streaming_archiver.h"
+#include "granula/model/performance_model.h"
+
+namespace granula::core {
+
+// Configuration for the `granula watch` loop.
+struct WatchOptions {
+  std::string log_path;          // JSONL platform log to follow
+  double poll_interval_ms = 50;  // wall-clock delay between polls
+  double timeout_s = 30;         // give up when the job never completes
+  int max_depth = 3;             // tree depth in the live view
+  bool ansi = false;   // redraw the terminal in place (interactive use)
+  bool quiet = false;  // suppress periodic status lines (alerts still print)
+  ChokepointOptions chokepoints;
+  StreamingArchiver::Options archiver;
+  std::map<std::string, std::string> job_metadata;
+};
+
+struct WatchSummary {
+  uint64_t records_ingested = 0;
+  uint64_t snapshots = 0;         // snapshots analyzed for alerts
+  uint64_t alerts = 0;            // distinct alerts raised
+  uint64_t in_flight_alerts = 0;  // raised before the job completed
+  uint64_t malformed_lines = 0;
+  uint64_t rotations = 0;
+  bool completed = false;  // job root finalized before the timeout
+  StreamingArchiver::Stats archiver_stats;
+  // The final archive when the job completed; otherwise the last
+  // watermark snapshot (root may be absent when nothing was ever read).
+  PerformanceArchive archive;
+};
+
+// Tails `options.log_path`, assembles the archive online, raises
+// deduplicated choke-point alerts while the job runs, and renders the
+// final tree to `out` when the job completes (or the timeout passes).
+// `out` may be null for headless use (the summary still carries the
+// archive and alert counts). Returns the summary either way — a timeout
+// is reported via `summary.completed`, not an error status.
+Result<WatchSummary> WatchLog(const PerformanceModel& model,
+                              const WatchOptions& options, std::FILE* out);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_LIVE_WATCH_H_

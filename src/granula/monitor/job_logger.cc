@@ -1,7 +1,9 @@
 #include "granula/monitor/job_logger.h"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/strings.h"
 
@@ -120,6 +122,32 @@ Result<std::vector<LogRecord>> ReadLogRecords(const std::string& path) {
   return records;
 }
 
+Status JobLogger::StreamTo(const std::string& path, uint64_t delay_us) {
+  auto stream = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*stream) {
+    return Status::IoError(StrFormat("cannot write %s", path.c_str()));
+  }
+  stream_ = std::move(stream);
+  stream_delay_us_ = delay_us;
+  for (const LogRecord& record : records_) Emit(record);
+  return Status::OK();
+}
+
+void JobLogger::StopStreaming() {
+  if (stream_ != nullptr) stream_->flush();
+  stream_.reset();
+  stream_delay_us_ = 0;
+}
+
+void JobLogger::Emit(const LogRecord& record) {
+  if (stream_ == nullptr) return;
+  *stream_ << record.ToJson().Dump(0) << '\n';
+  stream_->flush();
+  if (stream_delay_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(stream_delay_us_));
+  }
+}
+
 OpId JobLogger::StartOperation(OpId parent, std::string actor_type,
                                std::string actor_id,
                                std::string mission_type,
@@ -136,6 +164,7 @@ OpId JobLogger::StartOperation(OpId parent, std::string actor_type,
   record.mission_id = std::move(mission_id);
   OpId id = record.op_id;
   records_.push_back(std::move(record));
+  Emit(records_.back());
   return id;
 }
 
@@ -146,6 +175,7 @@ void JobLogger::EndOperation(OpId op) {
   record.time = Now();
   record.op_id = op;
   records_.push_back(std::move(record));
+  Emit(records_.back());
 }
 
 void JobLogger::AddInfo(OpId op, std::string name, Json value) {
@@ -157,6 +187,7 @@ void JobLogger::AddInfo(OpId op, std::string name, Json value) {
   record.info_name = std::move(name);
   record.info_value = std::move(value);
   records_.push_back(std::move(record));
+  Emit(records_.back());
 }
 
 }  // namespace granula::core

@@ -2,7 +2,9 @@
 #define GRANULA_GRANULA_MONITOR_JOB_LOGGER_H_
 
 #include <cstdint>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -77,16 +79,29 @@ class JobLogger {
 
   void AddInfo(OpId op, std::string name, Json value);
 
+  // Live-log streaming: in addition to buffering, append every record to
+  // `path` as one JSONL line, flushed per record so a tailer (granula
+  // watch) sees it immediately. Records already buffered are written out
+  // first. `delay_us` adds a wall-clock pause after each streamed record —
+  // pacing for live demos and tail-while-running tests; virtual time and
+  // determinism are unaffected.
+  Status StreamTo(const std::string& path, uint64_t delay_us = 0);
+  void StopStreaming();
+  bool streaming() const { return stream_ != nullptr; }
+
   const std::vector<LogRecord>& records() const { return records_; }
   std::vector<LogRecord> TakeRecords() { return std::move(records_); }
 
  private:
   SimTime Now() const { return clock_(); }
+  void Emit(const LogRecord& record);
 
   Clock clock_;
   uint64_t next_op_id_ = 1;
   uint64_t next_seq_ = 0;
   std::vector<LogRecord> records_;
+  std::unique_ptr<std::ofstream> stream_;
+  uint64_t stream_delay_us_ = 0;
 };
 
 // A JobLogger whose clock is a Simulator's virtual clock lives in

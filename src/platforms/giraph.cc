@@ -66,6 +66,10 @@ class GiraphJob {
       return Status::InvalidArgument(
           "num_workers must be in [1, num_nodes]");
     }
+    if (!job_config_.live_log_path.empty()) {
+      GRANULA_RETURN_IF_ERROR(logger_.StreamTo(
+          job_config_.live_log_path, job_config_.live_log_delay_us));
+    }
 
     // Input file on HDFS (what LoadGraph reads).
     input_bytes_ = graph::EdgeListFileBytes(graph_);
@@ -98,6 +102,7 @@ class GiraphJob {
     sim_.Spawn(Main());
     sim_.Run();
 
+    logger_.StopStreaming();
     if (!job_status_.ok()) return job_status_;
     out->vertex_values = values_;
     out->records = logger_.TakeRecords();

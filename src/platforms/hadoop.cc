@@ -43,6 +43,10 @@ class HadoopJob {
     if (workers == 0 || workers > cluster_.num_nodes()) {
       return Status::InvalidArgument("num_workers must be in [1, num_nodes]");
     }
+    if (!job_config_.live_log_path.empty()) {
+      GRANULA_RETURN_IF_ERROR(logger_.StreamTo(
+          job_config_.live_log_path, job_config_.live_log_delay_us));
+    }
 
     input_bytes_ = graph::EdgeListFileBytes(graph_);
     GRANULA_RETURN_IF_ERROR(hdfs_.CreateFile("/input/graph.e", input_bytes_));
@@ -68,6 +72,7 @@ class HadoopJob {
 
     sim_.Spawn(Main());
     sim_.Run();
+    logger_.StopStreaming();
 
     out->vertex_values = values_;
     out->records = logger_.TakeRecords();

@@ -51,6 +51,10 @@ class PgxdJob {
     if (nodes == 0 || nodes > cluster_.num_nodes()) {
       return Status::InvalidArgument("num_workers must be in [1, num_nodes]");
     }
+    if (!job_config_.live_log_path.empty()) {
+      GRANULA_RETURN_IF_ERROR(logger_.StreamTo(
+          job_config_.live_log_path, job_config_.live_log_delay_us));
+    }
     input_bytes_ = graph::EdgeListFileBytes(graph_);
     // Every node holds a pre-split local slice of the input.
     for (uint32_t node = 0; node < nodes; ++node) {
@@ -85,6 +89,7 @@ class PgxdJob {
 
     sim_.Spawn(Main());
     sim_.Run();
+    logger_.StopStreaming();
 
     out->vertex_values = values_;
     out->records = logger_.TakeRecords();

@@ -30,6 +30,14 @@ struct JobConfig {
   // heuristic — the baseline the PowerGraph paper compares against; used
   // by the partitioning ablation bench.
   bool use_random_vertex_cut = false;
+  // Live monitoring (granula watch): when non-empty, every log record is
+  // also appended to this JSONL file the moment it is emitted, flushed
+  // per record so a concurrent tailer sees the job as it runs.
+  std::string live_log_path;
+  // Wall-clock pause after each streamed record, in microseconds. Paces
+  // the live log for tail-while-running tests and demos; virtual time
+  // (and thus the archive) is unaffected.
+  uint64_t live_log_delay_us = 0;
 };
 
 // Everything a run produces: the algorithm output (for validation against

@@ -50,6 +50,10 @@ class PowerGraphJob {
     if (ranks == 0 || ranks > cluster_.num_nodes()) {
       return Status::InvalidArgument("num_workers must be in [1, num_nodes]");
     }
+    if (!job_config_.live_log_path.empty()) {
+      GRANULA_RETURN_IF_ERROR(logger_.StreamTo(
+          job_config_.live_log_path, job_config_.live_log_delay_us));
+    }
 
     input_bytes_ = graph::EdgeListFileBytes(graph_);
     GRANULA_RETURN_IF_ERROR(
@@ -94,6 +98,7 @@ class PowerGraphJob {
 
     sim_.Spawn(Main());
     sim_.Run();
+    logger_.StopStreaming();
 
     out->vertex_values = values_;
     out->records = logger_.TakeRecords();

@@ -1,0 +1,193 @@
+// In-process CLI dispatch: RunGranula() is the whole `granula` binary
+// minus main(), so every exit-code contract is testable without forking.
+
+#include "granula_commands.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::cli {
+namespace {
+
+// Captures one FILE* stream to a temp file and reads it back.
+class Capture {
+ public:
+  explicit Capture(const std::string& name)
+      : path_(testing::TempDir() + "/cli_" + name + ".txt"),
+        file_(std::fopen(path_.c_str(), "w+")) {}
+  ~Capture() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  std::FILE* file() { return file_; }
+
+  std::string text() {
+    std::fflush(file_);
+    std::ifstream in(path_);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+};
+
+int RunCli(const std::vector<std::string>& args, Capture* out, Capture* err) {
+  return RunGranula(args, out->file(), err->file());
+}
+
+std::string TempPath(const std::string& name) {
+  std::string path = testing::TempDir() + "/cli_" + name;
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  return path;
+}
+
+// A minimal archive whose root runs for `seconds`; used to manufacture
+// baseline/candidate pairs for `granula compare`.
+void WriteArchiveFile(const std::string& path, double seconds) {
+  SimTime now;
+  core::JobLogger logger([&now] { return now; });
+  core::OpId root =
+      logger.StartOperation(core::kNoOp, "Job", "job", "Root", "Root");
+  now = SimTime::Seconds(seconds);
+  logger.EndOperation(root);
+  core::PerformanceModel model("m");
+  ASSERT_TRUE(model.AddRoot("Job", "Root").ok());
+  auto archive = core::Archiver().Build(model, logger.records(), {}, {});
+  ASSERT_TRUE(archive.ok()) << archive.status();
+  std::ofstream(path) << archive.value().ToJsonString();
+}
+
+TEST(CliTest, NoArgumentsIsAUsageError) {
+  Capture out("usage_out"), err("usage_err");
+  EXPECT_EQ(RunCli({}, &out, &err), kExitUsage);
+  EXPECT_NE(err.text().find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandIsAUsageError) {
+  Capture out("unknown_out"), err("unknown_err");
+  EXPECT_EQ(RunCli({"frobnicate"}, &out, &err), kExitUsage);
+  EXPECT_NE(err.text().find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, PositionalArgumentIsAUsageError) {
+  Capture out("pos_out"), err("pos_err");
+  EXPECT_EQ(RunCli({"run", "giraph"}, &out, &err), kExitUsage);
+  EXPECT_NE(err.text().find("unexpected argument"), std::string::npos);
+}
+
+TEST(CliTest, MissingRequiredFlagIsFatal) {
+  Capture out("fatal_out"), err("fatal_err");
+  EXPECT_EQ(RunCli({"analyze"}, &out, &err), kExitFatal);
+  EXPECT_NE(err.text().find("granula:"), std::string::npos);
+}
+
+TEST(CliTest, RunLintAnalyzeRoundTripExitsZero) {
+  std::string archive_path = TempPath("roundtrip.json");
+  std::string log_path = TempPath("roundtrip.jsonl");
+  {
+    Capture out("run_out"), err("run_err");
+    EXPECT_EQ(RunCli({"run", "--platform=pgxd", "--graph=uniform:400,1600",
+                   "--nodes=4", "--workers=4",
+                   "--archive-out=" + archive_path,
+                   "--log-out=" + log_path},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+    EXPECT_TRUE(std::filesystem::exists(archive_path));
+    EXPECT_TRUE(std::filesystem::exists(log_path));
+  }
+  {
+    Capture out("lint_out"), err("lint_err");
+    EXPECT_EQ(RunCli({"lint", "--log=" + log_path, "--model=pgxd"}, &out, &err),
+              kExitOk)
+        << err.text();
+    EXPECT_NE(out.text().find("record(s)"), std::string::npos);
+  }
+  {
+    Capture out("analyze_out"), err("analyze_err");
+    EXPECT_EQ(RunCli({"analyze", "--archive=" + archive_path}, &out, &err),
+              kExitOk)
+        << err.text();
+  }
+}
+
+TEST(CliTest, FatalLintDefectsExitThree) {
+  // An EndOp with no StartOp is a fatal defect class.
+  std::string log_path = TempPath("fatal.jsonl");
+  {
+    SimTime now;
+    core::JobLogger logger([&now] { return now; });
+    core::OpId root =
+        logger.StartOperation(core::kNoOp, "Job", "job", "Root", "Root");
+    now = SimTime::Seconds(1);
+    logger.EndOperation(root);
+    std::vector<core::LogRecord> records = logger.TakeRecords();
+    core::LogRecord orphan;
+    orphan.kind = core::LogRecord::Kind::kEndOp;
+    orphan.seq = 99;
+    orphan.time = SimTime::Seconds(2);
+    orphan.op_id = 777;
+    records.push_back(orphan);
+    std::ofstream file(log_path);
+    for (const core::LogRecord& r : records) {
+      file << r.ToJson().Dump(0) << "\n";
+    }
+  }
+  Capture out("lint3_out"), err("lint3_err");
+  EXPECT_EQ(RunCli({"lint", "--log=" + log_path}, &out, &err), kExitFatalLint);
+}
+
+TEST(CliTest, CompareExitsTwoOnRegressionsAndZeroWhenClean) {
+  std::string baseline = TempPath("baseline.json");
+  std::string slower = TempPath("slower.json");
+  WriteArchiveFile(baseline, 1.0);
+  WriteArchiveFile(slower, 2.0);
+  {
+    Capture out("cmp2_out"), err("cmp2_err");
+    EXPECT_EQ(RunCli({"compare", "--baseline=" + baseline,
+                   "--candidate=" + slower},
+                  &out, &err),
+              kExitRegressions)
+        << err.text();
+  }
+  {
+    Capture out("cmp0_out"), err("cmp0_err");
+    EXPECT_EQ(RunCli({"compare", "--baseline=" + baseline,
+                   "--candidate=" + baseline},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+  }
+}
+
+TEST(CliTest, WatchTimeoutExitsFive) {
+  Capture out("watch_out"), err("watch_err");
+  EXPECT_EQ(RunCli({"watch", "--log=" + TempPath("never_written.jsonl"),
+                 "--model=pgxd", "--timeout=0.2", "--poll-ms=10", "--quiet"},
+                &out, &err),
+            kExitWatchTimeout)
+        << err.text();
+}
+
+TEST(CliTest, ModelCommandRendersTheModelTree) {
+  Capture out("model_out"), err("model_err");
+  EXPECT_EQ(RunCli({"model", "--name=powergraph"}, &out, &err), kExitOk);
+  EXPECT_NE(out.text().find("PowerGraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace granula::cli

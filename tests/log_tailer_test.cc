@@ -1,0 +1,146 @@
+#include "granula/live/log_tailer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+namespace {
+
+std::string FreshPath(const std::string& name) {
+  std::string path = testing::TempDir() + "/tailer_" + name + ".jsonl";
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  return path;
+}
+
+std::string RecordLine(uint64_t seq, uint64_t op) {
+  LogRecord r;
+  r.kind = LogRecord::Kind::kStartOp;
+  r.seq = seq;
+  r.time = SimTime::Seconds(static_cast<double>(seq));
+  r.op_id = op;
+  r.actor_type = "Job";
+  r.actor_id = "job";
+  r.mission_type = "M";
+  r.mission_id = "M";
+  return r.ToJson().Dump(0) + "\n";
+}
+
+void AppendRaw(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  out << text;
+}
+
+TEST(LogTailerTest, MissingFileYieldsNothing) {
+  LogTailer tailer(FreshPath("missing"));
+  LogTailer::Poll poll = tailer.PollOnce();
+  EXPECT_TRUE(poll.records.empty());
+  EXPECT_EQ(poll.malformed_lines, 0u);
+  EXPECT_FALSE(poll.rotated);
+  EXPECT_EQ(tailer.bytes_consumed(), 0u);
+}
+
+TEST(LogTailerTest, PicksUpAppendsAcrossPolls) {
+  std::string path = FreshPath("appends");
+  LogTailer tailer(path);
+  AppendRaw(path, RecordLine(0, 1));
+  LogTailer::Poll first = tailer.PollOnce();
+  ASSERT_EQ(first.records.size(), 1u);
+  EXPECT_EQ(first.records[0].seq, 0u);
+
+  // Nothing new: the second poll is empty, not a re-read.
+  EXPECT_TRUE(tailer.PollOnce().records.empty());
+
+  AppendRaw(path, RecordLine(1, 2) + RecordLine(2, 3));
+  LogTailer::Poll second = tailer.PollOnce();
+  ASSERT_EQ(second.records.size(), 2u);
+  EXPECT_EQ(second.records[0].seq, 1u);
+  EXPECT_EQ(second.records[1].seq, 2u);
+}
+
+TEST(LogTailerTest, BuffersPartialLinesUntilTheNewlineArrives) {
+  std::string path = FreshPath("partial");
+  LogTailer tailer(path);
+  std::string line = RecordLine(7, 9);
+  AppendRaw(path, line.substr(0, line.size() / 2));
+  EXPECT_TRUE(tailer.PollOnce().records.empty());
+  AppendRaw(path, line.substr(line.size() / 2));
+  LogTailer::Poll poll = tailer.PollOnce();
+  ASSERT_EQ(poll.records.size(), 1u);
+  EXPECT_EQ(poll.records[0].seq, 7u);
+  EXPECT_EQ(poll.records[0].op_id, 9u);
+  EXPECT_EQ(poll.malformed_lines, 0u);
+}
+
+TEST(LogTailerTest, CountsMalformedLinesAndKeepsGoing) {
+  std::string path = FreshPath("malformed");
+  LogTailer tailer(path);
+  AppendRaw(path, "this is not json\n" + RecordLine(3, 4) +
+                      "{\"kind\":\"start\"\n");
+  LogTailer::Poll poll = tailer.PollOnce();
+  ASSERT_EQ(poll.records.size(), 1u);
+  EXPECT_EQ(poll.records[0].seq, 3u);
+  EXPECT_EQ(poll.malformed_lines, 2u);
+  EXPECT_EQ(tailer.total_malformed_lines(), 2u);
+}
+
+TEST(LogTailerTest, SkipsBlankLinesAndCarriageReturns) {
+  std::string path = FreshPath("blank");
+  LogTailer tailer(path);
+  std::string line = RecordLine(5, 6);
+  line.insert(line.size() - 1, "\r");  // CRLF line ending
+  AppendRaw(path, "\n" + line + "\n");
+  LogTailer::Poll poll = tailer.PollOnce();
+  ASSERT_EQ(poll.records.size(), 1u);
+  EXPECT_EQ(poll.records[0].seq, 5u);
+  EXPECT_EQ(poll.malformed_lines, 0u);
+}
+
+TEST(LogTailerTest, DetectsTruncationAndRereadsFromTheStart) {
+  std::string path = FreshPath("rotate");
+  LogTailer tailer(path);
+  AppendRaw(path, RecordLine(0, 1) + RecordLine(1, 2));
+  EXPECT_EQ(tailer.PollOnce().records.size(), 2u);
+
+  // Rotate: the file is replaced by a shorter one (a fresh job's log).
+  std::ofstream(path, std::ios::trunc | std::ios::binary) << RecordLine(0, 9);
+  LogTailer::Poll poll = tailer.PollOnce();
+  EXPECT_TRUE(poll.rotated);
+  ASSERT_EQ(poll.records.size(), 1u);
+  EXPECT_EQ(poll.records[0].op_id, 9u);
+}
+
+TEST(LogTailerTest, TailsAJobLoggerStream) {
+  // End-to-end with the producer side: JobLogger::StreamTo writes each
+  // record as it happens; the tailer reconstructs the exact record list.
+  std::string path = FreshPath("logger");
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  ASSERT_TRUE(logger.StreamTo(path).ok());
+
+  LogTailer tailer(path);
+  OpId root = logger.StartOperation(kNoOp, "Job", "job", "Root", "Root");
+  logger.AddInfo(root, "Vertices", Json(static_cast<int64_t>(42)));
+  LogTailer::Poll poll = tailer.PollOnce();
+  ASSERT_EQ(poll.records.size(), 2u);
+  EXPECT_EQ(poll.records[0].kind, LogRecord::Kind::kStartOp);
+  EXPECT_EQ(poll.records[1].info_name, "Vertices");
+
+  now = SimTime::Seconds(3);
+  logger.EndOperation(root);
+  logger.StopStreaming();
+  poll = tailer.PollOnce();
+  ASSERT_EQ(poll.records.size(), 1u);
+  EXPECT_EQ(poll.records[0].kind, LogRecord::Kind::kEndOp);
+  EXPECT_EQ(poll.records[0].time.seconds(), 3.0);
+  EXPECT_EQ(tailer.total_malformed_lines(), 0u);
+}
+
+}  // namespace
+}  // namespace granula::core

@@ -103,6 +103,60 @@ TEST(RepositoryTest, Remove) {
   EXPECT_EQ(repo.Remove("x").code(), StatusCode::kNotFound);
 }
 
+// ---- error paths: foreign / damaged files in a shared directory ----
+
+TEST(RepositoryErrorTest, LoadMissingFileIsNotFound) {
+  ArchiveRepository repo(FreshDir("load_missing"));
+  ASSERT_TRUE(repo.Init().ok());
+  auto loaded = repo.Load("never-saved");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("never-saved"),
+            std::string::npos);
+}
+
+TEST(RepositoryErrorTest, LoadTruncatedJsonIsCorruption) {
+  ArchiveRepository repo(FreshDir("load_trunc"));
+  ASSERT_TRUE(repo.Init().ok());
+  auto name = repo.Save(MakeArchive("pgxd", 1.0));
+  ASSERT_TRUE(name.ok());
+  // Chop the file in half, as a crashed copy or a partial download would.
+  std::string path = repo.directory() + "/" + name.value() + ".json";
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string text = buffer.str();
+  std::ofstream(path, std::ios::trunc) << text.substr(0, text.size() / 2);
+  auto loaded = repo.Load(name.value());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RepositoryErrorTest, LoadNonArchiveJsonIsCorruption) {
+  ArchiveRepository repo(FreshDir("load_foreign"));
+  ASSERT_TRUE(repo.Init().ok());
+  std::ofstream(repo.directory() + "/foreign.json")
+      << "{\"root\": 42, \"model\": []}";
+  auto loaded = repo.Load("foreign");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RepositoryErrorTest, ListSkipsDamagedFilesButKeepsGoodOnes) {
+  ArchiveRepository repo(FreshDir("list_mixed"));
+  ASSERT_TRUE(repo.Init().ok());
+  auto good = repo.Save(MakeArchive("giraph", 2.0));
+  ASSERT_TRUE(good.ok());
+  std::ofstream(repo.directory() + "/broken.json") << "{\"root\": [nope";
+  std::ofstream(repo.directory() + "/notes.txt") << "not an archive at all";
+  auto entries = repo.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].name, good.value());
+  EXPECT_EQ(entries.value()[0].platform, "giraph");
+}
+
 // ---- model renderer (shares this test binary for convenience) ----
 
 TEST(ModelViewTest, RendersLevelsAndRules) {

@@ -1,10 +1,12 @@
 // granula — command-line front end for the whole pipeline.
 //
-//   granula run      --platform=giraph|powergraph|hadoop|pgxd --algorithm=BFS
+//   granula run      --platform=giraph|powergraph|hadoop|pgxd|graphmat
+//                    --algorithm=BFS
 //                    [--workers=8] [--nodes=8] [--source=1] [--iterations=10]
 //                    [--model-level=0] [--archive-out=run.json]
 //                    [--svg-prefix=run] [--html-out=report.html]
 //                    [--save-repo=DIR] [--log-out=run.jsonl]
+//                    [--live-log=run.live.jsonl] [--live-log-delay-us=0]
 //                    [--slow-node=ID:FACTOR]
 //   granula lint     --log=run.jsonl [--model=giraph|...]
 //                    [--tolerance=strict|repair] [--archive-out=fixed.json]
@@ -12,6 +14,10 @@
 //   granula analyze  --archive=run.json [--capacity=128]
 //   granula compare  --baseline=a.json --candidate=b.json [--tolerance=0.1]
 //                    [--depth=0] [--svg-out=cmp.svg]   (exit 2 on regressions)
+//   granula watch    --log=run.live.jsonl --model=giraph|... [--timeout=30]
+//                    [--poll-ms=50] [--depth=3] [--capacity=128] [--ansi]
+//                    [--quiet] [--archive-out=final.json]
+//                    (tails a live log while the job runs; exit 5 on timeout)
 //   granula list     [--repo=DIR]          (list saved archives)
 //   granula model    [--name=giraph|powergraph|hadoop|domain]
 //   granula table1
@@ -20,404 +26,16 @@
 //              rmat:SCALE[,EF]   (R-MAT, 2^SCALE vertices)
 //              uniform:N,M       (Erdős–Rényi G(n,m))
 //              file:PATH         (edge-list text file)
+//
+// All command logic lives in granula_commands.cc so tests can drive the
+// dispatch in-process; this file only adapts argv.
 
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/strings.h"
-#include "granula/analysis/chokepoint.h"
-#include "granula/analysis/regression.h"
-#include "granula/archive/archiver.h"
-#include "granula/archive/lint.h"
-#include "granula/archive/repository.h"
-#include "granula/models/models.h"
-#include "granula/visual/model_view.h"
-#include "granula/visual/report.h"
-#include "granula/visual/svg.h"
-#include "granula/visual/text.h"
-#include "graph/generators.h"
-#include "graph/io.h"
-#include "platforms/giraph.h"
-#include "platforms/graphmat.h"
-#include "platforms/hadoop.h"
-#include "platforms/pgxd.h"
-#include "platforms/powergraph.h"
-#include "platforms/registry.h"
+#include "granula_commands.h"
 
-namespace granula::cli {
-namespace {
-
-// ------------------------------------------------------------- flags ----
-
-class Flags {
- public:
-  Flags(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        std::exit(64);
-      }
-      size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "true";
-      } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-      }
-    }
-  }
-
-  std::string Get(const std::string& name, std::string fallback = "") const {
-    auto it = values_.find(name);
-    return it == values_.end() ? fallback : it->second;
-  }
-  int64_t GetInt(const std::string& name, int64_t fallback) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
-  }
-  double GetDouble(const std::string& name, double fallback) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
-  }
-  bool Has(const std::string& name) const { return values_.count(name) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-};
-
-[[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "granula: %s\n", message.c_str());
-  std::exit(1);
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return granula::cli::RunGranula(args, stdout, stderr);
 }
-
-// ------------------------------------------------------------ helpers ----
-
-graph::Graph ParseGraphSpec(const std::string& spec) {
-  size_t colon = spec.find(':');
-  std::string kind = spec.substr(0, colon);
-  std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
-  std::vector<std::string> parts = StrSplit(args, ',');
-  auto arg_u64 = [&](size_t i, uint64_t fallback) {
-    return i < parts.size() && !parts[i].empty()
-               ? std::strtoull(parts[i].c_str(), nullptr, 10)
-               : fallback;
-  };
-  if (kind == "datagen") {
-    graph::DatagenConfig config;
-    config.num_vertices = arg_u64(0, 100000);
-    config.avg_degree = parts.size() > 1 ? std::atof(parts[1].c_str()) : 15.0;
-    auto g = graph::GenerateDatagen(config);
-    if (!g.ok()) Die(g.status().ToString());
-    return std::move(g).value();
-  }
-  if (kind == "rmat") {
-    graph::RmatConfig config;
-    config.scale = arg_u64(0, 16);
-    config.edge_factor =
-        parts.size() > 1 ? std::atof(parts[1].c_str()) : 16.0;
-    auto g = graph::GenerateRmat(config);
-    if (!g.ok()) Die(g.status().ToString());
-    return std::move(g).value();
-  }
-  if (kind == "uniform") {
-    auto g = graph::GenerateUniform(arg_u64(0, 10000), arg_u64(1, 80000),
-                                    42);
-    if (!g.ok()) Die(g.status().ToString());
-    return std::move(g).value();
-  }
-  if (kind == "file") {
-    auto g = graph::ReadEdgeListFile(args, /*directed=*/false);
-    if (!g.ok()) Die(g.status().ToString());
-    return std::move(g).value();
-  }
-  Die("unknown graph spec '" + spec + "' (datagen:|rmat:|uniform:|file:)");
-}
-
-core::PerformanceModel ModelByName(const std::string& name) {
-  if (name == "giraph") return core::MakeGiraphModel();
-  if (name == "powergraph") return core::MakePowerGraphModel();
-  if (name == "hadoop") return core::MakeHadoopModel();
-  if (name == "pgxd") return core::MakePgxdModel();
-  if (name == "graphmat") return core::MakeGraphMatModel();
-  if (name == "domain") return core::MakeGraphProcessingDomainModel();
-  Die("unknown model '" + name +
-      "' (giraph|powergraph|hadoop|pgxd|graphmat|domain)");
-}
-
-core::PerformanceArchive LoadArchive(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) Die("cannot open archive " + path);
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  auto archive = core::PerformanceArchive::FromJsonString(buffer.str());
-  if (!archive.ok()) Die(archive.status().ToString());
-  return std::move(archive).value();
-}
-
-// ----------------------------------------------------------- commands ----
-
-int CmdRun(const Flags& flags) {
-  std::string platform_name = flags.Get("platform", "giraph");
-  graph::Graph graph = ParseGraphSpec(flags.Get("graph", "datagen:20000"));
-
-  algo::AlgorithmSpec spec;
-  auto algorithm = algo::ParseAlgorithm(flags.Get("algorithm", "BFS"));
-  if (!algorithm.ok()) Die(algorithm.status().ToString());
-  spec.id = *algorithm;
-  spec.source =
-      static_cast<graph::VertexId>(flags.GetInt("source", 1));
-  spec.max_iterations =
-      static_cast<uint64_t>(flags.GetInt("iterations", 10));
-
-  cluster::ClusterConfig cluster_config;
-  cluster_config.num_nodes =
-      static_cast<uint32_t>(flags.GetInt("nodes", 8));
-  if (flags.Has("slow-node")) {
-    std::vector<std::string> parts = StrSplit(flags.Get("slow-node"), ':');
-    if (parts.size() != 2) Die("--slow-node expects ID:FACTOR");
-    cluster_config.node_speed_factors.assign(cluster_config.num_nodes, 1.0);
-    size_t node = std::strtoull(parts[0].c_str(), nullptr, 10);
-    if (node >= cluster_config.num_nodes) Die("slow-node id out of range");
-    cluster_config.node_speed_factors[node] = std::atof(parts[1].c_str());
-  }
-
-  platform::JobConfig job_config;
-  job_config.num_workers = static_cast<uint32_t>(
-      flags.GetInt("workers", cluster_config.num_nodes));
-
-  Result<platform::JobResult> result = Status::Internal("unset");
-  core::PerformanceModel model = core::MakeGiraphModel();
-  if (platform_name == "giraph") {
-    result = platform::GiraphPlatform().Run(graph, spec, cluster_config,
-                                            job_config);
-  } else if (platform_name == "powergraph") {
-    model = core::MakePowerGraphModel();
-    result = platform::PowerGraphPlatform().Run(graph, spec, cluster_config,
-                                                job_config);
-  } else if (platform_name == "hadoop") {
-    model = core::MakeHadoopModel();
-    result = platform::HadoopPlatform().Run(graph, spec, cluster_config,
-                                            job_config);
-  } else if (platform_name == "pgxd") {
-    model = core::MakePgxdModel();
-    result = platform::PgxdPlatform().Run(graph, spec, cluster_config,
-                                          job_config);
-  } else if (platform_name == "graphmat") {
-    model = core::MakeGraphMatModel();
-    result = platform::GraphMatPlatform().Run(graph, spec, cluster_config,
-                                              job_config);
-  } else {
-    Die("unknown platform '" + platform_name +
-        "' (giraph|powergraph|hadoop|pgxd|graphmat)");
-  }
-  if (!result.ok()) Die(result.status().ToString());
-
-  if (flags.Has("log-out")) {
-    Status log_status =
-        core::WriteLogRecords(flags.Get("log-out"), result->records);
-    if (!log_status.ok()) Die(log_status.ToString());
-    std::printf("raw platform log written to %s\n",
-                flags.Get("log-out").c_str());
-  }
-
-  core::Archiver::Options archiver_options;
-  archiver_options.max_level =
-      static_cast<int>(flags.GetInt("model-level", 0));
-  auto archive = core::Archiver(archiver_options)
-                     .Build(model, result->records,
-                            std::move(result->environment),
-                            {{"platform", platform_name},
-                             {"algorithm", flags.Get("algorithm", "BFS")},
-                             {"graph", flags.Get("graph", "datagen:20000")}});
-  if (!archive.ok()) Die(archive.status().ToString());
-
-  std::printf("%s", core::RenderBreakdownBar(*archive).c_str());
-  std::printf("supersteps/iterations: %llu   virtual time: %.2fs   "
-              "operations archived: %llu\n",
-              static_cast<unsigned long long>(result->supersteps),
-              result->total_seconds,
-              static_cast<unsigned long long>(archive->OperationCount()));
-
-  if (flags.Has("save-repo")) {
-    core::ArchiveRepository repo(flags.Get("save-repo"));
-    auto saved = repo.Save(*archive);
-    if (!saved.ok()) Die(saved.status().ToString());
-    std::printf("archive saved to repository as '%s'\n", saved->c_str());
-  }
-  if (flags.Has("archive-out")) {
-    std::ofstream out(flags.Get("archive-out"));
-    if (!out) Die("cannot write " + flags.Get("archive-out"));
-    out << archive->ToJsonString();
-    std::printf("archive written to %s\n",
-                flags.Get("archive-out").c_str());
-  }
-  if (flags.Has("html-out")) {
-    core::ReportOptions report_options;
-    report_options.title = platform_name + " " +
-                           flags.Get("algorithm", "BFS") + " on " +
-                           flags.Get("graph", "datagen:20000");
-    report_options.chokepoint_options.cluster_cpu_capacity =
-        static_cast<double>(cluster_config.num_nodes) *
-        cluster_config.cores_per_node;
-    if (platform_name == "powergraph") {
-      report_options.timeline_actor_type = "Rank";
-      report_options.timeline_mission_type = "Gather";
-    }
-    Status html_status = core::WriteHtmlReport(*archive, report_options,
-                                               flags.Get("html-out"));
-    if (!html_status.ok()) Die(html_status.ToString());
-    std::printf("HTML report written to %s\n",
-                flags.Get("html-out").c_str());
-  }
-  if (flags.Has("svg-prefix")) {
-    std::string prefix = flags.Get("svg-prefix");
-    (void)core::WriteSvgFile(prefix + "_breakdown.svg",
-                             core::RenderBreakdownSvg(*archive));
-    (void)core::WriteSvgFile(prefix + "_utilization.svg",
-                             core::RenderUtilizationSvg(*archive));
-    std::printf("SVGs written to %s_{breakdown,utilization}.svg\n",
-                prefix.c_str());
-  }
-  return 0;
-}
-
-int CmdLint(const Flags& flags) {
-  if (!flags.Has("log")) Die("lint requires --log=FILE (JSONL, see run --log-out)");
-  auto records = core::ReadLogRecords(flags.Get("log"));
-  if (!records.ok()) Die(records.status().ToString());
-
-  core::LintReport report = core::LintLog(*records);
-  std::printf("%zu record(s) in %s\n%s\n", records->size(),
-              flags.Get("log").c_str(), report.Summary().c_str());
-
-  if (flags.Has("model") || flags.Has("archive-out")) {
-    if (!flags.Has("model")) Die("--archive-out requires --model=NAME");
-    core::Archiver::Options options;
-    std::string tolerance = flags.Get("tolerance", "repair");
-    if (tolerance == "strict") {
-      options.tolerance = core::Archiver::Tolerance::kStrict;
-    } else if (tolerance == "repair") {
-      options.tolerance = core::Archiver::Tolerance::kRepair;
-    } else {
-      Die("unknown --tolerance '" + tolerance + "' (want strict|repair)");
-    }
-    auto archive = core::Archiver(options).Build(
-        ModelByName(flags.Get("model")), *records, {},
-        {{"source_log", flags.Get("log")}});
-    if (!archive.ok()) Die(archive.status().ToString());
-    std::printf("archive built: %llu operation(s), %zu finding(s) "
-                "quarantined\n",
-                static_cast<unsigned long long>(archive->OperationCount()),
-                archive->lint.findings.size());
-    if (flags.Has("archive-out")) {
-      std::ofstream out(flags.Get("archive-out"));
-      if (!out) Die("cannot write " + flags.Get("archive-out"));
-      out << archive->ToJsonString();
-      std::printf("repaired archive written to %s\n",
-                  flags.Get("archive-out").c_str());
-    }
-  }
-  return report.HasFatal() ? 3 : 0;
-}
-
-int CmdAnalyze(const Flags& flags) {
-  if (!flags.Has("archive")) Die("analyze requires --archive=FILE");
-  core::PerformanceArchive archive = LoadArchive(flags.Get("archive"));
-  std::printf("%s\n", core::RenderBreakdownBar(archive).c_str());
-  core::ChokepointOptions options;
-  options.cluster_cpu_capacity = flags.GetDouble("capacity", 128.0);
-  std::printf("%s", core::RenderFindings(
-                        core::AnalyzeChokepoints(archive, options))
-                        .c_str());
-  return 0;
-}
-
-int CmdCompare(const Flags& flags) {
-  if (!flags.Has("baseline") || !flags.Has("candidate")) {
-    Die("compare requires --baseline=FILE --candidate=FILE");
-  }
-  core::PerformanceArchive baseline = LoadArchive(flags.Get("baseline"));
-  core::PerformanceArchive candidate = LoadArchive(flags.Get("candidate"));
-  core::RegressionOptions options;
-  options.tolerance = flags.GetDouble("tolerance", 0.10);
-  options.max_depth = static_cast<int>(flags.GetInt("depth", 0));
-  core::RegressionReport report =
-      core::CompareArchives(baseline, candidate, options);
-  std::printf("%s", core::RenderRegressionReport(report).c_str());
-  if (flags.Has("svg-out")) {
-    Status s = core::WriteSvgFile(
-        flags.Get("svg-out"), core::RenderComparisonSvg(baseline, candidate));
-    if (!s.ok()) Die(s.ToString());
-    std::printf("comparison SVG written to %s\n",
-                flags.Get("svg-out").c_str());
-  }
-  return report.HasRegressions() ? 2 : 0;
-}
-
-int Main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: granula run|lint|analyze|compare|list|model|table1 [--flags]\n"
-                 "       (see the header of tools/granula_cli.cc)\n");
-    return 64;
-  }
-  std::string command = argv[1];
-  Flags flags(argc, argv);
-  if (command == "run") return CmdRun(flags);
-  if (command == "lint") return CmdLint(flags);
-  if (command == "analyze") return CmdAnalyze(flags);
-  if (command == "compare") return CmdCompare(flags);
-  if (command == "list") {
-    core::ArchiveRepository repo(flags.Get("repo", "."));
-    auto entries = repo.List();
-    if (!entries.ok()) Die(entries.status().ToString());
-    std::printf("%-28s %-12s %-10s %10s %10s\n", "name", "platform",
-                "algorithm", "total", "ops");
-    for (const auto& entry : *entries) {
-      std::printf("%-28s %-12s %-10s %9.2fs %10llu\n", entry.name.c_str(),
-                  entry.platform.c_str(), entry.algorithm.c_str(),
-                  entry.total_seconds,
-                  static_cast<unsigned long long>(entry.operations));
-    }
-    return 0;
-  }
-  if (command == "model") {
-    std::string name = flags.Get("name", "giraph");
-    if (name == "giraph") {
-      std::printf("%s", core::RenderModelTree(core::MakeGiraphModel()).c_str());
-    } else if (name == "powergraph") {
-      std::printf("%s",
-                  core::RenderModelTree(core::MakePowerGraphModel()).c_str());
-    } else if (name == "hadoop") {
-      std::printf("%s", core::RenderModelTree(core::MakeHadoopModel()).c_str());
-    } else if (name == "graphmat") {
-      std::printf("%s",
-                  core::RenderModelTree(core::MakeGraphMatModel()).c_str());
-    } else if (name == "pgxd") {
-      std::printf("%s", core::RenderModelTree(core::MakePgxdModel()).c_str());
-    } else if (name == "domain") {
-      std::printf("%s", core::RenderModelTree(
-                            core::MakeGraphProcessingDomainModel())
-                            .c_str());
-    } else {
-      Die("unknown model '" + name + "' (giraph|powergraph|hadoop|pgxd|graphmat|domain)");
-    }
-    return 0;
-  }
-  if (command == "table1") {
-    std::printf("%s", platform::RenderPlatformTable().c_str());
-    return 0;
-  }
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-  return 64;
-}
-
-}  // namespace
-}  // namespace granula::cli
-
-int main(int argc, char** argv) { return granula::cli::Main(argc, argv); }

@@ -1,0 +1,456 @@
+#include "granula_commands.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/result.h"
+#include "common/strings.h"
+#include "granula/analysis/chokepoint.h"
+#include "granula/analysis/regression.h"
+#include "granula/archive/archiver.h"
+#include "granula/archive/lint.h"
+#include "granula/archive/repository.h"
+#include "granula/live/watch.h"
+#include "granula/models/models.h"
+#include "granula/visual/model_view.h"
+#include "granula/visual/report.h"
+#include "granula/visual/svg.h"
+#include "granula/visual/text.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "platforms/giraph.h"
+#include "platforms/graphmat.h"
+#include "platforms/hadoop.h"
+#include "platforms/pgxd.h"
+#include "platforms/powergraph.h"
+#include "platforms/registry.h"
+
+namespace granula::cli {
+namespace {
+
+// ------------------------------------------------------------- flags ----
+
+class Flags {
+ public:
+  static Result<Flags> Parse(const std::vector<std::string>& args) {
+    Flags flags;
+    // args[0] is the command.
+    for (size_t i = 1; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("unexpected argument: " + arg);
+      }
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags.values_[arg.substr(2)] = "true";
+      } else {
+        flags.values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+    return flags;
+  }
+
+  std::string Get(const std::string& name, std::string fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// ------------------------------------------------------------ helpers ----
+
+Result<graph::Graph> ParseGraphSpec(const std::string& spec) {
+  size_t colon = spec.find(':');
+  std::string kind = spec.substr(0, colon);
+  std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  std::vector<std::string> parts = StrSplit(args, ',');
+  auto arg_u64 = [&](size_t i, uint64_t fallback) {
+    return i < parts.size() && !parts[i].empty()
+               ? std::strtoull(parts[i].c_str(), nullptr, 10)
+               : fallback;
+  };
+  if (kind == "datagen") {
+    graph::DatagenConfig config;
+    config.num_vertices = arg_u64(0, 100000);
+    config.avg_degree = parts.size() > 1 ? std::atof(parts[1].c_str()) : 15.0;
+    return graph::GenerateDatagen(config);
+  }
+  if (kind == "rmat") {
+    graph::RmatConfig config;
+    config.scale = arg_u64(0, 16);
+    config.edge_factor =
+        parts.size() > 1 ? std::atof(parts[1].c_str()) : 16.0;
+    return graph::GenerateRmat(config);
+  }
+  if (kind == "uniform") {
+    return graph::GenerateUniform(arg_u64(0, 10000), arg_u64(1, 80000), 42);
+  }
+  if (kind == "file") {
+    return graph::ReadEdgeListFile(args, /*directed=*/false);
+  }
+  return Status::InvalidArgument("unknown graph spec '" + spec +
+                                 "' (datagen:|rmat:|uniform:|file:)");
+}
+
+Result<core::PerformanceModel> ModelByName(const std::string& name) {
+  if (name == "giraph") return core::MakeGiraphModel();
+  if (name == "powergraph") return core::MakePowerGraphModel();
+  if (name == "hadoop") return core::MakeHadoopModel();
+  if (name == "pgxd") return core::MakePgxdModel();
+  if (name == "graphmat") return core::MakeGraphMatModel();
+  if (name == "domain") return core::MakeGraphProcessingDomainModel();
+  return Status::InvalidArgument(
+      "unknown model '" + name +
+      "' (giraph|powergraph|hadoop|pgxd|graphmat|domain)");
+}
+
+Result<core::PerformanceArchive> LoadArchive(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open archive " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return core::PerformanceArchive::FromJsonString(buffer.str());
+}
+
+// ----------------------------------------------------------- commands ----
+
+Result<int> CmdRun(const Flags& flags, std::FILE* out) {
+  std::string platform_name = flags.Get("platform", "giraph");
+  GRANULA_ASSIGN_OR_RETURN(
+      graph::Graph graph, ParseGraphSpec(flags.Get("graph", "datagen:20000")));
+
+  algo::AlgorithmSpec spec;
+  GRANULA_ASSIGN_OR_RETURN(spec.id,
+                           algo::ParseAlgorithm(flags.Get("algorithm", "BFS")));
+  spec.source = static_cast<graph::VertexId>(flags.GetInt("source", 1));
+  spec.max_iterations =
+      static_cast<uint64_t>(flags.GetInt("iterations", 10));
+
+  cluster::ClusterConfig cluster_config;
+  cluster_config.num_nodes =
+      static_cast<uint32_t>(flags.GetInt("nodes", 8));
+  if (flags.Has("slow-node")) {
+    std::vector<std::string> parts = StrSplit(flags.Get("slow-node"), ':');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("--slow-node expects ID:FACTOR");
+    }
+    cluster_config.node_speed_factors.assign(cluster_config.num_nodes, 1.0);
+    size_t node = std::strtoull(parts[0].c_str(), nullptr, 10);
+    if (node >= cluster_config.num_nodes) {
+      return Status::InvalidArgument("slow-node id out of range");
+    }
+    cluster_config.node_speed_factors[node] = std::atof(parts[1].c_str());
+  }
+
+  platform::JobConfig job_config;
+  job_config.num_workers = static_cast<uint32_t>(
+      flags.GetInt("workers", cluster_config.num_nodes));
+  job_config.live_log_path = flags.Get("live-log");
+  job_config.live_log_delay_us =
+      static_cast<uint64_t>(flags.GetInt("live-log-delay-us", 0));
+
+  Result<platform::JobResult> result = Status::Internal("unset");
+  core::PerformanceModel model = core::MakeGiraphModel();
+  if (platform_name == "giraph") {
+    result = platform::GiraphPlatform().Run(graph, spec, cluster_config,
+                                            job_config);
+  } else if (platform_name == "powergraph") {
+    model = core::MakePowerGraphModel();
+    result = platform::PowerGraphPlatform().Run(graph, spec, cluster_config,
+                                                job_config);
+  } else if (platform_name == "hadoop") {
+    model = core::MakeHadoopModel();
+    result = platform::HadoopPlatform().Run(graph, spec, cluster_config,
+                                            job_config);
+  } else if (platform_name == "pgxd") {
+    model = core::MakePgxdModel();
+    result = platform::PgxdPlatform().Run(graph, spec, cluster_config,
+                                          job_config);
+  } else if (platform_name == "graphmat") {
+    model = core::MakeGraphMatModel();
+    result = platform::GraphMatPlatform().Run(graph, spec, cluster_config,
+                                              job_config);
+  } else {
+    return Status::InvalidArgument(
+        "unknown platform '" + platform_name +
+        "' (giraph|powergraph|hadoop|pgxd|graphmat)");
+  }
+  GRANULA_RETURN_IF_ERROR(result.status());
+
+  if (flags.Has("log-out")) {
+    GRANULA_RETURN_IF_ERROR(
+        core::WriteLogRecords(flags.Get("log-out"), result->records));
+    std::fprintf(out, "raw platform log written to %s\n",
+                 flags.Get("log-out").c_str());
+  }
+
+  core::Archiver::Options archiver_options;
+  archiver_options.max_level =
+      static_cast<int>(flags.GetInt("model-level", 0));
+  GRANULA_ASSIGN_OR_RETURN(
+      core::PerformanceArchive archive,
+      core::Archiver(archiver_options)
+          .Build(model, result->records, std::move(result->environment),
+                 {{"platform", platform_name},
+                  {"algorithm", flags.Get("algorithm", "BFS")},
+                  {"graph", flags.Get("graph", "datagen:20000")}}));
+
+  std::fprintf(out, "%s", core::RenderBreakdownBar(archive).c_str());
+  std::fprintf(out,
+               "supersteps/iterations: %llu   virtual time: %.2fs   "
+               "operations archived: %llu\n",
+               static_cast<unsigned long long>(result->supersteps),
+               result->total_seconds,
+               static_cast<unsigned long long>(archive.OperationCount()));
+
+  if (flags.Has("save-repo")) {
+    core::ArchiveRepository repo(flags.Get("save-repo"));
+    GRANULA_ASSIGN_OR_RETURN(std::string saved, repo.Save(archive));
+    std::fprintf(out, "archive saved to repository as '%s'\n", saved.c_str());
+  }
+  if (flags.Has("archive-out")) {
+    std::ofstream file(flags.Get("archive-out"));
+    if (!file) {
+      return Status::IoError("cannot write " + flags.Get("archive-out"));
+    }
+    file << archive.ToJsonString();
+    std::fprintf(out, "archive written to %s\n",
+                 flags.Get("archive-out").c_str());
+  }
+  if (flags.Has("html-out")) {
+    core::ReportOptions report_options;
+    report_options.title = platform_name + " " +
+                           flags.Get("algorithm", "BFS") + " on " +
+                           flags.Get("graph", "datagen:20000");
+    report_options.chokepoint_options.cluster_cpu_capacity =
+        static_cast<double>(cluster_config.num_nodes) *
+        cluster_config.cores_per_node;
+    if (platform_name == "powergraph") {
+      report_options.timeline_actor_type = "Rank";
+      report_options.timeline_mission_type = "Gather";
+    }
+    GRANULA_RETURN_IF_ERROR(core::WriteHtmlReport(archive, report_options,
+                                                  flags.Get("html-out")));
+    std::fprintf(out, "HTML report written to %s\n",
+                 flags.Get("html-out").c_str());
+  }
+  if (flags.Has("svg-prefix")) {
+    std::string prefix = flags.Get("svg-prefix");
+    (void)core::WriteSvgFile(prefix + "_breakdown.svg",
+                             core::RenderBreakdownSvg(archive));
+    (void)core::WriteSvgFile(prefix + "_utilization.svg",
+                             core::RenderUtilizationSvg(archive));
+    std::fprintf(out, "SVGs written to %s_{breakdown,utilization}.svg\n",
+                 prefix.c_str());
+  }
+  return kExitOk;
+}
+
+Result<int> CmdLint(const Flags& flags, std::FILE* out) {
+  if (!flags.Has("log")) {
+    return Status::InvalidArgument(
+        "lint requires --log=FILE (JSONL, see run --log-out)");
+  }
+  GRANULA_ASSIGN_OR_RETURN(std::vector<core::LogRecord> records,
+                           core::ReadLogRecords(flags.Get("log")));
+
+  core::LintReport report = core::LintLog(records);
+  std::fprintf(out, "%zu record(s) in %s\n%s\n", records.size(),
+               flags.Get("log").c_str(), report.Summary().c_str());
+
+  if (flags.Has("model") || flags.Has("archive-out")) {
+    if (!flags.Has("model")) {
+      return Status::InvalidArgument("--archive-out requires --model=NAME");
+    }
+    core::Archiver::Options options;
+    std::string tolerance = flags.Get("tolerance", "repair");
+    if (tolerance == "strict") {
+      options.tolerance = core::Archiver::Tolerance::kStrict;
+    } else if (tolerance == "repair") {
+      options.tolerance = core::Archiver::Tolerance::kRepair;
+    } else {
+      return Status::InvalidArgument("unknown --tolerance '" + tolerance +
+                                     "' (want strict|repair)");
+    }
+    GRANULA_ASSIGN_OR_RETURN(core::PerformanceModel model,
+                             ModelByName(flags.Get("model")));
+    GRANULA_ASSIGN_OR_RETURN(
+        core::PerformanceArchive archive,
+        core::Archiver(options).Build(model, records, {},
+                                      {{"source_log", flags.Get("log")}}));
+    std::fprintf(out,
+                 "archive built: %llu operation(s), %zu finding(s) "
+                 "quarantined\n",
+                 static_cast<unsigned long long>(archive.OperationCount()),
+                 archive.lint.findings.size());
+    if (flags.Has("archive-out")) {
+      std::ofstream file(flags.Get("archive-out"));
+      if (!file) {
+        return Status::IoError("cannot write " + flags.Get("archive-out"));
+      }
+      file << archive.ToJsonString();
+      std::fprintf(out, "repaired archive written to %s\n",
+                   flags.Get("archive-out").c_str());
+    }
+  }
+  return report.HasFatal() ? kExitFatalLint : kExitOk;
+}
+
+Result<int> CmdAnalyze(const Flags& flags, std::FILE* out) {
+  if (!flags.Has("archive")) {
+    return Status::InvalidArgument("analyze requires --archive=FILE");
+  }
+  GRANULA_ASSIGN_OR_RETURN(core::PerformanceArchive archive,
+                           LoadArchive(flags.Get("archive")));
+  std::fprintf(out, "%s\n", core::RenderBreakdownBar(archive).c_str());
+  core::ChokepointOptions options;
+  options.cluster_cpu_capacity = flags.GetDouble("capacity", 128.0);
+  std::fprintf(out, "%s",
+               core::RenderFindings(core::AnalyzeChokepoints(archive, options))
+                   .c_str());
+  return kExitOk;
+}
+
+Result<int> CmdCompare(const Flags& flags, std::FILE* out) {
+  if (!flags.Has("baseline") || !flags.Has("candidate")) {
+    return Status::InvalidArgument(
+        "compare requires --baseline=FILE --candidate=FILE");
+  }
+  GRANULA_ASSIGN_OR_RETURN(core::PerformanceArchive baseline,
+                           LoadArchive(flags.Get("baseline")));
+  GRANULA_ASSIGN_OR_RETURN(core::PerformanceArchive candidate,
+                           LoadArchive(flags.Get("candidate")));
+  core::RegressionOptions options;
+  options.tolerance = flags.GetDouble("tolerance", 0.10);
+  options.max_depth = static_cast<int>(flags.GetInt("depth", 0));
+  core::RegressionReport report =
+      core::CompareArchives(baseline, candidate, options);
+  std::fprintf(out, "%s", core::RenderRegressionReport(report).c_str());
+  if (flags.Has("svg-out")) {
+    GRANULA_RETURN_IF_ERROR(core::WriteSvgFile(
+        flags.Get("svg-out"), core::RenderComparisonSvg(baseline, candidate)));
+    std::fprintf(out, "comparison SVG written to %s\n",
+                 flags.Get("svg-out").c_str());
+  }
+  return report.HasRegressions() ? kExitRegressions : kExitOk;
+}
+
+Result<int> CmdWatch(const Flags& flags, std::FILE* out) {
+  if (!flags.Has("log")) {
+    return Status::InvalidArgument(
+        "watch requires --log=FILE (the JSONL live log of a running job, "
+        "see run --live-log)");
+  }
+  GRANULA_ASSIGN_OR_RETURN(core::PerformanceModel model,
+                           ModelByName(flags.Get("model", "giraph")));
+  core::WatchOptions options;
+  options.log_path = flags.Get("log");
+  options.timeout_s = flags.GetDouble("timeout", 30.0);
+  options.poll_interval_ms = flags.GetDouble("poll-ms", 50.0);
+  options.max_depth = static_cast<int>(flags.GetInt("depth", 3));
+  options.ansi = flags.Has("ansi");
+  options.quiet = flags.Has("quiet");
+  options.archiver.max_level =
+      static_cast<int>(flags.GetInt("model-level", 0));
+  if (flags.Has("capacity")) {
+    options.chokepoints.cluster_cpu_capacity =
+        flags.GetDouble("capacity", 0.0);
+  }
+  GRANULA_ASSIGN_OR_RETURN(core::WatchSummary summary,
+                           core::WatchLog(model, options, out));
+  if (flags.Has("archive-out") && summary.archive.root != nullptr) {
+    std::ofstream file(flags.Get("archive-out"));
+    if (!file) {
+      return Status::IoError("cannot write " + flags.Get("archive-out"));
+    }
+    file << summary.archive.ToJsonString();
+    std::fprintf(out, "archive written to %s\n",
+                 flags.Get("archive-out").c_str());
+  }
+  return summary.completed ? kExitOk : kExitWatchTimeout;
+}
+
+Result<int> CmdList(const Flags& flags, std::FILE* out) {
+  core::ArchiveRepository repo(flags.Get("repo", "."));
+  GRANULA_ASSIGN_OR_RETURN(auto entries, repo.List());
+  std::fprintf(out, "%-28s %-12s %-10s %10s %10s\n", "name", "platform",
+               "algorithm", "total", "ops");
+  for (const auto& entry : entries) {
+    std::fprintf(out, "%-28s %-12s %-10s %9.2fs %10llu\n", entry.name.c_str(),
+                 entry.platform.c_str(), entry.algorithm.c_str(),
+                 entry.total_seconds,
+                 static_cast<unsigned long long>(entry.operations));
+  }
+  return kExitOk;
+}
+
+Result<int> CmdModel(const Flags& flags, std::FILE* out) {
+  GRANULA_ASSIGN_OR_RETURN(core::PerformanceModel model,
+                           ModelByName(flags.Get("name", "giraph")));
+  std::fprintf(out, "%s", core::RenderModelTree(model).c_str());
+  return kExitOk;
+}
+
+}  // namespace
+
+int RunGranula(const std::vector<std::string>& args, std::FILE* out,
+               std::FILE* err) {
+  if (args.empty()) {
+    std::fprintf(err,
+                 "usage: granula "
+                 "run|lint|analyze|compare|watch|list|model|table1 [--flags]\n"
+                 "       (see the header of tools/granula_cli.cc)\n");
+    return kExitUsage;
+  }
+  const std::string& command = args[0];
+  Result<Flags> flags = Flags::Parse(args);
+  if (!flags.ok()) {
+    std::fprintf(err, "%s\n", flags.status().message().c_str());
+    return kExitUsage;
+  }
+
+  Result<int> code = Status::Internal("unset");
+  if (command == "run") {
+    code = CmdRun(*flags, out);
+  } else if (command == "lint") {
+    code = CmdLint(*flags, out);
+  } else if (command == "analyze") {
+    code = CmdAnalyze(*flags, out);
+  } else if (command == "compare") {
+    code = CmdCompare(*flags, out);
+  } else if (command == "watch") {
+    code = CmdWatch(*flags, out);
+  } else if (command == "list") {
+    code = CmdList(*flags, out);
+  } else if (command == "model") {
+    code = CmdModel(*flags, out);
+  } else if (command == "table1") {
+    std::fprintf(out, "%s", platform::RenderPlatformTable().c_str());
+    code = kExitOk;
+  } else {
+    std::fprintf(err, "unknown command '%s'\n", command.c_str());
+    return kExitUsage;
+  }
+
+  if (!code.ok()) {
+    std::fprintf(err, "granula: %s\n", code.status().ToString().c_str());
+    return kExitFatal;
+  }
+  return *code;
+}
+
+}  // namespace granula::cli

@@ -1,0 +1,33 @@
+#ifndef GRANULA_TOOLS_GRANULA_COMMANDS_H_
+#define GRANULA_TOOLS_GRANULA_COMMANDS_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace granula::cli {
+
+// Exit codes of the granula CLI.
+//   0   success
+//   1   fatal error (bad input, failed run, unwritable output)
+//   2   compare: candidate regressed against the baseline
+//   3   lint: the log has fatal defects
+//   5   watch: the job did not complete before the timeout
+//   64  usage error (unknown command or malformed arguments)
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFatal = 1;
+inline constexpr int kExitRegressions = 2;
+inline constexpr int kExitFatalLint = 3;
+inline constexpr int kExitWatchTimeout = 5;
+inline constexpr int kExitUsage = 64;
+
+// Full CLI dispatch, callable in-process: `args` is argv[1..] (command
+// first), output goes to `out`/`err` instead of stdout/stderr. Returns
+// the process exit code and never calls exit() — the CLI main() is a thin
+// wrapper, and tests drive commands directly.
+int RunGranula(const std::vector<std::string>& args, std::FILE* out,
+               std::FILE* err);
+
+}  // namespace granula::cli
+
+#endif  // GRANULA_TOOLS_GRANULA_COMMANDS_H_

@@ -1,42 +1,54 @@
 #!/usr/bin/env bash
-# Runs the host-parallelism engine benchmarks and emits BENCH_engine.json
-# (google-benchmark JSON) with the superstep-throughput-vs-host-threads
-# curve, the sharded MessageStore deliver/merge microbench, and the parallel
-# CSR build bench.
+# Runs the engine and live-monitoring benchmarks:
+#   BENCH_engine.json     — host-parallel superstep throughput vs threads,
+#                           sharded MessageStore, parallel CSR build
+#   BENCH_streaming.json  — StreamingArchiver ingest throughput vs the
+#                           batch Archiver, and mid-stream Snapshot() cost
 #
-# Usage: tools/run_bench.sh [build_dir] [output.json]
-#   build_dir defaults to ./build, output defaults to ./BENCH_engine.json.
+# Usage: tools/run_bench.sh [build_dir] [engine_out.json] [streaming_out.json]
+#   build_dir defaults to ./build; outputs default to ./BENCH_engine.json
+#   and ./BENCH_streaming.json.
 #
 # Notes:
-# - The bench sweeps the thread axis itself (Resize per benchmark arg), so
-#   GRANULA_HOST_THREADS is not needed; the env var only sets the initial
-#   pool size.
+# - The engine bench sweeps the thread axis itself (Resize per benchmark
+#   arg), so GRANULA_HOST_THREADS is not needed; the env var only sets the
+#   initial pool size.
 # - The >=3x-at-8-threads acceptance point assumes >=8 physical cores;
 #   on smaller hosts the curve flattens at the core count.
 set -euo pipefail
 
 build_dir="${1:-build}"
-out="${2:-BENCH_engine.json}"
-bench="${build_dir}/bench/micro_parallel_engine"
+engine_out="${2:-BENCH_engine.json}"
+streaming_out="${3:-BENCH_streaming.json}"
+engine_bench="${build_dir}/bench/micro_parallel_engine"
+streaming_bench="${build_dir}/bench/micro_streaming_ingest"
 
-if [[ ! -x "${bench}" ]]; then
-  echo "error: ${bench} not found — build first:" >&2
-  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
-  exit 1
-fi
+for bench in "${engine_bench}" "${streaming_bench}"; do
+  if [[ ! -x "${bench}" ]]; then
+    echo "error: ${bench} not found — build first:" >&2
+    echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+    exit 1
+  fi
+done
 
 echo "host cores: $(nproc 2>/dev/null || sysctl -n hw.ncpu)"
-"${bench}" \
-  --benchmark_out="${out}" \
+"${engine_bench}" \
+  --benchmark_out="${engine_out}" \
   --benchmark_out_format=json \
   --benchmark_counters_tabular=true
 
 echo
-echo "wrote ${out}"
+"${streaming_bench}" \
+  --benchmark_out="${streaming_out}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo
+echo "wrote ${engine_out} and ${streaming_out}"
 # Print the superstep-compute scaling summary (speedup vs the 1-thread row
 # of each benchmark family) if python3 is around; the JSON has everything.
 if command -v python3 >/dev/null; then
-  python3 - "${out}" <<'EOF'
+  python3 - "${engine_out}" <<'EOF'
 import json, sys
 data = json.load(open(sys.argv[1]))
 base = {}
@@ -55,5 +67,19 @@ for name, series in base.items():
     rows.append(f"  {name}: {speedups}")
 print("speedup vs 1 host thread:")
 print("\n".join(rows))
+EOF
+  # Streaming vs batch: records/s at the largest log size.
+  python3 - "${streaming_out}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+best = {}
+for b in data.get("benchmarks", []):
+    name = b["name"].split("/")[0]
+    if "items_per_second" in b:
+        best[name] = max(best.get(name, 0.0), b["items_per_second"])
+if best:
+    print("ingest throughput (largest log):")
+    for name, rate in sorted(best.items()):
+        print(f"  {name}: {rate / 1e6:.2f}M records/s")
 EOF
 fi

@@ -1,22 +1,143 @@
 #include "common/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/strings.h"
 
 namespace granula {
 
+namespace {
+
+void AppendInt64(std::string& out, int64_t v) {
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // int64 always fits
+  out.append(buf, static_cast<size_t>(p - buf));
+}
+
+}  // namespace
+
+void Json::Destroy() {
+  switch (type_) {
+    case Type::kString:
+      string_.~basic_string();
+      break;
+    case Type::kArray:
+      delete array_;
+      break;
+    case Type::kObject:
+      delete object_;
+      break;
+    default:
+      break;
+  }
+  type_ = Type::kNull;
+  int_ = 0;
+}
+
+void Json::CopyFrom(const Json& other) {
+  type_ = other.type_;
+  switch (type_) {
+    case Type::kNull:
+      int_ = 0;
+      break;
+    case Type::kBool:
+      bool_ = other.bool_;
+      break;
+    case Type::kInt:
+      int_ = other.int_;
+      break;
+    case Type::kDouble:
+      double_ = other.double_;
+      break;
+    case Type::kString:
+      new (&string_) std::string(other.string_);
+      break;
+    case Type::kArray:
+      array_ = new Array(*other.array_);
+      break;
+    case Type::kObject:
+      object_ = new Object(*other.object_);
+      break;
+  }
+}
+
+void Json::MoveFrom(Json&& other) noexcept {
+  type_ = other.type_;
+  switch (type_) {
+    case Type::kNull:
+      int_ = 0;
+      break;
+    case Type::kBool:
+      bool_ = other.bool_;
+      break;
+    case Type::kInt:
+      int_ = other.int_;
+      break;
+    case Type::kDouble:
+      double_ = other.double_;
+      break;
+    case Type::kString:
+      new (&string_) std::string(std::move(other.string_));
+      other.string_.~basic_string();
+      break;
+    case Type::kArray:
+      array_ = other.array_;
+      break;
+    case Type::kObject:
+      object_ = other.object_;
+      break;
+  }
+  // The moved-from value becomes null; pointer payloads were stolen above.
+  other.type_ = Type::kNull;
+  other.int_ = 0;
+}
+
+const std::string& Json::AsString() const {
+  static const std::string kEmpty;
+  return type_ == Type::kString ? string_ : kEmpty;
+}
+
+const Json::Array& Json::AsArray() const {
+  static const Array kEmpty;
+  return type_ == Type::kArray ? *array_ : kEmpty;
+}
+
+Json::Array& Json::AsArray() {
+  if (type_ != Type::kArray) {
+    Destroy();
+    array_ = new Array();
+    type_ = Type::kArray;
+  }
+  return *array_;
+}
+
+const Json::Object& Json::AsObject() const {
+  static const Object kEmpty;
+  return type_ == Type::kObject ? *object_ : kEmpty;
+}
+
+Json::Object& Json::AsObject() {
+  if (type_ != Type::kObject) {
+    Destroy();
+    object_ = new Object();
+    type_ = Type::kObject;
+  }
+  return *object_;
+}
+
 Json& Json::operator[](const std::string& key) {
-  if (type_ == Type::kNull) type_ = Type::kObject;
-  return object_[key];
+  return AsObject()[key];
 }
 
 const Json* Json::Find(std::string_view key) const {
   if (type_ != Type::kObject) return nullptr;
-  auto it = object_.find(std::string(key));
-  if (it == object_.end()) return nullptr;
+  auto it = object_->find(key);
+  if (it == object_->end()) return nullptr;
   return &it->second;
 }
 
@@ -42,16 +163,20 @@ bool Json::GetBool(std::string_view key, bool fallback) const {
 }
 
 void Json::Append(Json value) {
-  if (type_ == Type::kNull) type_ = Type::kArray;
-  array_.push_back(std::move(value));
+  if (type_ == Type::kNull) {
+    array_ = new Array();
+    type_ = Type::kArray;
+  }
+  if (type_ != Type::kArray) return;  // matches the old silent no-op
+  array_->push_back(std::move(value));
 }
 
 size_t Json::size() const {
   switch (type_) {
     case Type::kArray:
-      return array_.size();
+      return array_->size();
     case Type::kObject:
-      return object_.size();
+      return object_->size();
     default:
       return 0;
   }
@@ -71,17 +196,19 @@ bool Json::operator==(const Json& other) const {
     case Type::kString:
       return string_ == other.string_;
     case Type::kArray:
-      return array_ == other.array_;
+      return *array_ == *other.array_;
     case Type::kObject:
-      return object_ == other.object_;
+      return *object_ == *other.object_;
   }
   return false;
 }
 
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
+void JsonAppendEscaped(std::string& out, std::string_view s) {
+  size_t run = 0;  // start of the pending clean run
+  for (size_t i = 0; i < s.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c != '"' && c != '\\' && c >= 0x20) continue;
+    out.append(s.data() + run, i - run);
     switch (c) {
       case '"':
         out += "\\\"";
@@ -105,14 +232,97 @@ std::string JsonEscape(std::string_view s) {
         out += "\\f";
         break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
+        out += StrFormat("\\u%04x", c);
     }
+    run = i + 1;
   }
+  out.append(s.data() + run, s.size() - run);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  JsonAppendEscaped(out, s);
   return out;
+}
+
+void JsonAppendDouble(std::string& out, double d) {
+  if (std::isnan(d)) {  // JSON has no NaN; degrade gracefully.
+    out += "null";
+    return;
+  }
+  if (std::isinf(d)) {
+    out += d > 0 ? "1e999" : "-1e999";
+    return;
+  }
+  // Shortest representation that roundtrips.
+  char buf[32];
+  int len = 0;
+  for (int prec = 15; prec <= 17; ++prec) {
+    len = std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  std::string_view token(buf, static_cast<size_t>(len));
+  out += token;
+  // Ensure the token is recognizably a double on re-parse.
+  if (token.find_first_of(".eE") == std::string_view::npos) out += ".0";
+}
+
+bool JsonSkipValue(std::string_view text, size_t& pos) {
+  const size_t n = text.size();
+  size_t i = pos;
+  auto is_ws = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  // Skips a string literal; `j` must point at the opening quote.
+  auto skip_string = [&text, n](size_t& j) {
+    ++j;
+    while (j < n) {
+      char c = text[j];
+      if (c == '\\') {
+        j += 2;
+        continue;
+      }
+      ++j;
+      if (c == '"') return true;
+    }
+    return false;
+  };
+  while (i < n && is_ws(text[i])) ++i;
+  if (i >= n) return false;
+  char c = text[i];
+  if (c == '"') {
+    if (!skip_string(i)) return false;
+  } else if (c == '{' || c == '[') {
+    int depth = 0;
+    while (i < n) {
+      char d = text[i];
+      if (d == '"') {
+        if (!skip_string(i)) return false;
+        continue;
+      }
+      if (d == '{' || d == '[') {
+        ++depth;
+      } else if (d == '}' || d == ']') {
+        if (--depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      ++i;
+    }
+    if (depth != 0) return false;
+  } else {
+    // Number or bare literal: runs to the next structural delimiter.
+    size_t start = i;
+    while (i < n && text[i] != ',' && text[i] != '}' && text[i] != ']' &&
+           !is_ws(text[i])) {
+      ++i;
+    }
+    if (i == start) return false;
+  }
+  pos = i;
+  return true;
 }
 
 namespace {
@@ -122,24 +332,9 @@ void AppendIndent(std::string& out, int indent, int depth) {
   out.append(static_cast<size_t>(indent) * depth, ' ');
 }
 
-// Shortest double representation that roundtrips.
-std::string FormatDouble(double d) {
-  if (std::isnan(d)) return "null";  // JSON has no NaN; degrade gracefully.
-  if (std::isinf(d)) return d > 0 ? "1e999" : "-1e999";
-  char buf[32];
-  for (int prec = 15; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
-    if (std::strtod(buf, nullptr) == d) break;
-  }
-  std::string s(buf);
-  // Ensure the token is recognizably a double on re-parse.
-  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
-  return s;
-}
-
 }  // namespace
 
-void Json::DumpTo(std::string& out, int indent, int depth) const {
+void Json::DumpValue(std::string& out, int indent, int depth) const {
   switch (type_) {
     case Type::kNull:
       out += "null";
@@ -148,47 +343,49 @@ void Json::DumpTo(std::string& out, int indent, int depth) const {
       out += bool_ ? "true" : "false";
       break;
     case Type::kInt:
-      out += StrFormat("%lld", static_cast<long long>(int_));
+      AppendInt64(out, int_);
       break;
     case Type::kDouble:
-      out += FormatDouble(double_);
+      JsonAppendDouble(out, double_);
       break;
     case Type::kString:
       out += '"';
-      out += JsonEscape(string_);
+      JsonAppendEscaped(out, string_);
       out += '"';
       break;
     case Type::kArray: {
-      if (array_.empty()) {
+      const Array& arr = *array_;
+      if (arr.empty()) {
         out += "[]";
         break;
       }
       out += '[';
-      for (size_t i = 0; i < array_.size(); ++i) {
+      for (size_t i = 0; i < arr.size(); ++i) {
         if (i > 0) out += ',';
         if (indent > 0) AppendIndent(out, indent, depth + 1);
-        array_[i].DumpTo(out, indent, depth + 1);
+        arr[i].DumpValue(out, indent, depth + 1);
       }
       if (indent > 0) AppendIndent(out, indent, depth);
       out += ']';
       break;
     }
     case Type::kObject: {
-      if (object_.empty()) {
+      const Object& obj = *object_;
+      if (obj.empty()) {
         out += "{}";
         break;
       }
       out += '{';
       bool first = true;
-      for (const auto& [key, value] : object_) {
+      for (const auto& [key, value] : obj) {
         if (!first) out += ',';
         first = false;
         if (indent > 0) AppendIndent(out, indent, depth + 1);
         out += '"';
-        out += JsonEscape(key);
+        JsonAppendEscaped(out, key);
         out += "\":";
         if (indent > 0) out += ' ';
-        value.DumpTo(out, indent, depth + 1);
+        value.DumpValue(out, indent, depth + 1);
       }
       if (indent > 0) AppendIndent(out, indent, depth);
       out += '}';
@@ -197,9 +394,13 @@ void Json::DumpTo(std::string& out, int indent, int depth) const {
   }
 }
 
+void Json::DumpTo(std::string& out, int indent) const {
+  DumpValue(out, indent, 0);
+}
+
 std::string Json::Dump(int indent) const {
   std::string out;
-  DumpTo(out, indent, 0);
+  DumpValue(out, indent, 0);
   return out;
 }
 

@@ -1,12 +1,14 @@
 #ifndef GRANULA_COMMON_JSON_H_
 #define GRANULA_COMMON_JSON_H_
 
+#include <cmath>
 #include <cstdint>
-#include <initializer_list>
+#include <functional>
 #include <map>
-#include <memory>
+#include <new>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -19,29 +21,72 @@ namespace granula {
 // roundtrip exactly: Parse(Dump(v)) == v for every value this library emits.
 //
 // Numbers are stored as either int64 or double; integers that fit int64 are
-// kept exact.
+// kept exact. Unsigned values above INT64_MAX are stored as doubles (losing
+// precision past 2^53) rather than wrapping negative.
+//
+// The value payload is a tagged union: exactly one member is live at a time,
+// and arrays/objects live out of line behind an owned pointer. This keeps
+// sizeof(Json) at one std::string plus a tag — the log-ingest and archive
+// paths materialize millions of these, and the previous all-members-present
+// layout (string + vector + map per node) dominated their memory traffic.
 class Json {
  public:
   enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
 
   using Array = std::vector<Json>;
   // std::map keeps object keys sorted, which makes serialization
-  // deterministic — a property the archive-diff tooling relies on.
-  using Object = std::map<std::string, Json>;
+  // deterministic — a property the archive-diff tooling relies on. The
+  // transparent comparator lets Find() take a string_view without
+  // materializing a std::string per lookup.
+  using Object = std::map<std::string, Json, std::less<>>;
 
-  Json() : type_(Type::kNull) {}
-  Json(std::nullptr_t) : type_(Type::kNull) {}          // NOLINT
+  Json() : type_(Type::kNull), int_(0) {}
+  Json(std::nullptr_t) : Json() {}                      // NOLINT
   Json(bool b) : type_(Type::kBool), bool_(b) {}        // NOLINT
   Json(int i) : type_(Type::kInt), int_(i) {}           // NOLINT
   Json(int64_t i) : type_(Type::kInt), int_(i) {}       // NOLINT
-  Json(uint64_t i)                                      // NOLINT
-      : type_(Type::kInt), int_(static_cast<int64_t>(i)) {}
+  Json(uint64_t i) {                                    // NOLINT
+    if (i <= static_cast<uint64_t>(INT64_MAX)) {
+      type_ = Type::kInt;
+      int_ = static_cast<int64_t>(i);
+    } else {
+      type_ = Type::kDouble;
+      double_ = static_cast<double>(i);
+    }
+  }
   Json(double d) : type_(Type::kDouble), double_(d) {}  // NOLINT
-  Json(const char* s) : type_(Type::kString), string_(s) {}      // NOLINT
-  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
-  Json(std::string_view s) : type_(Type::kString), string_(s) {}        // NOLINT
-  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}          // NOLINT
-  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}       // NOLINT
+  Json(const char* s) : type_(Type::kString) {          // NOLINT
+    new (&string_) std::string(s);
+  }
+  Json(std::string s) : type_(Type::kString) {          // NOLINT
+    new (&string_) std::string(std::move(s));
+  }
+  Json(std::string_view s) : type_(Type::kString) {     // NOLINT
+    new (&string_) std::string(s);
+  }
+  Json(Array a)                                         // NOLINT
+      : type_(Type::kArray), array_(new Array(std::move(a))) {}
+  Json(Object o)                                        // NOLINT
+      : type_(Type::kObject), object_(new Object(std::move(o))) {}
+
+  Json(const Json& other) { CopyFrom(other); }
+  Json(Json&& other) noexcept { MoveFrom(std::move(other)); }
+  Json& operator=(const Json& other) {
+    if (this != &other) {
+      Json tmp(other);  // copy first: `other` may be a descendant of *this
+      Destroy();
+      MoveFrom(std::move(tmp));
+    }
+    return *this;
+  }
+  Json& operator=(Json&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~Json() { Destroy(); }
 
   static Json MakeArray() { return Json(Array{}); }
   static Json MakeObject() { return Json(Object{}); }
@@ -56,18 +101,28 @@ class Json {
   bool is_array() const { return type_ == Type::kArray; }
   bool is_object() const { return type_ == Type::kObject; }
 
-  bool AsBool() const { return bool_; }
+  bool AsBool() const { return type_ == Type::kBool && bool_; }
+  // Doubles saturate to [INT64_MIN, INT64_MAX] (NaN reads as 0) instead of
+  // taking the UB raw cast for out-of-range values.
   int64_t AsInt() const {
-    return is_double() ? static_cast<int64_t>(double_) : int_;
+    if (type_ == Type::kInt) return int_;
+    if (type_ == Type::kDouble) return SaturatingInt64(double_);
+    return 0;
   }
   double AsDouble() const {
-    return is_int() ? static_cast<double>(int_) : double_;
+    if (type_ == Type::kInt) return static_cast<double>(int_);
+    if (type_ == Type::kDouble) return double_;
+    return 0.0;
   }
-  const std::string& AsString() const { return string_; }
-  const Array& AsArray() const { return array_; }
-  Array& AsArray() { return array_; }
-  const Object& AsObject() const { return object_; }
-  Object& AsObject() { return object_; }
+  // The const accessors return a static empty value when the type does not
+  // match, mirroring the old always-present-member behaviour. The mutable
+  // AsArray/AsObject convert the value to an empty array/object on
+  // mismatch, consistent with operator[] and Append on null.
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  Array& AsArray();
+  const Object& AsObject() const;
+  Object& AsObject();
 
   // Object access. `operator[]` on a null value turns it into an object,
   // mirroring the ergonomics of nlohmann::json for building documents.
@@ -87,6 +142,9 @@ class Json {
 
   // Serialization. `indent` <= 0 produces compact single-line output.
   std::string Dump(int indent = 0) const;
+  // Appends Dump(indent) to `out` — the allocation-free spelling used by
+  // the JSONL fast path (granula/monitor) for free-form payloads.
+  void DumpTo(std::string& out, int indent = 0) const;
 
   // Strict JSON parsing (RFC 8259); rejects trailing garbage.
   static Result<Json> Parse(std::string_view text);
@@ -94,19 +152,51 @@ class Json {
   bool operator==(const Json& other) const;
 
  private:
-  void DumpTo(std::string& out, int indent, int depth) const;
+  static int64_t SaturatingInt64(double d) {
+    if (std::isnan(d)) return 0;
+    if (d >= 9223372036854775808.0) return INT64_MAX;  // 2^63
+    if (d < -9223372036854775808.0) return INT64_MIN;
+    return static_cast<int64_t>(d);
+  }
+
+  void Destroy();
+  void CopyFrom(const Json& other);
+  void MoveFrom(Json&& other) noexcept;
+  void DumpValue(std::string& out, int indent, int depth) const;
 
   Type type_;
-  bool bool_ = false;
-  int64_t int_ = 0;
-  double double_ = 0.0;
-  std::string string_;
-  Array array_;
-  Object object_;
+  union {
+    bool bool_;
+    int64_t int_;
+    double double_;
+    std::string string_;
+    Array* array_;
+    Object* object_;
+  };
 };
+
+static_assert(sizeof(Json) <= 48,
+              "Json must stay a compact tagged union; see the class comment");
 
 // Escapes `s` as a JSON string literal body (without surrounding quotes).
 std::string JsonEscape(std::string_view s);
+
+// Append-style escape used by the serialization fast paths: clean runs are
+// bulk-copied and only bytes that require escaping ('"', '\\', control
+// characters) break the run. Escapes are rare in log payloads, so this is
+// effectively a single append.
+void JsonAppendEscaped(std::string& out, std::string_view s);
+
+// Appends the canonical JSON token for `d` — the shortest representation
+// that reparses to the same double, identical to Json(d).Dump(0).
+void JsonAppendDouble(std::string& out, double d);
+
+// Advances `pos` past one complete JSON value starting at text[pos]
+// (skipping leading whitespace). Structure-aware only — strings and
+// bracket nesting are honoured but the content is not validated; callers
+// hand the extent to Json::Parse for that. Returns false when no complete
+// value is found before the end of `text`.
+bool JsonSkipValue(std::string_view text, size_t& pos);
 
 }  // namespace granula
 

@@ -3,8 +3,6 @@
 #include <fstream>
 #include <utility>
 
-#include "common/json.h"
-
 namespace granula::core {
 
 LogTailer::Poll LogTailer::PollOnce() {
@@ -42,12 +40,10 @@ LogTailer::Poll LogTailer::PollOnce() {
     line_start = newline + 1;
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.find_first_not_of(" \t") == std::string_view::npos) continue;
-    auto parsed = Json::Parse(line);
-    if (!parsed.ok()) {
-      ++result.malformed_lines;
-      continue;
-    }
-    auto record = LogRecord::FromJson(*parsed);
+    // The fast JSONL codec: canonical lines skip the DOM entirely, and
+    // anything else falls back internally, so malformed-line counting is
+    // unchanged.
+    auto record = LogRecord::ParseJsonl(line);
     if (!record.ok()) {
       ++result.malformed_lines;
       continue;

@@ -1,11 +1,15 @@
 #include "granula/monitor/job_logger.h"
 
+#include <charconv>
 #include <chrono>
+#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <iterator>
+#include <optional>
 #include <thread>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace granula::core {
 
@@ -23,7 +27,229 @@ std::string_view KindName(LogRecord::Kind kind) {
   return "unknown";
 }
 
+// --------------------------------------------------- JSONL fast path ----
+//
+// The writer side (AppendJsonl) emits the record's keys directly in sorted
+// order, so its output is byte-identical to ToJson().Dump(0) — the
+// std::map-backed DOM sorts the same keys and Dump(0) adds no whitespace.
+// tests/jsonl_codec_test.cc diffs the two writers over full platform runs.
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  JsonAppendEscaped(out, s);
+  out += '"';
+}
+
+void AppendJsonInt(std::string& out, int64_t v) {
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // int64 always fits
+  out.append(buf, static_cast<size_t>(p - buf));
+}
+
+// Matches Json(uint64_t) + Dump: values above INT64_MAX are stored (and
+// therefore printed) as doubles.
+void AppendJsonUint(std::string& out, uint64_t v) {
+  if (v <= static_cast<uint64_t>(INT64_MAX)) {
+    AppendJsonInt(out, static_cast<int64_t>(v));
+  } else {
+    JsonAppendDouble(out, static_cast<double>(v));
+  }
+}
+
+// The reader side: a single-pass scan of the writer's own canonical format
+// (object with no interior whitespace, unescaped keys and strings, plain
+// integer scalars). String fields come out as views into the line — zero
+// copies until they are committed into the LogRecord.
+struct CanonicalFields {
+  std::string_view kind;
+  std::string_view actor_type;
+  std::string_view actor_id;
+  std::string_view mission_type;
+  std::string_view mission_id;
+  std::string_view name;
+  uint64_t seq = 0;
+  uint64_t op = 0;
+  uint64_t parent = 0;
+  int64_t t = 0;
+  std::string_view value;  // raw extent of the free-form info payload
+  bool has_value = false;
+};
+
+// Returns false for anything non-canonical; the caller then falls back to
+// the DOM path, which owns all tolerance and error reporting. A canonical
+// line may end in trailing whitespace (CRLF logs) but nothing else.
+bool ScanCanonicalLine(std::string_view s, CanonicalFields& f) {
+  const size_t n = s.size();
+  size_t i = 0;
+  if (i >= n || s[i] != '{') return false;
+  ++i;
+  if (i < n && s[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      if (i >= n || s[i] != '"') return false;
+      ++i;
+      const size_t key_start = i;
+      while (i < n && s[i] != '"' && s[i] != '\\') ++i;
+      if (i >= n || s[i] != '"') return false;  // escaped key → DOM path
+      const std::string_view key = s.substr(key_start, i - key_start);
+      ++i;
+      if (i >= n || s[i] != ':') return false;
+      ++i;
+      std::string_view* string_field = nullptr;
+      if (key == "kind") {
+        string_field = &f.kind;
+      } else if (key == "actor_type") {
+        string_field = &f.actor_type;
+      } else if (key == "actor_id") {
+        string_field = &f.actor_id;
+      } else if (key == "mission_type") {
+        string_field = &f.mission_type;
+      } else if (key == "mission_id") {
+        string_field = &f.mission_id;
+      } else if (key == "name") {
+        string_field = &f.name;
+      }
+      if (string_field != nullptr) {
+        if (i >= n || s[i] != '"') return false;
+        ++i;
+        const size_t value_start = i;
+        while (i < n && s[i] != '"' && s[i] != '\\') ++i;
+        if (i >= n || s[i] != '"') return false;  // escape → DOM path
+        *string_field = s.substr(value_start, i - value_start);
+        ++i;
+      } else if (key == "seq" || key == "op" || key == "parent") {
+        uint64_t v = 0;
+        auto [p, ec] = std::from_chars(s.data() + i, s.data() + n, v);
+        if (ec != std::errc()) return false;
+        i = static_cast<size_t>(p - s.data());
+        (key == "seq" ? f.seq : key == "op" ? f.op : f.parent) = v;
+      } else if (key == "t") {
+        int64_t v = 0;
+        auto [p, ec] = std::from_chars(s.data() + i, s.data() + n, v);
+        if (ec != std::errc()) return false;
+        i = static_cast<size_t>(p - s.data());
+        f.t = v;
+      } else if (key == "value") {
+        const size_t value_start = i;
+        if (!JsonSkipValue(s, i)) return false;
+        f.value = s.substr(value_start, i - value_start);
+        f.has_value = true;
+      } else {
+        return false;  // unknown key → DOM path decides what it means
+      }
+      if (i < n && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < n && s[i] == '}') {
+        ++i;
+        break;
+      }
+      return false;  // whitespace, exotic number tail, or truncation
+    }
+  }
+  while (i < n && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' ||
+                   s[i] == '\n')) {
+    ++i;
+  }
+  return i == n;
+}
+
+// Builds the record from a successful canonical scan, mirroring FromJson
+// field-for-field (kind-gated assignment, absent keys keep defaults).
+// nullopt → the line needs the DOM path after all (unknown kind, or an
+// info payload Json::Parse rejects).
+std::optional<LogRecord> RecordFromCanonical(const CanonicalFields& f) {
+  LogRecord r;
+  if (f.kind == "start") {
+    r.kind = LogRecord::Kind::kStartOp;
+  } else if (f.kind == "end") {
+    r.kind = LogRecord::Kind::kEndOp;
+  } else if (f.kind == "info") {
+    r.kind = LogRecord::Kind::kInfo;
+  } else {
+    return std::nullopt;
+  }
+  r.seq = f.seq;
+  r.time = SimTime::Nanos(f.t);
+  r.op_id = f.op;
+  if (r.kind == LogRecord::Kind::kStartOp) {
+    r.parent_id = f.parent;
+    r.actor_type = std::string(f.actor_type);
+    r.actor_id = std::string(f.actor_id);
+    r.mission_type = std::string(f.mission_type);
+    r.mission_id = std::string(f.mission_id);
+  }
+  if (r.kind == LogRecord::Kind::kInfo) {
+    r.info_name = std::string(f.name);
+    if (f.has_value) {
+      auto value = Json::Parse(f.value);
+      if (!value.ok()) return std::nullopt;
+      r.info_value = std::move(*value);
+    }
+  }
+  return r;
+}
+
 }  // namespace
+
+void LogRecord::AppendJsonl(std::string& out) const {
+  out += '{';
+  if (kind == Kind::kStartOp) {
+    if (!actor_id.empty()) {
+      out += "\"actor_id\":";
+      AppendJsonString(out, actor_id);
+      out += ',';
+    }
+    out += "\"actor_type\":";
+    AppendJsonString(out, actor_type);
+    out += ',';
+  }
+  out += "\"kind\":\"";
+  out += KindName(kind);
+  out += '"';
+  if (kind == Kind::kStartOp) {
+    if (!mission_id.empty()) {
+      out += ",\"mission_id\":";
+      AppendJsonString(out, mission_id);
+    }
+    out += ",\"mission_type\":";
+    AppendJsonString(out, mission_type);
+  }
+  if (kind == Kind::kInfo) {
+    out += ",\"name\":";
+    AppendJsonString(out, info_name);
+  }
+  out += ",\"op\":";
+  AppendJsonUint(out, op_id);
+  if (kind == Kind::kStartOp) {
+    out += ",\"parent\":";
+    AppendJsonUint(out, parent_id);
+  }
+  out += ",\"seq\":";
+  AppendJsonUint(out, seq);
+  out += ",\"t\":";
+  AppendJsonInt(out, time.nanos());
+  if (kind == Kind::kInfo) {
+    out += ",\"value\":";
+    info_value.DumpTo(out);
+  }
+  out += '}';
+}
+
+Result<LogRecord> LogRecord::ParseJsonl(std::string_view line) {
+  CanonicalFields fields;
+  if (ScanCanonicalLine(line, fields)) {
+    if (auto record = RecordFromCanonical(fields)) return std::move(*record);
+  }
+  // Non-canonical input: the DOM path reproduces the legacy tolerance and
+  // error text exactly.
+  auto parsed = Json::Parse(line);
+  if (!parsed.ok()) return parsed.status();
+  return FromJson(*parsed);
+}
 
 Json LogRecord::ToJson() const {
   Json j;
@@ -80,13 +306,24 @@ Result<LogRecord> LogRecord::FromJson(const Json& j) {
 
 Status WriteLogRecords(const std::string& path,
                        const std::vector<LogRecord>& records) {
-  std::ofstream file(path, std::ios::trunc);
+  std::ofstream file(path, std::ios::trunc | std::ios::binary);
   if (!file) {
     return Status::IoError(StrFormat("cannot write %s", path.c_str()));
   }
+  // Serialize through the fast codec into one reused buffer, flushed in
+  // ~1 MiB slabs so memory stays bounded for multi-GB logs.
+  constexpr size_t kFlushBytes = 1 << 20;
+  std::string buffer;
+  buffer.reserve(kFlushBytes + 4096);
   for (const LogRecord& r : records) {
-    file << r.ToJson().Dump(0) << '\n';
+    r.AppendJsonl(buffer);
+    buffer += '\n';
+    if (buffer.size() >= kFlushBytes) {
+      file.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
   }
+  file.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   file.flush();
   if (!file.good()) {
     return Status::IoError(StrFormat("write failed for %s", path.c_str()));
@@ -95,29 +332,76 @@ Status WriteLogRecords(const std::string& path,
 }
 
 Result<std::vector<LogRecord>> ReadLogRecords(const std::string& path) {
-  std::ifstream file(path);
+  std::ifstream file(path, std::ios::binary);
   if (!file) {
     return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
   }
+  std::string data;
+  file.seekg(0, std::ios::end);
+  const auto file_end = file.tellg();
+  if (file_end > 0) {
+    data.resize(static_cast<size_t>(file_end));
+    file.seekg(0, std::ios::beg);
+    file.read(data.data(), static_cast<std::streamsize>(data.size()));
+    const auto got = file.gcount();
+    data.resize(got > 0 ? static_cast<size_t>(got) : 0);
+  }
+
+  std::vector<std::string_view> lines;
+  lines.reserve(data.size() / 64 + 1);
+  for (size_t pos = 0; pos < data.size();) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data.data() + pos, '\n', data.size() - pos));
+    const size_t line_end =
+        nl != nullptr ? static_cast<size_t>(nl - data.data()) : data.size();
+    lines.emplace_back(data.data() + pos, line_end - pos);
+    pos = line_end + 1;
+  }
+
+  // Parse line-range chunks concurrently. The decomposition depends only
+  // on the line count (ThreadPool's determinism contract), chunks are
+  // concatenated in index order, and the earliest bad line wins — so the
+  // result is identical to a serial read at every host-thread count.
+  struct Chunk {
+    std::vector<LogRecord> records;
+    Status error = Status::OK();
+    size_t error_line = 0;
+  };
+  const uint64_t grain = ChunkedGrain(lines.size());
+  std::vector<Chunk> chunks(ThreadPool::NumChunks(lines.size(), grain));
+  ParallelFor(0, lines.size(), grain,
+              [&](uint64_t chunk_index, uint64_t begin, uint64_t end) {
+                Chunk& chunk = chunks[chunk_index];
+                for (uint64_t i = begin; i < end; ++i) {
+                  const std::string_view line = lines[i];
+                  if (line.find_first_not_of(" \t\r") ==
+                      std::string_view::npos) {
+                    continue;
+                  }
+                  auto record = LogRecord::ParseJsonl(line);
+                  if (!record.ok()) {
+                    chunk.error = record.status();
+                    chunk.error_line = i + 1;
+                    break;
+                  }
+                  chunk.records.push_back(std::move(*record));
+                }
+              });
+
+  size_t total = 0;
+  for (const Chunk& chunk : chunks) {
+    if (!chunk.error.ok()) {
+      return Status::Corruption(StrFormat("%s:%zu: %s", path.c_str(),
+                                          chunk.error_line,
+                                          chunk.error.ToString().c_str()));
+    }
+    total += chunk.records.size();
+  }
   std::vector<LogRecord> records;
-  std::string line;
-  size_t line_number = 0;
-  while (std::getline(file, line)) {
-    ++line_number;
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    auto parsed = Json::Parse(line);
-    if (!parsed.ok()) {
-      return Status::Corruption(StrFormat("%s:%zu: %s", path.c_str(),
-                                          line_number,
-                                          parsed.status().ToString().c_str()));
-    }
-    auto record = LogRecord::FromJson(*parsed);
-    if (!record.ok()) {
-      return Status::Corruption(StrFormat("%s:%zu: %s", path.c_str(),
-                                          line_number,
-                                          record.status().ToString().c_str()));
-    }
-    records.push_back(std::move(*record));
+  records.reserve(total);
+  for (Chunk& chunk : chunks) {
+    std::move(chunk.records.begin(), chunk.records.end(),
+              std::back_inserter(records));
   }
   return records;
 }
@@ -141,7 +425,11 @@ void JobLogger::StopStreaming() {
 
 void JobLogger::Emit(const LogRecord& record) {
   if (stream_ == nullptr) return;
-  *stream_ << record.ToJson().Dump(0) << '\n';
+  emit_buffer_.clear();
+  record.AppendJsonl(emit_buffer_);
+  emit_buffer_ += '\n';
+  stream_->write(emit_buffer_.data(),
+                 static_cast<std::streamsize>(emit_buffer_.size()));
   stream_->flush();
   if (stream_delay_us_ > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(stream_delay_us_));

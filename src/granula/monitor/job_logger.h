@@ -44,11 +44,31 @@ struct LogRecord {
   // stream (the provenance the lint pass keys on).
   Json ToJson() const;
   static Result<LogRecord> FromJson(const Json& j);
+
+  // Fast JSONL codec — the serialization fast path (DESIGN.md
+  // "Serialization fast paths"). AppendJsonl appends exactly the bytes of
+  // ToJson().Dump(0) without building a DOM: keys are emitted in sorted
+  // order, strings through the bulk-run escape fast path, integers via
+  // to_chars. ParseJsonl parses one log line; canonical lines (the writer's
+  // own output) take a single-pass schema-aware scan with no DOM and no
+  // per-key allocations, and anything non-canonical — reordered keys,
+  // whitespace, escapes, exotic numbers, malformed input — transparently
+  // falls back to Json::Parse + FromJson, so it accepts exactly the same
+  // lines and reports exactly the same errors as the DOM path. Only the
+  // free-form `value` payload of an info record goes through Json::Parse.
+  void AppendJsonl(std::string& out) const;
+  static Result<LogRecord> ParseJsonl(std::string_view line);
 };
 
 // Captured-log persistence: one compact JSON object per line (JSONL), the
 // flat order-independent format the archiver expects back. Enables
 // offline lint/repair of logs scraped from real platforms.
+//
+// ReadLogRecords shards the file's lines over the process-wide host pool
+// (GRANULA_HOST_THREADS) and parses chunks concurrently; chunks are
+// concatenated in chunk-index order, so the returned sequence — and the
+// error reported for a corrupt file (the earliest bad line wins) — is
+// byte-for-byte identical to a serial read at any thread count.
 Status WriteLogRecords(const std::string& path,
                        const std::vector<LogRecord>& records);
 Result<std::vector<LogRecord>> ReadLogRecords(const std::string& path);
@@ -102,6 +122,7 @@ class JobLogger {
   std::vector<LogRecord> records_;
   std::unique_ptr<std::ofstream> stream_;
   uint64_t stream_delay_us_ = 0;
+  std::string emit_buffer_;  // reused across Emit calls
 };
 
 // A JobLogger whose clock is a Simulator's virtual clock lives in

@@ -1,0 +1,172 @@
+// Property-style roundtrip coverage for the compact Json value: seeded
+// random nested documents must survive Parse(Dump(v)) == v at every
+// indent, and canonical compact dumps must be fixpoints of Dump ∘ Parse.
+// The codec and archive byte-equality contracts all bottom out here.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/random.h"
+
+namespace granula {
+namespace {
+
+std::string RandomString(Rng& rng) {
+  const size_t len = rng.NextBounded(16);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    switch (rng.NextBounded(8)) {
+      case 0:  // control byte → \uXXXX escape on dump
+        s += static_cast<char>(rng.NextBounded(0x20));
+        break;
+      case 1:  // the two single-char escapes
+        s += rng.NextBool(0.5) ? '"' : '\\';
+        break;
+      case 2:  // high bytes (UTF-8 continuation range) pass through raw
+        s += static_cast<char>(0x80 + rng.NextBounded(0x80));
+        break;
+      default:  // printable ASCII
+        s += static_cast<char>(0x20 + rng.NextBounded(0x5f));
+        break;
+    }
+  }
+  return s;
+}
+
+double RandomDouble(Rng& rng) {
+  // Spread across magnitudes; NaN/Inf are excluded because Dump degrades
+  // them by design (null / 1e999) and they cannot roundtrip.
+  const double mantissa = rng.NextDouble() * 2.0 - 1.0;
+  const int exponent = static_cast<int>(rng.NextInt(-300, 300));
+  return mantissa * std::pow(10.0, exponent);
+}
+
+Json RandomValue(Rng& rng, int depth) {
+  const uint64_t pick = rng.NextBounded(depth >= 4 ? 5 : 7);
+  switch (pick) {
+    case 0:
+      return Json();
+    case 1:
+      return Json(rng.NextBool(0.5));
+    case 2:
+      return Json(rng.NextInt(-1000000000000000000, 1000000000000000000));
+    case 3:
+      return Json(RandomDouble(rng));
+    case 4:
+      return Json(RandomString(rng));
+    case 5: {
+      Json arr = Json::MakeArray();
+      const uint64_t n = rng.NextBounded(5);
+      for (uint64_t i = 0; i < n; ++i) {
+        arr.Append(RandomValue(rng, depth + 1));
+      }
+      return arr;
+    }
+    default: {
+      Json obj = Json::MakeObject();
+      const uint64_t n = rng.NextBounded(5);
+      for (uint64_t i = 0; i < n; ++i) {
+        obj[RandomString(rng)] = RandomValue(rng, depth + 1);
+      }
+      return obj;
+    }
+  }
+}
+
+TEST(JsonPropertyTest, ParseDumpRoundtripsRandomDocuments) {
+  Rng rng(20260807);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const Json doc = RandomValue(rng, 0);
+    for (int indent : {0, 2}) {
+      auto parsed = Json::Parse(doc.Dump(indent));
+      ASSERT_TRUE(parsed.ok())
+          << "iteration " << iteration << ": " << parsed.status() << "\n"
+          << doc.Dump(indent);
+      EXPECT_EQ(*parsed, doc) << "iteration " << iteration;
+    }
+  }
+}
+
+TEST(JsonPropertyTest, CompactDumpIsCanonicalFixpoint) {
+  // For canonical s (the compact dump of any value), Dump(Parse(s)) == s.
+  Rng rng(7);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const std::string canonical = RandomValue(rng, 0).Dump(0);
+    auto parsed = Json::Parse(canonical);
+    ASSERT_TRUE(parsed.ok()) << canonical;
+    EXPECT_EQ(parsed->Dump(0), canonical) << "iteration " << iteration;
+  }
+}
+
+TEST(JsonPropertyTest, CanonicalEdgeCaseStringsAreFixpoints) {
+  const char* kCases[] = {
+      "null",
+      "true",
+      "false",
+      "0",
+      "-1",
+      "9223372036854775807",
+      "-9223372036854775808",
+      "0.5",
+      "2.0",
+      "1e-300",
+      "1.7976931348623157e+308",
+      "\"\"",
+      "\"a\\\"b\\\\c\"",
+      "\"\\u0000\\u0001\\u001f\"",
+      "\"\\n\\r\\t\\b\\f\"",
+      "\"\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80\"",  // raw UTF-8 passes through
+      "[]",
+      "{}",
+      "[1,\"two\",{\"a\":[true,null]}]",
+      "{\"a\":[1,2.5,\"x\"],\"b\":{}}",
+  };
+  for (const char* s : kCases) {
+    auto parsed = Json::Parse(s);
+    ASSERT_TRUE(parsed.ok()) << s << ": " << parsed.status();
+    EXPECT_EQ(parsed->Dump(0), s);
+  }
+}
+
+TEST(JsonPropertyTest, UnicodeEscapesRoundtripAsValues) {
+  // \u escapes decode to UTF-8 bytes; the dump re-emits the bytes raw, so
+  // these are value (not string) fixpoints.
+  const char* kCases[] = {
+      R"("é")",
+      R"("中")",
+      R"("😀")",  // surrogate pair
+      R"("a\ud800b")",      // lone surrogate → U+FFFD
+  };
+  for (const char* s : kCases) {
+    auto parsed = Json::Parse(s);
+    ASSERT_TRUE(parsed.ok()) << s;
+    auto reparsed = Json::Parse(parsed->Dump(0));
+    ASSERT_TRUE(reparsed.ok()) << parsed->Dump(0);
+    EXPECT_EQ(*reparsed, *parsed) << s;
+  }
+}
+
+TEST(JsonPropertyTest, NumberEdgeCasesRoundtrip) {
+  Json doc = Json::MakeArray();
+  doc.Append(int64_t{INT64_MAX});
+  doc.Append(int64_t{INT64_MIN});
+  doc.Append(uint64_t{UINT64_MAX});  // stored as double by design
+  doc.Append(0.0);
+  doc.Append(-0.0);
+  doc.Append(5e-324);  // smallest subnormal
+  doc.Append(std::numeric_limits<double>::max());
+  doc.Append(1.0 / 3.0);
+  for (int indent : {0, 2}) {
+    auto parsed = Json::Parse(doc.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, doc);
+  }
+}
+
+}  // namespace
+}  // namespace granula

@@ -1,9 +1,18 @@
 #include "common/json.h"
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 namespace granula {
 namespace {
+
+// The tagged-union rework exists to shrink the per-node footprint; the
+// archive and log-ingest paths size their memory plans around this.
+static_assert(sizeof(Json) <= 48, "Json value must stay compact");
 
 TEST(JsonTest, TypePredicates) {
   EXPECT_TRUE(Json().is_null());
@@ -187,6 +196,80 @@ TEST(JsonTest, EqualityIsDeep) {
   auto c = Json::Parse(R"({"x":[1,2,{"y":false}]})");
   EXPECT_EQ(*a, *b);
   EXPECT_FALSE(*a == *c);
+}
+
+TEST(JsonTest, Uint64AboveInt64MaxStoredAsDouble) {
+  // Regression: these used to wrap negative via static_cast<int64_t>.
+  // Precision past 2^53 is traded away, but sign and magnitude survive.
+  Json small(uint64_t{7});
+  EXPECT_TRUE(small.is_int());
+  EXPECT_EQ(small.AsInt(), 7);
+
+  Json exact(static_cast<uint64_t>(INT64_MAX));
+  EXPECT_TRUE(exact.is_int());
+  EXPECT_EQ(exact.AsInt(), INT64_MAX);
+
+  Json big(static_cast<uint64_t>(INT64_MAX) + 1);  // 2^63
+  EXPECT_TRUE(big.is_double());
+  EXPECT_DOUBLE_EQ(big.AsDouble(), 9223372036854775808.0);
+  EXPECT_GT(big.AsDouble(), 0.0);
+
+  Json max(UINT64_MAX);
+  EXPECT_TRUE(max.is_double());
+  EXPECT_DOUBLE_EQ(max.AsDouble(), 18446744073709551616.0);
+
+  // The double representation still roundtrips through text.
+  auto parsed = Json::Parse(max.Dump(0));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, max);
+}
+
+TEST(JsonTest, AsIntSaturatesOutOfRangeDoubles) {
+  // Regression: the raw static_cast was UB for doubles outside int64.
+  EXPECT_EQ(Json(1e300).AsInt(), INT64_MAX);
+  EXPECT_EQ(Json(-1e300).AsInt(), INT64_MIN);
+  EXPECT_EQ(Json(9223372036854775808.0).AsInt(), INT64_MAX);
+  EXPECT_EQ(Json(-9223372036854775808.0).AsInt(), INT64_MIN);
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).AsInt(),
+            INT64_MAX);
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).AsInt(),
+            INT64_MIN);
+  EXPECT_EQ(Json(std::nan("")).AsInt(), 0);
+  // In-range doubles still truncate toward zero.
+  EXPECT_EQ(Json(3.9).AsInt(), 3);
+  EXPECT_EQ(Json(-3.9).AsInt(), -3);
+}
+
+TEST(JsonTest, CopyIsDeepAndMoveLeavesNull) {
+  Json doc;
+  doc["outer"]["inner"] = int64_t{1};
+  doc["list"].Append("x");
+
+  Json copy = doc;
+  copy["outer"]["inner"] = int64_t{2};
+  EXPECT_EQ(doc["outer"].GetInt("inner"), 1);
+  EXPECT_EQ(copy["outer"].GetInt("inner"), 2);
+
+  Json moved = std::move(copy);
+  EXPECT_TRUE(copy.is_null());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved["outer"].GetInt("inner"), 2);
+}
+
+TEST(JsonTest, AssignmentFromOwnDescendantIsSafe) {
+  Json doc;
+  doc["child"]["x"] = int64_t{1};
+  doc = doc["child"];  // `other` lives inside *this
+  EXPECT_EQ(doc.GetInt("x"), 1);
+}
+
+TEST(JsonTest, MismatchedAccessorsReturnEmpty) {
+  const Json num(int64_t{3});
+  EXPECT_EQ(num.AsString(), "");
+  EXPECT_TRUE(num.AsArray().empty());
+  EXPECT_TRUE(num.AsObject().empty());
+  EXPECT_FALSE(num.AsBool());
+  EXPECT_EQ(Json("str").AsInt(), 0);
+  EXPECT_DOUBLE_EQ(Json("str").AsDouble(), 0.0);
 }
 
 TEST(JsonTest, DeepNestingWithinLimitParses) {

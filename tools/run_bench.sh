@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Runs the engine and live-monitoring benchmarks:
+# Runs the engine, live-monitoring, and serialization benchmarks:
 #   BENCH_engine.json     — host-parallel superstep throughput vs threads,
 #                           sharded MessageStore, parallel CSR build
 #   BENCH_streaming.json  — StreamingArchiver ingest throughput vs the
 #                           batch Archiver, and mid-stream Snapshot() cost
+#   BENCH_jsonl.json      — JSONL codec vs DOM emit/parse records/s, and
+#                           parallel ReadLogRecords vs host threads
 #
 # Usage: tools/run_bench.sh [build_dir] [engine_out.json] [streaming_out.json]
-#   build_dir defaults to ./build; outputs default to ./BENCH_engine.json
-#   and ./BENCH_streaming.json.
+#                           [jsonl_out.json]
+#   build_dir defaults to ./build; outputs default to ./BENCH_engine.json,
+#   ./BENCH_streaming.json, and ./BENCH_jsonl.json.
 #
 # Notes:
 # - The engine bench sweeps the thread axis itself (Resize per benchmark
@@ -15,15 +18,19 @@
 #   initial pool size.
 # - The >=3x-at-8-threads acceptance point assumes >=8 physical cores;
 #   on smaller hosts the curve flattens at the core count.
+# - The jsonl acceptance point (ParseJsonl >= 3x ParseDom, single thread)
+#   is core-count independent.
 set -euo pipefail
 
 build_dir="${1:-build}"
 engine_out="${2:-BENCH_engine.json}"
 streaming_out="${3:-BENCH_streaming.json}"
+jsonl_out="${4:-BENCH_jsonl.json}"
 engine_bench="${build_dir}/bench/micro_parallel_engine"
 streaming_bench="${build_dir}/bench/micro_streaming_ingest"
+jsonl_bench="${build_dir}/bench/micro_jsonl"
 
-for bench in "${engine_bench}" "${streaming_bench}"; do
+for bench in "${engine_bench}" "${streaming_bench}" "${jsonl_bench}"; do
   if [[ ! -x "${bench}" ]]; then
     echo "error: ${bench} not found — build first:" >&2
     echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
@@ -44,7 +51,13 @@ echo
   --benchmark_counters_tabular=true
 
 echo
-echo "wrote ${engine_out} and ${streaming_out}"
+"${jsonl_bench}" \
+  --benchmark_out="${jsonl_out}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo
+echo "wrote ${engine_out}, ${streaming_out}, and ${jsonl_out}"
 # Print the superstep-compute scaling summary (speedup vs the 1-thread row
 # of each benchmark family) if python3 is around; the JSON has everything.
 if command -v python3 >/dev/null; then
@@ -81,5 +94,24 @@ if best:
     print("ingest throughput (largest log):")
     for name, rate in sorted(best.items()):
         print(f"  {name}: {rate / 1e6:.2f}M records/s")
+EOF
+  # JSONL codec vs DOM: records/s plus the fast-path speedup ratios.
+  python3 - "${jsonl_out}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+best = {}
+for b in data.get("benchmarks", []):
+    name = b["name"].split("/")[0]
+    if "items_per_second" in b:
+        best[name] = max(best.get(name, 0.0), b["items_per_second"])
+if best:
+    print("jsonl codec throughput (best size):")
+    for name, rate in sorted(best.items()):
+        print(f"  {name}: {rate / 1e6:.2f}M records/s")
+    for fast, dom, label in [("BM_EmitJsonl", "BM_EmitDom", "emit"),
+                             ("BM_ParseJsonl", "BM_ParseDom", "parse")]:
+        if fast in best and dom in best and best[dom] > 0:
+            print(f"  {label} fast-path speedup vs DOM: "
+                  f"{best[fast] / best[dom]:.2f}x")
 EOF
 fi

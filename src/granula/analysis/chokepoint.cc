@@ -24,6 +24,10 @@ std::string_view FindingKindName(FindingKind kind) {
       return "synchronization_overhead";
     case FindingKind::kStragglerNode:
       return "straggler_node";
+    case FindingKind::kFailureRecovery:
+      return "failure_recovery";
+    case FindingKind::kStalledJob:
+      return "stalled_job";
   }
   return "unknown";
 }
@@ -205,6 +209,63 @@ void DetectSuperstepFindings(const PerformanceArchive& archive,
   }
 }
 
+// Sums the durations of FailedAttempt/Restart operations anywhere in the
+// tree. Matched subtrees are not descended into: a failed attempt's
+// children are the replayed work, already covered by its own duration.
+void SumFailures(const ArchivedOperation& op, double* lost_seconds,
+                 uint64_t* attempts, uint64_t* restarts) {
+  if (op.mission_type == "FailedAttempt") {
+    *lost_seconds += op.Duration().seconds();
+    ++*attempts;
+    return;
+  }
+  if (op.mission_type == "Restart") {
+    *lost_seconds += op.Duration().seconds();
+    ++*restarts;
+    return;
+  }
+  for (const auto& child : op.children) {
+    SumFailures(*child, lost_seconds, attempts, restarts);
+  }
+}
+
+void DetectFailureFindings(const PerformanceArchive& archive,
+                           const ChokepointOptions& options,
+                           std::vector<Finding>* findings) {
+  double lost = 0;
+  uint64_t attempts = 0, restarts = 0;
+  SumFailures(*archive.root, &lost, &attempts, &restarts);
+  std::string path = archive.root->mission_id.empty()
+                         ? archive.root->mission_type
+                         : archive.root->mission_id;
+  if (attempts + restarts > 0) {
+    double job_seconds = archive.root->Duration().seconds();
+    double fraction = job_seconds > 0 ? lost / job_seconds : 0.0;
+    Severity severity =
+        fraction >= options.lost_time_critical_fraction ? Severity::kCritical
+        : fraction >= options.lost_time_warning_fraction ? Severity::kWarning
+                                                         : Severity::kInfo;
+    findings->push_back(Finding{
+        FindingKind::kFailureRecovery, severity, path,
+        StrFormat("%llu failed attempt(s) and %llu restart(s) lost %s to "
+                  "failure recovery (%s of the job)",
+                  static_cast<unsigned long long>(attempts),
+                  static_cast<unsigned long long>(restarts),
+                  HumanSeconds(lost).c_str(), HumanPercent(fraction).c_str()),
+        fraction});
+  }
+  // An in-flight streaming snapshot is incomplete by construction — only
+  // flag archives whose root is genuinely never going to close.
+  if (archive.status == ArchiveStatus::kIncomplete &&
+      !archive.root->HasInfo("InFlight")) {
+    findings->push_back(Finding{
+        FindingKind::kStalledJob, Severity::kCritical, path,
+        "the job root never closed — the run aborted (retries exhausted) "
+        "or is still in flight",
+        0.0});
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> AnalyzeChokepoints(const PerformanceArchive& archive,
@@ -213,6 +274,7 @@ std::vector<Finding> AnalyzeChokepoints(const PerformanceArchive& archive,
   if (archive.root == nullptr) return findings;
   DetectPhaseFindings(archive, options, &findings);
   DetectSuperstepFindings(archive, options, &findings);
+  DetectFailureFindings(archive, options, &findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return static_cast<int>(a.severity) >

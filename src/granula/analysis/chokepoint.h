@@ -25,6 +25,10 @@ enum class FindingKind {
   kWorkerImbalance,     // slowest/fastest worker ratio above threshold
   kSynchronizationOverhead,  // large share of processing outside compute
   kStragglerNode,       // one node consistently slower across supersteps
+  kFailureRecovery,     // time lost to FailedAttempt/Restart operations
+  kStalledJob,          // job root never closed (aborted or wedged run);
+                        // also synthesized live by `granula watch` when a
+                        // tailed log stops advancing
 };
 
 std::string_view FindingKindName(FindingKind kind);
@@ -51,6 +55,10 @@ struct ChokepointOptions {
   double imbalance_ratio = 1.5;          // slowest/fastest local superstep
   double sync_overhead_fraction = 0.30;  // non-compute share of supersteps
   double straggler_ratio = 1.25;         // node mean vs cluster mean
+  // Failure recovery: share of the job lost to FailedAttempt/Restart
+  // operations that upgrades the finding from info to warning/critical.
+  double lost_time_warning_fraction = 0.05;
+  double lost_time_critical_fraction = 0.25;
   // Total cluster CPU capacity in CPU-s/s (nodes x cores). Needed for the
   // idle/saturated detectors; <=0 disables them.
   double cluster_cpu_capacity = 0.0;

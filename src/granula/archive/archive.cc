@@ -185,12 +185,17 @@ std::map<std::string, double> PerformanceArchive::TopLevelBreakdown() const {
   return breakdown;
 }
 
+std::string_view ArchiveStatusName(ArchiveStatus status) {
+  return status == ArchiveStatus::kComplete ? "complete" : "incomplete";
+}
+
 std::string PerformanceArchive::ToJsonString(int indent) const {
   Json j;
   Json meta = Json::MakeObject();
   for (const auto& [key, value] : job_metadata) meta[key] = value;
   j["job"] = std::move(meta);
   j["model"] = model_name;
+  j["status"] = std::string(ArchiveStatusName(status));
   j["root"] = root == nullptr ? Json() : root->ToJson();
   Json env = Json::MakeArray();
   for (const EnvironmentRecord& r : environment) {
@@ -218,6 +223,11 @@ Result<PerformanceArchive> PerformanceArchive::FromJsonString(
     }
   }
   archive.model_name = j.GetString("model");
+  // Absent in archives written before the status field existed: those
+  // were all complete runs.
+  archive.status = j.GetString("status") == "incomplete"
+                       ? ArchiveStatus::kIncomplete
+                       : ArchiveStatus::kComplete;
   if (const Json* root = j.Find("root");
       root != nullptr && !root->is_null()) {
     GRANULA_ASSIGN_OR_RETURN(archive.root, ArchivedOperation::FromJson(*root));

@@ -79,6 +79,14 @@ struct EnvironmentRecord {
   double disk_bytes_per_second = 0;
 };
 
+// Whether the archived job ran to completion. kIncomplete marks a root
+// operation that never closed — a crashed job, or a live snapshot taken
+// mid-run — so consumers can tell a truncated capture from a finished
+// one without digging through lint defects.
+enum class ArchiveStatus { kComplete, kIncomplete };
+
+std::string_view ArchiveStatusName(ArchiveStatus status);
+
 // The performance archive (paper Section 3.3, P3): the standardized,
 // queryable artifact produced by one evaluated job. Serializes to JSON so
 // archives can be stored, shared, diffed, and re-visualized without
@@ -87,6 +95,7 @@ class PerformanceArchive {
  public:
   std::map<std::string, std::string> job_metadata;  // platform, algorithm...
   std::string model_name;
+  ArchiveStatus status = ArchiveStatus::kComplete;
   std::unique_ptr<ArchivedOperation> root;
   std::vector<EnvironmentRecord> environment;
   // Lint findings from archiving: what was quarantined or repaired when the

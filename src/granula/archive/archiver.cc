@@ -70,6 +70,13 @@ Result<PerformanceArchive> Archiver::Build(
 
   PerformanceArchive archive;
   archive.model_name = effective.name();
+  // A root with no usable EndOp is a job that never finished (crash, or
+  // a log truncated mid-run): lint repairs the timestamp so assembly can
+  // proceed, and the archive is marked incomplete rather than carrying
+  // only a generic defect string.
+  if (!linted.ops.at(linted.root).end_time.has_value()) {
+    archive.status = ArchiveStatus::kIncomplete;
+  }
   archive.root = std::move(assembled[0]);
   archive.environment = std::move(environment);
   archive.job_metadata = std::move(job_metadata);

@@ -1,0 +1,65 @@
+#include "granula/live/alert_sink.h"
+
+namespace granula::core {
+
+namespace {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kCritical:
+      return "critical";
+  }
+  return "info";
+}
+
+}  // namespace
+
+Json AlertToJson(const LiveAlert& alert) {
+  Json j = Json::MakeObject();
+  j["kind"] = std::string(FindingKindName(alert.finding.kind));
+  j["severity"] = SeverityName(alert.finding.severity);
+  j["operation"] = alert.finding.operation;
+  j["description"] = alert.finding.description;
+  j["metric"] = alert.finding.metric;
+  j["in_flight"] = alert.in_flight;
+  j["snapshot"] = alert.snapshot_index;
+  return j;
+}
+
+void TerminalAlertSink::OnAlert(const LiveAlert& alert) {
+  std::fprintf(out_, "ALERT [%s] %s %s: %s\n",
+               SeverityName(alert.finding.severity),
+               std::string(FindingKindName(alert.finding.kind)).c_str(),
+               alert.finding.operation.c_str(),
+               alert.finding.description.c_str());
+}
+
+void TerminalAlertSink::Flush() { std::fflush(out_); }
+
+Result<std::unique_ptr<JsonlAlertSink>> JsonlAlertSink::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open alert log for append: " + path);
+  }
+  return std::unique_ptr<JsonlAlertSink>(new JsonlAlertSink(file));
+}
+
+JsonlAlertSink::~JsonlAlertSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlAlertSink::OnAlert(const LiveAlert& alert) {
+  std::string line = AlertToJson(alert).Dump();
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);  // per-alert flush: concurrent readers see it now
+}
+
+void JsonlAlertSink::Flush() { std::fflush(file_); }
+
+}  // namespace granula::core

@@ -1,0 +1,61 @@
+#ifndef GRANULA_GRANULA_LIVE_ALERT_SINK_H_
+#define GRANULA_GRANULA_LIVE_ALERT_SINK_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "granula/live/alerts.h"
+
+namespace granula::core {
+
+// Pluggable destination for live alerts. `granula watch` routes every
+// freshly raised alert — choke-point findings, retry/failure alerts,
+// stall detections — to each configured sink, so alerts can go to the
+// terminal, a machine-readable file, or (future) a webhook without the
+// watch loop knowing the difference.
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+  // Called once per distinct alert, in the order raised.
+  virtual void OnAlert(const LiveAlert& alert) = 0;
+  // Called when the watch ends; sinks with buffers should drain them.
+  virtual void Flush() {}
+};
+
+// One JSON object describing the alert; reparses with common/json.h.
+Json AlertToJson(const LiveAlert& alert);
+
+// Prints the classic "ALERT [severity] kind operation: description"
+// line per alert. Does not own the stream.
+class TerminalAlertSink : public AlertSink {
+ public:
+  explicit TerminalAlertSink(std::FILE* out) : out_(out) {}
+  void OnAlert(const LiveAlert& alert) override;
+  void Flush() override;
+
+ private:
+  std::FILE* out_;
+};
+
+// Appends one JSON line per alert to a file, flushed per alert so a
+// concurrent reader (a dashboard, a test) sees alerts as they fire.
+class JsonlAlertSink : public AlertSink {
+ public:
+  // Opens `path` for appending; fails if the file cannot be created.
+  static Result<std::unique_ptr<JsonlAlertSink>> Open(
+      const std::string& path);
+  ~JsonlAlertSink() override;
+  void OnAlert(const LiveAlert& alert) override;
+  void Flush() override;
+
+ private:
+  explicit JsonlAlertSink(std::FILE* file) : file_(file) {}
+  std::FILE* file_;
+};
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_LIVE_ALERT_SINK_H_

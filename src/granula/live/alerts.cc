@@ -32,4 +32,17 @@ std::vector<LiveAlert> AlertTracker::Update(const PerformanceArchive& archive) {
   return fresh;
 }
 
+std::optional<LiveAlert> AlertTracker::RaiseExternal(Finding finding,
+                                                     bool in_flight) {
+  auto key = std::make_pair(static_cast<int>(finding.kind),
+                            finding.operation);
+  if (!seen_.insert(std::move(key)).second) return std::nullopt;
+  LiveAlert alert;
+  alert.finding = std::move(finding);
+  alert.in_flight = in_flight;
+  alert.snapshot_index = snapshots_;
+  alerts_.push_back(alert);
+  return alert;
+}
+
 }  // namespace granula::core

@@ -2,6 +2,7 @@
 #define GRANULA_GRANULA_LIVE_ALERTS_H_
 
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -33,6 +34,11 @@ class AlertTracker {
   // Analyzes `archive` (a StreamingArchiver snapshot); returns the newly
   // raised alerts, in detector severity order.
   std::vector<LiveAlert> Update(const PerformanceArchive& archive);
+
+  // Raises a finding synthesized outside the detectors (e.g. the watch
+  // loop's wall-clock stall detector). Deduplicated by the same
+  // (kind, operation) key; returns the alert when it is new.
+  std::optional<LiveAlert> RaiseExternal(Finding finding, bool in_flight);
 
   // Every alert raised so far, in the order first raised.
   const std::vector<LiveAlert>& alerts() const { return alerts_; }

@@ -187,6 +187,7 @@ StreamingArchiver::Contribution StreamingArchiver::BuildContribution(
   c.start_seq = op.start.seq;
   c.op_id = op.start.op_id;
   c.name = OpName(op.start);
+  c.closed_by_record = op.end_time.has_value();
   c.lint_size = 1;
   std::sort(op.done_children.begin(), op.done_children.end(),
             [](const Contribution& a, const Contribution& b) {
@@ -418,6 +419,13 @@ Result<PerformanceArchive> StreamingArchiver::Snapshot() const {
 
   PerformanceArchive archive;
   archive.model_name = model_.name();
+  // Status matches the batch Archiver: incomplete when the elected root
+  // never got a usable EndOp — still in flight mid-stream, or repaired
+  // at Finish() (a crashed job's log).
+  if (open_root != nullptr ||
+      (done_root != nullptr && !done_root->closed_by_record)) {
+    archive.status = ArchiveStatus::kIncomplete;
+  }
   archive.root = std::move(nodes[0]);
   archive.environment = environment_;
   archive.job_metadata = metadata_;

@@ -124,6 +124,11 @@ class StreamingArchiver {
     uint64_t op_id = 0;
     uint64_t lint_size = 0;  // ops in the pre-filter subtree (root election)
     std::string name;        // "actor @ mission" for quarantine findings
+    // False when the operation was closed by repair (force-finalize or a
+    // quarantined EndOp) rather than a usable EndOp record. Mirrors the
+    // batch pass's `end_time.has_value()` — drives ArchiveStatus when
+    // this contribution is elected root.
+    bool closed_by_record = true;
     std::vector<std::unique_ptr<ArchivedOperation>> nodes;
   };
 

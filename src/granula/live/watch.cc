@@ -1,11 +1,14 @@
 #include "granula/live/watch.h"
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/strings.h"
+#include "granula/live/alert_sink.h"
 #include "granula/live/alerts.h"
 #include "granula/live/log_tailer.h"
 #include "granula/visual/text.h"
@@ -73,10 +76,30 @@ Result<WatchSummary> WatchLog(const PerformanceModel& model,
   AlertTracker alerts(options.chokepoints);
   WatchSummary summary;
 
+  // Alert routing: the terminal line printer (non-ANSI mode only; the
+  // ANSI redraw shows the alert ticker itself) plus an optional JSONL
+  // file. Alerts go to every sink the moment they are raised.
+  std::vector<std::unique_ptr<AlertSink>> sinks;
+  if (out != nullptr && !options.ansi) {
+    sinks.push_back(std::make_unique<TerminalAlertSink>(out));
+  }
+  if (!options.alert_jsonl_path.empty()) {
+    GRANULA_ASSIGN_OR_RETURN(std::unique_ptr<JsonlAlertSink> jsonl,
+                             JsonlAlertSink::Open(options.alert_jsonl_path));
+    sinks.push_back(std::move(jsonl));
+  }
+  auto emit = [&sinks](const std::vector<LiveAlert>& fresh) {
+    for (const LiveAlert& alert : fresh) {
+      for (std::unique_ptr<AlertSink>& sink : sinks) sink->OnAlert(alert);
+    }
+  };
+
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(options.timeout_s));
+  auto last_progress = std::chrono::steady_clock::now();
+  bool stall_raised = false;
 
   while (true) {
     LogTailer::Poll poll = tailer.PollOnce();
@@ -94,17 +117,22 @@ Result<WatchSummary> WatchLog(const PerformanceModel& model,
     summary.records_ingested += poll.records.size();
     for (const LogRecord& record : poll.records) archiver->Append(record);
 
+    if (!poll.records.empty() || poll.rotated) {
+      last_progress = std::chrono::steady_clock::now();
+      stall_raised = false;  // the job woke back up; re-arm the detector
+    }
+
     if (!poll.records.empty()) {
       Result<PerformanceArchive> snapshot = archiver->Snapshot();
       if (snapshot.ok()) {
         ++summary.snapshots;
         std::vector<LiveAlert> fresh = alerts.Update(*snapshot);
+        emit(fresh);
         if (out == nullptr) {
           // Headless mode: callers only want the summary.
         } else if (options.ansi) {
           Redraw(out, *snapshot, alerts, *archiver, options.max_depth);
         } else {
-          for (const LiveAlert& alert : fresh) PrintAlert(out, alert);
           if (!options.quiet) {
             std::fprintf(
                 out, "[watch] records=%llu open=%llu watermark=%s\n",
@@ -122,6 +150,29 @@ Result<WatchSummary> WatchLog(const PerformanceModel& model,
     if (archiver->complete()) {
       summary.completed = true;
       break;
+    }
+    if (options.stall_timeout_s > 0 && !stall_raised) {
+      double stalled_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - last_progress)
+                             .count();
+      if (stalled_s >= options.stall_timeout_s) {
+        stall_raised = true;
+        Finding finding{
+            FindingKind::kStalledJob, Severity::kCritical, options.log_path,
+            StrFormat("no new log records for %.1fs while the job is still "
+                      "in flight — crashed worker or wedged platform",
+                      stalled_s),
+            stalled_s};
+        std::optional<LiveAlert> alert =
+            alerts.RaiseExternal(std::move(finding), /*in_flight=*/true);
+        if (alert.has_value()) {
+          emit({*alert});
+          if (out != nullptr && options.ansi) {
+            Redraw(out, summary.archive, alerts, *archiver,
+                   options.max_depth);
+          }
+        }
+      }
     }
     if (std::chrono::steady_clock::now() >= deadline) break;
     std::this_thread::sleep_for(
@@ -144,6 +195,7 @@ Result<WatchSummary> WatchLog(const PerformanceModel& model,
     // One last analysis over the final tree so a short job still gets its
     // findings even if every poll raced past it.
     std::vector<LiveAlert> fresh = alerts.Update(*final_snapshot);
+    emit(fresh);
     summary.alerts = alerts.alerts().size();
     summary.archive = std::move(*final_snapshot);
     if (out == nullptr) {
@@ -151,7 +203,6 @@ Result<WatchSummary> WatchLog(const PerformanceModel& model,
     } else if (options.ansi) {
       Redraw(out, summary.archive, alerts, *archiver, options.max_depth);
     } else {
-      for (const LiveAlert& alert : fresh) PrintAlert(out, alert);
       std::fprintf(out, "%s",
                    RenderOperationTree(summary.archive, options.max_depth)
                        .c_str());
@@ -168,7 +219,11 @@ Result<WatchSummary> WatchLog(const PerformanceModel& model,
   summary.alerts = alerts.alerts().size();
   for (const LiveAlert& alert : alerts.alerts()) {
     if (alert.in_flight) ++summary.in_flight_alerts;
+    if (alert.finding.kind == FindingKind::kStalledJob) {
+      ++summary.stall_alerts;
+    }
   }
+  for (std::unique_ptr<AlertSink>& sink : sinks) sink->Flush();
   if (out != nullptr) {
     std::fprintf(out, "[watch] %s: %llu record(s), %llu alert(s)%s\n",
                  summary.completed ? "job completed" : "timed out",

@@ -22,6 +22,13 @@ struct WatchOptions {
   int max_depth = 3;             // tree depth in the live view
   bool ansi = false;   // redraw the terminal in place (interactive use)
   bool quiet = false;  // suppress periodic status lines (alerts still print)
+  // Wall-clock seconds without a single new log record before the job is
+  // declared stalled and a critical kStalledJob alert fires (once).
+  // 0 disables stall detection; the overall timeout_s still applies.
+  double stall_timeout_s = 0;
+  // When non-empty, every alert is also appended to this JSONL file
+  // (one JSON object per line, flushed per alert).
+  std::string alert_jsonl_path;
   ChokepointOptions chokepoints;
   StreamingArchiver::Options archiver;
   std::map<std::string, std::string> job_metadata;
@@ -34,6 +41,7 @@ struct WatchSummary {
   uint64_t in_flight_alerts = 0;  // raised before the job completed
   uint64_t malformed_lines = 0;
   uint64_t rotations = 0;
+  uint64_t stall_alerts = 0;  // kStalledJob alerts raised by the watcher
   bool completed = false;  // job root finalized before the timeout
   StreamingArchiver::Stats archiver_stats;
   // The final archive when the job completed; otherwise the last

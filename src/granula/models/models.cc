@@ -36,6 +36,32 @@ Result<Json> FractionOfDuration(const ArchivedOperation& op,
   return Json(numerator->value.AsDouble() / static_cast<double>(total));
 }
 
+// Total duration of FailedAttempt and Restart operations anywhere below
+// `op`. Matched subtrees are not descended into: a storage-retry
+// FailedAttempt nested inside an aborted job attempt is already part of
+// that attempt's lost time.
+int64_t SumLostNanos(const ArchivedOperation& op) {
+  int64_t total = 0;
+  for (const auto& child : op.children) {
+    if (child->mission_type == ops::kFailedAttempt ||
+        child->mission_type == ops::kRestart) {
+      total += child->Duration().nanos();
+    } else {
+      total += SumLostNanos(*child);
+    }
+  }
+  return total;
+}
+
+int64_t CountFailedAttempts(const ArchivedOperation& op) {
+  int64_t count = 0;
+  for (const auto& child : op.children) {
+    if (child->mission_type == ops::kFailedAttempt) ++count;
+    count += CountFailedAttempts(*child);
+  }
+  return count;
+}
+
 // Installs the job root, the five domain phases, and the Ts/Td/Tp metric
 // rules shared by every platform model.
 void AddDomainLayer(PerformanceModel* model) {
@@ -79,6 +105,40 @@ void AddDomainLayer(PerformanceModel* model) {
                          return FractionOfDuration(op, metric);
                        }));
   }
+
+  // Failure vocabulary: abort-and-retry platforms place whole failed job
+  // attempts and their restarts directly under the root. Clean archives
+  // carry none of these, and the rules return NotFound so their output
+  // is byte-identical to a model without them.
+  (void)model->AddOperation(ops::kJobActor, ops::kFailedAttempt,
+                            ops::kJobActor, ops::kJobMission);
+  (void)model->AddOperation(ops::kJobActor, ops::kRestart, ops::kJobActor,
+                            ops::kJobMission);
+  (void)model->AddRule(
+      ops::kJobActor, ops::kJobMission,
+      MakeCustomRule("LostTime",
+                     "FailedAttempt + Restart durations, anywhere in the "
+                     "tree (wasted-time-due-to-failure)",
+                     [](const ArchivedOperation& op) -> Result<Json> {
+                       int64_t lost = SumLostNanos(op);
+                       if (lost == 0) return Status::NotFound("no failures");
+                       return Json(lost);
+                     }));
+  (void)model->AddRule(
+      ops::kJobActor, ops::kJobMission,
+      MakeCustomRule("LostTimeFraction", "LostTime / Duration",
+                     [](const ArchivedOperation& op) {
+                       return FractionOfDuration(op, "LostTime");
+                     }));
+  (void)model->AddRule(
+      ops::kJobActor, ops::kJobMission,
+      MakeCustomRule("FailedAttemptCount",
+                     "number of FailedAttempt operations in the tree",
+                     [](const ArchivedOperation& op) -> Result<Json> {
+                       int64_t count = CountFailedAttempts(op);
+                       if (count == 0) return Status::NotFound("no failures");
+                       return Json(count);
+                     }));
 }
 
 }  // namespace
@@ -169,6 +229,22 @@ PerformanceModel MakeGiraphModel() {
                      }));
   (void)model.AddRule("Worker", "Compute",
                       MakeRateRule("VerticesPerSecond", "VerticesComputed"));
+
+  // --- Failure recovery (fault injection): doomed superstep attempts and
+  // load re-attempts (Worker@FailedAttempt — one type pair covers both
+  // placements), checkpoint/restart, and the checkpoint overhead rule.
+  (void)model.AddOperation("Worker", ops::kFailedAttempt, ops::kJobActor,
+                           ops::kProcessGraph);
+  (void)model.AddOperation("Master", ops::kRestart, ops::kJobActor,
+                           ops::kProcessGraph);
+  (void)model.AddOperation("Master", ops::kCheckpoint, ops::kJobActor,
+                           ops::kProcessGraph);
+  (void)model.AddOperation("Worker", ops::kCheckpoint, "Master",
+                           ops::kCheckpoint);
+  (void)model.AddRule(
+      ops::kJobActor, ops::kProcessGraph,
+      MakeChildAggregateRule("CheckpointTime", Aggregate::kSum, "Duration",
+                             ops::kCheckpoint));
   return model;
 }
 
@@ -210,6 +286,12 @@ PerformanceModel MakePowerGraphModel() {
           [](const ArchivedOperation& op) {
             return FractionOfDuration(op, "SequentialReadTime");
           }));
+
+  // --- Failure recovery: storage-error re-reads inside the sequential
+  // coordinator load (whole-job aborts use the domain-layer
+  // Job@FailedAttempt / Job@Restart vocabulary).
+  (void)model.AddOperation("Coordinator", ops::kFailedAttempt,
+                           "Coordinator", "ReadInput");
   return model;
 }
 
@@ -253,6 +335,10 @@ PerformanceModel MakeHadoopModel() {
   (void)model.AddRule("Master", "MrJob",
                       MakeChildAggregateRule("SetupTime", Aggregate::kSum,
                                              "Duration", "JobSetup"));
+
+  // --- Failure recovery: failed map-task attempts rescheduled by YARN.
+  (void)model.AddOperation("Worker", ops::kFailedAttempt, "Job",
+                           "MapPhase");
   return model;
 }
 
@@ -301,6 +387,10 @@ PerformanceModel MakePgxdModel() {
             }
             return Json(pushes);
           }));
+
+  // --- Failure recovery: transient storage errors during local loads.
+  (void)model.AddOperation("Node", ops::kFailedAttempt, "Node",
+                           "LoadLocalData");
   return model;
 }
 
@@ -339,6 +429,10 @@ PerformanceModel MakeGraphMatModel() {
             if (streamed <= 0) return Status::NotFound("no streamed edges");
             return Json(op.InfoNumber("ActiveNonzeros") / streamed);
           }));
+
+  // --- Failure recovery: transient storage errors during slice reads.
+  (void)model.AddOperation("Rank", ops::kFailedAttempt, "Rank",
+                           "ReadSlice");
   return model;
 }
 

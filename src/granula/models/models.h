@@ -18,6 +18,15 @@ inline constexpr const char* kLoadGraph = "LoadGraph";
 inline constexpr const char* kProcessGraph = "ProcessGraph";
 inline constexpr const char* kOffloadGraph = "OffloadGraph";
 inline constexpr const char* kCleanup = "Cleanup";
+// Failure vocabulary (fault injection, sim/faults.h). A FailedAttempt
+// operation wraps work that was thrown away; a Restart wraps the
+// recovery (backoff + resubmission + checkpoint replay); a Checkpoint
+// wraps Giraph's periodic state save. Shared across platforms so the
+// lost-time rules and the failure-recovery chokepoint detector apply to
+// any archive.
+inline constexpr const char* kFailedAttempt = "FailedAttempt";
+inline constexpr const char* kRestart = "Restart";
+inline constexpr const char* kCheckpoint = "Checkpoint";
 }  // namespace ops
 
 // Domain-level model only (levels 1-2: the job and its five phases). Works

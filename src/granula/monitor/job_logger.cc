@@ -423,17 +423,31 @@ void JobLogger::StopStreaming() {
   stream_delay_us_ = 0;
 }
 
-void JobLogger::Emit(const LogRecord& record) {
+void JobLogger::Emit(const LogRecord& record, bool truncate) {
   if (stream_ == nullptr) return;
   emit_buffer_.clear();
   record.AppendJsonl(emit_buffer_);
-  emit_buffer_ += '\n';
+  if (truncate) {
+    // Torn write: the line loses its tail and its newline, so it merges
+    // with the next streamed line into one malformed line at the tailer.
+    emit_buffer_.resize(emit_buffer_.size() / 2);
+  } else {
+    emit_buffer_ += '\n';
+  }
   stream_->write(emit_buffer_.data(),
                  static_cast<std::streamsize>(emit_buffer_.size()));
   stream_->flush();
   if (stream_delay_us_ > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(stream_delay_us_));
   }
+}
+
+void JobLogger::Append(LogRecord&& record) {
+  WriteFault fault = write_fault_hook_ == nullptr ? WriteFault::kNone
+                                                  : write_fault_hook_(record);
+  if (fault == WriteFault::kDrop) return;
+  records_.push_back(std::move(record));
+  Emit(records_.back(), fault == WriteFault::kTruncate);
 }
 
 OpId JobLogger::StartOperation(OpId parent, std::string actor_type,
@@ -451,8 +465,7 @@ OpId JobLogger::StartOperation(OpId parent, std::string actor_type,
   record.mission_type = std::move(mission_type);
   record.mission_id = std::move(mission_id);
   OpId id = record.op_id;
-  records_.push_back(std::move(record));
-  Emit(records_.back());
+  Append(std::move(record));
   return id;
 }
 
@@ -462,8 +475,7 @@ void JobLogger::EndOperation(OpId op) {
   record.seq = next_seq_++;
   record.time = Now();
   record.op_id = op;
-  records_.push_back(std::move(record));
-  Emit(records_.back());
+  Append(std::move(record));
 }
 
 void JobLogger::AddInfo(OpId op, std::string name, Json value) {
@@ -474,8 +486,7 @@ void JobLogger::AddInfo(OpId op, std::string name, Json value) {
   record.op_id = op;
   record.info_name = std::move(name);
   record.info_value = std::move(value);
-  records_.push_back(std::move(record));
-  Emit(records_.back());
+  Append(std::move(record));
 }
 
 }  // namespace granula::core

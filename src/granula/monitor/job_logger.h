@@ -109,12 +109,27 @@ class JobLogger {
   void StopStreaming();
   bool streaming() const { return stream_ != nullptr; }
 
+  // Injected monitoring-side write faults (fault injection; kept as a
+  // local enum so this header stays independent of the sim module).
+  // kDrop: the record is never persisted — not buffered, not streamed —
+  // as if the monitoring agent died before the write. kTruncate: the
+  // record is buffered normally but its streamed JSONL line is written
+  // torn (prefix only, no newline), so it merges with the next line into
+  // one malformed line at the tailer. The seq counter advances either
+  // way: downstream lint sees the resulting gap.
+  enum class WriteFault { kNone, kDrop, kTruncate };
+  using WriteFaultHook = std::function<WriteFault(const LogRecord&)>;
+  void SetWriteFaultHook(WriteFaultHook hook) {
+    write_fault_hook_ = std::move(hook);
+  }
+
   const std::vector<LogRecord>& records() const { return records_; }
   std::vector<LogRecord> TakeRecords() { return std::move(records_); }
 
  private:
   SimTime Now() const { return clock_(); }
-  void Emit(const LogRecord& record);
+  void Append(LogRecord&& record);
+  void Emit(const LogRecord& record, bool truncate = false);
 
   Clock clock_;
   uint64_t next_op_id_ = 1;
@@ -122,6 +137,7 @@ class JobLogger {
   std::vector<LogRecord> records_;
   std::unique_ptr<std::ofstream> stream_;
   uint64_t stream_delay_us_ = 0;
+  WriteFaultHook write_fault_hook_;
   std::string emit_buffer_;  // reused across Emit calls
 };
 

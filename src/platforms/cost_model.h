@@ -33,6 +33,9 @@ struct GiraphCostModel {
   // OffloadGraph: serialize a result line per vertex.
   SimTime serialize_cpu_per_byte = SimTime::Micros(40);
   uint64_t result_bytes_per_vertex = 40;
+  // Checkpoint (fault injection only): serialized vertex value + active
+  // flag + pending messages written to HDFS every k supersteps.
+  uint64_t checkpoint_bytes_per_vertex = 24;
   // Cleanup stages (paper Fig. 4 level 2).
   SimTime abort_workers = SimTime::Seconds(3.2);
   SimTime client_cleanup = SimTime::Seconds(1.8);

@@ -58,7 +58,8 @@ class GiraphJob {
         logger_([this] { return sim_.Now(); }),
         start_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
         end_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
-        messages_(graph.num_vertices(), program.combiner()) {}
+        messages_(graph.num_vertices(), program.combiner()),
+        injector_(job_config_.faults) {}
 
   Status Execute(JobResult* out) {
     const uint32_t workers = job_config_.num_workers;
@@ -66,6 +67,7 @@ class GiraphJob {
       return Status::InvalidArgument(
           "num_workers must be in [1, num_nodes]");
     }
+    InstallLogWriteFaults(&logger_, job_config_.faults);
     if (!job_config_.live_log_path.empty()) {
       GRANULA_RETURN_IF_ERROR(logger_.StreamTo(
           job_config_.live_log_path, job_config_.live_log_delay_us));
@@ -110,6 +112,10 @@ class GiraphJob {
     out->supersteps = superstep_;
     out->total_seconds = sim_.Now().seconds();
     out->network_bytes = cluster_.network_bytes_sent();
+    out->completed = !job_failed_;
+    out->failed_attempts = failed_attempts_;
+    out->restarts = restarts_;
+    out->lost_seconds = lost_time_.seconds();
     return Status::OK();
   }
 
@@ -125,7 +131,14 @@ class GiraphJob {
                                        core::ops::kJobMission, "GiraphJob");
     co_await RunStartup(root);
     co_await RunLoadGraph(root);
-    co_await RunProcessGraph(root);
+    if (!job_failed_) co_await RunProcessGraph(root);
+    if (job_failed_) {
+      // Retries exhausted: the job dies here. The root (and the failed
+      // phase) stay open — lint repairs them and the archive is marked
+      // kIncomplete, exactly like a truncated real-world capture.
+      monitor_.Stop();
+      co_return;
+    }
     if (job_config_.offload_results) co_await RunOffloadGraph(root);
     co_await RunCleanup(root);
     logger_.AddInfo(root, "NetworkBytes",
@@ -189,6 +202,34 @@ class GiraphJob {
     OpId op = logger_.StartOperation(
         parent, "Worker", StrFormat("Worker-%u", w + 1), "LoadHdfsData",
         StrFormat("LoadHdfsData-%u", w + 1));
+    // Injected load faults (failed split reads / transient storage
+    // errors): each failed attempt is a real child operation — a partial
+    // read, the failure, and the retry backoff — before the load below
+    // runs clean.
+    if (injector_.enabled()) {
+      uint32_t attempt = 0;
+      while (const sim::FaultSpec* fault = injector_.LoadFault(w, attempt)) {
+        OpId failed = logger_.StartOperation(
+            op, "Worker", StrFormat("Worker-%u", w + 1),
+            core::ops::kFailedAttempt,
+            StrFormat("FailedAttempt-load-%u-%u", w + 1, attempt + 1));
+        SimTime began = sim_.Now();
+        co_await sim_.Delay(fault->work_before_crash);
+        co_await sim_.Delay(injector_.Backoff(attempt));
+        SimTime lost = sim_.Now() - began;
+        logger_.AddInfo(failed, "Attempt", Json(static_cast<int64_t>(attempt) + 1));
+        logger_.AddInfo(failed, "LostTime", Json(lost.nanos()));
+        logger_.EndOperation(failed);
+        ++failed_attempts_;
+        lost_time_ += lost;
+        ++attempt;
+        if (attempt >= injector_.policy().max_attempts) {
+          job_failed_ = true;
+          logger_.EndOperation(op);
+          co_return;
+        }
+      }
+    }
     // Workers split the input by block index (Giraph input splits).
     auto blocks = hdfs_.GetBlocks("/input/graph.e");
     uint64_t my_bytes = 0;
@@ -232,6 +273,12 @@ class GiraphJob {
     for (uint32_t w = 0; w < job_config_.num_workers; ++w) {
       loops.push_back(sim_.Spawn(WorkerProcessLoop(w)));
     }
+    const sim::RetryPolicy& policy = injector_.policy();
+    uint64_t next_checkpoint =
+        injector_.enabled() && policy.checkpoint_interval > 0
+            ? policy.checkpoint_interval
+            : 0;
+    uint32_t attempt = 0;  // failed attempts of the *current* superstep
     while (true) {
       uint64_t max_steps = program_.max_supersteps();
       if (!AnyComputeCandidate() ||
@@ -240,6 +287,32 @@ class GiraphJob {
         co_await start_barrier_.Arrive();
         break;
       }
+      // Periodic checkpoint (real Giraph: superstep-granularity snapshots
+      // to HDFS). Only under a non-empty fault plan, so fault-free runs
+      // stay byte-identical.
+      if (next_checkpoint != 0 && superstep_ == next_checkpoint) {
+        co_await RunCheckpoint();
+        next_checkpoint += policy.checkpoint_interval;
+      }
+      // A doomed attempt: the victim worker dies `work_before_crash`
+      // into the superstep and the master notices after the heartbeat
+      // timeout. Workers stay parked at the start barrier, and no
+      // algorithm state moves — the retry recomputes from scratch.
+      if (const sim::FaultSpec* crash =
+              injector_.enabled() ? injector_.CrashAt(superstep_, attempt)
+                                  : nullptr) {
+        co_await RunFailedSuperstep(*crash, attempt);
+        ++attempt;
+        if (attempt >= policy.max_attempts) {
+          job_failed_ = true;
+          process_done_ = true;
+          co_await start_barrier_.Arrive();  // release workers to exit
+          break;
+        }
+        co_await RunRestart(*crash, attempt);
+        continue;  // retry the same superstep
+      }
+      SimTime step_began = sim_.Now();
       superstep_op_ = logger_.StartOperation(
           process_op_, "Master", "Master-0", "Superstep",
           StrFormat("Superstep-%llu",
@@ -258,11 +331,102 @@ class GiraphJob {
       }
       messages_.Swap();
       ++superstep_;
+      attempt = 0;
+      // What a restart would have to recompute since the last checkpoint.
+      replay_cost_ += sim_.Now() - step_began;
       logger_.EndOperation(sync);
     }
     co_await sim::JoinAll(std::move(loops));
+    if (job_failed_) co_return;  // leave ProcessGraph (and the root) open
     logger_.AddInfo(process_op_, "Supersteps", Json(superstep_));
     logger_.EndOperation(process_op_);
+  }
+
+  // Master@Checkpoint with one parallel Worker@Checkpoint HDFS write per
+  // worker; afterwards a restart only replays supersteps newer than this.
+  sim::Task<> RunCheckpoint() {
+    OpId checkpoint = logger_.StartOperation(
+        process_op_, "Master", "Master-0", core::ops::kCheckpoint,
+        StrFormat("Checkpoint-%llu",
+                  static_cast<unsigned long long>(superstep_)));
+    logger_.AddInfo(checkpoint, "Superstep", Json(superstep_));
+    std::vector<sim::ProcessHandle> writers;
+    for (uint32_t w = 0; w < job_config_.num_workers; ++w) {
+      writers.push_back(sim_.Spawn(WorkerCheckpoint(checkpoint, w)));
+    }
+    co_await sim::JoinAll(std::move(writers));
+    logger_.EndOperation(checkpoint);
+    last_checkpoint_step_ = superstep_;
+    replay_cost_ = SimTime();
+  }
+
+  sim::Task<> WorkerCheckpoint(OpId parent, uint32_t w) {
+    OpId op = logger_.StartOperation(
+        parent, "Worker", StrFormat("Worker-%u", w + 1),
+        core::ops::kCheckpoint,
+        StrFormat("Checkpoint-%llu-%u",
+                  static_cast<unsigned long long>(superstep_), w + 1));
+    uint64_t bytes = cost_.checkpoint_bytes_per_vertex *
+                     partition_.partitions[w].vertices.size();
+    co_await hdfs_.WriteFromNode(WorkerNode(w),
+                                 StrFormat("/checkpoint/part-%u", w), bytes);
+    logger_.AddInfo(op, "BytesWritten", Json(bytes));
+    logger_.EndOperation(op);
+  }
+
+  // The doomed attempt itself: a real operation in the tree, so lost
+  // work is visible to the archiver and the chokepoint analysis.
+  sim::Task<> RunFailedSuperstep(const sim::FaultSpec& crash,
+                                 uint32_t attempt) {
+    OpId failed = logger_.StartOperation(
+        process_op_, "Worker", StrFormat("Worker-%u", crash.worker + 1),
+        core::ops::kFailedAttempt,
+        StrFormat("FailedAttempt-%llu-%u",
+                  static_cast<unsigned long long>(superstep_), attempt + 1));
+    SimTime began = sim_.Now();
+    co_await sim_.Delay(crash.work_before_crash);
+    co_await sim_.Delay(injector_.policy().detect_timeout);
+    SimTime lost = sim_.Now() - began;
+    logger_.AddInfo(failed, "Superstep", Json(superstep_));
+    logger_.AddInfo(failed, "Attempt", Json(static_cast<int64_t>(attempt) + 1));
+    logger_.AddInfo(failed, "CrashedWorker",
+                    Json(StrFormat("Worker-%u", crash.worker + 1)));
+    logger_.AddInfo(failed, "LostTime", Json(lost.nanos()));
+    logger_.EndOperation(failed);
+    ++failed_attempts_;
+    lost_time_ += lost;
+  }
+
+  // Recovery: backoff, a replacement container, checkpoint read-back, and
+  // replay of the supersteps committed since the last checkpoint.
+  sim::Task<> RunRestart(const sim::FaultSpec& crash, uint32_t attempt) {
+    OpId restart = logger_.StartOperation(
+        process_op_, "Master", "Master-0", core::ops::kRestart,
+        StrFormat("Restart-%llu-%u",
+                  static_cast<unsigned long long>(superstep_), attempt));
+    SimTime began = sim_.Now();
+    co_await sim_.Delay(injector_.Backoff(attempt - 1));
+    std::vector<cluster::YarnManager::Container> replacement;
+    co_await yarn_.AllocateContainers(0, 1, &replacement);
+    if (last_checkpoint_step_ > 0) {
+      // The replacement worker reloads the crashed worker's state.
+      auto blocks =
+          hdfs_.GetBlocks(StrFormat("/checkpoint/part-%u", crash.worker));
+      if (blocks.ok()) {
+        for (const cluster::Hdfs::Block& block : *blocks) {
+          co_await hdfs_.ReadBlock(WorkerNode(crash.worker), block);
+        }
+      }
+    }
+    co_await sim_.Delay(replay_cost_);
+    SimTime lost = sim_.Now() - began;
+    logger_.AddInfo(restart, "Attempt", Json(static_cast<int64_t>(attempt)));
+    logger_.AddInfo(restart, "ReplayedSupersteps",
+                    Json(superstep_ - last_checkpoint_step_));
+    logger_.AddInfo(restart, "LostTime", Json(lost.nanos()));
+    logger_.EndOperation(restart);
+    ++restarts_;
+    lost_time_ += lost;
   }
 
   sim::Task<> WorkerProcessLoop(uint32_t w) {
@@ -550,6 +714,15 @@ class GiraphJob {
   OpId process_op_ = core::kNoOp;
   OpId superstep_op_ = core::kNoOp;
   Status job_status_;
+
+  // Fault injection (inert when the plan is empty).
+  sim::FaultInjector injector_;
+  uint64_t last_checkpoint_step_ = 0;
+  SimTime replay_cost_;  // committed superstep time since last checkpoint
+  bool job_failed_ = false;
+  uint64_t failed_attempts_ = 0;
+  uint64_t restarts_ = 0;
+  SimTime lost_time_;
 };
 
 }  // namespace

@@ -36,13 +36,15 @@ class HadoopJob {
         yarn_(&cluster_, cluster::YarnManager::Options{}),
         monitor_(&cluster_, job_config.monitor_interval),
         logger_([this] { return sim_.Now(); }),
-        messages_(graph.num_vertices(), program.combiner()) {}
+        messages_(graph.num_vertices(), program.combiner()),
+        injector_(job_config_.faults) {}
 
   Status Execute(JobResult* out) {
     const uint32_t workers = job_config_.num_workers;
     if (workers == 0 || workers > cluster_.num_nodes()) {
       return Status::InvalidArgument("num_workers must be in [1, num_nodes]");
     }
+    InstallLogWriteFaults(&logger_, job_config_.faults);
     if (!job_config_.live_log_path.empty()) {
       GRANULA_RETURN_IF_ERROR(logger_.StreamTo(
           job_config_.live_log_path, job_config_.live_log_delay_us));
@@ -80,6 +82,10 @@ class HadoopJob {
     out->supersteps = iteration_;
     out->total_seconds = sim_.Now().seconds();
     out->network_bytes = cluster_.network_bytes_sent();
+    out->completed = !job_failed_;
+    out->failed_attempts = failed_attempts_;
+    out->restarts = restarts_;
+    out->lost_seconds = lost_time_.seconds();
     return Status::OK();
   }
 
@@ -106,6 +112,13 @@ class HadoopJob {
     co_await RunStartup(root);
     co_await RunLoadGraph(root);
     co_await RunProcessGraph(root);
+    if (job_failed_) {
+      // Task re-attempts exhausted: the MR pipeline dies mid-job and the
+      // open operations (map phase, MrJob, ProcessGraph, root) stay open
+      // — the archive is marked kIncomplete.
+      monitor_.Stop();
+      co_return;
+    }
     if (job_config_.offload_results) co_await RunOffloadGraph(root);
     co_await RunCleanup(root);
     logger_.AddInfo(root, "NetworkBytes",
@@ -164,6 +177,7 @@ class HadoopJob {
           StrFormat("Iteration-%llu",
                     static_cast<unsigned long long>(iteration_)));
       co_await RunMrJob(job_op, /*is_materialize=*/false);
+      if (job_failed_) co_return;  // leave job_op and process open
       logger_.EndOperation(job_op);
       messages_.Swap();
       ++iteration_;
@@ -189,11 +203,21 @@ class HadoopJob {
                                             job_config_.job_id, "MapPhase",
                                             "MapPhase");
     map_output_bytes_.assign(job_config_.num_workers, 0);
+    // One outbox shard per map task, reserved in task-index order before
+    // any task runs. The merge at Swap() folds shards in index order, so
+    // message delivery order — and the floating-point sums it feeds — is
+    // independent of task completion times. A rescheduled (failed and
+    // retried) map task computes late but still delivers into its own
+    // slot: recovery cannot change the answer.
+    const uint64_t shard_base =
+        is_materialize ? 0 : messages_.AddShards(job_config_.num_workers);
     std::vector<sim::ProcessHandle> maps;
     for (uint32_t task = 0; task < job_config_.num_workers; ++task) {
-      maps.push_back(sim_.Spawn(MapTask(map_phase, task, is_materialize)));
+      maps.push_back(sim_.Spawn(
+          MapTask(map_phase, task, is_materialize, shard_base + task)));
     }
     co_await sim::JoinAll(std::move(maps));
+    if (job_failed_) co_return;  // leave the map phase open
     logger_.EndOperation(map_phase);
 
     // Shuffle: map outputs cross the network to their reducers.
@@ -222,7 +246,46 @@ class HadoopJob {
     logger_.EndOperation(commit);
   }
 
-  sim::Task<> MapTask(OpId parent, uint32_t task, bool is_materialize) {
+  sim::Task<> MapTask(OpId parent, uint32_t task, bool is_materialize,
+                      uint64_t shard) {
+    // Injected task faults: YARN reschedules a failed map attempt on a
+    // fresh container after a backoff. Each failed attempt is a real
+    // operation — the partial read, the crash, detection, and the
+    // backoff — and never mutates algorithm state (Compute runs only on
+    // the attempt that succeeds). The materialization pass is exempt so
+    // faults key on process-graph iterations.
+    if (injector_.enabled() && !is_materialize) {
+      uint32_t attempt = 0;
+      while (const sim::FaultSpec* fault =
+                 injector_.TaskFault(task, iteration_, attempt)) {
+        OpId failed = logger_.StartOperation(
+            parent, "Worker", StrFormat("MapTask-%u", task + 1),
+            core::ops::kFailedAttempt,
+            StrFormat("FailedAttempt-%llu-%u-%u",
+                      static_cast<unsigned long long>(iteration_), task + 1,
+                      attempt + 1));
+        SimTime began = sim_.Now();
+        uint64_t input = state_bytes_ / job_config_.num_workers;
+        co_await cluster_.node(TaskNode(task)).disk().Transfer(input / 2);
+        co_await sim_.Delay(fault->work_before_crash);
+        co_await sim_.Delay(injector_.policy().detect_timeout);
+        co_await sim_.Delay(injector_.Backoff(attempt));
+        SimTime lost = sim_.Now() - began;
+        logger_.AddInfo(failed, "Iteration", Json(iteration_));
+        logger_.AddInfo(failed, "Attempt",
+                        Json(static_cast<int64_t>(attempt) + 1));
+        logger_.AddInfo(failed, "LostTime", Json(lost.nanos()));
+        logger_.EndOperation(failed);
+        ++failed_attempts_;
+        lost_time_ += lost;
+        ++attempt;
+        if (attempt >= injector_.policy().max_attempts) {
+          job_failed_ = true;
+          co_return;
+        }
+      }
+      restarts_ += attempt > 0 ? 1 : 0;
+    }
     OpId op = logger_.StartOperation(
         parent, "Worker", StrFormat("MapTask-%u", task + 1), "MapTask",
         StrFormat("MapTask-%u", task + 1));
@@ -240,7 +303,7 @@ class HadoopJob {
     uint64_t vertices_computed = 0;
     if (!is_materialize) {
       // Pregel-on-MapReduce: Compute runs map-side over this partition.
-      VertexContext ctx(this);
+      VertexContext ctx(this, shard);
       for (VertexId v : partition_.partitions[task].vertices) {
         if (active_[v] == 0 && !messages_.HasCurrent(v)) continue;
         ctx.Reset(v);
@@ -336,7 +399,8 @@ class HadoopJob {
 
   class VertexContext : public algo::PregelVertexContext {
    public:
-    explicit VertexContext(HadoopJob* job) : job_(job) {}
+    VertexContext(HadoopJob* job, uint64_t shard)
+        : job_(job), shard_(shard) {}
 
     void Reset(VertexId v) {
       vertex_ = v;
@@ -356,7 +420,7 @@ class HadoopJob {
       return job_->neighbors_[vertex_];
     }
     void SendTo(VertexId target, double message) override {
-      job_->messages_.Deliver(target, message);
+      job_->messages_.Deliver(shard_, target, message);
       ++messages_sent_;
     }
     void SendToAllNeighbors(double message) override {
@@ -366,6 +430,7 @@ class HadoopJob {
 
    private:
     HadoopJob* job_;
+    uint64_t shard_ = 0;
     VertexId vertex_ = 0;
     bool voted_halt_ = false;
     uint64_t messages_sent_ = 0;
@@ -394,6 +459,13 @@ class HadoopJob {
   uint64_t input_bytes_ = 0;
   uint64_t state_bytes_ = 0;
   uint64_t iteration_ = 0;
+
+  // Fault injection (inert when the plan is empty).
+  sim::FaultInjector injector_;
+  bool job_failed_ = false;
+  uint64_t failed_attempts_ = 0;
+  uint64_t restarts_ = 0;
+  SimTime lost_time_;
 };
 
 }  // namespace

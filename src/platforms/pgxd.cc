@@ -41,7 +41,8 @@ class PgxdJob {
         start_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
         end_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
         stage_barrier_(&sim_,
-                       std::max(1, static_cast<int>(job_config.num_workers))) {
+                       std::max(1, static_cast<int>(job_config.num_workers))),
+        injector_(job_config_.faults) {
     // A zero worker count is rejected in Execute(); the max(1, ...) only
     // keeps the never-used barrier constructible until then.
   }
@@ -51,6 +52,7 @@ class PgxdJob {
     if (nodes == 0 || nodes > cluster_.num_nodes()) {
       return Status::InvalidArgument("num_workers must be in [1, num_nodes]");
     }
+    InstallLogWriteFaults(&logger_, job_config_.faults);
     if (!job_config_.live_log_path.empty()) {
       GRANULA_RETURN_IF_ERROR(logger_.StreamTo(
           job_config_.live_log_path, job_config_.live_log_delay_us));
@@ -65,27 +67,12 @@ class PgxdJob {
     GRANULA_ASSIGN_OR_RETURN(partition_,
                              graph::PartitionEdgeCut(graph_, nodes));
 
-    const uint64_t n = graph_.num_vertices();
-    values_.resize(n);
-    active_.assign(n, 0);
-    next_active_.assign(n, 0);
-    acc_.assign(n, 0.0);
-    acc_has_.assign(n, 0);
     // Undirected adjacency in CSR form, built on the host pool; vertex
     // degree comes from the CSR.
-    adjacency_ = graph::Csr::BuildUndirected(n, graph_.edges());
+    adjacency_ = graph::Csr::BuildUndirected(graph_.num_vertices(),
+                                             graph_.edges());
     total_degree_ = adjacency_.num_arcs();
-    active_count_ = 0;
-    frontier_edges_ = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      values_[v] = program_.InitialValue(v, n);
-      bool is_active = program_.InitiallyActive(v);
-      active_[v] = is_active ? 1 : 0;
-      if (is_active) {
-        ++active_count_;
-        frontier_edges_ += adjacency_.degree(v);
-      }
-    }
+    InitAlgorithmState();
 
     sim_.Spawn(Main());
     sim_.Run();
@@ -97,6 +84,10 @@ class PgxdJob {
     out->supersteps = iteration_;
     out->total_seconds = sim_.Now().seconds();
     out->network_bytes = cluster_.network_bytes_sent();
+    out->completed = !job_failed_;
+    out->failed_attempts = failed_attempts_;
+    out->restarts = restarts_;
+    out->lost_seconds = lost_time_.seconds();
     return Status::OK();
   }
 
@@ -111,16 +102,114 @@ class PgxdJob {
     OpId root = logger_.StartOperation(
         core::kNoOp, core::ops::kJobActor, job_config_.job_id,
         core::ops::kJobMission, "PgxdJob");
+    // PGX.D aborts and resubmits on failure: each doomed attempt replays
+    // the real startup/load/process phases inside a FailedAttempt
+    // operation up to the crash point.
+    const sim::RetryPolicy& policy = injector_.policy();
+    uint32_t attempt = 0;
+    while (injector_.enabled()) {
+      const sim::FaultSpec* fault = injector_.JobFault(attempt);
+      if (fault == nullptr) break;
+      co_await RunFailedAttempt(root, *fault, attempt);
+      ++attempt;
+      if (job_failed_ || attempt >= policy.max_attempts) {
+        job_failed_ = true;
+        monitor_.Stop();
+        co_return;  // root never closes: the archive is kIncomplete
+      }
+      co_await RunRestart(root, attempt);
+      ResetAlgorithmState();
+    }
     co_await RunStartup(root);
     co_await RunLoadGraph(root);
-    co_await RunProcessGraph(root);
+    if (!job_failed_) co_await RunProcessGraph(root);
+    if (job_failed_) {
+      monitor_.Stop();
+      co_return;
+    }
     if (job_config_.offload_results) co_await RunOffloadGraph(root);
     co_await RunCleanup(root);
+    if (attempt > 0) {
+      logger_.AddInfo(root, "Attempts",
+                      Json(static_cast<int64_t>(attempt) + 1));
+    }
     logger_.AddInfo(root, "NetworkBytes",
                     Json(cluster_.network_bytes_sent()));
     logger_.EndOperation(root);
     monitor_.Stop();
   }
+
+  sim::Task<> RunFailedAttempt(OpId root, const sim::FaultSpec& fault,
+                               uint32_t attempt) {
+    SimTime began = sim_.Now();
+    OpId op = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kFailedAttempt,
+        StrFormat("FailedAttempt-%u", attempt + 1));
+    crash_pending_ = true;
+    crash_at_iteration_ =
+        fault.kind == sim::FaultKind::kWorkerCrash ? fault.step : 0;
+    crash_worker_ = std::min(fault.worker, job_config_.num_workers - 1);
+    crash_work_ = fault.work_before_crash;
+    co_await RunStartup(op);
+    co_await RunLoadGraph(op);
+    if (!job_failed_) co_await RunProcessGraph(op);
+    crash_pending_ = false;
+    if (job_failed_) co_return;  // storage retries exhausted during load
+    SimTime lost = sim_.Now() - began;
+    logger_.AddInfo(op, "Attempt", Json(static_cast<int64_t>(attempt) + 1));
+    logger_.AddInfo(op, "CrashedWorker", Json(NodeActor(crash_worker_)));
+    logger_.AddInfo(op, "CrashIteration", Json(crash_at_iteration_));
+    logger_.AddInfo(op, "LostTime",
+                    Json(static_cast<uint64_t>(lost.nanos())));
+    logger_.EndOperation(op);
+    ++failed_attempts_;
+    lost_time_ += lost;
+  }
+
+  sim::Task<> RunRestart(OpId root, uint32_t attempt) {
+    SimTime began = sim_.Now();
+    OpId op = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id, core::ops::kRestart,
+        StrFormat("Restart-%u", attempt));
+    co_await sim_.Delay(injector_.Backoff(attempt - 1));
+    co_await sim_.Delay(injector_.policy().resubmit_delay);
+    SimTime lost = sim_.Now() - began;
+    logger_.AddInfo(op, "Attempt", Json(static_cast<int64_t>(attempt) + 1));
+    logger_.AddInfo(op, "LostTime",
+                    Json(static_cast<uint64_t>(lost.nanos())));
+    logger_.EndOperation(op);
+    ++restarts_;
+    lost_time_ += lost;
+  }
+
+  // Attempt-scoped algorithm state. The CSR adjacency, partition, and
+  // total degree are inputs, not state: they survive restarts.
+  void InitAlgorithmState() {
+    const uint64_t n = graph_.num_vertices();
+    values_.resize(n);
+    active_.assign(n, 0);
+    next_active_.assign(n, 0);
+    acc_.assign(n, 0.0);
+    acc_has_.assign(n, 0);
+    active_count_ = 0;
+    frontier_edges_ = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      values_[v] = program_.InitialValue(v, n);
+      bool is_active = program_.InitiallyActive(v);
+      active_[v] = is_active ? 1 : 0;
+      if (is_active) {
+        ++active_count_;
+        frontier_edges_ += adjacency_.degree(v);
+      }
+    }
+    next_active_count_ = 0;
+    next_frontier_edges_ = 0;
+    iteration_ = 0;
+    process_done_ = false;
+    push_mode_ = true;
+  }
+  void ResetAlgorithmState() { InitAlgorithmState(); }
 
   sim::Task<> RunStartup(OpId root) {
     OpId startup = logger_.StartOperation(
@@ -162,6 +251,34 @@ class PgxdJob {
     OpId op = logger_.StartOperation(
         parent, "Node", NodeActor(node), "LoadLocalData",
         StrFormat("LoadLocalData-%u", node));
+    if (injector_.enabled()) {
+      // Transient storage errors: the node retries its local read in
+      // place; each dead read is a FailedAttempt child of LoadLocalData.
+      uint32_t retry = 0;
+      while (const sim::FaultSpec* fault =
+                 injector_.StorageFault(node, retry)) {
+        SimTime began = sim_.Now();
+        OpId failed = logger_.StartOperation(
+            op, "Node", NodeActor(node), core::ops::kFailedAttempt,
+            StrFormat("FailedAttempt-load-%u-%u", node, retry + 1));
+        co_await sim_.Delay(fault->work_before_crash);
+        co_await sim_.Delay(injector_.Backoff(retry));
+        SimTime lost = sim_.Now() - began;
+        logger_.AddInfo(failed, "Attempt",
+                        Json(static_cast<int64_t>(retry) + 1));
+        logger_.AddInfo(failed, "LostTime",
+                        Json(static_cast<uint64_t>(lost.nanos())));
+        logger_.EndOperation(failed);
+        ++failed_attempts_;
+        lost_time_ += lost;
+        ++retry;
+        if (retry >= injector_.policy().max_attempts) {
+          job_failed_ = true;
+          logger_.EndOperation(op);
+          co_return;
+        }
+      }
+    }
     co_await localfs_.Read(node, StrFormat("/local/graph-%u.e", node));
     uint64_t my_bytes = input_bytes_ / job_config_.num_workers;
     co_await RunOnThreads(
@@ -216,7 +333,16 @@ class PgxdJob {
     while (true) {
       uint64_t max_iters = program_.max_iterations();
       bool capped = max_iters > 0 && iteration_ >= max_iters;
-      if (!AnyActive() || capped) {
+      bool done = !AnyActive() || capped;
+      if (crash_pending_ && (done || iteration_ >= crash_at_iteration_)) {
+        // The victim dies partway into the iteration; the engine notices
+        // after the liveness timeout and aborts the whole job.
+        co_await sim_.Delay(crash_work_ + injector_.policy().detect_timeout);
+        process_done_ = true;
+        co_await start_barrier_.Arrive();
+        break;
+      }
+      if (done) {
         process_done_ = true;
         co_await start_barrier_.Arrive();
         break;
@@ -514,6 +640,17 @@ class PgxdJob {
   OpId process_op_ = core::kNoOp;
   OpId iteration_op_ = core::kNoOp;
   OpId spawn_op_ = core::kNoOp;
+
+  // Fault injection (inert when the plan is empty).
+  sim::FaultInjector injector_;
+  bool crash_pending_ = false;
+  uint64_t crash_at_iteration_ = 0;
+  uint32_t crash_worker_ = 0;
+  SimTime crash_work_;
+  bool job_failed_ = false;
+  uint64_t failed_attempts_ = 0;
+  uint64_t restarts_ = 0;
+  SimTime lost_time_;
 };
 
 }  // namespace

@@ -36,4 +36,25 @@ sim::Task<> RunOnThreads(sim::Simulator* sim, sim::Cpu* cpu, SimTime total,
   co_await sim::JoinAll(std::move(handles));
 }
 
+void InstallLogWriteFaults(core::JobLogger* logger,
+                           const sim::FaultPlan& faults) {
+  bool has_log_faults = false;
+  for (const sim::FaultSpec& spec : faults.specs()) {
+    if (spec.kind == sim::FaultKind::kLogWrite) has_log_faults = true;
+  }
+  if (!has_log_faults) return;
+  sim::FaultInjector injector(faults);
+  logger->SetWriteFaultHook(
+      [injector](const core::LogRecord& record) {
+        switch (injector.LogFaultFor(record.seq)) {
+          case sim::LogWriteFault::kDrop:
+            return core::JobLogger::WriteFault::kDrop;
+          case sim::LogWriteFault::kTruncate:
+            return core::JobLogger::WriteFault::kTruncate;
+          default:
+            return core::JobLogger::WriteFault::kNone;
+        }
+      });
+}
+
 }  // namespace granula::platform

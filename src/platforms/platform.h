@@ -12,6 +12,7 @@
 #include "granula/archive/archive.h"
 #include "granula/monitor/job_logger.h"
 #include "graph/graph.h"
+#include "sim/faults.h"
 
 namespace granula::platform {
 
@@ -38,6 +39,10 @@ struct JobConfig {
   // the live log for tail-while-running tests and demos; virtual time
   // (and thus the archive) is unaffected.
   uint64_t live_log_delay_us = 0;
+  // Deterministic fault plan (sim/faults.h). Empty ⇒ the fault machinery
+  // is fully inert: no checkpoints, no retries, no extra operations, and
+  // logs/archives are byte-identical to a pre-fault-subsystem run.
+  sim::FaultPlan faults;
 };
 
 // Everything a run produces: the algorithm output (for validation against
@@ -50,6 +55,13 @@ struct JobResult {
   uint64_t supersteps = 0;
   double total_seconds = 0;
   uint64_t network_bytes = 0;
+  // Failure bookkeeping. `completed` is false when the fault plan
+  // exhausted the retry policy: the job root never closes and the log
+  // archives with status kIncomplete.
+  bool completed = true;
+  uint64_t failed_attempts = 0;
+  uint64_t restarts = 0;
+  double lost_seconds = 0;
 };
 
 // Converts monitor samples to archive environment records.
@@ -60,6 +72,12 @@ std::vector<core::EnvironmentRecord> ToEnvironmentRecords(
 // Models a multi-threaded phase of a worker process.
 sim::Task<> RunOnThreads(sim::Simulator* sim, sim::Cpu* cpu, SimTime total,
                          int threads);
+
+// Installs the monitoring-side write-fault hook on `logger` when `faults`
+// contains kLogWrite specs; no-op otherwise. `faults` must outlive the
+// logger's use (platforms pass their own JobConfig copy).
+void InstallLogWriteFaults(core::JobLogger* logger,
+                           const sim::FaultPlan& faults);
 
 }  // namespace granula::platform
 

@@ -40,7 +40,8 @@ class PowerGraphJob {
         start_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
         end_barrier_(&sim_, static_cast<int>(job_config.num_workers) + 1),
         stage_barrier_(&sim_,
-                       std::max(1, static_cast<int>(job_config.num_workers))) {
+                       std::max(1, static_cast<int>(job_config.num_workers))),
+        injector_(job_config_.faults) {
     // A zero worker count is rejected in Execute(); the max(1, ...) only
     // keeps the never-used barrier constructible until then.
   }
@@ -50,6 +51,7 @@ class PowerGraphJob {
     if (ranks == 0 || ranks > cluster_.num_nodes()) {
       return Status::InvalidArgument("num_workers must be in [1, num_nodes]");
     }
+    InstallLogWriteFaults(&logger_, job_config_.faults);
     if (!job_config_.live_log_path.empty()) {
       GRANULA_RETURN_IF_ERROR(logger_.StreamTo(
           job_config_.live_log_path, job_config_.live_log_delay_us));
@@ -69,24 +71,12 @@ class PowerGraphJob {
     }
 
     const uint64_t n = graph_.num_vertices();
-    values_.resize(n);
-    active_.assign(n, 0);
-    next_active_.assign(n, 0);
-    scatter_flag_.assign(n, 0);
-    acc_.assign(n, 0.0);
-    acc_has_.assign(n, 0);
     degree_.assign(n, 0);
     for (const graph::Edge& e : graph_.edges()) {
       ++degree_[e.src];
       ++degree_[e.dst];
     }
-    active_count_ = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      values_[v] = program_.InitialValue(v, n);
-      bool is_active = program_.InitiallyActive(v);
-      active_[v] = is_active ? 1 : 0;
-      if (is_active) ++active_count_;
-    }
+    InitAlgorithmState();
     // Per-rank local adjacency over the rank's edge share, in CSR form
     // (replaces the per-edge scans in Gather/Scatter with pull-style loops
     // over replica vertices). Built on the host pool.
@@ -106,6 +96,10 @@ class PowerGraphJob {
     out->supersteps = iteration_;
     out->total_seconds = sim_.Now().seconds();
     out->network_bytes = cluster_.network_bytes_sent();
+    out->completed = !job_failed_;
+    out->failed_attempts = failed_attempts_;
+    out->restarts = restarts_;
+    out->lost_seconds = lost_time_.seconds();
     return Status::OK();
   }
 
@@ -123,15 +117,93 @@ class PowerGraphJob {
     OpId root = logger_.StartOperation(
         core::kNoOp, core::ops::kJobActor, job_config_.job_id,
         core::ops::kJobMission, "PowerGraphJob");
+    // PowerGraph has no checkpointing: a crashed or failed job is
+    // resubmitted from scratch. Each doomed attempt replays the real
+    // startup/load/process phases inside a FailedAttempt operation up to
+    // the crash point, so the archive prices rework, not a placeholder.
+    const sim::RetryPolicy& policy = injector_.policy();
+    uint32_t attempt = 0;
+    while (injector_.enabled()) {
+      const sim::FaultSpec* fault = injector_.JobFault(attempt);
+      if (fault == nullptr) break;
+      co_await RunFailedAttempt(root, *fault, attempt);
+      ++attempt;
+      if (job_failed_ || attempt >= policy.max_attempts) {
+        job_failed_ = true;
+        monitor_.Stop();
+        co_return;  // root never closes: the archive is kIncomplete
+      }
+      co_await RunRestart(root, attempt);
+      ResetAlgorithmState();
+    }
     co_await RunStartup(root);
     co_await RunLoadGraph(root);
-    co_await RunProcessGraph(root);
+    if (!job_failed_) co_await RunProcessGraph(root);
+    if (job_failed_) {
+      monitor_.Stop();
+      co_return;
+    }
     if (job_config_.offload_results) co_await RunOffloadGraph(root);
     co_await RunCleanup(root);
+    if (attempt > 0) {
+      logger_.AddInfo(root, "Attempts",
+                      Json(static_cast<int64_t>(attempt) + 1));
+    }
     logger_.AddInfo(root, "NetworkBytes",
                     Json(cluster_.network_bytes_sent()));
     logger_.EndOperation(root);
     monitor_.Stop();
+  }
+
+  // A whole job attempt that dies: the real phases run under a
+  // FailedAttempt operation and the engine aborts at the scheduled
+  // iteration (or at natural completion, whichever comes first — the
+  // attempt always fails). kTaskFailure kills iteration 0; kWorkerCrash
+  // its own step.
+  sim::Task<> RunFailedAttempt(OpId root, const sim::FaultSpec& fault,
+                               uint32_t attempt) {
+    SimTime began = sim_.Now();
+    OpId op = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id,
+        core::ops::kFailedAttempt,
+        StrFormat("FailedAttempt-%u", attempt + 1));
+    crash_pending_ = true;
+    crash_at_iteration_ =
+        fault.kind == sim::FaultKind::kWorkerCrash ? fault.step : 0;
+    crash_worker_ = std::min(fault.worker, job_config_.num_workers - 1);
+    crash_work_ = fault.work_before_crash;
+    co_await RunStartup(op);
+    co_await RunLoadGraph(op);
+    if (!job_failed_) co_await RunProcessGraph(op);
+    crash_pending_ = false;
+    if (job_failed_) co_return;  // storage retries exhausted during load
+    SimTime lost = sim_.Now() - began;
+    logger_.AddInfo(op, "Attempt", Json(static_cast<int64_t>(attempt) + 1));
+    logger_.AddInfo(op, "CrashedWorker", Json(RankActor(crash_worker_)));
+    logger_.AddInfo(op, "CrashIteration", Json(crash_at_iteration_));
+    logger_.AddInfo(op, "LostTime",
+                    Json(static_cast<uint64_t>(lost.nanos())));
+    logger_.EndOperation(op);
+    ++failed_attempts_;
+    lost_time_ += lost;
+  }
+
+  // Backoff + cluster resubmission between attempts, wrapped in a
+  // Restart operation so recovery overhead is priced in the tree.
+  sim::Task<> RunRestart(OpId root, uint32_t attempt) {
+    SimTime began = sim_.Now();
+    OpId op = logger_.StartOperation(
+        root, core::ops::kJobActor, job_config_.job_id, core::ops::kRestart,
+        StrFormat("Restart-%u", attempt));
+    co_await sim_.Delay(injector_.Backoff(attempt - 1));
+    co_await sim_.Delay(injector_.policy().resubmit_delay);
+    SimTime lost = sim_.Now() - began;
+    logger_.AddInfo(op, "Attempt", Json(static_cast<int64_t>(attempt) + 1));
+    logger_.AddInfo(op, "LostTime",
+                    Json(static_cast<uint64_t>(lost.nanos())));
+    logger_.EndOperation(op);
+    ++restarts_;
+    lost_time_ += lost;
   }
 
   // ------------------------------------------------------------ startup --
@@ -170,6 +242,35 @@ class PowerGraphJob {
     // busy node of Fig. 7 while every other rank idles.
     OpId read = logger_.StartOperation(load, "Coordinator", RankActor(0),
                                        "ReadInput", "ReadInput");
+    if (injector_.enabled()) {
+      // Transient storage errors: the loader retries in place with
+      // backoff; each dead read is a FailedAttempt child of ReadInput.
+      uint32_t retry = 0;
+      while (const sim::FaultSpec* fault =
+                 injector_.StorageFault(0, retry)) {
+        SimTime began = sim_.Now();
+        OpId failed = logger_.StartOperation(
+            read, "Coordinator", RankActor(0), core::ops::kFailedAttempt,
+            StrFormat("FailedAttempt-read-%u", retry + 1));
+        co_await sim_.Delay(fault->work_before_crash);
+        co_await sim_.Delay(injector_.Backoff(retry));
+        SimTime lost = sim_.Now() - began;
+        logger_.AddInfo(failed, "Attempt",
+                        Json(static_cast<int64_t>(retry) + 1));
+        logger_.AddInfo(failed, "LostTime",
+                        Json(static_cast<uint64_t>(lost.nanos())));
+        logger_.EndOperation(failed);
+        ++failed_attempts_;
+        lost_time_ += lost;
+        ++retry;
+        if (retry >= injector_.policy().max_attempts) {
+          job_failed_ = true;
+          logger_.EndOperation(read);
+          logger_.EndOperation(load);
+          co_return;
+        }
+      }
+    }
     co_await sharedfs_.ReadAll(RankNode(0), "/data/graph.e");
     SimTime parse =
         cost_.parse_cpu_per_byte * static_cast<double>(input_bytes_);
@@ -224,7 +325,16 @@ class PowerGraphJob {
     while (true) {
       uint64_t max_iters = program_.max_iterations();
       bool capped = max_iters > 0 && iteration_ >= max_iters;
-      if (!AnyActive() || capped) {
+      bool done = !AnyActive() || capped;
+      if (crash_pending_ && (done || iteration_ >= crash_at_iteration_)) {
+        // The victim dies partway into the iteration; the engine notices
+        // after the liveness timeout and aborts the whole job.
+        co_await sim_.Delay(crash_work_ + injector_.policy().detect_timeout);
+        process_done_ = true;
+        co_await start_barrier_.Arrive();
+        break;
+      }
+      if (done) {
         process_done_ = true;
         co_await start_barrier_.Arrive();
         break;
@@ -441,6 +551,29 @@ class PowerGraphJob {
     co_await end_barrier_.Arrive();
   }
 
+  // Attempt-scoped algorithm state. The partition, CSR adjacency, and
+  // degree table are inputs, not state: they survive restarts.
+  void InitAlgorithmState() {
+    const uint64_t n = graph_.num_vertices();
+    values_.resize(n);
+    active_.assign(n, 0);
+    next_active_.assign(n, 0);
+    scatter_flag_.assign(n, 0);
+    acc_.assign(n, 0.0);
+    acc_has_.assign(n, 0);
+    active_count_ = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      values_[v] = program_.InitialValue(v, n);
+      bool is_active = program_.InitiallyActive(v);
+      active_[v] = is_active ? 1 : 0;
+      if (is_active) ++active_count_;
+    }
+    next_active_count_ = 0;
+    iteration_ = 0;
+    process_done_ = false;
+  }
+  void ResetAlgorithmState() { InitAlgorithmState(); }
+
   void AccumulateGather(VertexId self, VertexId other) {
     double contribution =
         program_.Gather(self, other, values_[other], degree_[other]);
@@ -530,6 +663,17 @@ class PowerGraphJob {
   bool process_done_ = false;
   OpId process_op_ = core::kNoOp;
   OpId iteration_op_ = core::kNoOp;
+
+  // Fault injection (inert when the plan is empty).
+  sim::FaultInjector injector_;
+  bool crash_pending_ = false;
+  uint64_t crash_at_iteration_ = 0;
+  uint32_t crash_worker_ = 0;
+  SimTime crash_work_;
+  bool job_failed_ = false;
+  uint64_t failed_attempts_ = 0;
+  uint64_t restarts_ = 0;
+  SimTime lost_time_;
 };
 
 }  // namespace

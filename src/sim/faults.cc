@@ -1,0 +1,138 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace granula::sim {
+
+FaultPlan FaultPlan::Random(uint64_t seed, uint32_t num_workers,
+                            uint64_t max_step, uint32_t num_faults) {
+  FaultPlan plan;
+  if (num_workers == 0) return plan;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < num_faults; ++i) {
+    FaultSpec spec;
+    switch (rng.NextBounded(3)) {
+      case 0:
+        spec.kind = FaultKind::kWorkerCrash;
+        break;
+      case 1:
+        spec.kind = FaultKind::kTaskFailure;
+        break;
+      default:
+        spec.kind = FaultKind::kStorageError;
+        break;
+    }
+    spec.worker = static_cast<uint32_t>(rng.NextBounded(num_workers));
+    spec.step = rng.NextBounded(max_step + 1);
+    spec.failures = 1;
+    spec.work_before_crash =
+        SimTime::Millis(static_cast<int64_t>(100 + rng.NextBounded(900)));
+    plan.Add(spec);
+  }
+  return plan;
+}
+
+namespace {
+
+// Walks `specs` filtered by `match` in the order given by `less`,
+// treating each matching spec as dooming `failures` consecutive
+// attempts; returns the spec that covers `attempt`, if any.
+template <typename Match, typename Less>
+const FaultSpec* CoveringSpec(const std::vector<FaultSpec>& specs,
+                              uint32_t attempt, Match match, Less less) {
+  std::vector<const FaultSpec*> hits;
+  for (const FaultSpec& spec : specs) {
+    if (match(spec)) hits.push_back(&spec);
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [&](const FaultSpec* a, const FaultSpec* b) {
+                     return less(*a, *b);
+                   });
+  uint32_t covered = 0;
+  for (const FaultSpec* spec : hits) {
+    if (attempt < covered + spec->failures) return spec;
+    covered += spec->failures;
+  }
+  return nullptr;
+}
+
+bool ByStepWorker(const FaultSpec& a, const FaultSpec& b) {
+  if (a.step != b.step) return a.step < b.step;
+  return a.worker < b.worker;
+}
+
+}  // namespace
+
+const FaultSpec* FaultInjector::JobFault(uint32_t attempt) const {
+  return CoveringSpec(
+      plan_->specs(), attempt,
+      [](const FaultSpec& s) {
+        return s.kind == FaultKind::kWorkerCrash ||
+               s.kind == FaultKind::kTaskFailure;
+      },
+      ByStepWorker);
+}
+
+const FaultSpec* FaultInjector::CrashAt(uint64_t step,
+                                        uint32_t attempt) const {
+  return CoveringSpec(
+      plan_->specs(), attempt,
+      [step](const FaultSpec& s) {
+        return s.kind == FaultKind::kWorkerCrash && s.step == step;
+      },
+      ByStepWorker);
+}
+
+const FaultSpec* FaultInjector::TaskFault(uint32_t worker, uint64_t step,
+                                          uint32_t attempt) const {
+  return CoveringSpec(
+      plan_->specs(), attempt,
+      [worker, step](const FaultSpec& s) {
+        return (s.kind == FaultKind::kTaskFailure ||
+                s.kind == FaultKind::kWorkerCrash) &&
+               s.worker == worker && s.step == step;
+      },
+      ByStepWorker);
+}
+
+const FaultSpec* FaultInjector::LoadFault(uint32_t worker,
+                                          uint32_t attempt) const {
+  return CoveringSpec(
+      plan_->specs(), attempt,
+      [worker](const FaultSpec& s) {
+        return (s.kind == FaultKind::kTaskFailure ||
+                s.kind == FaultKind::kStorageError) &&
+               s.worker == worker;
+      },
+      ByStepWorker);
+}
+
+const FaultSpec* FaultInjector::StorageFault(uint32_t worker,
+                                             uint32_t attempt) const {
+  return CoveringSpec(
+      plan_->specs(), attempt,
+      [worker](const FaultSpec& s) {
+        return s.kind == FaultKind::kStorageError && s.worker == worker;
+      },
+      ByStepWorker);
+}
+
+SimTime FaultInjector::Backoff(uint32_t retries) const {
+  const RetryPolicy& p = plan_->retry;
+  double scale = 1.0;
+  for (uint32_t i = 0; i < retries; ++i) scale *= p.backoff_factor;
+  return p.backoff_base * scale;
+}
+
+LogWriteFault FaultInjector::LogFaultFor(uint64_t seq) const {
+  for (const FaultSpec& spec : plan_->specs()) {
+    if (spec.kind == FaultKind::kLogWrite && spec.log_seq == seq) {
+      return spec.log_effect;
+    }
+  }
+  return LogWriteFault::kNone;
+}
+
+}  // namespace granula::sim

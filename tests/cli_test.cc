@@ -183,6 +183,46 @@ TEST(CliTest, WatchTimeoutExitsFive) {
         << err.text();
 }
 
+TEST(CliTest, FaultedRunRecoversAndReportsLostTime) {
+  std::string archive_path = TempPath("faulted.json");
+  Capture out("fault_out"), err("fault_err");
+  EXPECT_EQ(RunCli({"run", "--platform=powergraph",
+                 "--graph=uniform:400,1600", "--nodes=4", "--workers=4",
+                 "--fault=crash:2:1", "--archive-out=" + archive_path},
+                &out, &err),
+            kExitOk)
+      << err.text();
+  EXPECT_NE(out.text().find("fault injection: 1 failed attempt(s)"),
+            std::string::npos)
+      << out.text();
+  EXPECT_TRUE(std::filesystem::exists(archive_path));
+}
+
+TEST(CliTest, UnrecoverableFaultPlanExitsOne) {
+  Capture out("unrec_out"), err("unrec_err");
+  EXPECT_EQ(RunCli({"run", "--platform=powergraph",
+                 "--graph=uniform:400,1600", "--nodes=4", "--workers=4",
+                 "--fault=crash:2:1:9", "--max-attempts=3"},
+                &out, &err),
+            kExitFatal)
+      << err.text();
+  EXPECT_NE(out.text().find("did NOT complete"), std::string::npos)
+      << out.text();
+}
+
+TEST(CliTest, MalformedFaultSpecIsFatal) {
+  for (const char* bad : {"--fault=crash:2", "--fault=storage",
+                          "--fault=wedge:1:2", "--fault=logdrop"}) {
+    Capture out("badfault_out"), err("badfault_err");
+    EXPECT_EQ(RunCli({"run", "--platform=pgxd", "--graph=uniform:400,1600",
+                   "--nodes=4", "--workers=4", bad},
+                  &out, &err),
+              kExitFatal)
+        << bad << " should be rejected";
+    EXPECT_NE(err.text().find("granula:"), std::string::npos) << bad;
+  }
+}
+
 TEST(CliTest, ModelCommandRendersTheModelTree) {
   Capture out("model_out"), err("model_err");
   EXPECT_EQ(RunCli({"model", "--name=powergraph"}, &out, &err), kExitOk);

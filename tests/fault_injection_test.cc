@@ -1,0 +1,310 @@
+// End-to-end fault injection across every platform: a seeded crash plan
+// must complete via retry/restart, produce a lint-clean archive with real
+// FailedAttempt/Restart operations and a nonzero LostTime metric, leave
+// vertex values identical to the no-fault run, and stay byte-identical
+// across host thread counts. Unrecoverable plans must end as incomplete
+// archives, never as crashes or hangs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "granula/analysis/chokepoint.h"
+#include "granula/archive/archiver.h"
+#include "granula/models/models.h"
+#include "graph/generators.h"
+#include "platforms/giraph.h"
+#include "platforms/graphmat.h"
+#include "platforms/hadoop.h"
+#include "platforms/pgxd.h"
+#include "platforms/powergraph.h"
+
+namespace granula::platform {
+namespace {
+
+class PoolSizeGuard {
+ public:
+  PoolSizeGuard() : original_(ThreadPool::Global().num_threads()) {}
+  ~PoolSizeGuard() { ThreadPool::Global().Resize(original_); }
+
+ private:
+  int original_;
+};
+
+constexpr const char* kPlatformNames[] = {"Giraph", "PowerGraph", "GraphMat",
+                                          "Pgxd", "Hadoop"};
+
+graph::Graph TestGraph() {
+  graph::DatagenConfig config;
+  config.num_vertices = 1500;
+  config.avg_degree = 6.0;
+  config.seed = 7;
+  auto g = graph::GenerateDatagen(config);
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+algo::AlgorithmSpec PageRankSpec() {
+  algo::AlgorithmSpec spec;
+  spec.id = algo::AlgorithmId::kPageRank;
+  spec.max_iterations = 5;
+  return spec;
+}
+
+Result<JobResult> RunPlatform(int which, const graph::Graph& g,
+                              const algo::AlgorithmSpec& spec,
+                              const JobConfig& job) {
+  cluster::ClusterConfig cluster;
+  switch (which) {
+    case 0:
+      return GiraphPlatform().Run(g, spec, cluster, job);
+    case 1:
+      return PowerGraphPlatform().Run(g, spec, cluster, job);
+    case 2:
+      return GraphMatPlatform().Run(g, spec, cluster, job);
+    case 3:
+      return PgxdPlatform().Run(g, spec, cluster, job);
+    default:
+      return HadoopPlatform().Run(g, spec, cluster, job);
+  }
+}
+
+core::PerformanceModel ModelFor(int which) {
+  switch (which) {
+    case 0:
+      return core::MakeGiraphModel();
+    case 1:
+      return core::MakePowerGraphModel();
+    case 2:
+      return core::MakeGraphMatModel();
+    case 3:
+      return core::MakePgxdModel();
+    default:
+      return core::MakeHadoopModel();
+  }
+}
+
+sim::FaultPlan CrashPlan() {
+  sim::FaultPlan plan;
+  sim::FaultSpec crash;
+  crash.kind = sim::FaultKind::kWorkerCrash;
+  crash.worker = 2;
+  crash.step = 1;
+  plan.Add(crash);
+  return plan;
+}
+
+uint64_t CountOps(const core::ArchivedOperation& root,
+                  const char* mission_type) {
+  uint64_t count = 0;
+  root.Visit([&](const core::ArchivedOperation& op) {
+    if (op.mission_type == mission_type) ++count;
+  });
+  return count;
+}
+
+class FaultInjection : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultInjection, CrashPlanCompletesViaRetryWithFailureOpsInArchive) {
+  const int which = GetParam();
+  const graph::Graph g = TestGraph();
+  const algo::AlgorithmSpec spec = PageRankSpec();
+
+  JobConfig clean_job;
+  auto clean = RunPlatform(which, g, spec, clean_job);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(clean->completed);
+  EXPECT_EQ(clean->failed_attempts, 0u);
+  EXPECT_EQ(clean->lost_seconds, 0.0);
+
+  JobConfig faulted_job;
+  faulted_job.faults = CrashPlan();
+  auto faulted = RunPlatform(which, g, spec, faulted_job);
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+
+  // The crash costs an attempt but the job still finishes — and computes
+  // exactly the same answer as the clean run.
+  EXPECT_TRUE(faulted->completed) << kPlatformNames[which];
+  EXPECT_GE(faulted->failed_attempts, 1u);
+  EXPECT_GE(faulted->restarts, 1u);
+  EXPECT_GT(faulted->lost_seconds, 0.0);
+  EXPECT_TRUE(faulted->vertex_values == clean->vertex_values)
+      << kPlatformNames[which] << ": fault recovery changed the answer";
+
+  auto archive = core::Archiver().Build(ModelFor(which), faulted->records,
+                                        std::move(faulted->environment), {});
+  ASSERT_TRUE(archive.ok()) << archive.status();
+  EXPECT_TRUE(archive->lint.clean()) << archive->lint.Summary();
+  EXPECT_EQ(archive->status, core::ArchiveStatus::kComplete);
+  ASSERT_NE(archive->root, nullptr);
+
+  // Every failed attempt is a real operation in the tree, and the model's
+  // wasted-time rules fire on the root.
+  EXPECT_GE(CountOps(*archive->root, "FailedAttempt"), 1u)
+      << kPlatformNames[which];
+  if (which != 4) {  // Hadoop reschedules tasks instead of restarting jobs
+    EXPECT_GE(CountOps(*archive->root, "Restart"), 1u)
+        << kPlatformNames[which];
+  }
+  EXPECT_TRUE(archive->root->HasInfo("LostTime")) << kPlatformNames[which];
+  EXPECT_GT(archive->root->InfoNumber("LostTime"), 0.0);
+  EXPECT_TRUE(archive->root->HasInfo("FailedAttemptCount"));
+
+  // Chokepoint analysis reports the recovery cost as a finding.
+  core::ChokepointOptions options;
+  std::vector<core::Finding> findings =
+      core::AnalyzeChokepoints(*archive, options);
+  bool saw_failure_finding = false;
+  for (const core::Finding& finding : findings) {
+    if (finding.kind == core::FindingKind::kFailureRecovery) {
+      saw_failure_finding = true;
+      EXPECT_GT(finding.metric, 0.0);
+    }
+    EXPECT_NE(finding.kind, core::FindingKind::kStalledJob)
+        << "completed run must not look stalled";
+  }
+  EXPECT_TRUE(saw_failure_finding) << kPlatformNames[which];
+}
+
+TEST_P(FaultInjection, FaultedArchiveByteIdenticalAcrossHostThreadCounts) {
+  const int which = GetParam();
+  const graph::Graph g = TestGraph();
+  const algo::AlgorithmSpec spec = PageRankSpec();
+
+  PoolSizeGuard guard;
+  auto capture = [&]() -> std::string {
+    JobConfig job;
+    job.faults = CrashPlan();
+    auto result = RunPlatform(which, g, spec, job);
+    EXPECT_TRUE(result.ok()) << result.status();
+    if (!result.ok()) return {};
+    auto archive = core::Archiver().Build(ModelFor(which), result->records,
+                                          std::move(result->environment), {});
+    EXPECT_TRUE(archive.ok()) << archive.status();
+    if (!archive.ok()) return {};
+    return archive->ToJsonString();
+  };
+
+  ThreadPool::Global().Resize(1);
+  const std::string baseline = capture();
+  ASSERT_FALSE(baseline.empty());
+  for (int threads : {2, 8}) {
+    ThreadPool::Global().Resize(threads);
+    const std::string out = capture();
+    EXPECT_TRUE(out == baseline)
+        << kPlatformNames[which] << " faulted archive diverges at "
+        << threads << " host threads (sizes " << out.size() << " vs "
+        << baseline.size() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, FaultInjection, ::testing::Range(0, 5),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return std::string(kPlatformNames[info.param]);
+    });
+
+TEST(FaultInjectionTest, UnrecoverablePlanYieldsIncompleteArchive) {
+  const graph::Graph g = TestGraph();
+  const algo::AlgorithmSpec spec = PageRankSpec();
+
+  JobConfig job;
+  sim::FaultSpec crash;
+  crash.kind = sim::FaultKind::kWorkerCrash;
+  crash.worker = 1;
+  crash.step = 0;
+  crash.failures = 99;  // more failures than any retry budget
+  job.faults.Add(crash);
+  job.faults.retry.max_attempts = 3;
+
+  auto result = PowerGraphPlatform().Run(g, spec, cluster::ClusterConfig{},
+                                         job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->completed);
+  EXPECT_EQ(result->failed_attempts, 3u);
+
+  // The root never closed; the archive must say so explicitly instead of
+  // pretending the job finished at the last logged instant.
+  auto archive =
+      core::Archiver().Build(core::MakePowerGraphModel(), result->records,
+                             std::move(result->environment), {});
+  ASSERT_TRUE(archive.ok()) << archive.status();
+  EXPECT_EQ(archive->status, core::ArchiveStatus::kIncomplete);
+
+  // Analysis flags the aborted run as a critical stalled-job finding.
+  std::vector<core::Finding> findings =
+      core::AnalyzeChokepoints(*archive, core::ChokepointOptions{});
+  bool saw_stalled = false;
+  for (const core::Finding& finding : findings) {
+    if (finding.kind == core::FindingKind::kStalledJob) saw_stalled = true;
+  }
+  EXPECT_TRUE(saw_stalled);
+
+  // Round trip: the status survives serialization.
+  auto reloaded = core::PerformanceArchive::FromJsonString(
+      archive->ToJsonString());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->status, core::ArchiveStatus::kIncomplete);
+}
+
+TEST(FaultInjectionTest, StorageErrorRetriesInPlace) {
+  const graph::Graph g = TestGraph();
+  const algo::AlgorithmSpec spec = PageRankSpec();
+
+  JobConfig job;
+  sim::FaultSpec storage;
+  storage.kind = sim::FaultKind::kStorageError;
+  storage.worker = 1;
+  storage.failures = 2;
+  job.faults.Add(storage);
+
+  auto result = PgxdPlatform().Run(g, spec, cluster::ClusterConfig{}, job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->completed);
+  EXPECT_EQ(result->failed_attempts, 2u);
+  EXPECT_EQ(result->restarts, 0u) << "in-place retries are not restarts";
+
+  auto archive =
+      core::Archiver().Build(core::MakePgxdModel(), result->records,
+                             std::move(result->environment), {});
+  ASSERT_TRUE(archive.ok()) << archive.status();
+  EXPECT_TRUE(archive->lint.clean());
+  EXPECT_EQ(CountOps(*archive->root, "FailedAttempt"), 2u);
+}
+
+TEST(FaultInjectionTest, LogWriteFaultsQuarantineUnderRepair) {
+  const graph::Graph g = TestGraph();
+  const algo::AlgorithmSpec spec = PageRankSpec();
+
+  JobConfig job;
+  sim::FaultSpec drop;
+  drop.kind = sim::FaultKind::kLogWrite;
+  drop.log_seq = 40;
+  drop.log_effect = sim::LogWriteFault::kDrop;
+  job.faults.Add(drop);
+
+  auto result = GiraphPlatform().Run(g, spec, cluster::ClusterConfig{}, job);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->completed) << "log faults must not affect the job";
+
+  // Strict mode rejects the torn log; repair mode quarantines the damage
+  // and still builds an archive.
+  core::Archiver strict;
+  auto rejected = strict.Build(core::MakeGiraphModel(), result->records,
+                               {}, {});
+  EXPECT_FALSE(rejected.ok());
+
+  core::Archiver::Options options;
+  options.tolerance = core::Archiver::Tolerance::kRepair;
+  core::Archiver repair(options);
+  auto archive = repair.Build(core::MakeGiraphModel(), result->records,
+                              std::move(result->environment), {});
+  ASSERT_TRUE(archive.ok()) << archive.status();
+  EXPECT_FALSE(archive->lint.clean());
+}
+
+}  // namespace
+}  // namespace granula::platform

@@ -1,0 +1,167 @@
+// Unit tests for the deterministic fault plan and its injector: attempt
+// coverage and ordering, backoff arithmetic, log-write fault lookup, and
+// determinism of the seeded random plan. The injector must stay a pure
+// function of the plan — every query here is repeated to prove it.
+
+#include <gtest/gtest.h>
+
+#include "sim/faults.h"
+
+namespace granula::sim {
+namespace {
+
+FaultSpec Crash(uint32_t worker, uint64_t step, uint32_t failures = 1) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kWorkerCrash;
+  spec.worker = worker;
+  spec.step = step;
+  spec.failures = failures;
+  return spec;
+}
+
+TEST(FaultPlanTest, EmptyPlanIsInert) {
+  FaultPlan plan;
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.JobFault(0), nullptr);
+  EXPECT_EQ(injector.CrashAt(0, 0), nullptr);
+  EXPECT_EQ(injector.TaskFault(0, 0, 0), nullptr);
+  EXPECT_EQ(injector.LoadFault(0, 0), nullptr);
+  EXPECT_EQ(injector.StorageFault(0, 0), nullptr);
+  EXPECT_EQ(injector.LogFaultFor(7), LogWriteFault::kNone);
+}
+
+TEST(FaultPlanTest, JobFaultCoversAttemptsInStepWorkerOrder) {
+  FaultPlan plan;
+  plan.Add(Crash(/*worker=*/3, /*step=*/5));
+  plan.Add(Crash(/*worker=*/1, /*step=*/2));
+  FaultInjector injector(plan);
+  ASSERT_TRUE(injector.enabled());
+
+  // Attempt 0 is doomed by the earliest (step, worker) spec, regardless
+  // of insertion order; attempt 1 by the next; attempt 2 succeeds.
+  const FaultSpec* first = injector.JobFault(0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->step, 2u);
+  EXPECT_EQ(first->worker, 1u);
+  const FaultSpec* second = injector.JobFault(1);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->step, 5u);
+  EXPECT_EQ(second->worker, 3u);
+  EXPECT_EQ(injector.JobFault(2), nullptr);
+}
+
+TEST(FaultPlanTest, MultiFailureSpecDoomsConsecutiveAttempts) {
+  FaultPlan plan;
+  plan.Add(Crash(/*worker=*/0, /*step=*/1, /*failures=*/3));
+  FaultInjector injector(plan);
+  for (uint32_t attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_NE(injector.JobFault(attempt), nullptr) << "attempt " << attempt;
+  }
+  EXPECT_EQ(injector.JobFault(3), nullptr);
+}
+
+TEST(FaultPlanTest, CrashAtMatchesOnlyItsStep) {
+  FaultPlan plan;
+  plan.Add(Crash(/*worker=*/2, /*step=*/4));
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.CrashAt(3, 0), nullptr);
+  EXPECT_NE(injector.CrashAt(4, 0), nullptr);
+  EXPECT_EQ(injector.CrashAt(4, 1), nullptr);  // one failure only
+  EXPECT_EQ(injector.CrashAt(5, 0), nullptr);
+}
+
+TEST(FaultPlanTest, TaskFaultMatchesWorkerAndStepForBothKinds) {
+  FaultPlan plan;
+  FaultSpec task;
+  task.kind = FaultKind::kTaskFailure;
+  task.worker = 1;
+  task.step = 0;
+  plan.Add(task);
+  plan.Add(Crash(/*worker=*/2, /*step=*/3));
+  FaultInjector injector(plan);
+  EXPECT_NE(injector.TaskFault(1, 0, 0), nullptr);
+  // Worker crashes surface as failed task attempts on Hadoop.
+  EXPECT_NE(injector.TaskFault(2, 3, 0), nullptr);
+  EXPECT_EQ(injector.TaskFault(1, 1, 0), nullptr);
+  EXPECT_EQ(injector.TaskFault(0, 0, 0), nullptr);
+}
+
+TEST(FaultPlanTest, StorageFaultFiltersKindAndWorker) {
+  FaultPlan plan;
+  FaultSpec storage;
+  storage.kind = FaultKind::kStorageError;
+  storage.worker = 4;
+  storage.failures = 2;
+  plan.Add(storage);
+  plan.Add(Crash(/*worker=*/4, /*step=*/0));
+  FaultInjector injector(plan);
+  EXPECT_NE(injector.StorageFault(4, 0), nullptr);
+  EXPECT_NE(injector.StorageFault(4, 1), nullptr);
+  EXPECT_EQ(injector.StorageFault(4, 2), nullptr);  // crash doesn't count
+  EXPECT_EQ(injector.StorageFault(3, 0), nullptr);
+}
+
+TEST(FaultPlanTest, BackoffGrowsExponentially) {
+  FaultPlan plan;
+  plan.retry.backoff_base = SimTime::Millis(100);
+  plan.retry.backoff_factor = 2.0;
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.Backoff(0), SimTime::Millis(100));
+  EXPECT_EQ(injector.Backoff(1), SimTime::Millis(200));
+  EXPECT_EQ(injector.Backoff(3), SimTime::Millis(800));
+}
+
+TEST(FaultPlanTest, LogFaultForMatchesSeq) {
+  FaultPlan plan;
+  FaultSpec drop;
+  drop.kind = FaultKind::kLogWrite;
+  drop.log_seq = 12;
+  drop.log_effect = LogWriteFault::kDrop;
+  plan.Add(drop);
+  FaultSpec trunc;
+  trunc.kind = FaultKind::kLogWrite;
+  trunc.log_seq = 30;
+  trunc.log_effect = LogWriteFault::kTruncate;
+  plan.Add(trunc);
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.LogFaultFor(12), LogWriteFault::kDrop);
+  EXPECT_EQ(injector.LogFaultFor(30), LogWriteFault::kTruncate);
+  EXPECT_EQ(injector.LogFaultFor(13), LogWriteFault::kNone);
+}
+
+TEST(FaultPlanTest, RepeatedQueriesAreStable) {
+  FaultPlan plan;
+  plan.Add(Crash(/*worker=*/1, /*step=*/2, /*failures=*/2));
+  FaultInjector injector(plan);
+  const FaultSpec* a = injector.JobFault(1);
+  const FaultSpec* b = injector.JobFault(1);
+  EXPECT_EQ(a, b);  // pure function: same pointer, no consumed state
+}
+
+TEST(FaultPlanTest, RandomPlanIsDeterministicInSeed) {
+  FaultPlan a = FaultPlan::Random(/*seed=*/42, /*num_workers=*/8,
+                                  /*max_step=*/6, /*num_faults=*/5);
+  FaultPlan b = FaultPlan::Random(42, 8, 6, 5);
+  ASSERT_EQ(a.specs().size(), 5u);
+  ASSERT_EQ(b.specs().size(), 5u);
+  for (size_t i = 0; i < a.specs().size(); ++i) {
+    EXPECT_EQ(a.specs()[i].kind, b.specs()[i].kind);
+    EXPECT_EQ(a.specs()[i].worker, b.specs()[i].worker);
+    EXPECT_EQ(a.specs()[i].step, b.specs()[i].step);
+    EXPECT_EQ(a.specs()[i].work_before_crash, b.specs()[i].work_before_crash);
+  }
+  FaultPlan c = FaultPlan::Random(43, 8, 6, 5);
+  bool any_diff = false;
+  for (size_t i = 0; i < c.specs().size(); ++i) {
+    if (c.specs()[i].worker != a.specs()[i].worker ||
+        c.specs()[i].step != a.specs()[i].step) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should give different plans";
+  EXPECT_TRUE(FaultPlan::Random(1, /*num_workers=*/0, 4, 3).empty());
+}
+
+}  // namespace
+}  // namespace granula::sim

@@ -8,6 +8,12 @@
 //                    [--save-repo=DIR] [--log-out=run.jsonl]
 //                    [--live-log=run.live.jsonl] [--live-log-delay-us=0]
 //                    [--slow-node=ID:FACTOR]
+//                    [--fault=SPEC[,SPEC...]] [--fault-seed=N]
+//                    [--fault-count=2] [--max-attempts=4]
+//                    [--checkpoint-interval=2]
+//                    (fault SPECs: crash:WORKER:STEP[:N] task:WORKER:STEP[:N]
+//                     storage:WORKER[:N] logdrop:SEQ logtrunc:SEQ;
+//                     exit 1 when the job exhausts its retries)
 //   granula lint     --log=run.jsonl [--model=giraph|...]
 //                    [--tolerance=strict|repair] [--archive-out=fixed.json]
 //                    (exit 3 when the log has fatal defects)
@@ -17,6 +23,7 @@
 //   granula watch    --log=run.live.jsonl --model=giraph|... [--timeout=30]
 //                    [--poll-ms=50] [--depth=3] [--capacity=128] [--ansi]
 //                    [--quiet] [--archive-out=final.json]
+//                    [--stall-timeout=SECONDS] [--alert-log=alerts.jsonl]
 //                    (tails a live log while the job runs; exit 5 on timeout)
 //   granula list     [--repo=DIR]          (list saved archives)
 //   granula model    [--name=giraph|powergraph|hadoop|domain]

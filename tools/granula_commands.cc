@@ -27,6 +27,7 @@
 #include "platforms/pgxd.h"
 #include "platforms/powergraph.h"
 #include "platforms/registry.h"
+#include "sim/faults.h"
 
 namespace granula::cli {
 namespace {
@@ -118,6 +119,78 @@ Result<core::PerformanceModel> ModelByName(const std::string& name) {
       "' (giraph|powergraph|hadoop|pgxd|graphmat|domain)");
 }
 
+// --fault=SPEC[,SPEC...] plus the retry-policy knobs. SPEC grammar:
+//   crash:WORKER:STEP[:N]   worker crash at a superstep/iteration
+//   task:WORKER:STEP[:N]    single task-attempt failure
+//   storage:WORKER[:N]      transient read error, retried in place
+//   logdrop:SEQ             the log record with that seq is never written
+//   logtrunc:SEQ            ... is written torn (half the line, no newline)
+// N = how many consecutive attempts fail (default 1). --fault-seed adds
+// a seeded random plan on top (--fault-count faults).
+Result<sim::FaultPlan> ParseFaultFlags(const Flags& flags,
+                                       uint32_t num_workers,
+                                       uint64_t max_step) {
+  sim::FaultPlan plan;
+  if (flags.Has("fault-seed")) {
+    plan = sim::FaultPlan::Random(
+        static_cast<uint64_t>(flags.GetInt("fault-seed", 1)), num_workers,
+        max_step, static_cast<uint32_t>(flags.GetInt("fault-count", 2)));
+  }
+  if (flags.Has("fault")) {
+    for (const std::string& text : StrSplit(flags.Get("fault"), ',')) {
+      std::vector<std::string> parts = StrSplit(text, ':');
+      auto part_u64 = [&](size_t i, uint64_t fallback) {
+        return i < parts.size()
+                   ? std::strtoull(parts[i].c_str(), nullptr, 10)
+                   : fallback;
+      };
+      if (parts.empty()) {
+        return Status::InvalidArgument("empty --fault spec");
+      }
+      sim::FaultSpec spec;
+      const std::string& kind = parts[0];
+      if (kind == "crash" || kind == "task") {
+        if (parts.size() < 3) {
+          return Status::InvalidArgument(
+              "--fault " + kind + " expects " + kind + ":WORKER:STEP[:N]");
+        }
+        spec.kind = kind == "crash" ? sim::FaultKind::kWorkerCrash
+                                    : sim::FaultKind::kTaskFailure;
+        spec.worker = static_cast<uint32_t>(part_u64(1, 0));
+        spec.step = part_u64(2, 0);
+        spec.failures = static_cast<uint32_t>(part_u64(3, 1));
+      } else if (kind == "storage") {
+        if (parts.size() < 2) {
+          return Status::InvalidArgument(
+              "--fault storage expects storage:WORKER[:N]");
+        }
+        spec.kind = sim::FaultKind::kStorageError;
+        spec.worker = static_cast<uint32_t>(part_u64(1, 0));
+        spec.failures = static_cast<uint32_t>(part_u64(2, 1));
+      } else if (kind == "logdrop" || kind == "logtrunc") {
+        if (parts.size() < 2) {
+          return Status::InvalidArgument("--fault " + kind + " expects " +
+                                         kind + ":SEQ");
+        }
+        spec.kind = sim::FaultKind::kLogWrite;
+        spec.log_seq = part_u64(1, 0);
+        spec.log_effect = kind == "logdrop" ? sim::LogWriteFault::kDrop
+                                            : sim::LogWriteFault::kTruncate;
+      } else {
+        return Status::InvalidArgument(
+            "unknown fault kind '" + kind +
+            "' (crash|task|storage|logdrop|logtrunc)");
+      }
+      plan.Add(spec);
+    }
+  }
+  plan.retry.max_attempts =
+      static_cast<uint32_t>(flags.GetInt("max-attempts", 4));
+  plan.retry.checkpoint_interval =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-interval", 2));
+  return plan;
+}
+
 Result<core::PerformanceArchive> LoadArchive(const std::string& path) {
   std::ifstream file(path);
   if (!file) return Status::NotFound("cannot open archive " + path);
@@ -162,6 +235,9 @@ Result<int> CmdRun(const Flags& flags, std::FILE* out) {
   job_config.live_log_path = flags.Get("live-log");
   job_config.live_log_delay_us =
       static_cast<uint64_t>(flags.GetInt("live-log-delay-us", 0));
+  GRANULA_ASSIGN_OR_RETURN(
+      job_config.faults,
+      ParseFaultFlags(flags, job_config.num_workers, spec.max_iterations));
 
   Result<platform::JobResult> result = Status::Internal("unset");
   core::PerformanceModel model = core::MakeGiraphModel();
@@ -216,6 +292,18 @@ Result<int> CmdRun(const Flags& flags, std::FILE* out) {
                static_cast<unsigned long long>(result->supersteps),
                result->total_seconds,
                static_cast<unsigned long long>(archive.OperationCount()));
+  if (!job_config.faults.empty()) {
+    std::fprintf(out,
+                 "fault injection: %llu failed attempt(s), %llu restart(s), "
+                 "%.2fs lost to recovery%s\n",
+                 static_cast<unsigned long long>(result->failed_attempts),
+                 static_cast<unsigned long long>(result->restarts),
+                 result->lost_seconds,
+                 result->completed
+                     ? ""
+                     : "; job did NOT complete (retries exhausted), archive "
+                       "status is incomplete");
+  }
 
   if (flags.Has("save-repo")) {
     core::ArchiveRepository repo(flags.Get("save-repo"));
@@ -257,7 +345,7 @@ Result<int> CmdRun(const Flags& flags, std::FILE* out) {
     std::fprintf(out, "SVGs written to %s_{breakdown,utilization}.svg\n",
                  prefix.c_str());
   }
-  return kExitOk;
+  return result->completed ? kExitOk : kExitFatal;
 }
 
 Result<int> CmdLint(const Flags& flags, std::FILE* out) {
@@ -364,6 +452,8 @@ Result<int> CmdWatch(const Flags& flags, std::FILE* out) {
   options.max_depth = static_cast<int>(flags.GetInt("depth", 3));
   options.ansi = flags.Has("ansi");
   options.quiet = flags.Has("quiet");
+  options.stall_timeout_s = flags.GetDouble("stall-timeout", 0.0);
+  options.alert_jsonl_path = flags.Get("alert-log");
   options.archiver.max_level =
       static_cast<int>(flags.GetInt("model-level", 0));
   if (flags.Has("capacity")) {

@@ -1,5 +1,7 @@
 #include "common/strings.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace granula {
@@ -86,6 +88,32 @@ std::string HumanSeconds(double seconds) {
 
 std::string HumanPercent(double fraction) {
   return StrFormat("%.1f%%", fraction * 100.0);
+}
+
+Result<uint64_t> ParseUint64(std::string_view s) {
+  uint64_t value = 0;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("number out of range: '" +
+                                   std::string(s) + "'");
+  }
+  if (ec != std::errc() || ptr != end || s.empty()) {
+    return Status::InvalidArgument("not a non-negative integer: '" +
+                                   std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseFiniteDouble(std::string_view s) {
+  double value = 0;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc() || ptr != end || s.empty() || !std::isfinite(value)) {
+    return Status::InvalidArgument("not a finite number: '" +
+                                   std::string(s) + "'");
+  }
+  return value;
 }
 
 }  // namespace granula

@@ -2,9 +2,12 @@
 #define GRANULA_COMMON_STRINGS_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace granula {
 
@@ -33,6 +36,13 @@ std::string HumanSeconds(double seconds);
 
 // Formats `value` as a percentage with one decimal, e.g. "43.3%".
 std::string HumanPercent(double fraction);
+
+// Strict numeric parsing: the whole string must be one valid number —
+// "", "abc", "12x" and out-of-range values are errors, unlike the
+// atof/strtoull idiom which silently yields 0. Use these for anything
+// user-typed (CLI flag values, sweep-config fields).
+Result<uint64_t> ParseUint64(std::string_view s);
+Result<double> ParseFiniteDouble(std::string_view s);
 
 }  // namespace granula
 

@@ -1,0 +1,169 @@
+#include "granula/analysis/comparative.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/strings.h"
+
+namespace granula::core {
+namespace {
+
+std::string MetadataOr(const PerformanceArchive& archive,
+                       const std::string& key, std::string fallback = "") {
+  auto it = archive.job_metadata.find(key);
+  return it == archive.job_metadata.end() ? std::move(fallback) : it->second;
+}
+
+std::string PhaseName(const ArchivedOperation& op) {
+  return op.mission_id.empty() ? op.mission_type : op.mission_id;
+}
+
+}  // namespace
+
+Result<std::vector<SweepEntry>> LoadSweepEntries(
+    const ArchiveRepository& repo) {
+  GRANULA_ASSIGN_OR_RETURN(auto listed, repo.List());
+  std::vector<SweepEntry> entries;
+  for (const auto& listed_entry : listed) {
+    GRANULA_ASSIGN_OR_RETURN(PerformanceArchive archive,
+                             repo.Load(listed_entry.name));
+    SweepEntry entry;
+    entry.name = listed_entry.name;
+    entry.platform = MetadataOr(archive, "platform");
+    entry.algorithm = MetadataOr(archive, "algorithm");
+    entry.graph = MetadataOr(archive, "graph");
+    entry.fault = MetadataOr(archive, "fault");
+    Result<uint64_t> nodes = ParseUint64(MetadataOr(archive, "nodes", "0"));
+    entry.nodes = nodes.ok() ? static_cast<uint32_t>(*nodes) : 0;
+    Result<uint64_t> vertices =
+        ParseUint64(MetadataOr(archive, "graph_vertices", "0"));
+    entry.graph_vertices = vertices.ok() ? *vertices : 0;
+    entry.archive = std::move(archive);
+    entries.push_back(std::move(entry));
+  }
+  // List() is name-sorted already; keep that contract explicit here.
+  std::sort(entries.begin(), entries.end(),
+            [](const SweepEntry& a, const SweepEntry& b) {
+              return a.name < b.name;
+            });
+  return entries;
+}
+
+ComparativeReport BuildComparativeReport(
+    const std::vector<SweepEntry>& entries) {
+  ComparativeReport report;
+
+  // ---- per-workload tables: platforms side by side, phase by phase ----
+  using WorkloadKey = std::tuple<std::string, std::string, uint32_t,
+                                 std::string>;  // algo, graph, nodes, fault
+  std::map<WorkloadKey, ComparativeReport::WorkloadTable> tables;
+  for (const SweepEntry& entry : entries) {
+    if (entry.archive.root == nullptr) continue;
+    WorkloadKey key{entry.algorithm, entry.graph, entry.nodes, entry.fault};
+    ComparativeReport::WorkloadTable& table = tables[key];
+    table.algorithm = entry.algorithm;
+    table.graph = entry.graph;
+    table.nodes = entry.nodes;
+    table.fault = entry.fault;
+
+    ComparativeReport::Row row;
+    row.platform = entry.platform;
+    row.archive_name = entry.name;
+    row.total_seconds = entry.archive.root->Duration().seconds();
+    row.complete = entry.archive.status == ArchiveStatus::kComplete;
+
+    // Sum this archive's top-level phases by name (FailedAttempt
+    // repetitions under fault plans collapse into one column).
+    std::map<std::string, double> phase_seconds;
+    std::vector<std::string> phase_order;
+    for (const auto& child : entry.archive.root->children) {
+      std::string name = PhaseName(*child);
+      if (phase_seconds.emplace(name, 0.0).second) {
+        phase_order.push_back(name);
+      }
+      phase_seconds[name] += child->Duration().seconds();
+    }
+    // Extend the table's phase union in this row's phase order.
+    for (const std::string& name : phase_order) {
+      if (std::find(table.phases.begin(), table.phases.end(), name) ==
+          table.phases.end()) {
+        table.phases.push_back(name);
+      }
+    }
+    row.phase_seconds.assign(table.phases.size(), 0.0);
+    for (size_t i = 0; i < table.phases.size(); ++i) {
+      auto it = phase_seconds.find(table.phases[i]);
+      if (it != phase_seconds.end()) row.phase_seconds[i] = it->second;
+    }
+    table.rows.push_back(std::move(row));
+  }
+  for (auto& [key, table] : tables) {
+    // Later rows may have widened the phase union; re-pad earlier rows.
+    for (ComparativeReport::Row& row : table.rows) {
+      row.phase_seconds.resize(table.phases.size(), 0.0);
+    }
+    std::sort(table.rows.begin(), table.rows.end(),
+              [](const ComparativeReport::Row& a,
+                 const ComparativeReport::Row& b) {
+                return a.platform < b.platform;
+              });
+    report.workloads.push_back(std::move(table));
+  }
+
+  // ---- scaling curves along the graph axis --------------------------
+  using CurveKey = std::tuple<std::string, std::string, uint32_t,
+                              std::string>;  // platform, algo, nodes, fault
+  std::map<CurveKey, ComparativeReport::ScalingCurve> curves;
+  for (const SweepEntry& entry : entries) {
+    if (entry.archive.root == nullptr) continue;
+    CurveKey key{entry.platform, entry.algorithm, entry.nodes, entry.fault};
+    ComparativeReport::ScalingCurve& curve = curves[key];
+    curve.platform = entry.platform;
+    curve.algorithm = entry.algorithm;
+    curve.nodes = entry.nodes;
+    curve.fault = entry.fault;
+    curve.points.push_back({entry.graph, entry.graph_vertices,
+                            entry.archive.root->Duration().seconds()});
+  }
+  for (auto& [key, curve] : curves) {
+    if (curve.points.size() < 2) continue;  // nothing to scale against
+    std::sort(curve.points.begin(), curve.points.end(),
+              [](const ComparativeReport::ScalingPoint& a,
+                 const ComparativeReport::ScalingPoint& b) {
+                return std::tie(a.vertices, a.graph) <
+                       std::tie(b.vertices, b.graph);
+              });
+    report.scaling.push_back(std::move(curve));
+  }
+  return report;
+}
+
+SweepRegressionSummary CompareSweeps(
+    const std::vector<SweepEntry>& baseline,
+    const std::vector<SweepEntry>& candidate,
+    const RegressionOptions& options) {
+  SweepRegressionSummary summary;
+  std::map<std::string, const SweepEntry*> candidates;
+  for (const SweepEntry& entry : candidate) {
+    candidates[entry.name] = &entry;
+  }
+  std::map<std::string, bool> matched;
+  for (const SweepEntry& base : baseline) {
+    auto it = candidates.find(base.name);
+    if (it == candidates.end()) {
+      summary.missing.push_back(base.name);
+      continue;
+    }
+    matched[base.name] = true;
+    summary.jobs.push_back(
+        {base.name,
+         CompareArchives(base.archive, it->second->archive, options)});
+  }
+  for (const SweepEntry& entry : candidate) {
+    if (matched.count(entry.name) == 0) summary.added.push_back(entry.name);
+  }
+  return summary;
+}
+
+}  // namespace granula::core

@@ -1,0 +1,116 @@
+#ifndef GRANULA_GRANULA_ANALYSIS_COMPARATIVE_H_
+#define GRANULA_GRANULA_ANALYSIS_COMPARATIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "granula/analysis/regression.h"
+#include "granula/archive/archive.h"
+#include "granula/archive/repository.h"
+
+namespace granula::core {
+
+// Multi-archive comparison over a sweep repository — the paper's Fig. 5
+// per-phase breakdown generalized to N platforms × M workloads, plus
+// scaling curves across graph scales and a regression gate built on
+// CompareArchives. Everything here consumes archives only: the sweep can
+// be re-analyzed (or diffed against a months-old baseline) without
+// re-running a single job.
+
+// One archive of a sweep, with the metadata the sweep driver stamped.
+struct SweepEntry {
+  std::string name;       // repository name
+  std::string platform;
+  std::string algorithm;
+  std::string graph;      // original graph spec
+  std::string fault;      // "" for clean runs
+  uint32_t nodes = 0;
+  uint64_t graph_vertices = 0;
+  PerformanceArchive archive;
+};
+
+// Loads every archive of `repo` with its sweep metadata, sorted by name.
+// Archives without sweep metadata (foreign saves in a shared repository)
+// still load — their axis fields are simply empty.
+Result<std::vector<SweepEntry>> LoadSweepEntries(const ArchiveRepository& repo);
+
+// The comparative report: one per-phase table per workload, plus scaling
+// curves along the graph axis.
+struct ComparativeReport {
+  struct Row {
+    std::string platform;
+    std::string archive_name;
+    double total_seconds = 0;
+    bool complete = true;
+    // Parallel to WorkloadTable::phases; 0 when the platform's archive
+    // has no such phase.
+    std::vector<double> phase_seconds;
+  };
+  // One workload = (algorithm, graph, nodes, fault); rows = platforms.
+  struct WorkloadTable {
+    std::string algorithm;
+    std::string graph;
+    std::string fault;
+    uint32_t nodes = 0;
+    // Union of the platforms' top-level phases (root children), in
+    // first-seen row order. Duplicate-named phases (e.g. FailedAttempt
+    // repetitions) are summed.
+    std::vector<std::string> phases;
+    std::vector<Row> rows;
+  };
+  struct ScalingPoint {
+    std::string graph;
+    uint64_t vertices = 0;
+    double seconds = 0;
+  };
+  // One curve = (platform, algorithm, nodes, fault) across >= 2 graphs,
+  // points sorted by vertex count.
+  struct ScalingCurve {
+    std::string platform;
+    std::string algorithm;
+    std::string fault;
+    uint32_t nodes = 0;
+    std::vector<ScalingPoint> points;
+  };
+
+  std::vector<WorkloadTable> workloads;  // sorted by (algo, graph, nodes)
+  std::vector<ScalingCurve> scaling;     // sorted by (platform, algo)
+};
+
+ComparativeReport BuildComparativeReport(
+    const std::vector<SweepEntry>& entries);
+
+// The regression gate: candidate sweep vs. committed baseline sweep,
+// jobs matched by archive name, each pair diffed with CompareArchives.
+struct SweepRegressionSummary {
+  struct JobDelta {
+    std::string name;
+    RegressionReport report;
+  };
+  std::vector<JobDelta> jobs;        // jobs present in both sweeps
+  std::vector<std::string> missing;  // baseline-only names
+  std::vector<std::string> added;    // candidate-only names
+
+  bool HasRegressions() const {
+    for (const JobDelta& job : jobs) {
+      if (job.report.HasRegressions()) return true;
+    }
+    return false;
+  }
+  uint64_t TotalRegressions() const {
+    uint64_t n = 0;
+    for (const JobDelta& job : jobs) n += job.report.regressions.size();
+    return n;
+  }
+};
+
+SweepRegressionSummary CompareSweeps(
+    const std::vector<SweepEntry>& baseline,
+    const std::vector<SweepEntry>& candidate,
+    const RegressionOptions& options);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_ANALYSIS_COMPARATIVE_H_

@@ -9,19 +9,37 @@ namespace granula::core {
 
 namespace {
 
+std::string OperationName(const ArchivedOperation& op) {
+  return op.mission_id.empty() ? op.mission_type : op.mission_id;
+}
+
 // Flattens an operation tree into path -> duration. Sibling operations
-// with identical mission ids (rare; means the model lacks distinguishing
-// ids) get "#k" suffixes so every path stays unique.
-void Flatten(const ArchivedOperation& op, const std::string& prefix,
+// with identical names (rare; means the model lacks distinguishing
+// mission ids) ALL get "#k" suffixes, k being the 1-based occurrence
+// index among the same-named siblings. Suffixing every duplicate —
+// including the first — is deliberate: leaving the first unsuffixed (the
+// old encounter-order scheme) made a baseline operation silently pair
+// with whichever candidate sibling happened to be flattened first, e.g.
+// a run's sole "Load" against the first of two "Load" attempts in the
+// candidate. With structural suffixes such shape changes surface as
+// added/removed paths instead of a bogus delta.
+void Flatten(const ArchivedOperation& op, const std::string& path,
              int depth, int max_depth,
              std::map<std::string, double>* out) {
-  std::string name = op.mission_id.empty() ? op.mission_type : op.mission_id;
-  std::string path = prefix.empty() ? name : prefix + "/" + name;
-  while (out->count(path) > 0) path += "'";
   (*out)[path] = op.Duration().seconds();
   if (max_depth > 0 && depth + 1 >= max_depth) return;
+  std::map<std::string, int> name_count, seen;
+  for (const auto& child : op.children) ++name_count[OperationName(*child)];
   for (const auto& child : op.children) {
-    Flatten(*child, path, depth + 1, max_depth, out);
+    std::string name = OperationName(*child);
+    std::string child_path = path.empty() ? name : path + "/" + name;
+    if (name_count[name] > 1) {
+      child_path += "#" + std::to_string(++seen[name]);
+    }
+    // Last-resort guard for pathological names (a '/' inside a mission id
+    // can collide with a genuinely nested path).
+    while (out->count(child_path) > 0) child_path += "'";
+    Flatten(*child, child_path, depth + 1, max_depth, out);
   }
 }
 
@@ -33,11 +51,13 @@ RegressionReport CompareArchives(const PerformanceArchive& baseline,
   RegressionReport report;
   std::map<std::string, double> base_ops, cand_ops;
   if (baseline.root != nullptr) {
-    Flatten(*baseline.root, "", 0, options.max_depth, &base_ops);
+    Flatten(*baseline.root, OperationName(*baseline.root), 0,
+            options.max_depth, &base_ops);
     report.total_baseline_seconds = baseline.root->Duration().seconds();
   }
   if (candidate.root != nullptr) {
-    Flatten(*candidate.root, "", 0, options.max_depth, &cand_ops);
+    Flatten(*candidate.root, OperationName(*candidate.root), 0,
+            options.max_depth, &cand_ops);
     report.total_candidate_seconds = candidate.root->Duration().seconds();
   }
 

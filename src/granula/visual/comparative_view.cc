@@ -1,0 +1,122 @@
+#include "granula/visual/comparative_view.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/strings.h"
+
+namespace granula::core {
+namespace {
+
+std::string WorkloadTitle(const ComparativeReport::WorkloadTable& table) {
+  std::string title = StrFormat("%s on %s, %u nodes", table.algorithm.c_str(),
+                                table.graph.c_str(), table.nodes);
+  if (!table.fault.empty()) title += ", faults: " + table.fault;
+  return title;
+}
+
+std::string Seconds(double s) { return StrFormat("%.3fs", s); }
+
+}  // namespace
+
+std::string RenderComparativeReport(const ComparativeReport& report) {
+  std::string out;
+  for (const ComparativeReport::WorkloadTable& table : report.workloads) {
+    if (!out.empty()) out += "\n";
+    out += "== " + WorkloadTitle(table) + " ==\n";
+
+    // Column widths: platform column, then one column per phase + total.
+    size_t platform_width = 8;
+    for (const ComparativeReport::Row& row : table.rows) {
+      platform_width = std::max(platform_width, row.platform.size());
+    }
+    std::vector<size_t> widths;
+    for (const std::string& phase : table.phases) {
+      widths.push_back(std::max<size_t>(phase.size(), 9));
+    }
+
+    out += StrFormat("%-*s", static_cast<int>(platform_width), "platform");
+    for (size_t i = 0; i < table.phases.size(); ++i) {
+      out += StrFormat("  %*s", static_cast<int>(widths[i]),
+                       table.phases[i].c_str());
+    }
+    out += StrFormat("  %9s\n", "total");
+    for (const ComparativeReport::Row& row : table.rows) {
+      out += StrFormat("%-*s", static_cast<int>(platform_width),
+                       row.platform.c_str());
+      for (size_t i = 0; i < table.phases.size(); ++i) {
+        double s = i < row.phase_seconds.size() ? row.phase_seconds[i] : 0.0;
+        out += StrFormat("  %*s", static_cast<int>(widths[i]),
+                         Seconds(s).c_str());
+      }
+      out += StrFormat("  %9s%s\n", Seconds(row.total_seconds).c_str(),
+                       row.complete ? "" : "  [INCOMPLETE]");
+    }
+  }
+
+  if (!report.scaling.empty()) {
+    if (!out.empty()) out += "\n";
+    out += "== scaling across graphs ==\n";
+    for (const ComparativeReport::ScalingCurve& curve : report.scaling) {
+      std::string label =
+          StrFormat("%s %s n%u", curve.platform.c_str(),
+                    curve.algorithm.c_str(), curve.nodes);
+      if (!curve.fault.empty()) label += " (" + curve.fault + ")";
+      out += label + "\n";
+      for (size_t i = 0; i < curve.points.size(); ++i) {
+        const ComparativeReport::ScalingPoint& p = curve.points[i];
+        out += StrFormat("  %-24s %12llu vertices  %10s",
+                         p.graph.c_str(),
+                         static_cast<unsigned long long>(p.vertices),
+                         Seconds(p.seconds).c_str());
+        if (i > 0 && curve.points[i - 1].seconds > 0) {
+          out += StrFormat("  x%.2f", p.seconds / curve.points[i - 1].seconds);
+        }
+        out += "\n";
+      }
+    }
+  }
+
+  if (out.empty()) out = "(no archives to compare)\n";
+  return out;
+}
+
+std::string RenderSweepRegressionSummary(
+    const SweepRegressionSummary& summary) {
+  std::string out;
+  for (const SweepRegressionSummary::JobDelta& job : summary.jobs) {
+    const RegressionReport& report = job.report;
+    out += StrFormat(
+        "%s: %zu regression(s), %zu improvement(s), total %s -> %s\n",
+        job.name.c_str(), report.regressions.size(),
+        report.improvements.size(),
+        Seconds(report.total_baseline_seconds).c_str(),
+        Seconds(report.total_candidate_seconds).c_str());
+    for (const OperationDelta& delta : report.regressions) {
+      out += StrFormat("  REGRESSION %-40s %10s -> %10s  (%+.1f%%)\n",
+                       delta.path.c_str(),
+                       Seconds(delta.baseline_seconds).c_str(),
+                       Seconds(delta.candidate_seconds).c_str(),
+                       delta.relative_change * 100.0);
+    }
+    for (const std::string& path : report.removed) {
+      out += "  removed: " + path + "\n";
+    }
+    for (const std::string& path : report.added) {
+      out += "  added:   " + path + "\n";
+    }
+  }
+  for (const std::string& name : summary.missing) {
+    out += "MISSING " + name + " (in baseline, not in candidate sweep)\n";
+  }
+  for (const std::string& name : summary.added) {
+    out += "NEW     " + name + " (not in baseline)\n";
+  }
+  out += StrFormat("sweep gate: %llu regression(s) across %zu job(s)%s\n",
+                   static_cast<unsigned long long>(summary.TotalRegressions()),
+                   summary.jobs.size(),
+                   summary.HasRegressions() ? "  [FAIL]" : "  [OK]");
+  return out;
+}
+
+}  // namespace granula::core

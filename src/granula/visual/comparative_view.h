@@ -1,0 +1,25 @@
+#ifndef GRANULA_GRANULA_VISUAL_COMPARATIVE_VIEW_H_
+#define GRANULA_GRANULA_VISUAL_COMPARATIVE_VIEW_H_
+
+#include <string>
+
+#include "granula/analysis/comparative.h"
+
+namespace granula::core {
+
+// Terminal renderers for sweep-level comparisons — the output side of
+// `granula bench`. Each returns a multi-line string ending in '\n'.
+
+// One table per workload: platforms as rows, top-level phases as columns
+// (plus total and completion status), followed by scaling sections of
+// per-platform runtimes across graph scales with the growth factor
+// between consecutive scales.
+std::string RenderComparativeReport(const ComparativeReport& report);
+
+// The regression gate's verdict: per-job regression/improvement counts,
+// the worst offending operations, and missing/added jobs.
+std::string RenderSweepRegressionSummary(const SweepRegressionSummary& summary);
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_VISUAL_COMPARATIVE_VIEW_H_

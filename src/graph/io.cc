@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/strings.h"
+#include "graph/generators.h"
 
 namespace granula::graph {
 
@@ -68,6 +69,54 @@ Status WriteValuesFile(const std::vector<double>& values,
     return Status::IoError(StrFormat("write failed for %s", path.c_str()));
   }
   return Status::OK();
+}
+
+Result<Graph> GraphFromSpec(const std::string& spec) {
+  size_t colon = spec.find(':');
+  std::string kind = spec.substr(0, colon);
+  std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  std::vector<std::string> parts = StrSplit(args, ',');
+  // Empty/omitted fields keep their default; present fields must parse.
+  auto arg_u64 = [&](size_t i, uint64_t fallback) -> Result<uint64_t> {
+    if (i >= parts.size() || parts[i].empty()) return fallback;
+    Result<uint64_t> value = ParseUint64(parts[i]);
+    if (!value.ok()) {
+      return Status::InvalidArgument("bad graph spec '" + spec +
+                                     "': " + value.status().message());
+    }
+    return value;
+  };
+  auto arg_double = [&](size_t i, double fallback) -> Result<double> {
+    if (i >= parts.size() || parts[i].empty()) return fallback;
+    Result<double> value = ParseFiniteDouble(parts[i]);
+    if (!value.ok()) {
+      return Status::InvalidArgument("bad graph spec '" + spec +
+                                     "': " + value.status().message());
+    }
+    return value;
+  };
+  if (kind == "datagen") {
+    DatagenConfig config;
+    GRANULA_ASSIGN_OR_RETURN(config.num_vertices, arg_u64(0, 100000));
+    GRANULA_ASSIGN_OR_RETURN(config.avg_degree, arg_double(1, 15.0));
+    return GenerateDatagen(config);
+  }
+  if (kind == "rmat") {
+    RmatConfig config;
+    GRANULA_ASSIGN_OR_RETURN(config.scale, arg_u64(0, 16));
+    GRANULA_ASSIGN_OR_RETURN(config.edge_factor, arg_double(1, 16.0));
+    return GenerateRmat(config);
+  }
+  if (kind == "uniform") {
+    GRANULA_ASSIGN_OR_RETURN(uint64_t vertices, arg_u64(0, 10000));
+    GRANULA_ASSIGN_OR_RETURN(uint64_t edges, arg_u64(1, 80000));
+    return GenerateUniform(vertices, edges, 42);
+  }
+  if (kind == "file") {
+    return ReadEdgeListFile(args, /*directed=*/false);
+  }
+  return Status::InvalidArgument("unknown graph spec '" + spec +
+                                 "' (datagen:|rmat:|uniform:|file:)");
 }
 
 }  // namespace granula::graph

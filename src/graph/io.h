@@ -28,6 +28,16 @@ Result<Graph> ReadEdgeListFile(const std::string& path, bool directed);
 Status WriteValuesFile(const std::vector<double>& values,
                        const std::string& path);
 
+// Materializes a graph from the textual spec grammar shared by
+// `granula run --graph=` and sweep-config "graphs" entries:
+//   datagen:N[,DEG]   Datagen-like social graph (default 100000,15)
+//   rmat:SCALE[,EF]   R-MAT, 2^SCALE vertices  (default 16,16)
+//   uniform:N,M       Erdős–Rényi G(n, m)
+//   file:PATH         edge-list text file
+// Numeric fields are parsed strictly; "uniform:abc,10" is an error, not
+// a zero-vertex graph.
+Result<Graph> GraphFromSpec(const std::string& spec);
+
 }  // namespace granula::graph
 
 #endif  // GRANULA_GRAPH_IO_H_

@@ -1,0 +1,96 @@
+#include "platforms/dispatch.h"
+
+#include <cctype>
+
+#include "granula/models/models.h"
+#include "platforms/giraph.h"
+#include "platforms/graphmat.h"
+#include "platforms/hadoop.h"
+#include "platforms/pgxd.h"
+#include "platforms/powergraph.h"
+#include "platforms/registry.h"
+
+namespace granula::platform {
+namespace {
+
+std::string UnknownPlatformMessage(const std::string& name) {
+  std::string message = "unknown platform '" + name + "' (";
+  const std::vector<std::string>& names = ImplementedPlatformNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) message += "|";
+    message += names[i];
+  }
+  return message + ")";
+}
+
+}  // namespace
+
+std::string CanonicalPlatformName(const std::string& name) {
+  std::string canonical;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      canonical += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return canonical;
+}
+
+const std::vector<std::string>& ImplementedPlatformNames() {
+  static const std::vector<std::string>& names = *[] {
+    auto* result = new std::vector<std::string>;
+    for (const PlatformInfo& info : PlatformRegistry()) {
+      if (info.implemented_here) {
+        result->push_back(CanonicalPlatformName(info.name));
+      }
+    }
+    return result;
+  }();
+  return names;
+}
+
+Result<std::string> ResolvePlatformName(const std::string& name) {
+  std::string canonical = CanonicalPlatformName(name);
+  for (const std::string& candidate : ImplementedPlatformNames()) {
+    if (candidate == canonical) return candidate;
+  }
+  return Status::InvalidArgument(UnknownPlatformMessage(name));
+}
+
+Result<core::PerformanceModel> ModelForPlatform(const std::string& name) {
+  GRANULA_ASSIGN_OR_RETURN(std::string canonical, ResolvePlatformName(name));
+  if (canonical == "giraph") return core::MakeGiraphModel();
+  if (canonical == "powergraph") return core::MakePowerGraphModel();
+  if (canonical == "graphmat") return core::MakeGraphMatModel();
+  if (canonical == "pgxd") return core::MakePgxdModel();
+  if (canonical == "hadoop") return core::MakeHadoopModel();
+  return Status::Internal("registry lists '" + canonical +
+                          "' as implemented but no model is wired up");
+}
+
+Result<JobResult> RunForPlatform(const std::string& name,
+                                 const graph::Graph& graph,
+                                 const algo::AlgorithmSpec& spec,
+                                 const cluster::ClusterConfig& cluster_config,
+                                 const JobConfig& job_config) {
+  GRANULA_ASSIGN_OR_RETURN(std::string canonical, ResolvePlatformName(name));
+  if (canonical == "giraph") {
+    return GiraphPlatform().Run(graph, spec, cluster_config, job_config);
+  }
+  if (canonical == "powergraph") {
+    return PowerGraphPlatform().Run(graph, spec, cluster_config, job_config);
+  }
+  if (canonical == "graphmat") {
+    return GraphMatPlatform().Run(graph, spec, cluster_config, job_config);
+  }
+  if (canonical == "pgxd") {
+    return PgxdPlatform().Run(graph, spec, cluster_config, job_config);
+  }
+  if (canonical == "hadoop") {
+    return HadoopPlatform().Run(graph, spec, cluster_config, job_config);
+  }
+  return Status::Internal("registry lists '" + canonical +
+                          "' as implemented but no engine is wired up");
+}
+
+}  // namespace granula::platform

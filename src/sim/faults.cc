@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/random.h"
+#include "common/strings.h"
 
 namespace granula::sim {
 
@@ -29,6 +30,65 @@ FaultPlan FaultPlan::Random(uint64_t seed, uint32_t num_workers,
     spec.failures = 1;
     spec.work_before_crash =
         SimTime::Millis(static_cast<int64_t>(100 + rng.NextBounded(900)));
+    plan.Add(spec);
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  for (const std::string& one : StrSplit(text, ',')) {
+    std::vector<std::string> parts = StrSplit(one, ':');
+    if (parts.empty() || parts[0].empty()) {
+      return Status::InvalidArgument("empty --fault spec");
+    }
+    auto part_u64 = [&](size_t i, uint64_t fallback) -> Result<uint64_t> {
+      if (i >= parts.size()) return fallback;
+      Result<uint64_t> value = ParseUint64(parts[i]);
+      if (!value.ok()) {
+        return Status::InvalidArgument("bad fault spec '" + one +
+                                       "': " + value.status().message());
+      }
+      return value;
+    };
+    FaultSpec spec;
+    const std::string& kind = parts[0];
+    if (kind == "crash" || kind == "task") {
+      if (parts.size() < 3 || parts.size() > 4) {
+        return Status::InvalidArgument(
+            "--fault " + kind + " expects " + kind + ":WORKER:STEP[:N]");
+      }
+      spec.kind = kind == "crash" ? FaultKind::kWorkerCrash
+                                  : FaultKind::kTaskFailure;
+      GRANULA_ASSIGN_OR_RETURN(uint64_t worker, part_u64(1, 0));
+      GRANULA_ASSIGN_OR_RETURN(spec.step, part_u64(2, 0));
+      GRANULA_ASSIGN_OR_RETURN(uint64_t failures, part_u64(3, 1));
+      spec.worker = static_cast<uint32_t>(worker);
+      spec.failures = static_cast<uint32_t>(failures);
+    } else if (kind == "storage") {
+      if (parts.size() < 2 || parts.size() > 3) {
+        return Status::InvalidArgument(
+            "--fault storage expects storage:WORKER[:N]");
+      }
+      spec.kind = FaultKind::kStorageError;
+      GRANULA_ASSIGN_OR_RETURN(uint64_t worker, part_u64(1, 0));
+      GRANULA_ASSIGN_OR_RETURN(uint64_t failures, part_u64(2, 1));
+      spec.worker = static_cast<uint32_t>(worker);
+      spec.failures = static_cast<uint32_t>(failures);
+    } else if (kind == "logdrop" || kind == "logtrunc") {
+      if (parts.size() != 2) {
+        return Status::InvalidArgument("--fault " + kind + " expects " +
+                                       kind + ":SEQ");
+      }
+      spec.kind = FaultKind::kLogWrite;
+      GRANULA_ASSIGN_OR_RETURN(spec.log_seq, part_u64(1, 0));
+      spec.log_effect = kind == "logdrop" ? LogWriteFault::kDrop
+                                          : LogWriteFault::kTruncate;
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault kind '" + kind +
+          "' (crash|task|storage|logdrop|logtrunc)");
+    }
     plan.Add(spec);
   }
   return plan;

@@ -2,8 +2,10 @@
 #define GRANULA_SIM_FAULTS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/sim_time.h"
 
 namespace granula::sim {
@@ -95,6 +97,18 @@ class FaultPlan {
   // [0, max_step]. Deterministic in `seed`.
   static FaultPlan Random(uint64_t seed, uint32_t num_workers,
                           uint64_t max_step, uint32_t num_faults);
+
+  // Parses the textual fault grammar shared by `granula run --fault=` and
+  // the sweep-config "faults" entries: comma-separated SPECs of
+  //   crash:WORKER:STEP[:N]   worker crash at a superstep/iteration
+  //   task:WORKER:STEP[:N]    single task-attempt failure
+  //   storage:WORKER[:N]      transient read error, retried in place
+  //   logdrop:SEQ             the log record with that seq is never written
+  //   logtrunc:SEQ            ... is written torn (half line, no newline)
+  // N = how many consecutive attempts fail (default 1). Numeric fields are
+  // parsed strictly ("crash:x:1" is an error, not worker 0). The returned
+  // plan carries the default RetryPolicy; callers adjust it afterwards.
+  static Result<FaultPlan> Parse(const std::string& text);
 
  private:
   std::vector<FaultSpec> specs_;

@@ -338,6 +338,63 @@ TEST(RegressionTest, TinyOperationsIgnored) {
   EXPECT_FALSE(report.HasRegressions());
 }
 
+// Root with same-named "Load" children back to back, one per duration.
+PerformanceArchive DuplicateSiblingArchive(
+    const std::vector<double>& load_seconds) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job", "Root", "Root");
+  double t = 0;
+  for (double seconds : load_seconds) {
+    OpId op = logger.StartOperation(root, "Job", "job", "Load", "Load");
+    t += seconds;
+    now = SimTime::Seconds(t);
+    logger.EndOperation(op);
+  }
+  logger.EndOperation(root);
+  PerformanceModel model("m");
+  (void)model.AddRoot("Job", "Root");
+  (void)model.AddOperation("Job", "Load", "Job", "Root");
+  auto archive = Archiver().Build(model, logger.records(), {}, {});
+  EXPECT_TRUE(archive.ok()) << archive.status();
+  return std::move(*archive);
+}
+
+TEST(RegressionTest, DuplicateSiblingsAllGetStructuralSuffixes) {
+  // Baseline loads once; the candidate needed two attempts of the same
+  // total. The old encounter-order scheme ('\'' suffixes for later
+  // duplicates only) silently paired the baseline's sole Load with the
+  // candidate's FIRST attempt; now the shape change surfaces as
+  // removed + added instead of a bogus per-operation delta.
+  PerformanceArchive baseline = DuplicateSiblingArchive({20});
+  PerformanceArchive candidate = DuplicateSiblingArchive({10, 10});
+  RegressionReport report = CompareArchives(baseline, candidate, {});
+  EXPECT_FALSE(report.HasRegressions());
+  EXPECT_TRUE(report.improvements.empty());
+  EXPECT_EQ(report.removed, std::vector<std::string>{"Root/Load"});
+  EXPECT_EQ(report.added, (std::vector<std::string>{"Root/Load#1",
+                                                    "Root/Load#2"}));
+}
+
+TEST(RegressionTest, DuplicateSiblingsComparePositionally) {
+  // Same shape on both sides: the k-th duplicate matches the k-th, so a
+  // slowdown is attributed to the right occurrence.
+  PerformanceArchive baseline = DuplicateSiblingArchive({10, 10});
+  PerformanceArchive candidate = DuplicateSiblingArchive({10, 20});
+  RegressionReport report = CompareArchives(baseline, candidate, {});
+  EXPECT_TRUE(report.added.empty());
+  EXPECT_TRUE(report.removed.empty());
+  bool found = false;
+  for (const OperationDelta& delta : report.regressions) {
+    if (delta.path == "Root/Load#2") {
+      found = true;
+      EXPECT_NEAR(delta.relative_change, 1.0, 1e-9);
+    }
+    EXPECT_NE(delta.path, "Root/Load#1");
+  }
+  EXPECT_TRUE(found) << "the second Load should be flagged, by suffix";
+}
+
 TEST(RegressionTest, RenderReport) {
   PerformanceArchive baseline = TimedArchive(20, 30);
   PerformanceArchive candidate = TimedArchive(30, 24);

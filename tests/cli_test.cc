@@ -229,5 +229,185 @@ TEST(CliTest, ModelCommandRendersTheModelTree) {
   EXPECT_NE(out.text().find("PowerGraph"), std::string::npos);
 }
 
+// ------------------------------------------------------------ slow-node --
+
+// The old parser ran strtoull/atof on the fields, so "--slow-node=abc:xyz"
+// silently became "node 0 at factor 0.0" — a frozen node instead of an
+// error. Every malformed spec must now be a usage error (exit 64).
+TEST(CliTest, MalformedSlowNodeIsAUsageError) {
+  for (const char* bad :
+       {"--slow-node=abc:xyz", "--slow-node=1", "--slow-node=1:2:3",
+        "--slow-node=1x:2.0", "--slow-node=1:2.0x", "--slow-node=1:nan"}) {
+    Capture out("slownode_out"), err("slownode_err");
+    EXPECT_EQ(RunCli({"run", "--platform=pgxd", "--graph=uniform:400,1600",
+                   "--nodes=4", "--workers=4", bad},
+                  &out, &err),
+              kExitUsage)
+        << bad << " should be a usage error";
+    EXPECT_NE(err.text().find("--slow-node"), std::string::npos) << bad;
+  }
+}
+
+TEST(CliTest, NonPositiveSlowNodeFactorIsAUsageError) {
+  for (const char* bad : {"--slow-node=1:0", "--slow-node=1:-2.0"}) {
+    Capture out("slowfac_out"), err("slowfac_err");
+    EXPECT_EQ(RunCli({"run", "--platform=pgxd", "--graph=uniform:400,1600",
+                   "--nodes=4", "--workers=4", bad},
+                  &out, &err),
+              kExitUsage)
+        << bad;
+    EXPECT_NE(err.text().find("positive"), std::string::npos) << bad;
+  }
+}
+
+TEST(CliTest, OutOfRangeSlowNodeIdIsAUsageError) {
+  Capture out("slowrange_out"), err("slowrange_err");
+  EXPECT_EQ(RunCli({"run", "--platform=pgxd", "--graph=uniform:400,1600",
+                 "--nodes=4", "--workers=4", "--slow-node=9:2.0"},
+                &out, &err),
+            kExitUsage);
+  EXPECT_NE(err.text().find("out of range"), std::string::npos);
+}
+
+TEST(CliTest, ValidSlowNodeStillRuns) {
+  Capture out("slowok_out"), err("slowok_err");
+  EXPECT_EQ(RunCli({"run", "--platform=pgxd", "--graph=uniform:400,1600",
+                 "--nodes=4", "--workers=4", "--slow-node=1:2.0"},
+                &out, &err),
+            kExitOk)
+      << err.text();
+}
+
+// ----------------------------------------------------------------- bench --
+
+std::string WriteSweepConfig(const std::string& name,
+                             const std::string& json) {
+  std::string path = TempPath(name);
+  std::ofstream(path) << json;
+  return path;
+}
+
+// Repository directories must start empty: LoadSweepEntries reads every
+// archive in the directory, so leftovers from a previous test run would
+// leak into the comparison.
+std::string FreshRepoDir(const std::string& name) {
+  std::string path = testing::TempDir() + "/cli_" + name;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+constexpr const char* kBenchConfig = R"({
+  "platforms": ["pgxd", "graphmat"],
+  "algorithms": ["BFS", "PageRank"],
+  "graphs": ["uniform:200,800"],
+  "nodes": [2],
+  "iterations": 4
+})";
+
+TEST(CliTest, BenchConfigAndAxisErrorsAreUsageErrors) {
+  {
+    Capture out("bench64a_out"), err("bench64a_err");
+    EXPECT_EQ(RunCli({"bench"}, &out, &err), kExitUsage);  // no axes at all
+  }
+  {
+    Capture out("bench64b_out"), err("bench64b_err");
+    EXPECT_EQ(RunCli({"bench", "--config=" + TempPath("no_such_config.json")},
+                  &out, &err),
+              kExitUsage);
+    EXPECT_NE(err.text().find("sweep config"), std::string::npos);
+  }
+  {
+    Capture out("bench64c_out"), err("bench64c_err");
+    EXPECT_EQ(RunCli({"bench", "--platforms=spark", "--algorithms=BFS",
+                   "--graphs=uniform:200,800"},
+                  &out, &err),
+              kExitUsage);
+    EXPECT_NE(err.text().find("unknown platform"), std::string::npos);
+  }
+  {
+    Capture out("bench64d_out"), err("bench64d_err");
+    EXPECT_EQ(RunCli({"bench", "--platforms=pgxd", "--algorithms=BFS",
+                   "--graphs=uniform:200,800", "--nodes=two"},
+                  &out, &err),
+              kExitUsage);
+    EXPECT_NE(err.text().find("--nodes"), std::string::npos);
+  }
+  {
+    Capture out("bench64e_out"), err("bench64e_err");
+    EXPECT_EQ(RunCli({"bench", "--platforms=pgxd", "--algorithms=BFS",
+                   "--graphs=uniform:200,800", "--faults=crash:1:1"},
+                  &out, &err),
+              kExitUsage);
+    EXPECT_NE(err.text().find("NAME=SPEC"), std::string::npos);
+  }
+}
+
+TEST(CliTest, BenchSweepGateExitCodes) {
+  std::string config = WriteSweepConfig("bench_config.json", kBenchConfig);
+  std::string baseline_repo = FreshRepoDir("bench_baseline_repo");
+  std::string report_path = TempPath("bench_report.txt");
+  {
+    // Run the sweep and write the comparative report.
+    Capture out("bench_out"), err("bench_err");
+    EXPECT_EQ(RunCli({"bench", "--config=" + config,
+                   "--repo=" + baseline_repo,
+                   "--report-out=" + report_path},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+    EXPECT_NE(out.text().find("sweep: 4 job(s)"), std::string::npos)
+        << out.text();
+    EXPECT_NE(out.text().find("pgxd-bfs-uniform-200-800-n2"),
+              std::string::npos);
+    // The comparative report lists both platforms under one workload.
+    EXPECT_NE(out.text().find("BFS on uniform:200,800, 2 nodes"),
+              std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(report_path));
+  }
+  {
+    // Same config vs. its own baseline: gate passes.
+    Capture out("benchok_out"), err("benchok_err");
+    EXPECT_EQ(RunCli({"bench", "--config=" + config,
+                   "--repo=" + FreshRepoDir("bench_repo_same"),
+                   "--baseline=" + baseline_repo},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+    EXPECT_NE(out.text().find("[OK]"), std::string::npos);
+  }
+  {
+    // Doubling PageRank's iterations is a genuine slowdown: gate fails.
+    Capture out("benchfail_out"), err("benchfail_err");
+    EXPECT_EQ(RunCli({"bench", "--config=" + config, "--iterations=8",
+                   "--repo=" + FreshRepoDir("bench_repo_slow"),
+                   "--baseline=" + baseline_repo},
+                  &out, &err),
+              kExitRegressions)
+        << err.text();
+    EXPECT_NE(out.text().find("[FAIL]"), std::string::npos);
+  }
+  {
+    // ... but an extreme tolerance lets the same sweep through.
+    Capture out("benchtol_out"), err("benchtol_err");
+    EXPECT_EQ(RunCli({"bench", "--config=" + config, "--iterations=8",
+                   "--repo=" + FreshRepoDir("bench_repo_tol"),
+                   "--baseline=" + baseline_repo, "--tolerance=50"},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+  }
+  {
+    // A candidate sweep that drops a baseline job also fails the gate.
+    Capture out("benchmiss_out"), err("benchmiss_err");
+    EXPECT_EQ(RunCli({"bench", "--config=" + config, "--algorithms=BFS",
+                   "--repo=" + FreshRepoDir("bench_repo_missing"),
+                   "--baseline=" + baseline_repo},
+                  &out, &err),
+              kExitRegressions)
+        << err.text();
+    EXPECT_NE(out.text().find("MISSING"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace granula::cli

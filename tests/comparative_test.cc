@@ -1,0 +1,217 @@
+// Multi-archive comparison over a sweep repository: per-workload phase
+// tables, scaling curves, and the sweep-level regression gate.
+
+#include "granula/analysis/comparative.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+#include "granula/visual/comparative_view.h"
+
+namespace granula::core {
+namespace {
+
+// An archive whose root has the given phases back to back; mission ids
+// repeat when the same name appears twice (e.g. two FailedAttempts).
+PerformanceArchive MakeArchive(
+    const std::vector<std::pair<std::string, double>>& phases,
+    std::map<std::string, std::string> metadata = {}) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job", "Root", "Root");
+  double t = 0;
+  for (const auto& [name, seconds] : phases) {
+    OpId op = logger.StartOperation(root, "Job", "job", name, name);
+    t += seconds;
+    now = SimTime::Seconds(t);
+    logger.EndOperation(op);
+  }
+  logger.EndOperation(root);
+
+  PerformanceModel model("m");
+  (void)model.AddRoot("Job", "Root");
+  std::set<std::string> seen;
+  for (const auto& [name, unused] : phases) {
+    if (seen.insert(name).second) {
+      (void)model.AddOperation("Job", name, "Job", "Root");
+    }
+  }
+  auto archive =
+      Archiver().Build(model, logger.records(), {}, std::move(metadata));
+  EXPECT_TRUE(archive.ok()) << archive.status();
+  return std::move(*archive);
+}
+
+// SweepEntry is move-only (the archive owns its operation tree), so
+// tests build entry vectors through this variadic mover instead of
+// initializer lists.
+template <typename... E>
+std::vector<SweepEntry> Entries(E... entry) {
+  std::vector<SweepEntry> out;
+  (out.push_back(std::move(entry)), ...);
+  return out;
+}
+
+SweepEntry MakeEntry(const std::string& name, const std::string& platform,
+                     const std::string& algorithm, const std::string& graph,
+                     uint64_t vertices,
+                     const std::vector<std::pair<std::string, double>>& phases,
+                     const std::string& fault = "") {
+  SweepEntry entry;
+  entry.name = name;
+  entry.platform = platform;
+  entry.algorithm = algorithm;
+  entry.graph = graph;
+  entry.fault = fault;
+  entry.nodes = 4;
+  entry.graph_vertices = vertices;
+  entry.archive = MakeArchive(phases);
+  return entry;
+}
+
+TEST(ComparativeReportTest, GroupsPlatformsIntoOneTablePerWorkload) {
+  std::vector<SweepEntry> entries = Entries(
+      MakeEntry("b-bfs", "powergraph", "BFS", "g1", 100,
+                {{"Load", 2}, {"Process", 8}}),
+      MakeEntry("a-bfs", "giraph", "BFS", "g1", 100,
+                {{"Load", 1}, {"Process", 4}}),
+      MakeEntry("a-wcc", "giraph", "WCC", "g1", 100,
+                {{"Load", 1}, {"Process", 6}}));
+  ComparativeReport report = BuildComparativeReport(entries);
+  ASSERT_EQ(report.workloads.size(), 2u);  // (BFS, g1) and (WCC, g1)
+  const auto& bfs = report.workloads[0];
+  EXPECT_EQ(bfs.algorithm, "BFS");
+  EXPECT_EQ(bfs.phases, (std::vector<std::string>{"Load", "Process"}));
+  ASSERT_EQ(bfs.rows.size(), 2u);
+  // Rows sorted by platform, independent of entry order.
+  EXPECT_EQ(bfs.rows[0].platform, "giraph");
+  EXPECT_EQ(bfs.rows[1].platform, "powergraph");
+  EXPECT_DOUBLE_EQ(bfs.rows[0].total_seconds, 5);
+  EXPECT_EQ(bfs.rows[1].phase_seconds,
+            (std::vector<double>{2, 8}));
+}
+
+TEST(ComparativeReportTest, PhaseUnionPadsRowsMissingAPhase) {
+  std::vector<SweepEntry> entries = Entries(
+      MakeEntry("a", "giraph", "BFS", "g1", 100,
+                {{"Load", 1}, {"Process", 4}}),
+      MakeEntry("b", "hadoop", "BFS", "g1", 100,
+                {{"Load", 2}, {"Shuffle", 3}, {"Process", 9}}));
+  ComparativeReport report = BuildComparativeReport(entries);
+  ASSERT_EQ(report.workloads.size(), 1u);
+  const auto& table = report.workloads[0];
+  EXPECT_EQ(table.phases,
+            (std::vector<std::string>{"Load", "Process", "Shuffle"}));
+  // giraph was first and has no Shuffle: padded with 0.
+  EXPECT_EQ(table.rows[0].phase_seconds, (std::vector<double>{1, 4, 0}));
+  EXPECT_EQ(table.rows[1].phase_seconds, (std::vector<double>{2, 9, 3}));
+}
+
+TEST(ComparativeReportTest, DuplicatePhasesAreSummedIntoOneColumn) {
+  std::vector<SweepEntry> entries = Entries(
+      MakeEntry("a", "powergraph", "BFS", "g1", 100,
+                {{"FailedAttempt", 2}, {"FailedAttempt", 3}, {"Run", 5}}));
+  ComparativeReport report = BuildComparativeReport(entries);
+  ASSERT_EQ(report.workloads.size(), 1u);
+  EXPECT_EQ(report.workloads[0].phases,
+            (std::vector<std::string>{"FailedAttempt", "Run"}));
+  EXPECT_EQ(report.workloads[0].rows[0].phase_seconds,
+            (std::vector<double>{5, 5}));
+}
+
+TEST(ComparativeReportTest, ScalingCurvesNeedTwoGraphsAndSortByVertices) {
+  std::vector<SweepEntry> entries = Entries(
+      MakeEntry("a-large", "giraph", "BFS", "large", 1000, {{"Process", 9}}),
+      MakeEntry("a-small", "giraph", "BFS", "small", 100, {{"Process", 2}}),
+      MakeEntry("b-small", "pgxd", "BFS", "small", 100, {{"Process", 1}}));
+  ComparativeReport report = BuildComparativeReport(entries);
+  // pgxd ran only one graph: no curve for it.
+  ASSERT_EQ(report.scaling.size(), 1u);
+  const auto& curve = report.scaling[0];
+  EXPECT_EQ(curve.platform, "giraph");
+  ASSERT_EQ(curve.points.size(), 2u);
+  EXPECT_EQ(curve.points[0].graph, "small");
+  EXPECT_EQ(curve.points[1].graph, "large");
+  EXPECT_DOUBLE_EQ(curve.points[1].seconds, 9);
+}
+
+TEST(ComparativeReportTest, RendererShowsTablesAndIncompleteMarker) {
+  std::vector<SweepEntry> entries = Entries(
+      MakeEntry("a", "giraph", "BFS", "g1", 100,
+                {{"Load", 1}, {"Process", 4}}));
+  entries[0].archive.status = ArchiveStatus::kIncomplete;
+  std::string text = RenderComparativeReport(BuildComparativeReport(entries));
+  EXPECT_NE(text.find("BFS on g1, 4 nodes"), std::string::npos);
+  EXPECT_NE(text.find("Process"), std::string::npos);
+  EXPECT_NE(text.find("[INCOMPLETE]"), std::string::npos);
+}
+
+// -------------------------------------------------------------- gate ----
+
+TEST(CompareSweepsTest, FlagsOnlyJobsPastTolerance) {
+  std::vector<SweepEntry> baseline = Entries(
+      MakeEntry("job-a", "giraph", "BFS", "g1", 100, {{"Process", 10}}),
+      MakeEntry("job-b", "pgxd", "BFS", "g1", 100, {{"Process", 10}}));
+  std::vector<SweepEntry> candidate = Entries(
+      MakeEntry("job-a", "giraph", "BFS", "g1", 100, {{"Process", 10.5}}),
+      MakeEntry("job-b", "pgxd", "BFS", "g1", 100, {{"Process", 13}}));
+  RegressionOptions options;
+  options.tolerance = 0.10;
+  SweepRegressionSummary summary =
+      CompareSweeps(baseline, candidate, options);
+  ASSERT_EQ(summary.jobs.size(), 2u);
+  EXPECT_FALSE(summary.jobs[0].report.HasRegressions());  // +5% < tolerance
+  EXPECT_TRUE(summary.jobs[1].report.HasRegressions());   // +30%
+  EXPECT_TRUE(summary.HasRegressions());
+  EXPECT_GE(summary.TotalRegressions(), 1u);
+
+  // A looser gate passes both.
+  options.tolerance = 0.50;
+  EXPECT_FALSE(CompareSweeps(baseline, candidate, options).HasRegressions());
+}
+
+TEST(CompareSweepsTest, ReportsMissingAndAddedJobsByName) {
+  std::vector<SweepEntry> baseline = Entries(
+      MakeEntry("only-baseline", "giraph", "BFS", "g1", 100,
+                {{"Process", 10}}),
+      MakeEntry("shared", "pgxd", "BFS", "g1", 100, {{"Process", 10}}));
+  std::vector<SweepEntry> candidate = Entries(
+      MakeEntry("shared", "pgxd", "BFS", "g1", 100, {{"Process", 10}}),
+      MakeEntry("only-candidate", "hadoop", "BFS", "g1", 100,
+                {{"Process", 10}}));
+  SweepRegressionSummary summary =
+      CompareSweeps(baseline, candidate, RegressionOptions{});
+  EXPECT_EQ(summary.missing, std::vector<std::string>{"only-baseline"});
+  EXPECT_EQ(summary.added, std::vector<std::string>{"only-candidate"});
+  ASSERT_EQ(summary.jobs.size(), 1u);
+  EXPECT_EQ(summary.jobs[0].name, "shared");
+  EXPECT_FALSE(summary.HasRegressions());
+}
+
+TEST(CompareSweepsTest, RendererShowsVerdictLine) {
+  std::vector<SweepEntry> baseline = Entries(
+      MakeEntry("job", "giraph", "BFS", "g1", 100, {{"Process", 10}}));
+  std::vector<SweepEntry> slower = Entries(
+      MakeEntry("job", "giraph", "BFS", "g1", 100, {{"Process", 20}}));
+  SweepRegressionSummary fail =
+      CompareSweeps(baseline, slower, RegressionOptions{});
+  std::string fail_text = RenderSweepRegressionSummary(fail);
+  EXPECT_NE(fail_text.find("[FAIL]"), std::string::npos);
+  EXPECT_NE(fail_text.find("REGRESSION"), std::string::npos);
+
+  SweepRegressionSummary ok =
+      CompareSweeps(baseline, baseline, RegressionOptions{});
+  EXPECT_NE(RenderSweepRegressionSummary(ok).find("[OK]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace granula::core

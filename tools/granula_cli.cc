@@ -14,6 +14,23 @@
 //                    (fault SPECs: crash:WORKER:STEP[:N] task:WORKER:STEP[:N]
 //                     storage:WORKER[:N] logdrop:SEQ logtrunc:SEQ;
 //                     exit 1 when the job exhausts its retries)
+//   granula bench    [--config=sweep.json]
+//                    [--platforms=giraph,pgxd,...] [--algorithms=BFS,WCC,...]
+//                    [--graphs=SPEC (repeatable)] [--nodes=4,8]
+//                    [--faults=NAME=SPEC (repeatable)]
+//                    [--iterations=10] [--source=1] [--max-attempts=4]
+//                    [--checkpoint-interval=2] [--model-level=0]
+//                    [--repo=sweep-archives] [--sequential]
+//                    [--report-out=report.txt]
+//                    [--baseline=DIR] [--tolerance=0.1] [--depth=0]
+//                    (runs the platforms x algorithms x graphs x nodes
+//                     [x faults] sweep into one archive repository, prints
+//                     the per-phase comparative report, and — with
+//                     --baseline — gates against a committed baseline
+//                     sweep: exit 2 on a regression past tolerance or a
+//                     baseline job missing from the candidate; exit 64 on
+//                     config/axis errors. Flags override config axes; the
+//                     config JSON uses the same axis names.)
 //   granula lint     --log=run.jsonl [--model=giraph|...]
 //                    [--tolerance=strict|repair] [--archive-out=fixed.json]
 //                    (exit 3 when the log has fatal defects)

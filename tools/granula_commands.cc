@@ -9,23 +9,21 @@
 #include "common/result.h"
 #include "common/strings.h"
 #include "granula/analysis/chokepoint.h"
+#include "granula/analysis/comparative.h"
 #include "granula/analysis/regression.h"
 #include "granula/archive/archiver.h"
 #include "granula/archive/lint.h"
 #include "granula/archive/repository.h"
+#include "granula/bench/sweep.h"
 #include "granula/live/watch.h"
 #include "granula/models/models.h"
+#include "granula/visual/comparative_view.h"
 #include "granula/visual/model_view.h"
 #include "granula/visual/report.h"
 #include "granula/visual/svg.h"
 #include "granula/visual/text.h"
-#include "graph/generators.h"
 #include "graph/io.h"
-#include "platforms/giraph.h"
-#include "platforms/graphmat.h"
-#include "platforms/hadoop.h"
-#include "platforms/pgxd.h"
-#include "platforms/powergraph.h"
+#include "platforms/dispatch.h"
 #include "platforms/registry.h"
 #include "sim/faults.h"
 
@@ -46,87 +44,56 @@ class Flags {
       }
       size_t eq = arg.find('=');
       if (eq == std::string::npos) {
-        flags.values_[arg.substr(2)] = "true";
+        flags.values_[arg.substr(2)].push_back("true");
       } else {
-        flags.values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        flags.values_[arg.substr(2, eq - 2)].push_back(arg.substr(eq + 1));
       }
     }
     return flags;
   }
 
+  // Single-valued accessors: the last occurrence wins, like most CLIs.
   std::string Get(const std::string& name, std::string fallback = "") const {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : it->second;
+    return it == values_.end() ? fallback : it->second.back();
   }
   int64_t GetInt(const std::string& name, int64_t fallback) const {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+    return it == values_.end() ? fallback
+                               : std::atoll(it->second.back().c_str());
   }
   double GetDouble(const std::string& name, double fallback) const {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    return it == values_.end() ? fallback
+                               : std::atof(it->second.back().c_str());
+  }
+  // Every occurrence, in order — for sweep axes, where "--graphs=a
+  // --graphs=b" accumulates (a graph spec may contain commas, so repeated
+  // flags are the only unambiguous list syntax).
+  std::vector<std::string> GetAll(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
   }
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
 };
 
 // ------------------------------------------------------------ helpers ----
 
-Result<graph::Graph> ParseGraphSpec(const std::string& spec) {
-  size_t colon = spec.find(':');
-  std::string kind = spec.substr(0, colon);
-  std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
-  std::vector<std::string> parts = StrSplit(args, ',');
-  auto arg_u64 = [&](size_t i, uint64_t fallback) {
-    return i < parts.size() && !parts[i].empty()
-               ? std::strtoull(parts[i].c_str(), nullptr, 10)
-               : fallback;
-  };
-  if (kind == "datagen") {
-    graph::DatagenConfig config;
-    config.num_vertices = arg_u64(0, 100000);
-    config.avg_degree = parts.size() > 1 ? std::atof(parts[1].c_str()) : 15.0;
-    return graph::GenerateDatagen(config);
-  }
-  if (kind == "rmat") {
-    graph::RmatConfig config;
-    config.scale = arg_u64(0, 16);
-    config.edge_factor =
-        parts.size() > 1 ? std::atof(parts[1].c_str()) : 16.0;
-    return graph::GenerateRmat(config);
-  }
-  if (kind == "uniform") {
-    return graph::GenerateUniform(arg_u64(0, 10000), arg_u64(1, 80000), 42);
-  }
-  if (kind == "file") {
-    return graph::ReadEdgeListFile(args, /*directed=*/false);
-  }
-  return Status::InvalidArgument("unknown graph spec '" + spec +
-                                 "' (datagen:|rmat:|uniform:|file:)");
-}
-
 Result<core::PerformanceModel> ModelByName(const std::string& name) {
-  if (name == "giraph") return core::MakeGiraphModel();
-  if (name == "powergraph") return core::MakePowerGraphModel();
-  if (name == "hadoop") return core::MakeHadoopModel();
-  if (name == "pgxd") return core::MakePgxdModel();
-  if (name == "graphmat") return core::MakeGraphMatModel();
   if (name == "domain") return core::MakeGraphProcessingDomainModel();
+  Result<core::PerformanceModel> model = platform::ModelForPlatform(name);
+  if (model.ok()) return model;
   return Status::InvalidArgument(
       "unknown model '" + name +
       "' (giraph|powergraph|hadoop|pgxd|graphmat|domain)");
 }
 
-// --fault=SPEC[,SPEC...] plus the retry-policy knobs. SPEC grammar:
-//   crash:WORKER:STEP[:N]   worker crash at a superstep/iteration
-//   task:WORKER:STEP[:N]    single task-attempt failure
-//   storage:WORKER[:N]      transient read error, retried in place
-//   logdrop:SEQ             the log record with that seq is never written
-//   logtrunc:SEQ            ... is written torn (half the line, no newline)
-// N = how many consecutive attempts fail (default 1). --fault-seed adds
-// a seeded random plan on top (--fault-count faults).
+// --fault=SPEC[,SPEC...] (grammar: sim::FaultPlan::Parse) plus the
+// retry-policy knobs. --fault-seed adds a seeded random plan on top
+// (--fault-count faults).
 Result<sim::FaultPlan> ParseFaultFlags(const Flags& flags,
                                        uint32_t num_workers,
                                        uint64_t max_step) {
@@ -137,52 +104,9 @@ Result<sim::FaultPlan> ParseFaultFlags(const Flags& flags,
         max_step, static_cast<uint32_t>(flags.GetInt("fault-count", 2)));
   }
   if (flags.Has("fault")) {
-    for (const std::string& text : StrSplit(flags.Get("fault"), ',')) {
-      std::vector<std::string> parts = StrSplit(text, ':');
-      auto part_u64 = [&](size_t i, uint64_t fallback) {
-        return i < parts.size()
-                   ? std::strtoull(parts[i].c_str(), nullptr, 10)
-                   : fallback;
-      };
-      if (parts.empty()) {
-        return Status::InvalidArgument("empty --fault spec");
-      }
-      sim::FaultSpec spec;
-      const std::string& kind = parts[0];
-      if (kind == "crash" || kind == "task") {
-        if (parts.size() < 3) {
-          return Status::InvalidArgument(
-              "--fault " + kind + " expects " + kind + ":WORKER:STEP[:N]");
-        }
-        spec.kind = kind == "crash" ? sim::FaultKind::kWorkerCrash
-                                    : sim::FaultKind::kTaskFailure;
-        spec.worker = static_cast<uint32_t>(part_u64(1, 0));
-        spec.step = part_u64(2, 0);
-        spec.failures = static_cast<uint32_t>(part_u64(3, 1));
-      } else if (kind == "storage") {
-        if (parts.size() < 2) {
-          return Status::InvalidArgument(
-              "--fault storage expects storage:WORKER[:N]");
-        }
-        spec.kind = sim::FaultKind::kStorageError;
-        spec.worker = static_cast<uint32_t>(part_u64(1, 0));
-        spec.failures = static_cast<uint32_t>(part_u64(2, 1));
-      } else if (kind == "logdrop" || kind == "logtrunc") {
-        if (parts.size() < 2) {
-          return Status::InvalidArgument("--fault " + kind + " expects " +
-                                         kind + ":SEQ");
-        }
-        spec.kind = sim::FaultKind::kLogWrite;
-        spec.log_seq = part_u64(1, 0);
-        spec.log_effect = kind == "logdrop" ? sim::LogWriteFault::kDrop
-                                            : sim::LogWriteFault::kTruncate;
-      } else {
-        return Status::InvalidArgument(
-            "unknown fault kind '" + kind +
-            "' (crash|task|storage|logdrop|logtrunc)");
-      }
-      plan.Add(spec);
-    }
+    GRANULA_ASSIGN_OR_RETURN(sim::FaultPlan parsed,
+                             sim::FaultPlan::Parse(flags.Get("fault")));
+    for (const sim::FaultSpec& spec : parsed.specs()) plan.Add(spec);
   }
   plan.retry.max_attempts =
       static_cast<uint32_t>(flags.GetInt("max-attempts", 4));
@@ -201,10 +125,11 @@ Result<core::PerformanceArchive> LoadArchive(const std::string& path) {
 
 // ----------------------------------------------------------- commands ----
 
-Result<int> CmdRun(const Flags& flags, std::FILE* out) {
+Result<int> CmdRun(const Flags& flags, std::FILE* out, std::FILE* err) {
   std::string platform_name = flags.Get("platform", "giraph");
   GRANULA_ASSIGN_OR_RETURN(
-      graph::Graph graph, ParseGraphSpec(flags.Get("graph", "datagen:20000")));
+      graph::Graph graph,
+      graph::GraphFromSpec(flags.Get("graph", "datagen:20000")));
 
   algo::AlgorithmSpec spec;
   GRANULA_ASSIGN_OR_RETURN(spec.id,
@@ -217,16 +142,34 @@ Result<int> CmdRun(const Flags& flags, std::FILE* out) {
   cluster_config.num_nodes =
       static_cast<uint32_t>(flags.GetInt("nodes", 8));
   if (flags.Has("slow-node")) {
+    // Strictly validated: both fields must parse and the factor must be
+    // positive. (strtoull/atof would quietly turn "abc:xyz" into "node 0
+    // at factor 0.0" — a config typo silently zeroing a node's speed.)
     std::vector<std::string> parts = StrSplit(flags.Get("slow-node"), ':');
     if (parts.size() != 2) {
-      return Status::InvalidArgument("--slow-node expects ID:FACTOR");
+      std::fprintf(err, "granula run: --slow-node expects ID:FACTOR, got "
+                        "'%s'\n", flags.Get("slow-node").c_str());
+      return kExitUsage;
+    }
+    Result<uint64_t> node = ParseUint64(parts[0]);
+    Result<double> factor = ParseFiniteDouble(parts[1]);
+    if (!node.ok() || !factor.ok() || *factor <= 0) {
+      std::fprintf(err,
+                   "granula run: --slow-node expects an integer node id and "
+                   "a positive speed factor, got '%s'\n",
+                   flags.Get("slow-node").c_str());
+      return kExitUsage;
+    }
+    if (*node >= cluster_config.num_nodes) {
+      std::fprintf(err,
+                   "granula run: --slow-node id %llu out of range (cluster "
+                   "has %u nodes)\n",
+                   static_cast<unsigned long long>(*node),
+                   cluster_config.num_nodes);
+      return kExitUsage;
     }
     cluster_config.node_speed_factors.assign(cluster_config.num_nodes, 1.0);
-    size_t node = std::strtoull(parts[0].c_str(), nullptr, 10);
-    if (node >= cluster_config.num_nodes) {
-      return Status::InvalidArgument("slow-node id out of range");
-    }
-    cluster_config.node_speed_factors[node] = std::atof(parts[1].c_str());
+    cluster_config.node_speed_factors[*node] = *factor;
   }
 
   platform::JobConfig job_config;
@@ -239,37 +182,16 @@ Result<int> CmdRun(const Flags& flags, std::FILE* out) {
       job_config.faults,
       ParseFaultFlags(flags, job_config.num_workers, spec.max_iterations));
 
-  Result<platform::JobResult> result = Status::Internal("unset");
-  core::PerformanceModel model = core::MakeGiraphModel();
-  if (platform_name == "giraph") {
-    result = platform::GiraphPlatform().Run(graph, spec, cluster_config,
-                                            job_config);
-  } else if (platform_name == "powergraph") {
-    model = core::MakePowerGraphModel();
-    result = platform::PowerGraphPlatform().Run(graph, spec, cluster_config,
-                                                job_config);
-  } else if (platform_name == "hadoop") {
-    model = core::MakeHadoopModel();
-    result = platform::HadoopPlatform().Run(graph, spec, cluster_config,
-                                            job_config);
-  } else if (platform_name == "pgxd") {
-    model = core::MakePgxdModel();
-    result = platform::PgxdPlatform().Run(graph, spec, cluster_config,
-                                          job_config);
-  } else if (platform_name == "graphmat") {
-    model = core::MakeGraphMatModel();
-    result = platform::GraphMatPlatform().Run(graph, spec, cluster_config,
-                                              job_config);
-  } else {
-    return Status::InvalidArgument(
-        "unknown platform '" + platform_name +
-        "' (giraph|powergraph|hadoop|pgxd|graphmat)");
-  }
-  GRANULA_RETURN_IF_ERROR(result.status());
+  GRANULA_ASSIGN_OR_RETURN(core::PerformanceModel model,
+                           platform::ModelForPlatform(platform_name));
+  GRANULA_ASSIGN_OR_RETURN(
+      platform::JobResult result,
+      platform::RunForPlatform(platform_name, graph, spec, cluster_config,
+                               job_config));
 
   if (flags.Has("log-out")) {
     GRANULA_RETURN_IF_ERROR(
-        core::WriteLogRecords(flags.Get("log-out"), result->records));
+        core::WriteLogRecords(flags.Get("log-out"), result.records));
     std::fprintf(out, "raw platform log written to %s\n",
                  flags.Get("log-out").c_str());
   }
@@ -280,7 +202,7 @@ Result<int> CmdRun(const Flags& flags, std::FILE* out) {
   GRANULA_ASSIGN_OR_RETURN(
       core::PerformanceArchive archive,
       core::Archiver(archiver_options)
-          .Build(model, result->records, std::move(result->environment),
+          .Build(model, result.records, std::move(result.environment),
                  {{"platform", platform_name},
                   {"algorithm", flags.Get("algorithm", "BFS")},
                   {"graph", flags.Get("graph", "datagen:20000")}}));
@@ -289,17 +211,17 @@ Result<int> CmdRun(const Flags& flags, std::FILE* out) {
   std::fprintf(out,
                "supersteps/iterations: %llu   virtual time: %.2fs   "
                "operations archived: %llu\n",
-               static_cast<unsigned long long>(result->supersteps),
-               result->total_seconds,
+               static_cast<unsigned long long>(result.supersteps),
+               result.total_seconds,
                static_cast<unsigned long long>(archive.OperationCount()));
   if (!job_config.faults.empty()) {
     std::fprintf(out,
                  "fault injection: %llu failed attempt(s), %llu restart(s), "
                  "%.2fs lost to recovery%s\n",
-                 static_cast<unsigned long long>(result->failed_attempts),
-                 static_cast<unsigned long long>(result->restarts),
-                 result->lost_seconds,
-                 result->completed
+                 static_cast<unsigned long long>(result.failed_attempts),
+                 static_cast<unsigned long long>(result.restarts),
+                 result.lost_seconds,
+                 result.completed
                      ? ""
                      : "; job did NOT complete (retries exhausted), archive "
                        "status is incomplete");
@@ -345,7 +267,139 @@ Result<int> CmdRun(const Flags& flags, std::FILE* out) {
     std::fprintf(out, "SVGs written to %s_{breakdown,utilization}.svg\n",
                  prefix.c_str());
   }
-  return result->completed ? kExitOk : kExitFatal;
+  return result.completed ? kExitOk : kExitFatal;
+}
+
+// granula bench — the sweep driver. Axes come from --config=FILE (the
+// JSON form documented on SweepSpec::FromJson) and/or axis flags; flags
+// override the config axis for axis. All config/axis mistakes are usage
+// errors (exit 64); a failing regression gate is exit 2, like compare.
+Result<int> CmdBench(const Flags& flags, std::FILE* out, std::FILE* err) {
+  bench::SweepSpec spec;
+  if (flags.Has("config")) {
+    Result<bench::SweepSpec> loaded =
+        bench::SweepSpec::FromJsonFile(flags.Get("config"));
+    if (!loaded.ok()) {
+      std::fprintf(err, "granula bench: %s\n",
+                   loaded.status().message().c_str());
+      return kExitUsage;
+    }
+    spec = std::move(*loaded);
+  }
+
+  // Comma-splittable axes (their values never contain commas).
+  auto csv = [&flags](const std::string& name) {
+    std::vector<std::string> values;
+    for (const std::string& one : flags.GetAll(name)) {
+      for (const std::string& part : StrSplit(one, ',')) {
+        if (!part.empty()) values.push_back(part);
+      }
+    }
+    return values;
+  };
+  if (flags.Has("platforms")) spec.platforms = csv("platforms");
+  if (flags.Has("algorithms")) spec.algorithms = csv("algorithms");
+  // Graph specs contain commas ("uniform:500,2000"), so each --graphs
+  // flag is exactly one spec; same for --faults (NAME=SPEC, SPEC may be a
+  // comma-separated plan).
+  if (flags.Has("graphs")) spec.graphs = flags.GetAll("graphs");
+  if (flags.Has("nodes")) {
+    spec.node_counts.clear();
+    for (const std::string& part : csv("nodes")) {
+      Result<uint64_t> nodes = ParseUint64(part);
+      if (!nodes.ok() || *nodes == 0) {
+        std::fprintf(err,
+                     "granula bench: --nodes expects positive integers, got "
+                     "'%s'\n", part.c_str());
+        return kExitUsage;
+      }
+      spec.node_counts.push_back(static_cast<uint32_t>(*nodes));
+    }
+  }
+  if (flags.Has("faults")) {
+    spec.faults.clear();
+    for (const std::string& one : flags.GetAll("faults")) {
+      size_t eq = one.find('=');
+      if (eq == 0 || eq == std::string::npos) {
+        std::fprintf(err,
+                     "granula bench: --faults expects NAME=SPEC (e.g. "
+                     "crash2=crash:2:1), got '%s'\n", one.c_str());
+        return kExitUsage;
+      }
+      spec.faults.push_back({one.substr(0, eq), one.substr(eq + 1)});
+    }
+  }
+  if (flags.Has("iterations")) {
+    spec.iterations = static_cast<uint64_t>(flags.GetInt("iterations", 10));
+  }
+  if (flags.Has("source")) spec.source = flags.GetInt("source", 1);
+  if (flags.Has("max-attempts")) {
+    spec.max_attempts =
+        static_cast<uint32_t>(flags.GetInt("max-attempts", 4));
+  }
+  if (flags.Has("checkpoint-interval")) {
+    spec.checkpoint_interval =
+        static_cast<uint64_t>(flags.GetInt("checkpoint-interval", 2));
+  }
+  if (flags.Has("model-level")) {
+    spec.model_level = static_cast<int>(flags.GetInt("model-level", 0));
+  }
+
+  bench::SweepOptions options;
+  options.repo_dir = flags.Get("repo", "sweep-archives");
+  options.parallel = !flags.Has("sequential");
+
+  // Expand first: every axis typo surfaces as a usage error before any
+  // job has run.
+  Result<std::vector<bench::SweepJob>> jobs = bench::ExpandSweep(spec);
+  if (!jobs.ok()) {
+    std::fprintf(err, "granula bench: %s\n", jobs.status().message().c_str());
+    return kExitUsage;
+  }
+
+  std::fprintf(out, "sweep: %zu job(s) -> repository %s\n", jobs->size(),
+               options.repo_dir.c_str());
+  GRANULA_ASSIGN_OR_RETURN(bench::SweepResult sweep,
+                           bench::RunSweep(spec, options, out));
+  if (!sweep.all_completed) {
+    std::fprintf(out, "note: some jobs did not complete (retries "
+                      "exhausted); their archives are incomplete\n");
+  }
+
+  core::ArchiveRepository repo(options.repo_dir);
+  GRANULA_ASSIGN_OR_RETURN(std::vector<core::SweepEntry> entries,
+                           core::LoadSweepEntries(repo));
+  std::string report =
+      core::RenderComparativeReport(core::BuildComparativeReport(entries));
+  std::fprintf(out, "\n%s", report.c_str());
+  if (flags.Has("report-out")) {
+    std::ofstream file(flags.Get("report-out"));
+    if (!file) {
+      return Status::IoError("cannot write " + flags.Get("report-out"));
+    }
+    file << report;
+    std::fprintf(out, "comparative report written to %s\n",
+                 flags.Get("report-out").c_str());
+  }
+
+  if (!flags.Has("baseline")) return kExitOk;
+
+  // Regression gate: candidate sweep vs. the committed baseline sweep.
+  // Both a measured regression and a job missing from the candidate fail
+  // the gate — a sweep that silently stops covering a baseline job must
+  // not pass CI.
+  core::ArchiveRepository baseline_repo(flags.Get("baseline"));
+  GRANULA_ASSIGN_OR_RETURN(std::vector<core::SweepEntry> baseline_entries,
+                           core::LoadSweepEntries(baseline_repo));
+  core::RegressionOptions regression_options;
+  regression_options.tolerance = flags.GetDouble("tolerance", 0.10);
+  regression_options.max_depth = static_cast<int>(flags.GetInt("depth", 0));
+  core::SweepRegressionSummary summary =
+      core::CompareSweeps(baseline_entries, entries, regression_options);
+  std::fprintf(out, "\n%s",
+               core::RenderSweepRegressionSummary(summary).c_str());
+  bool gate_failed = summary.HasRegressions() || !summary.missing.empty();
+  return gate_failed ? kExitRegressions : kExitOk;
 }
 
 Result<int> CmdLint(const Flags& flags, std::FILE* out) {
@@ -501,8 +555,8 @@ int RunGranula(const std::vector<std::string>& args, std::FILE* out,
                std::FILE* err) {
   if (args.empty()) {
     std::fprintf(err,
-                 "usage: granula "
-                 "run|lint|analyze|compare|watch|list|model|table1 [--flags]\n"
+                 "usage: granula run|bench|lint|analyze|compare|watch|list|"
+                 "model|table1 [--flags]\n"
                  "       (see the header of tools/granula_cli.cc)\n");
     return kExitUsage;
   }
@@ -515,7 +569,9 @@ int RunGranula(const std::vector<std::string>& args, std::FILE* out,
 
   Result<int> code = Status::Internal("unset");
   if (command == "run") {
-    code = CmdRun(*flags, out);
+    code = CmdRun(*flags, out, err);
+  } else if (command == "bench") {
+    code = CmdBench(*flags, out, err);
   } else if (command == "lint") {
     code = CmdLint(*flags, out);
   } else if (command == "analyze") {

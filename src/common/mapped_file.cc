@@ -1,0 +1,153 @@
+#include "common/mapped_file.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/strings.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRANULA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <cstdio>
+#endif
+
+namespace granula {
+
+namespace {
+std::atomic<bool> g_force_fallback{false};
+std::atomic<bool> g_fail_reads{false};
+}  // namespace
+
+void MappedFile::ForceReadFallbackForTest(bool on) {
+  g_force_fallback.store(on, std::memory_order_relaxed);
+}
+
+void MappedFile::FailReadsForTest(bool on) {
+  g_fail_reads.store(on, std::memory_order_relaxed);
+}
+
+MappedFile::~MappedFile() { Release(); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    MoveFrom(std::move(other));
+  }
+  return *this;
+}
+
+void MappedFile::MoveFrom(MappedFile&& other) noexcept {
+  map_ = other.map_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  buffer_ = std::move(other.buffer_);
+  other.map_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  other.buffer_.clear();
+}
+
+void MappedFile::Release() {
+#ifdef GRANULA_HAVE_MMAP
+  if (mapped_ && map_ != nullptr) {
+    ::munmap(const_cast<char*>(map_), size_);
+  }
+#endif
+  map_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#ifdef GRANULA_HAVE_MMAP
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError(
+        StrFormat("cannot stat %s (not a regular file?)", path.c_str()));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+
+  MappedFile file;
+  if (size == 0) {
+    ::close(fd);
+    return file;  // empty view, nothing to map
+  }
+
+  if (!g_force_fallback.load(std::memory_order_relaxed)) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);
+      file.map_ = static_cast<const char*>(map);
+      file.size_ = size;
+      file.mapped_ = true;
+      return file;
+    }
+  }
+
+  // Fallback: plain read into an owned buffer. A short or failed read is
+  // an error, never a silently truncated view.
+  file.buffer_.resize(size);
+  size_t total = 0;
+  while (total < size) {
+    if (g_fail_reads.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return Status::IoError(StrFormat("read failed for %s", path.c_str()));
+    }
+    ssize_t got = ::read(fd, file.buffer_.data() + total, size - total);
+    if (got < 0) {
+      ::close(fd);
+      return Status::IoError(StrFormat("read failed for %s", path.c_str()));
+    }
+    if (got == 0) break;  // EOF before st_size: the file shrank under us
+    total += static_cast<size_t>(got);
+  }
+  ::close(fd);
+  if (total != size) {
+    return Status::IoError(
+        StrFormat("short read for %s (got %zu of %zu bytes)", path.c_str(),
+                  total, size));
+  }
+  return file;
+}
+
+#else  // !GRANULA_HAVE_MMAP
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  MappedFile file;
+  char chunk[1 << 16];
+  while (true) {
+    if (g_fail_reads.load(std::memory_order_relaxed)) {
+      std::fclose(f);
+      return Status::IoError(StrFormat("read failed for %s", path.c_str()));
+    }
+    size_t got = std::fread(chunk, 1, sizeof(chunk), f);
+    if (got > 0) file.buffer_.append(chunk, got);
+    if (got < sizeof(chunk)) {
+      if (std::ferror(f)) {
+        std::fclose(f);
+        return Status::IoError(StrFormat("read failed for %s", path.c_str()));
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return file;
+}
+
+#endif  // GRANULA_HAVE_MMAP
+
+}  // namespace granula

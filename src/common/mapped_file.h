@@ -1,0 +1,68 @@
+#ifndef GRANULA_COMMON_MAPPED_FILE_H_
+#define GRANULA_COMMON_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace granula {
+
+// A whole file viewed as read-only bytes, preferring mmap(2) and falling
+// back to a plain read when mapping is unavailable (non-POSIX build, a
+// file system that refuses maps, or the test hook below). This is the
+// shared ingest substrate for multi-GB JSONL logs (ReadLogRecords,
+// LogTailer catch-up) and for binary GBA archives: consumers parse
+// directly out of the page cache instead of first copying the file into a
+// std::string.
+//
+// The view returned by data() stays valid for the lifetime of the
+// MappedFile object (moves included). The file is snapshotted at Open()
+// size: bytes appended later are not visible through an existing map,
+// which is exactly the semantics a tailer wants.
+//
+// Error contract: a missing file is NotFound ("cannot open <path>"); in
+// the read-fallback path a failed or short read is IoError — never a
+// silently truncated view (a previous reader resized to the partial
+// byte count and parsed a truncated file).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept { MoveFrom(std::move(other)); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  static Result<MappedFile> Open(const std::string& path);
+
+  std::string_view data() const {
+    return mapped_ ? std::string_view(map_, size_)
+                   : std::string_view(buffer_);
+  }
+  size_t size() const { return mapped_ ? size_ : buffer_.size(); }
+  // True when the view is an actual mmap (false: owned fallback buffer).
+  bool mapped() const { return mapped_; }
+
+  // Test hooks (process-wide). ForceReadFallbackForTest makes Open() skip
+  // mmap so the read path is exercised; FailReadsForTest makes that read
+  // path report an I/O error, standing in for a device that dies
+  // mid-read. Both reset to false; tests must restore them.
+  static void ForceReadFallbackForTest(bool on);
+  static void FailReadsForTest(bool on);
+
+ private:
+  void Release();
+  void MoveFrom(MappedFile&& other) noexcept;
+
+  const char* map_ = nullptr;  // valid when mapped_
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::string buffer_;  // fallback storage when !mapped_
+};
+
+}  // namespace granula
+
+#endif  // GRANULA_COMMON_MAPPED_FILE_H_

@@ -23,11 +23,16 @@ std::string PhaseName(const ArchivedOperation& op) {
 
 Result<std::vector<SweepEntry>> LoadSweepEntries(
     const ArchiveRepository& repo) {
+  return LoadSweepEntries(repo, 0);
+}
+
+Result<std::vector<SweepEntry>> LoadSweepEntries(const ArchiveRepository& repo,
+                                                 int levels) {
   GRANULA_ASSIGN_OR_RETURN(auto listed, repo.List());
   std::vector<SweepEntry> entries;
   for (const auto& listed_entry : listed) {
     GRANULA_ASSIGN_OR_RETURN(PerformanceArchive archive,
-                             repo.Load(listed_entry.name));
+                             repo.LoadShallow(listed_entry.name, levels));
     SweepEntry entry;
     entry.name = listed_entry.name;
     entry.platform = MetadataOr(archive, "platform");

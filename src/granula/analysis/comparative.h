@@ -34,6 +34,15 @@ struct SweepEntry {
 // Loads every archive of `repo` with its sweep metadata, sorted by name.
 // Archives without sweep metadata (foreign saves in a shared repository)
 // still load — their axis fields are simply empty.
+//
+// `levels` > 0 cuts each operation tree to its first `levels` levels
+// (root = level 1) via ArchiveRepository::LoadShallow — against a packed
+// (GBA) repository the rows below the cut are never decoded, which is
+// what keeps a depth-limited bench gate cheap on big sweeps. A gate at
+// RegressionOptions::max_depth D only ever flattens the first D levels,
+// so entries loaded with `levels` = D gate identically to full loads.
+Result<std::vector<SweepEntry>> LoadSweepEntries(const ArchiveRepository& repo,
+                                                 int levels);
 Result<std::vector<SweepEntry>> LoadSweepEntries(const ArchiveRepository& repo);
 
 // The comparative report: one per-phase table per workload, plus scaling

@@ -1,0 +1,687 @@
+#include "granula/archive/gba.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace granula::core {
+namespace {
+
+// ------------------------------------------------------------ writing ----
+
+constexpr char kMagic[4] = {'G', 'B', 'A', '1'};
+constexpr size_t kHeaderSize = 72;
+// Nesting guard for the recursive value codec; far beyond any real info
+// payload, shallow enough to keep a hostile file from blowing the stack.
+constexpr int kMaxValueDepth = 512;
+
+enum ValueTag : uint8_t {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+  kTagArray = 6,
+  kTagObject = 7,
+};
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.append(b, 4);
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.append(b, 8);
+}
+
+void PutF64(std::string& out, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PatchU64(std::string& out, size_t pos, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[pos + i] = static_cast<char>(v >> (8 * i));
+}
+
+// First-encounter-order string interning. Deterministic for a given
+// archive: the walk order below never depends on memory layout.
+class SymbolTable {
+ public:
+  uint32_t Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(order_.size());
+    auto [pos, inserted] = index_.emplace(std::string(s), id);
+    (void)inserted;
+    order_.push_back(&pos->first);
+    return id;
+  }
+
+  void Serialize(std::string& out) const {
+    PutU32(out, static_cast<uint32_t>(order_.size()));
+    uint64_t off = 0;
+    for (const std::string* s : order_) {
+      PutU64(out, off);
+      off += s->size();
+    }
+    PutU64(out, off);  // offsets[count] == blob length
+    for (const std::string* s : order_) out.append(*s);
+  }
+
+ private:
+  std::map<std::string, uint32_t, std::less<>> index_;
+  std::vector<const std::string*> order_;
+};
+
+void EncodeValue(const Json& v, SymbolTable& syms, std::string& blob) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      PutU8(blob, kTagNull);
+      return;
+    case Json::Type::kBool:
+      PutU8(blob, v.AsBool() ? kTagTrue : kTagFalse);
+      return;
+    case Json::Type::kInt:
+      PutU8(blob, kTagInt);
+      PutU64(blob, static_cast<uint64_t>(v.AsInt()));
+      return;
+    case Json::Type::kDouble:
+      PutU8(blob, kTagDouble);
+      PutF64(blob, v.AsDouble());
+      return;
+    case Json::Type::kString:
+      PutU8(blob, kTagString);
+      PutU32(blob, syms.Intern(v.AsString()));
+      return;
+    case Json::Type::kArray: {
+      PutU8(blob, kTagArray);
+      const Json::Array& array = v.AsArray();
+      PutU32(blob, static_cast<uint32_t>(array.size()));
+      for (const Json& element : array) EncodeValue(element, syms, blob);
+      return;
+    }
+    case Json::Type::kObject: {
+      PutU8(blob, kTagObject);
+      const Json::Object& object = v.AsObject();
+      PutU32(blob, static_cast<uint32_t>(object.size()));
+      for (const auto& [key, element] : object) {
+        PutU32(blob, syms.Intern(key));
+        EncodeValue(element, syms, blob);
+      }
+      return;
+    }
+  }
+}
+
+// ------------------------------------------------------------ reading ----
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+double GetF64(const char* p) {
+  uint64_t bits = GetU64(p);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Status Truncated(const char* what) {
+  return granula::Status::Corruption(StrFormat("gba: truncated %s section", what));
+}
+
+}  // namespace
+
+bool LooksLikeGba(std::string_view bytes) {
+  return bytes.size() >= sizeof(kMagic) &&
+         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+std::string EncodeGba(const PerformanceArchive& archive) {
+  SymbolTable syms;
+
+  // ---- walk the tree once: columns, info rows, value blob -------------
+  struct OpRow {
+    uint32_t actor_type, actor_id, mission_type, mission_id;
+    uint32_t subtree_size, info_begin, info_count;
+  };
+  std::vector<OpRow> ops;
+  struct InfoRow {
+    uint32_t name, source;
+    uint64_t value_off;
+  };
+  std::vector<InfoRow> infos;
+  std::string values;
+
+  // Pre-order emission; returns the subtree size in rows. The row is
+  // reserved before recursing so children land at row+1 onward.
+  auto emit = [&](auto&& self, const ArchivedOperation& op) -> uint32_t {
+    const size_t row = ops.size();
+    ops.emplace_back();
+    OpRow& r = ops[row];
+    r.actor_type = syms.Intern(op.actor_type);
+    r.actor_id = syms.Intern(op.actor_id);
+    r.mission_type = syms.Intern(op.mission_type);
+    r.mission_id = syms.Intern(op.mission_id);
+    r.info_begin = static_cast<uint32_t>(infos.size());
+    r.info_count = static_cast<uint32_t>(op.infos.size());
+    for (const auto& [name, info] : op.infos) {  // std::map: sorted order
+      InfoRow info_row;
+      info_row.name = syms.Intern(name);
+      info_row.source = syms.Intern(info.source);
+      info_row.value_off = values.size();
+      EncodeValue(info.value, syms, values);
+      infos.push_back(info_row);
+    }
+    uint32_t size = 1;
+    for (const auto& child : op.children) size += self(self, *child);
+    ops[row].subtree_size = size;  // `r` may dangle after the recursion
+    return size;
+  };
+  if (archive.root != nullptr) emit(emit, *archive.root);
+
+  // ---- metadata / environment / lint (intern before serializing) -----
+  std::vector<std::pair<uint32_t, uint32_t>> meta;
+  for (const auto& [key, value] : archive.job_metadata) {
+    meta.emplace_back(syms.Intern(key), syms.Intern(value));
+  }
+  const uint32_t model_sym = syms.Intern(archive.model_name);
+  struct EnvRow {
+    uint32_t node, hostname;
+    double time, cpu, net, disk;
+  };
+  std::vector<EnvRow> env;
+  for (const EnvironmentRecord& r : archive.environment) {
+    env.push_back({r.node, syms.Intern(r.hostname), r.time_seconds,
+                   r.cpu_seconds_per_second, r.net_bytes_per_second,
+                   r.disk_bytes_per_second});
+  }
+  struct LintRow {
+    uint32_t defect, detail;
+    uint64_t op_id, seq;
+    bool repaired;
+  };
+  std::vector<LintRow> lint;
+  for (const LintFinding& f : archive.lint.findings) {
+    lint.push_back({syms.Intern(LintDefectName(f.defect)),
+                    syms.Intern(f.detail), f.op_id, f.seq, f.repaired});
+  }
+
+  // ---- assemble -------------------------------------------------------
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(out, kGbaVersion);
+  PutU64(out, 0);  // file_size, patched below
+  const size_t section_table = out.size();
+  for (int i = 0; i < 7; ++i) PutU64(out, 0);  // offsets, patched below
+  uint64_t offsets[7];
+
+  offsets[0] = out.size();  // strings
+  syms.Serialize(out);
+
+  offsets[1] = out.size();  // meta
+  PutU32(out, static_cast<uint32_t>(meta.size()));
+  for (const auto& [key, value] : meta) {
+    PutU32(out, key);
+    PutU32(out, value);
+  }
+  PutU32(out, model_sym);
+  PutU8(out, archive.status == ArchiveStatus::kIncomplete ? 1 : 0);
+  PutU8(out, archive.root != nullptr ? 1 : 0);
+
+  offsets[2] = out.size();  // ops (columnar)
+  PutU32(out, static_cast<uint32_t>(ops.size()));
+  for (const OpRow& r : ops) PutU32(out, r.actor_type);
+  for (const OpRow& r : ops) PutU32(out, r.actor_id);
+  for (const OpRow& r : ops) PutU32(out, r.mission_type);
+  for (const OpRow& r : ops) PutU32(out, r.mission_id);
+  for (const OpRow& r : ops) PutU32(out, r.subtree_size);
+  for (const OpRow& r : ops) PutU32(out, r.info_begin);
+  for (const OpRow& r : ops) PutU32(out, r.info_count);
+
+  offsets[3] = out.size();  // infos (columnar)
+  PutU32(out, static_cast<uint32_t>(infos.size()));
+  for (const InfoRow& r : infos) PutU32(out, r.name);
+  for (const InfoRow& r : infos) PutU32(out, r.source);
+  for (const InfoRow& r : infos) PutU64(out, r.value_off);
+
+  offsets[4] = out.size();  // values blob
+  PutU64(out, values.size());
+  out.append(values);
+
+  offsets[5] = out.size();  // environment
+  PutU32(out, static_cast<uint32_t>(env.size()));
+  for (const EnvRow& r : env) {
+    PutU32(out, r.node);
+    PutU32(out, r.hostname);
+    PutF64(out, r.time);
+    PutF64(out, r.cpu);
+    PutF64(out, r.net);
+    PutF64(out, r.disk);
+  }
+
+  offsets[6] = out.size();  // lint
+  PutU32(out, static_cast<uint32_t>(lint.size()));
+  for (const LintRow& r : lint) {
+    PutU32(out, r.defect);
+    PutU32(out, r.detail);
+    PutU64(out, r.op_id);
+    PutU64(out, r.seq);
+    PutU8(out, r.repaired ? 1 : 0);
+  }
+
+  PatchU64(out, 8, out.size());
+  for (int i = 0; i < 7; ++i) PatchU64(out, section_table + 8 * i, offsets[i]);
+  return out;
+}
+
+// ----------------------------------------------------------- GbaReader ----
+
+Result<uint32_t> GbaReader::ReadU32(uint64_t off) const {
+  if (off + 4 > bytes_.size()) return Truncated("fixed-width");
+  return GetU32(bytes_.data() + off);
+}
+
+Result<uint64_t> GbaReader::ReadU64(uint64_t off) const {
+  if (off + 8 > bytes_.size()) return Truncated("fixed-width");
+  return GetU64(bytes_.data() + off);
+}
+
+Result<GbaReader> GbaReader::Open(std::string_view bytes) {
+  if (!LooksLikeGba(bytes)) {
+    return granula::Status::Corruption("gba: bad magic (not a GBA archive)");
+  }
+  if (bytes.size() < kHeaderSize) return Truncated("header");
+  const uint32_t version = GetU32(bytes.data() + 4);
+  if (version != kGbaVersion) {
+    return granula::Status::InvalidArgument(
+        StrFormat("gba: version %u unsupported (this build reads version %u)",
+                  version, kGbaVersion));
+  }
+  const uint64_t file_size = GetU64(bytes.data() + 8);
+  if (file_size != bytes.size()) {
+    return granula::Status::Corruption(
+        StrFormat("gba: file size mismatch (header says %llu, have %zu bytes)",
+                  static_cast<unsigned long long>(file_size), bytes.size()));
+  }
+
+  GbaReader reader;
+  reader.bytes_ = bytes;
+  uint64_t* section[7] = {&reader.strings_off_, &reader.meta_off_,
+                          &reader.ops_off_,     &reader.infos_off_,
+                          &reader.values_off_,  &reader.env_off_,
+                          &reader.lint_off_};
+  for (int i = 0; i < 7; ++i) {
+    *section[i] = GetU64(bytes.data() + 16 + 8 * i);
+    if (*section[i] > bytes.size()) return Truncated("header");
+  }
+
+  // Strings: count, offsets[count+1], blob. Individual offsets are
+  // validated lazily in Sym(); only the section shape is checked here so
+  // Open() stays O(1) for partial loads.
+  GRANULA_ASSIGN_OR_RETURN(reader.string_count_,
+                           reader.ReadU32(reader.strings_off_));
+  reader.string_offsets_ = reader.strings_off_ + 4;
+  const uint64_t offsets_bytes =
+      (static_cast<uint64_t>(reader.string_count_) + 1) * 8;
+  if (reader.string_offsets_ + offsets_bytes > bytes.size()) {
+    return Truncated("strings");
+  }
+  reader.string_blob_ = reader.string_offsets_ + offsets_bytes;
+  GRANULA_ASSIGN_OR_RETURN(
+      reader.string_blob_len_,
+      reader.ReadU64(reader.string_offsets_ + 8 * reader.string_count_));
+  if (reader.string_blob_ + reader.string_blob_len_ > bytes.size()) {
+    return Truncated("strings");
+  }
+
+  GRANULA_ASSIGN_OR_RETURN(reader.ops_count_, reader.ReadU32(reader.ops_off_));
+  const uint64_t ops_bytes = 4 + static_cast<uint64_t>(reader.ops_count_) * 28;
+  if (reader.ops_off_ + ops_bytes > bytes.size()) return Truncated("ops");
+
+  GRANULA_ASSIGN_OR_RETURN(reader.info_count_,
+                           reader.ReadU32(reader.infos_off_));
+  const uint64_t info_bytes =
+      4 + static_cast<uint64_t>(reader.info_count_) * 16;
+  if (reader.infos_off_ + info_bytes > bytes.size()) return Truncated("infos");
+
+  GRANULA_ASSIGN_OR_RETURN(reader.values_blob_len_,
+                           reader.ReadU64(reader.values_off_));
+  reader.values_blob_ = reader.values_off_ + 8;
+  if (reader.values_blob_ + reader.values_blob_len_ > bytes.size()) {
+    return Truncated("values");
+  }
+  return reader;
+}
+
+Result<std::string_view> GbaReader::Sym(uint32_t id) const {
+  if (id >= string_count_) {
+    return granula::Status::Corruption(StrFormat("gba: symbol id %u out of range", id));
+  }
+  GRANULA_ASSIGN_OR_RETURN(uint64_t begin,
+                           ReadU64(string_offsets_ + 8 * uint64_t{id}));
+  GRANULA_ASSIGN_OR_RETURN(uint64_t end,
+                           ReadU64(string_offsets_ + 8 * (uint64_t{id} + 1)));
+  if (begin > end || end > string_blob_len_) {
+    return granula::Status::Corruption("gba: corrupt string table offsets");
+  }
+  return std::string_view(bytes_.data() + string_blob_ + begin, end - begin);
+}
+
+Result<uint32_t> GbaReader::OpsCol(uint32_t column, uint32_t row) const {
+  if (row >= ops_count_) {
+    return granula::Status::Corruption(
+        StrFormat("gba: operation row %u out of range", row));
+  }
+  return ReadU32(ops_off_ + 4 +
+                 (static_cast<uint64_t>(column) * ops_count_ + row) * 4);
+}
+
+Result<uint32_t> GbaReader::SubtreeSize(uint32_t row) const {
+  GRANULA_ASSIGN_OR_RETURN(uint32_t size, OpsCol(4, row));
+  if (size == 0 || uint64_t{row} + size > ops_count_) {
+    return granula::Status::Corruption(
+        StrFormat("gba: corrupt subtree size at row %u", row));
+  }
+  return size;
+}
+
+bool GbaReader::RowMatchesSegment(uint32_t row,
+                                  std::string_view segment) const {
+  // Mirrors archive.cc MatchSegment: mission_id wins; an empty mission_id
+  // falls back to mission_type. Corruption here reads as "no match" — the
+  // decode that follows a successful walk still reports it.
+  auto mission_id_sym = OpsCol(3, row);
+  if (!mission_id_sym.ok()) return false;
+  auto mission_id = Sym(*mission_id_sym);
+  if (!mission_id.ok()) return false;
+  if (!mission_id->empty()) return *mission_id == segment;
+  auto mission_type_sym = OpsCol(2, row);
+  if (!mission_type_sym.ok()) return false;
+  auto mission_type = Sym(*mission_type_sym);
+  if (!mission_type.ok()) return false;
+  return *mission_type == segment;
+}
+
+Result<Json> GbaReader::DecodeValue(uint64_t& off) const {
+  const uint64_t end = values_blob_ + values_blob_len_;
+  // Depth-limited recursive decode via an inner lambda.
+  auto decode = [&](auto&& self, int depth) -> Result<Json> {
+    if (depth > kMaxValueDepth) {
+      return granula::Status::Corruption("gba: info value nested too deeply");
+    }
+    if (off + 1 > end) return Truncated("values");
+    const uint8_t tag = static_cast<uint8_t>(bytes_[off]);
+    ++off;
+    switch (tag) {
+      case kTagNull:
+        return Json();
+      case kTagFalse:
+        return Json(false);
+      case kTagTrue:
+        return Json(true);
+      case kTagInt: {
+        if (off + 8 > end) return Truncated("values");
+        int64_t v = static_cast<int64_t>(GetU64(bytes_.data() + off));
+        off += 8;
+        return Json(v);
+      }
+      case kTagDouble: {
+        if (off + 8 > end) return Truncated("values");
+        double v = GetF64(bytes_.data() + off);
+        off += 8;
+        return Json(v);
+      }
+      case kTagString: {
+        if (off + 4 > end) return Truncated("values");
+        uint32_t sym = GetU32(bytes_.data() + off);
+        off += 4;
+        GRANULA_ASSIGN_OR_RETURN(std::string_view s, Sym(sym));
+        return Json(s);
+      }
+      case kTagArray: {
+        if (off + 4 > end) return Truncated("values");
+        uint32_t count = GetU32(bytes_.data() + off);
+        off += 4;
+        Json array = Json::MakeArray();
+        for (uint32_t i = 0; i < count; ++i) {
+          GRANULA_ASSIGN_OR_RETURN(Json element, self(self, depth + 1));
+          array.Append(std::move(element));
+        }
+        return array;
+      }
+      case kTagObject: {
+        if (off + 4 > end) return Truncated("values");
+        uint32_t count = GetU32(bytes_.data() + off);
+        off += 4;
+        Json object = Json::MakeObject();
+        for (uint32_t i = 0; i < count; ++i) {
+          if (off + 4 > end) return Truncated("values");
+          uint32_t key_sym = GetU32(bytes_.data() + off);
+          off += 4;
+          GRANULA_ASSIGN_OR_RETURN(std::string_view key, Sym(key_sym));
+          GRANULA_ASSIGN_OR_RETURN(Json element, self(self, depth + 1));
+          object[std::string(key)] = std::move(element);
+        }
+        return object;
+      }
+      default:
+        return granula::Status::Corruption(
+            StrFormat("gba: unknown value tag %u", tag));
+    }
+  };
+  return decode(decode, 0);
+}
+
+Result<std::unique_ptr<ArchivedOperation>> GbaReader::DecodeRow(
+    uint32_t row) const {
+  auto op = std::make_unique<ArchivedOperation>();
+  GRANULA_ASSIGN_OR_RETURN(uint32_t actor_type_sym, OpsCol(0, row));
+  GRANULA_ASSIGN_OR_RETURN(uint32_t actor_id_sym, OpsCol(1, row));
+  GRANULA_ASSIGN_OR_RETURN(uint32_t mission_type_sym, OpsCol(2, row));
+  GRANULA_ASSIGN_OR_RETURN(uint32_t mission_id_sym, OpsCol(3, row));
+  GRANULA_ASSIGN_OR_RETURN(std::string_view actor_type, Sym(actor_type_sym));
+  GRANULA_ASSIGN_OR_RETURN(std::string_view actor_id, Sym(actor_id_sym));
+  GRANULA_ASSIGN_OR_RETURN(std::string_view mission_type,
+                           Sym(mission_type_sym));
+  GRANULA_ASSIGN_OR_RETURN(std::string_view mission_id, Sym(mission_id_sym));
+  op->actor_type = std::string(actor_type);
+  op->actor_id = std::string(actor_id);
+  op->mission_type = std::string(mission_type);
+  op->mission_id = std::string(mission_id);
+
+  GRANULA_ASSIGN_OR_RETURN(uint32_t info_begin, OpsCol(5, row));
+  GRANULA_ASSIGN_OR_RETURN(uint32_t info_count, OpsCol(6, row));
+  if (uint64_t{info_begin} + info_count > info_count_) {
+    return granula::Status::Corruption(
+        StrFormat("gba: info range of row %u out of bounds", row));
+  }
+  for (uint32_t k = info_begin; k < info_begin + info_count; ++k) {
+    GRANULA_ASSIGN_OR_RETURN(uint32_t name_sym,
+                             ReadU32(infos_off_ + 4 + 4 * uint64_t{k}));
+    GRANULA_ASSIGN_OR_RETURN(
+        uint32_t source_sym,
+        ReadU32(infos_off_ + 4 + 4 * uint64_t{info_count_} + 4 * uint64_t{k}));
+    GRANULA_ASSIGN_OR_RETURN(
+        uint64_t value_rel,
+        ReadU64(infos_off_ + 4 + 8 * uint64_t{info_count_} + 8 * uint64_t{k}));
+    if (value_rel > values_blob_len_) return Truncated("values");
+    GRANULA_ASSIGN_OR_RETURN(std::string_view name, Sym(name_sym));
+    GRANULA_ASSIGN_OR_RETURN(std::string_view source, Sym(source_sym));
+    uint64_t cursor = values_blob_ + value_rel;
+    GRANULA_ASSIGN_OR_RETURN(Json value, DecodeValue(cursor));
+    op->SetInfo(std::string(name), std::move(value), std::string(source));
+  }
+  return op;
+}
+
+Result<std::unique_ptr<ArchivedOperation>> GbaReader::DecodeTree(
+    uint32_t row, int levels_left) const {
+  GRANULA_ASSIGN_OR_RETURN(auto op, DecodeRow(row));
+  if (levels_left != 1) {
+    GRANULA_ASSIGN_OR_RETURN(uint32_t size, SubtreeSize(row));
+    const uint32_t end = row + size;
+    uint32_t child = row + 1;
+    while (child < end) {
+      GRANULA_ASSIGN_OR_RETURN(
+          auto subtree,
+          DecodeTree(child, levels_left > 0 ? levels_left - 1 : 0));
+      op->children.push_back(std::move(subtree));
+      GRANULA_ASSIGN_OR_RETURN(uint32_t child_size, SubtreeSize(child));
+      child += child_size;
+    }
+  }
+  return op;
+}
+
+std::map<std::string, std::string> GbaReader::JobMetadata() const {
+  std::map<std::string, std::string> meta;
+  auto count = ReadU32(meta_off_);
+  if (!count.ok()) return meta;
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto key_sym = ReadU32(meta_off_ + 4 + 8 * uint64_t{i});
+    auto val_sym = ReadU32(meta_off_ + 8 + 8 * uint64_t{i});
+    if (!key_sym.ok() || !val_sym.ok()) break;
+    auto key = Sym(*key_sym);
+    auto val = Sym(*val_sym);
+    if (!key.ok() || !val.ok()) break;
+    meta[std::string(*key)] = std::string(*val);
+  }
+  return meta;
+}
+
+std::string GbaReader::ModelName() const {
+  auto count = ReadU32(meta_off_);
+  if (!count.ok()) return "";
+  auto model_sym = ReadU32(meta_off_ + 4 + 8 * uint64_t{*count});
+  if (!model_sym.ok()) return "";
+  auto model = Sym(*model_sym);
+  return model.ok() ? std::string(*model) : "";
+}
+
+ArchiveStatus GbaReader::Status() const {
+  auto count = ReadU32(meta_off_);
+  if (!count.ok()) return ArchiveStatus::kComplete;
+  const uint64_t status_off = meta_off_ + 4 + 8 * uint64_t{*count} + 4;
+  if (status_off >= bytes_.size()) return ArchiveStatus::kComplete;
+  return bytes_[status_off] == 1 ? ArchiveStatus::kIncomplete
+                                 : ArchiveStatus::kComplete;
+}
+
+Result<PerformanceArchive> GbaReader::DecodeWithRoot(
+    std::unique_ptr<ArchivedOperation> root) const {
+  PerformanceArchive archive;
+  archive.job_metadata = JobMetadata();
+  archive.model_name = ModelName();
+  archive.status = Status();
+  archive.root = std::move(root);
+
+  GRANULA_ASSIGN_OR_RETURN(uint32_t env_count, ReadU32(env_off_));
+  uint64_t off = env_off_ + 4;
+  if (off + uint64_t{env_count} * 40 > bytes_.size()) {
+    return Truncated("environment");
+  }
+  archive.environment.reserve(env_count);
+  for (uint32_t i = 0; i < env_count; ++i) {
+    EnvironmentRecord r;
+    r.node = GetU32(bytes_.data() + off);
+    GRANULA_ASSIGN_OR_RETURN(std::string_view hostname,
+                             Sym(GetU32(bytes_.data() + off + 4)));
+    r.hostname = std::string(hostname);
+    r.time_seconds = GetF64(bytes_.data() + off + 8);
+    r.cpu_seconds_per_second = GetF64(bytes_.data() + off + 16);
+    r.net_bytes_per_second = GetF64(bytes_.data() + off + 24);
+    r.disk_bytes_per_second = GetF64(bytes_.data() + off + 32);
+    archive.environment.push_back(std::move(r));
+    off += 40;
+  }
+
+  GRANULA_ASSIGN_OR_RETURN(uint32_t lint_count, ReadU32(lint_off_));
+  off = lint_off_ + 4;
+  if (off + uint64_t{lint_count} * 25 > bytes_.size()) {
+    return Truncated("lint");
+  }
+  for (uint32_t i = 0; i < lint_count; ++i) {
+    LintFinding finding;
+    GRANULA_ASSIGN_OR_RETURN(std::string_view defect_name,
+                             Sym(GetU32(bytes_.data() + off)));
+    GRANULA_ASSIGN_OR_RETURN(finding.defect, ParseLintDefect(defect_name));
+    GRANULA_ASSIGN_OR_RETURN(std::string_view detail,
+                             Sym(GetU32(bytes_.data() + off + 4)));
+    finding.detail = std::string(detail);
+    finding.op_id = GetU64(bytes_.data() + off + 8);
+    finding.seq = GetU64(bytes_.data() + off + 16);
+    finding.repaired = bytes_[off + 24] == 1;
+    archive.lint.findings.push_back(std::move(finding));
+    off += 25;
+  }
+  return archive;
+}
+
+Result<PerformanceArchive> GbaReader::DecodeArchive() const {
+  return DecodeShallow(0);
+}
+
+Result<PerformanceArchive> GbaReader::DecodeShallow(int levels) const {
+  std::unique_ptr<ArchivedOperation> root;
+  if (ops_count_ > 0) {
+    GRANULA_ASSIGN_OR_RETURN(root, DecodeTree(0, levels <= 0 ? 0 : levels));
+  }
+  return DecodeWithRoot(std::move(root));
+}
+
+Result<std::unique_ptr<ArchivedOperation>> GbaReader::DecodeSubtree(
+    std::string_view path) const {
+  std::vector<std::string> segments = StrSplit(path, '/');
+  auto not_found = [&] {
+    return granula::Status::NotFound(
+        StrFormat("no operation at path '%.*s'",
+                  static_cast<int>(path.size()), path.data()));
+  };
+  if (segments.empty() || ops_count_ == 0) return not_found();
+  if (!RowMatchesSegment(0, segments[0])) return not_found();
+  uint32_t row = 0;
+  for (size_t i = 1; i < segments.size(); ++i) {
+    GRANULA_ASSIGN_OR_RETURN(uint32_t size, SubtreeSize(row));
+    const uint32_t end = row + size;
+    uint32_t child = row + 1;
+    bool found = false;
+    while (child < end) {
+      if (RowMatchesSegment(child, segments[i])) {
+        row = child;
+        found = true;
+        break;
+      }
+      GRANULA_ASSIGN_OR_RETURN(uint32_t child_size, SubtreeSize(child));
+      child += child_size;
+    }
+    if (!found) return not_found();
+  }
+  return DecodeTree(row, 0);
+}
+
+}  // namespace granula::core

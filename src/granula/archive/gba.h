@@ -1,0 +1,144 @@
+#ifndef GRANULA_GRANULA_ARCHIVE_GBA_H_
+#define GRANULA_GRANULA_ARCHIVE_GBA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "granula/archive/archive.h"
+
+namespace granula::core {
+
+// GBA — the Granula Binary Archive format. The compact, mmap-friendly
+// on-disk twin of the JSON archive: JSON stays the interchange and lint
+// format, GBA is what a repository serving millions of analysts actually
+// reads. Design goals, in order:
+//
+//  1. Byte-exact interchange round trip:
+//       Decode(Encode(a)).ToJsonString() == a.ToJsonString()
+//     for every archive this codebase can produce (asserted over all five
+//     platforms in tests/gba_test.cc).
+//  2. Partial loads: one operation subtree — or the first K tree levels —
+//     can be decoded without touching the rest of the file.
+//  3. Index-grade metadata: platform/algorithm/status are readable from
+//     the header sections without decoding any operation.
+//
+// Layout (all integers little-endian, sections 8-byte-independent since
+// every read goes through memcpy):
+//
+//   header   "GBA1", u32 version, u64 file_size, seven u64 section
+//            offsets (strings, meta, ops, infos, values, env, lint)
+//   strings  interned symbol table: u32 count, u64 offsets[count+1]
+//            (into the blob), blob bytes. Every string in the archive —
+//            actor/mission names, info names, sources, metadata, and
+//            strings inside info values — appears here exactly once.
+//   meta     job_metadata pairs, model name, status, has_root flag.
+//   ops      columnar operation arrays, pre-order: u32 count N, then
+//            seven u32[N] columns (actor_type, actor_id, mission_type,
+//            mission_id, subtree_size, info_begin, info_count).
+//            subtree_size is the per-subtree offset table: the subtree
+//            rooted at row i is exactly rows [i, i+subtree_size[i]), so
+//            a reader skips a sibling in O(1) and decodes one subtree
+//            without parsing anything outside its row range.
+//   infos    columnar info arrays parallel to the ops rows: u32 count M,
+//            u32 name[M], u32 source[M], u64 value_off[M] into the
+//            values blob. Rows are grouped per op (ops column
+//            info_begin/info_count) in sorted-name order, matching the
+//            std::map order ToJson serializes.
+//   values   binary-encoded Json payloads (tag byte + fixed-width
+//            scalars + interned strings, arrays/objects nested inline).
+//   env      EnvironmentRecord rows (fixed 40-byte rows).
+//   lint     quarantine findings (defect name interned, fixed fields).
+//
+// Encoding is deterministic: two archives with equal ToJsonString() have
+// byte-identical GBA encodings, so archives stay byte-comparable through
+// pack/unpack at any GRANULA_HOST_THREADS (test-asserted).
+
+inline constexpr uint32_t kGbaVersion = 1;
+
+// True when `bytes` starts with the GBA magic ("GBA1"). A cheap sniff for
+// tools that accept both formats; Open() does the real validation.
+bool LooksLikeGba(std::string_view bytes);
+
+// Serializes `archive` to GBA bytes. Never fails: every in-memory archive
+// is representable.
+std::string EncodeGba(const PerformanceArchive& archive);
+
+// A validated, zero-copy view over GBA bytes. The reader borrows `bytes`
+// — typically a MappedFile's view — and the caller must keep that backing
+// storage alive for the reader's lifetime. All symbol accesses are lazy
+// views into the mapped strings blob; nothing is copied until a decode
+// materializes an archive or subtree.
+class GbaReader {
+ public:
+  // Validates the magic, version, section table, and string-table shape.
+  // Corruption for anything malformed; InvalidArgument for a future
+  // version this build cannot read.
+  static Result<GbaReader> Open(std::string_view bytes);
+
+  uint32_t operation_count() const { return ops_count_; }
+
+  // Metadata reads that never touch the operation columns — what the
+  // repository index is (re)built from.
+  std::map<std::string, std::string> JobMetadata() const;
+  std::string ModelName() const;
+  ArchiveStatus Status() const;
+
+  // Full decode.
+  Result<PerformanceArchive> DecodeArchive() const;
+
+  // Decodes only the subtree at `path` (FindByPath semantics: "/"-split
+  // mission ids falling back to mission types, first segment matches the
+  // root). Rows outside the subtree's range are skipped via the offset
+  // table, not decoded. NotFound when the path matches nothing.
+  Result<std::unique_ptr<ArchivedOperation>> DecodeSubtree(
+      std::string_view path) const;
+
+  // Decodes the archive with the operation tree cut to its first `levels`
+  // levels (root = level 1); levels <= 0 decodes everything. Matches the
+  // level limit of RegressionOptions::max_depth, so a gate at depth D is
+  // value-identical over a DecodeShallow(D) archive.
+  Result<PerformanceArchive> DecodeShallow(int levels) const;
+
+ private:
+  GbaReader() = default;
+
+  // Bounds-checked fixed-width reads at absolute offset.
+  Result<uint32_t> ReadU32(uint64_t off) const;
+  Result<uint64_t> ReadU64(uint64_t off) const;
+
+  Result<std::string_view> Sym(uint32_t id) const;
+  // Value of ops column `column` (0..6) at `row`.
+  Result<uint32_t> OpsCol(uint32_t column, uint32_t row) const;
+  Result<uint32_t> SubtreeSize(uint32_t row) const;
+  bool RowMatchesSegment(uint32_t row, std::string_view segment) const;
+
+  Result<Json> DecodeValue(uint64_t& off) const;
+  // Materializes the op at `row` (fields + infos, no children).
+  Result<std::unique_ptr<ArchivedOperation>> DecodeRow(uint32_t row) const;
+  // Materializes rows [row, row+subtree_size) as a tree, cut to
+  // `levels_left` levels (<= 0: unlimited).
+  Result<std::unique_ptr<ArchivedOperation>> DecodeTree(uint32_t row,
+                                                        int levels_left) const;
+  Result<PerformanceArchive> DecodeWithRoot(
+      std::unique_ptr<ArchivedOperation> root) const;
+
+  std::string_view bytes_;
+  uint64_t strings_off_ = 0, meta_off_ = 0, ops_off_ = 0, infos_off_ = 0,
+           values_off_ = 0, env_off_ = 0, lint_off_ = 0;
+  uint32_t string_count_ = 0;
+  uint64_t string_offsets_ = 0;  // absolute offset of the offsets array
+  uint64_t string_blob_ = 0;     // absolute offset of the blob
+  uint64_t string_blob_len_ = 0;
+  uint32_t ops_count_ = 0;
+  uint32_t info_count_ = 0;
+  uint64_t values_blob_ = 0;  // absolute offset
+  uint64_t values_blob_len_ = 0;
+};
+
+}  // namespace granula::core
+
+#endif  // GRANULA_GRANULA_ARCHIVE_GBA_H_

@@ -2,17 +2,110 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <mutex>
 #include <system_error>
 #include <thread>
+#include <utility>
 
+#include "common/mapped_file.h"
 #include "common/strings.h"
+#include "granula/archive/gba.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRANULA_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace granula::core {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kIndexStem = "index";
+constexpr uint32_t kIndexVersion = 1;
+
+std::atomic<uint64_t> g_body_reads{0};
+std::atomic<int64_t (*)()> g_wall_clock{nullptr};
+std::mutex g_fault_hook_mutex;
+std::function<Status(const char* stage, const std::string& path)>
+    g_fault_hook;  // guarded by g_fault_hook_mutex
+
+int64_t NowUnixSeconds() {
+  if (auto* clock = g_wall_clock.load(std::memory_order_relaxed)) {
+    return clock();
+  }
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Status RunFaultHook(const char* stage, const std::string& path) {
+  std::function<Status(const char*, const std::string&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(g_fault_hook_mutex);
+    hook = g_fault_hook;
+  }
+  return hook ? hook(stage, path) : Status::OK();
+}
+
+// Save time of an archive file that predates the index (rebuilds).
+int64_t FileMtimeUnixSeconds(const std::string& path) {
+#ifdef GRANULA_HAVE_POSIX_IO
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) return static_cast<int64_t>(st.st_mtime);
+#endif
+  return 0;
+}
+
+uint64_t FileSizeOrZero(const std::string& path) {
+  std::error_code ec;
+  auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+const char* ExtensionFor(ArchiveFormat format) {
+  return format == ArchiveFormat::kGba ? ".gba" : ".json";
+}
+
+std::string EncodeBody(const PerformanceArchive& archive,
+                       ArchiveFormat format) {
+  return format == ArchiveFormat::kGba ? EncodeGba(archive)
+                                       : archive.ToJsonString();
+}
+
+}  // namespace
+
+std::string_view ArchiveFormatName(ArchiveFormat format) {
+  return format == ArchiveFormat::kGba ? "gba" : "json";
+}
+
+Result<ArchiveFormat> ParseArchiveFormat(std::string_view name) {
+  if (name == "json") return ArchiveFormat::kJson;
+  if (name == "gba") return ArchiveFormat::kGba;
+  return Status::InvalidArgument(
+      StrFormat("unknown archive format '%.*s' (expected json or gba)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+uint64_t ArchiveRepository::BodyReadCount() {
+  return g_body_reads.load(std::memory_order_relaxed);
+}
+
+void ArchiveRepository::SetIoFaultHookForTest(
+    std::function<Status(const char* stage, const std::string& path)> hook) {
+  std::lock_guard<std::mutex> lock(g_fault_hook_mutex);
+  g_fault_hook = std::move(hook);
+}
+
+void ArchiveRepository::SetWallClockForTest(int64_t (*now_unix_seconds)()) {
+  g_wall_clock.store(now_unix_seconds, std::memory_order_relaxed);
+}
 
 Status ArchiveRepository::Init() {
   std::error_code ec;
@@ -25,16 +118,82 @@ Status ArchiveRepository::Init() {
   return Status::OK();
 }
 
-std::string ArchiveRepository::PathFor(const std::string& name) const {
-  return directory_ + "/" + name + ".json";
+std::string ArchiveRepository::PathFor(const std::string& name,
+                                       ArchiveFormat format) const {
+  return directory_ + "/" + name + ExtensionFor(format);
 }
 
-Status ArchiveRepository::WriteAtomic(const std::string& name,
+std::string ArchiveRepository::IndexPath() const {
+  return directory_ + "/" + kIndexStem + ".json";
+}
+
+Result<ArchiveFormat> ArchiveRepository::DiskFormat(
+    const std::string& name) const {
+  std::error_code ec;
+  if (fs::exists(PathFor(name, ArchiveFormat::kGba), ec)) {
+    return ArchiveFormat::kGba;
+  }
+  if (fs::exists(PathFor(name, ArchiveFormat::kJson), ec)) {
+    return ArchiveFormat::kJson;
+  }
+  return Status::NotFound(
+      StrFormat("no archive %s in %s", name.c_str(), directory_.c_str()));
+}
+
+Status ArchiveRepository::WriteAtomic(const std::string& path,
                                       const std::string& payload) const {
-  const std::string path = PathFor(name);
   const std::string tmp = path + ".tmp";
+#ifdef GRANULA_HAVE_POSIX_IO
+  auto fail = [&](int fd, Status status) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  };
+  GRANULA_RETURN_IF_ERROR(RunFaultHook("write", tmp));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("cannot write %s", tmp.c_str()));
+  }
+  size_t written = 0;
+  while (written < payload.size()) {
+    ssize_t got =
+        ::write(fd, payload.data() + written, payload.size() - written);
+    if (got < 0) {
+      return fail(fd, Status::IoError(
+                          StrFormat("write failed for %s", tmp.c_str())));
+    }
+    written += static_cast<size_t>(got);
+  }
+  // fsync before the rename: the rename's durability guarantee is only as
+  // good as the bytes behind it. Without this, a crash shortly after the
+  // rename could surface a zero-length or partial archive under the final
+  // name — the one corruption the tmp+rename protocol exists to prevent.
+  if (Status hook = RunFaultHook("fsync", tmp); !hook.ok()) {
+    return fail(fd, std::move(hook));
+  }
+  if (::fsync(fd) != 0) {
+    return fail(fd, Status::IoError(
+                        StrFormat("fsync failed for %s", tmp.c_str())));
+  }
+  if (::close(fd) != 0) {
+    return fail(-1, Status::IoError(
+                        StrFormat("close failed for %s", tmp.c_str())));
+  }
+  if (Status hook = RunFaultHook("rename", tmp); !hook.ok()) {
+    return fail(-1, std::move(hook));
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return fail(-1, Status::IoError(
+                        StrFormat("cannot move %s into place: %s",
+                                  tmp.c_str(), ec.message().c_str())));
+  }
+  return Status::OK();
+#else
+  GRANULA_RETURN_IF_ERROR(RunFaultHook("write", tmp));
   {
-    std::ofstream file(tmp, std::ios::trunc);
+    std::ofstream file(tmp, std::ios::trunc | std::ios::binary);
     if (!file) {
       return Status::IoError(StrFormat("cannot write %s", tmp.c_str()));
     }
@@ -46,6 +205,8 @@ Status ArchiveRepository::WriteAtomic(const std::string& name,
       return Status::IoError(StrFormat("write failed for %s", tmp.c_str()));
     }
   }
+  GRANULA_RETURN_IF_ERROR(RunFaultHook("fsync", tmp));
+  GRANULA_RETURN_IF_ERROR(RunFaultHook("rename", tmp));
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
@@ -55,6 +216,201 @@ Status ArchiveRepository::WriteAtomic(const std::string& name,
                                      tmp.c_str(), ec.message().c_str()));
   }
   return Status::OK();
+#endif
+}
+
+Result<PerformanceArchive> ArchiveRepository::LoadBody(
+    const std::string& name, ArchiveFormat format, int levels) const {
+  g_body_reads.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = PathFor(name, format);
+  GRANULA_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  if (format == ArchiveFormat::kGba) {
+    GRANULA_ASSIGN_OR_RETURN(GbaReader reader, GbaReader::Open(file.data()));
+    return reader.DecodeShallow(levels);
+  }
+  // JSON has no partial-parse path; `levels` intentionally ignored.
+  return PerformanceArchive::FromJsonString(file.data());
+}
+
+ArchiveRepository::Entry ArchiveRepository::MakeEntry(
+    const std::string& name, const PerformanceArchive& archive,
+    ArchiveFormat format, int64_t saved) const {
+  Entry entry;
+  entry.name = name;
+  auto platform_it = archive.job_metadata.find("platform");
+  if (platform_it != archive.job_metadata.end()) {
+    entry.platform = platform_it->second;
+  }
+  auto algorithm_it = archive.job_metadata.find("algorithm");
+  if (algorithm_it != archive.job_metadata.end()) {
+    entry.algorithm = algorithm_it->second;
+  }
+  entry.status = std::string(ArchiveStatusName(archive.status));
+  if (archive.root != nullptr) {
+    entry.total_seconds = archive.root->Duration().seconds();
+  }
+  entry.operations = archive.OperationCount();
+  entry.saved_unix_seconds = saved;
+  entry.format = format;
+  return entry;
+}
+
+std::map<std::string, ArchiveRepository::Entry> ArchiveRepository::LoadIndex()
+    const {
+  std::map<std::string, Entry> entries;
+  auto file = MappedFile::Open(IndexPath());
+  if (!file.ok()) return entries;
+  auto parsed = Json::Parse(file->data());
+  if (!parsed.ok() ||
+      parsed->GetInt("version") != static_cast<int64_t>(kIndexVersion)) {
+    return entries;
+  }
+  const Json* listed = parsed->Find("entries");
+  if (listed == nullptr || !listed->is_object()) return entries;
+  for (const auto& [name, j] : listed->AsObject()) {
+    Entry entry;
+    entry.name = name;
+    entry.platform = j.GetString("platform");
+    entry.algorithm = j.GetString("algorithm");
+    entry.status = j.GetString("status");
+    entry.total_seconds = j.GetDouble("total_s");
+    entry.operations = static_cast<uint64_t>(j.GetInt("ops"));
+    entry.saved_unix_seconds = j.GetInt("saved");
+    auto format = ParseArchiveFormat(j.GetString("format", "json"));
+    entry.format = format.ok() ? *format : ArchiveFormat::kJson;
+    entries.emplace(name, std::move(entry));
+  }
+  return entries;
+}
+
+Status ArchiveRepository::StoreIndex(
+    const std::map<std::string, Entry>& entries) const {
+  Json listed = Json::MakeObject();
+  for (const auto& [name, entry] : entries) {
+    Json j = Json::MakeObject();
+    j["platform"] = entry.platform;
+    j["algorithm"] = entry.algorithm;
+    j["status"] = entry.status;
+    j["total_s"] = entry.total_seconds;
+    j["ops"] = entry.operations;
+    j["saved"] = entry.saved_unix_seconds;
+    j["format"] = std::string(ArchiveFormatName(entry.format));
+    listed[name] = std::move(j);
+  }
+  Json root = Json::MakeObject();
+  root["version"] = static_cast<int64_t>(kIndexVersion);
+  root["entries"] = std::move(listed);
+  return WriteAtomic(IndexPath(), root.Dump(2) + "\n");
+}
+
+Result<std::map<std::string, ArchiveFormat>> ArchiveRepository::ScanDisk()
+    const {
+  std::error_code ec;
+  if (!fs::is_directory(directory_, ec)) {
+    return Status::NotFound(
+        StrFormat("no repository at %s", directory_.c_str()));
+  }
+  std::map<std::string, ArchiveFormat> disk;
+  fs::directory_iterator it(directory_, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("cannot list %s: %s",
+                                     directory_.c_str(),
+                                     ec.message().c_str()));
+  }
+  for (fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) {
+      return Status::IoError(StrFormat("error while listing %s: %s",
+                                       directory_.c_str(),
+                                       ec.message().c_str()));
+    }
+    const fs::path& path = it->path();
+    const std::string stem = path.stem().string();
+    if (stem == kIndexStem) continue;
+    if (path.extension() == ".gba") {
+      disk[stem] = ArchiveFormat::kGba;  // .gba always wins over .json
+    } else if (path.extension() == ".json") {
+      disk.emplace(stem, ArchiveFormat::kJson);
+    }
+  }
+  return disk;
+}
+
+std::vector<ArchiveRepository::Entry> ArchiveRepository::Rebuild(
+    const std::map<std::string, ArchiveFormat>& disk,
+    std::map<std::string, Entry> cached) const {
+  std::vector<Entry> entries;
+  std::map<std::string, Entry> rebuilt;
+  for (const auto& [name, format] : disk) {
+    auto cached_it = cached.find(name);
+    if (cached_it != cached.end() && cached_it->second.format == format) {
+      entries.push_back(cached_it->second);
+      rebuilt.emplace(name, std::move(cached_it->second));
+      continue;
+    }
+    auto archive = LoadBody(name, format, 0);
+    if (!archive.ok()) continue;  // foreign or corrupt file: skip
+    Entry entry = MakeEntry(name, *archive, format,
+                            FileMtimeUnixSeconds(PathFor(name, format)));
+    entries.push_back(entry);
+    rebuilt.emplace(name, std::move(entry));
+  }
+  // Best-effort persist: a read-only or shared directory keeps working,
+  // it just rebuilds again next time.
+  (void)StoreIndex(rebuilt);
+  return entries;
+}
+
+Result<std::vector<ArchiveRepository::Entry>> ArchiveRepository::List()
+    const {
+  GRANULA_ASSIGN_OR_RETURN(auto disk, ScanDisk());
+  std::map<std::string, Entry> cached = LoadIndex();
+  bool consistent = cached.size() == disk.size();
+  if (consistent) {
+    for (const auto& [name, format] : disk) {
+      auto it = cached.find(name);
+      if (it == cached.end() || it->second.format != format) {
+        consistent = false;
+        break;
+      }
+    }
+  }
+  std::vector<Entry> entries;
+  if (consistent) {
+    entries.reserve(cached.size());
+    for (auto& [name, entry] : cached) entries.push_back(std::move(entry));
+  } else {
+    entries = Rebuild(disk, std::move(cached));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return entries;
+}
+
+bool ArchiveRepository::Query::Matches(const Entry& entry) const {
+  if (!platform.empty() && entry.platform != platform) return false;
+  if (!algorithm.empty() && entry.algorithm != algorithm) return false;
+  if (!status.empty() && entry.status != status) return false;
+  if (saved_since != 0 && entry.saved_unix_seconds < saved_since) return false;
+  if (saved_until != 0 && entry.saved_unix_seconds > saved_until) return false;
+  return true;
+}
+
+Result<std::vector<ArchiveRepository::Entry>> ArchiveRepository::Select(
+    const Query& query) const {
+  GRANULA_ASSIGN_OR_RETURN(std::vector<Entry> entries, List());
+  std::vector<Entry> matched;
+  for (Entry& entry : entries) {
+    if (query.Matches(entry)) matched.push_back(std::move(entry));
+  }
+  return matched;
+}
+
+void ArchiveRepository::UpdateIndex(const std::vector<Entry>& updates) const {
+  std::map<std::string, Entry> cached = LoadIndex();
+  for (const Entry& entry : updates) cached[entry.name] = entry;
+  // Best-effort: the index is derivable from the bodies, so a failure here
+  // only costs a rebuild on the next List().
+  (void)StoreIndex(cached);
 }
 
 std::string ArchiveRepository::AutoName(
@@ -81,14 +437,8 @@ std::string ArchiveRepository::AutoName(
     }
     max_index = std::max(max_index, std::atoi(digits.c_str()));
   };
-  std::error_code ec;
-  fs::directory_iterator it(directory_, ec);
-  if (!ec) {
-    for (fs::directory_iterator end; it != end; it.increment(ec)) {
-      if (ec) break;
-      if (it->path().extension() != ".json") continue;
-      consider(it->path().stem().string());
-    }
+  if (auto disk = ScanDisk(); disk.ok()) {
+    for (const auto& [name, format] : *disk) consider(name);
   }
   for (const std::string& name : *taken) consider(name);
   // Removed archives leave no file behind; the high-water mark keeps
@@ -104,12 +454,27 @@ std::string ArchiveRepository::AutoName(
 Result<std::string> ArchiveRepository::Save(
     const PerformanceArchive& archive, const std::string& explicit_name) {
   GRANULA_RETURN_IF_ERROR(Init());
+  if (explicit_name == kIndexStem) {
+    return Status::InvalidArgument("archive name 'index' is reserved");
+  }
   std::string name = explicit_name;
   if (name.empty()) {
     std::vector<std::string> taken;
     name = AutoName(archive, &taken);
   }
-  GRANULA_RETURN_IF_ERROR(WriteAtomic(name, archive.ToJsonString()));
+  const ArchiveFormat format = write_format_;
+  const int64_t saved = NowUnixSeconds();
+  GRANULA_RETURN_IF_ERROR(
+      WriteAtomic(PathFor(name, format), EncodeBody(archive, format)));
+  // Drop a stale sibling in the other format so Load() (which prefers
+  // .gba) can never resolve to an older body under the same name.
+  const ArchiveFormat other = format == ArchiveFormat::kGba
+                                  ? ArchiveFormat::kJson
+                                  : ArchiveFormat::kGba;
+  std::error_code ignored;
+  fs::remove(PathFor(name, other), ignored);
+  CacheInvalidate(name);
+  UpdateIndex({MakeEntry(name, archive, format, saved)});
   return name;
 }
 
@@ -128,6 +493,8 @@ Result<std::vector<std::string>> ArchiveRepository::SaveAll(
     names[i] = AutoName(*archives[i], &taken);
   }
 
+  const ArchiveFormat format = write_format_;
+  const int64_t saved = NowUnixSeconds();
   unsigned workers = num_threads > 0
                          ? static_cast<unsigned>(num_threads)
                          : std::max(1u, std::thread::hardware_concurrency());
@@ -139,7 +506,8 @@ Result<std::vector<std::string>> ArchiveRepository::SaveAll(
   auto worker = [&] {
     for (size_t i = next.fetch_add(1); i < archives.size();
          i = next.fetch_add(1)) {
-      statuses[i] = WriteAtomic(names[i], archives[i]->ToJsonString());
+      statuses[i] = WriteAtomic(PathFor(names[i], format),
+                                EncodeBody(*archives[i], format));
     }
   };
   std::vector<std::thread> pool;
@@ -147,75 +515,147 @@ Result<std::vector<std::string>> ArchiveRepository::SaveAll(
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
 
+  // Index the writes that landed even when some failed: the index must
+  // mirror the directory, not the batch's intent.
+  std::vector<Entry> landed;
+  for (size_t i = 0; i < archives.size(); ++i) {
+    if (!statuses[i].ok()) continue;
+    CacheInvalidate(names[i]);
+    landed.push_back(MakeEntry(names[i], *archives[i], format, saved));
+  }
+  if (!landed.empty()) UpdateIndex(landed);
+
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
   return names;
 }
 
-Result<std::vector<ArchiveRepository::Entry>> ArchiveRepository::List()
-    const {
-  std::error_code ec;
-  if (!fs::is_directory(directory_, ec)) {
-    return Status::NotFound(
-        StrFormat("no repository at %s", directory_.c_str()));
-  }
-  std::vector<Entry> entries;
-  fs::directory_iterator it(directory_, ec);
-  if (ec) {
-    return Status::IoError(StrFormat("cannot list %s: %s",
-                                     directory_.c_str(),
-                                     ec.message().c_str()));
-  }
-  for (fs::directory_iterator end; it != end; it.increment(ec)) {
-    if (ec) {
-      return Status::IoError(StrFormat("error while listing %s: %s",
-                                       directory_.c_str(),
-                                       ec.message().c_str()));
-    }
-    if (it->path().extension() != ".json") continue;
-    std::string name = it->path().stem().string();
-    auto archive = Load(name);
-    if (!archive.ok()) continue;  // foreign or corrupt file: skip
-    Entry entry;
-    entry.name = name;
-    auto platform_it = archive->job_metadata.find("platform");
-    if (platform_it != archive->job_metadata.end()) {
-      entry.platform = platform_it->second;
-    }
-    auto algorithm_it = archive->job_metadata.find("algorithm");
-    if (algorithm_it != archive->job_metadata.end()) {
-      entry.algorithm = algorithm_it->second;
-    }
-    if (archive->root != nullptr) {
-      entry.total_seconds = archive->root->Duration().seconds();
-    }
-    entry.operations = archive->OperationCount();
-    entries.push_back(std::move(entry));
-  }
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.name < b.name; });
-  return entries;
-}
-
 Result<PerformanceArchive> ArchiveRepository::Load(
     const std::string& name) const {
-  std::ifstream file(PathFor(name));
-  if (!file) {
-    return Status::NotFound(
-        StrFormat("no archive %s in %s", name.c_str(), directory_.c_str()));
+  GRANULA_ASSIGN_OR_RETURN(ArchiveFormat format, DiskFormat(name));
+  return LoadBody(name, format, 0);
+}
+
+Result<PerformanceArchive> ArchiveRepository::LoadShallow(
+    const std::string& name, int levels) const {
+  GRANULA_ASSIGN_OR_RETURN(ArchiveFormat format, DiskFormat(name));
+  return LoadBody(name, format, levels);
+}
+
+Result<std::shared_ptr<const ArchivedOperation>>
+ArchiveRepository::FetchSubtree(const std::string& name,
+                                const std::string& path) {
+  const std::string key = name + '\0' + path;
+  if (cache_capacity_ > 0) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_stats_.hits;
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+      return it->second.subtree;
+    }
   }
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  return PerformanceArchive::FromJsonString(buffer.str());
+  ++cache_stats_.misses;
+
+  GRANULA_ASSIGN_OR_RETURN(ArchiveFormat format, DiskFormat(name));
+  g_body_reads.fetch_add(1, std::memory_order_relaxed);
+  GRANULA_ASSIGN_OR_RETURN(MappedFile file,
+                           MappedFile::Open(PathFor(name, format)));
+  std::shared_ptr<const ArchivedOperation> subtree;
+  if (format == ArchiveFormat::kGba) {
+    GRANULA_ASSIGN_OR_RETURN(GbaReader reader, GbaReader::Open(file.data()));
+    GRANULA_ASSIGN_OR_RETURN(auto decoded, reader.DecodeSubtree(path));
+    subtree = std::move(decoded);
+  } else {
+    GRANULA_ASSIGN_OR_RETURN(PerformanceArchive archive,
+                             PerformanceArchive::FromJsonString(file.data()));
+    const ArchivedOperation* found = archive.FindByPath(path);
+    if (found == nullptr) {
+      return Status::NotFound(
+          StrFormat("no operation at path '%s'", path.c_str()));
+    }
+    subtree = found->Clone();
+  }
+
+  if (cache_capacity_ > 0) {
+    while (cache_.size() >= cache_capacity_) {
+      const std::string& victim = cache_lru_.back();
+      cache_.erase(victim);
+      cache_lru_.pop_back();
+      ++cache_stats_.evictions;
+    }
+    cache_lru_.push_front(key);
+    cache_.emplace(key, CacheSlot{subtree, cache_lru_.begin()});
+  }
+  return subtree;
+}
+
+void ArchiveRepository::set_cache_capacity(size_t capacity) {
+  cache_capacity_ = capacity;
+  while (cache_.size() > cache_capacity_) {
+    const std::string& victim = cache_lru_.back();
+    cache_.erase(victim);
+    cache_lru_.pop_back();
+    ++cache_stats_.evictions;
+  }
+}
+
+void ArchiveRepository::CacheInvalidate(const std::string& name) {
+  const std::string prefix = name + '\0';
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      cache_lru_.erase(it->second.lru_it);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<ArchiveRepository::PackStats> ArchiveRepository::Pack(
+    ArchiveFormat format) {
+  GRANULA_ASSIGN_OR_RETURN(auto disk, ScanDisk());
+  std::map<std::string, Entry> cached = LoadIndex();
+  PackStats stats;
+  for (const auto& [name, on_disk] : disk) {
+    if (on_disk == format) {
+      ++stats.skipped;
+      continue;
+    }
+    GRANULA_ASSIGN_OR_RETURN(PerformanceArchive archive,
+                             LoadBody(name, on_disk, 0));
+    const std::string old_path = PathFor(name, on_disk);
+    const std::string payload = EncodeBody(archive, format);
+    GRANULA_RETURN_IF_ERROR(WriteAtomic(PathFor(name, format), payload));
+    stats.bytes_before += FileSizeOrZero(old_path);
+    stats.bytes_after += payload.size();
+    std::error_code ignored;
+    fs::remove(old_path, ignored);
+    CacheInvalidate(name);
+    int64_t saved = FileMtimeUnixSeconds(PathFor(name, format));
+    if (auto it = cached.find(name); it != cached.end()) {
+      saved = it->second.saved_unix_seconds;  // conversion keeps save time
+    }
+    cached[name] = MakeEntry(name, archive, format, saved);
+    ++stats.converted;
+  }
+  (void)StoreIndex(cached);
+  return stats;
 }
 
 Status ArchiveRepository::Remove(const std::string& name) {
   std::error_code ec;
-  if (!fs::remove(PathFor(name), ec) || ec) {
+  bool removed = fs::remove(PathFor(name, ArchiveFormat::kGba), ec) && !ec;
+  ec.clear();
+  removed = (fs::remove(PathFor(name, ArchiveFormat::kJson), ec) && !ec) ||
+            removed;
+  if (!removed) {
     return Status::NotFound(
         StrFormat("no archive %s in %s", name.c_str(), directory_.c_str()));
   }
+  CacheInvalidate(name);
+  std::map<std::string, Entry> cached = LoadIndex();
+  if (cached.erase(name) > 0) (void)StoreIndex(cached);
   return Status::OK();
 }
 

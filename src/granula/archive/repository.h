@@ -1,8 +1,13 @@
 #ifndef GRANULA_GRANULA_ARCHIVE_REPOSITORY_H_
 #define GRANULA_GRANULA_ARCHIVE_REPOSITORY_H_
 
+#include <cstdint>
+#include <functional>
+#include <list>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -10,19 +15,34 @@
 
 namespace granula::core {
 
+// On-disk encoding of one archive file. JSON is the interchange format —
+// human-readable, diff-able, lint-able; GBA (granula/archive/gba.h) is the
+// compact binary twin a repository serves queries from.
+enum class ArchiveFormat { kJson, kGba };
+
+std::string_view ArchiveFormatName(ArchiveFormat format);  // "json" / "gba"
+Result<ArchiveFormat> ParseArchiveFormat(std::string_view name);
+
 // A directory of performance archives — the sharing mechanism behind
 // requirement R2 ("sharing performance results for the entire community
-// of analysts"): runs accumulate as JSON files that any analyst can list,
-// reload, re-visualize, and diff without re-running experiments.
+// of analysts"): runs accumulate as archive files that any analyst can
+// list, query, reload, re-visualize, and diff without re-running
+// experiments.
 //
-// Layout: <directory>/<name>.json, where auto-generated names are
-// "<platform>-<algorithm>-<NNN>" with NNN one past the highest index
-// already on disk (never reusing a previously assigned name, even after
-// deletions — names act as stable experiment ids).
+// Layout: <directory>/<name>.json or <name>.gba, where auto-generated
+// names are "<platform>-<algorithm>-<NNN>" with NNN one past the highest
+// index already on disk (never reusing a previously assigned name, even
+// after deletions — names act as stable experiment ids). A persisted
+// index file, <directory>/index.json, carries every entry List() and
+// Query() need, so metadata queries never open archive bodies; the name
+// "index" is reserved.
 //
-// Durability: every save writes <name>.json.tmp and renames it into place,
-// so a crash or full disk mid-write never leaves a truncated .json visible
-// to List()/Load().
+// Durability: every save writes <name>.<ext>.tmp, fsyncs it, and renames
+// it into place, so a crash or full disk mid-write never leaves a
+// truncated archive visible to List()/Load(). The index is rewritten the
+// same way after the body is durable; since the index can always be
+// rebuilt from the archive files, a crash between the two writes loses
+// nothing.
 class ArchiveRepository {
  public:
   explicit ArchiveRepository(std::string directory)
@@ -33,7 +53,14 @@ class ArchiveRepository {
   // Creates the directory if needed.
   Status Init();
 
+  // Format used for new Save()/SaveAll() bodies. Defaults to kJson (the
+  // interchange format); `granula pack` converts a repository wholesale.
+  ArchiveFormat write_format() const { return write_format_; }
+  void set_write_format(ArchiveFormat format) { write_format_ = format; }
+
   // Saves under an auto-generated (or explicit) name; returns the name.
+  // The body write is fsync'd before the rename, and the index entry is
+  // updated atomically afterwards.
   Result<std::string> Save(const PerformanceArchive& archive,
                            const std::string& name = "");
 
@@ -42,8 +69,9 @@ class ArchiveRepository {
   // up front, exactly as N sequential Save() calls would; the returned
   // vector is parallel to `archives`. On any failure the first error is
   // returned and the remaining archives are still attempted, so a batch
-  // never leaves half-written files behind. `num_threads` <= 0 picks the
-  // hardware concurrency.
+  // never leaves half-written files behind. The index is updated once,
+  // after every body is durable. `num_threads` <= 0 picks the hardware
+  // concurrency.
   Result<std::vector<std::string>> SaveAll(
       const std::vector<const PerformanceArchive*>& archives,
       int num_threads = 0);
@@ -52,35 +80,152 @@ class ArchiveRepository {
     std::string name;
     std::string platform;
     std::string algorithm;
+    std::string status;  // ArchiveStatusName: "complete" / "incomplete"
     double total_seconds = 0;
     uint64_t operations = 0;
+    int64_t saved_unix_seconds = 0;
+    ArchiveFormat format = ArchiveFormat::kJson;
   };
-  // All archives in the repository, sorted by name. Unreadable or invalid
-  // files are skipped (a shared directory may contain foreign data), but
-  // directory-iteration failures are surfaced as IoError.
+
+  // All archives in the repository, sorted by name. Served from the
+  // persisted index whenever the index agrees with the set of archive
+  // files on disk; otherwise the index is rebuilt (foreign/corrupt files
+  // are skipped — a shared directory may contain other data) and
+  // re-persisted best-effort. Directory-iteration failures surface as
+  // IoError.
   Result<std::vector<Entry>> List() const;
 
+  // Index-backed filtering: empty string fields are wildcards, the time
+  // bounds are inclusive unix seconds on the save time (0 = unbounded).
+  // Never opens archive bodies when the index is consistent.
+  struct Query {
+    std::string platform;
+    std::string algorithm;
+    std::string status;
+    int64_t saved_since = 0;
+    int64_t saved_until = 0;
+
+    bool Matches(const Entry& entry) const;
+  };
+  Result<std::vector<Entry>> Select(const Query& query) const;
+
+  // Full load. Prefers <name>.gba, falls back to <name>.json.
   Result<PerformanceArchive> Load(const std::string& name) const;
+
+  // Loads the archive with the operation tree cut to its first `levels`
+  // levels (root = level 1; <= 0 loads everything). For GBA bodies the
+  // rows below the cut are never decoded — this is what the bench-sweep
+  // gate at --depth D reads. JSON bodies fall back to a full parse.
+  Result<PerformanceArchive> LoadShallow(const std::string& name,
+                                         int levels) const;
+
+  // Decodes one operation subtree (FindByPath semantics) through an LRU
+  // cache of hot subtrees. For GBA bodies only the subtree's rows are
+  // decoded from the mapped file. The returned pointer stays valid after
+  // eviction (shared ownership). NotFound when the archive or path does
+  // not exist.
+  Result<std::shared_ptr<const ArchivedOperation>> FetchSubtree(
+      const std::string& name, const std::string& path);
+
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  const CacheStats& cache_stats() const { return cache_stats_; }
+  // Maximum cached subtrees (default 64). 0 disables caching.
+  void set_cache_capacity(size_t capacity);
+
+  // Converts every archive body to `format` (bodies already there are
+  // untouched), updating the index. Conversion is atomic per archive:
+  // the new body is fsync-renamed into place before the old one is
+  // removed.
+  struct PackStats {
+    size_t converted = 0;
+    size_t skipped = 0;  // already in the target format
+    uint64_t bytes_before = 0;  // total size of converted bodies
+    uint64_t bytes_after = 0;
+  };
+  Result<PackStats> Pack(ArchiveFormat format);
 
   Status Remove(const std::string& name);
 
- private:
-  std::string PathFor(const std::string& name) const;
+  // Number of archive-body files opened process-wide (Load, LoadShallow,
+  // FetchSubtree misses, index rebuilds). Tests pin this to prove that
+  // index-served List()/Select() answer without touching bodies.
+  static uint64_t BodyReadCount();
 
-  // Serializes `payload` to <name>.json.tmp, then renames into place.
-  Status WriteAtomic(const std::string& name,
+  // Test hooks (process-wide). The I/O fault hook runs before each stage
+  // of an atomic write — stage is "write", "fsync", or "rename", `path`
+  // the tmp file — and a non-OK return makes that stage fail as a device
+  // error would. The wall clock override feeds Entry::saved_unix_seconds.
+  // Pass {} / nullptr to restore the defaults.
+  static void SetIoFaultHookForTest(
+      std::function<Status(const char* stage, const std::string& path)> hook);
+  static void SetWallClockForTest(int64_t (*now_unix_seconds)());
+
+ private:
+  std::string PathFor(const std::string& name, ArchiveFormat format) const;
+  std::string IndexPath() const;
+
+  // Format of the body actually on disk for `name` (.gba preferred).
+  Result<ArchiveFormat> DiskFormat(const std::string& name) const;
+
+  // Serializes `payload` to <path>.tmp, fsyncs, then renames into place.
+  Status WriteAtomic(const std::string& path,
                      const std::string& payload) const;
+
+  // Reads + decodes one archive body (full or level-cut). Counts toward
+  // BodyReadCount().
+  Result<PerformanceArchive> LoadBody(const std::string& name,
+                                      ArchiveFormat format, int levels) const;
+
+  // Builds the index entry for an in-memory archive (no I/O).
+  Entry MakeEntry(const std::string& name, const PerformanceArchive& archive,
+                  ArchiveFormat format, int64_t saved) const;
+
+  // Index persistence. LoadIndex returns entries keyed by name; a missing
+  // or unreadable index reads as empty.
+  std::map<std::string, Entry> LoadIndex() const;
+  Status StoreIndex(const std::map<std::string, Entry>& entries) const;
+
+  // Names of archive files on disk (stems of *.json / *.gba, "index"
+  // excluded) with their preferred format.
+  Result<std::map<std::string, ArchiveFormat>> ScanDisk() const;
+
+  // Rebuilds index entries for `disk`, reusing `cached` where the name is
+  // already present, and persists the result best-effort.
+  std::vector<Entry> Rebuild(const std::map<std::string, ArchiveFormat>& disk,
+                             std::map<std::string, Entry> cached) const;
+
+  // Merges `updates` into the persisted index (best-effort; the index is
+  // reconstructible, so failures here never fail the save).
+  void UpdateIndex(const std::vector<Entry>& updates) const;
 
   // Auto-name for `archive`: "<platform>-<algorithm>-<NNN>". `taken` keeps
   // names unique within one batch before anything reaches the disk.
   std::string AutoName(const PerformanceArchive& archive,
                        std::vector<std::string>* taken);
 
+  void CacheInvalidate(const std::string& name);
+
   std::string directory_;
+  ArchiveFormat write_format_ = ArchiveFormat::kJson;
   // Highest auto-index handed out per prefix. The disk scan alone would
   // forget an index once its file is Remove()d; this keeps names
   // monotonically increasing for the repository's lifetime.
   std::map<std::string, int> high_water_;
+
+  // LRU subtree cache: list front = most recent; map values hold the list
+  // iterator for O(1) touch. Keys are "<name>\0<path>".
+  struct CacheSlot {
+    std::shared_ptr<const ArchivedOperation> subtree;
+    std::list<std::string>::iterator lru_it;
+  };
+  size_t cache_capacity_ = 64;
+  std::list<std::string> cache_lru_;
+  std::unordered_map<std::string, CacheSlot> cache_;
+  CacheStats cache_stats_;
 };
 
 }  // namespace granula::core

@@ -1,56 +1,70 @@
 #include "granula/live/log_tailer.h"
 
-#include <fstream>
 #include <utility>
+
+#include "common/mapped_file.h"
 
 namespace granula::core {
 
 LogTailer::Poll LogTailer::PollOnce() {
   Poll result;
 
-  std::ifstream file(path_, std::ios::binary);
-  if (!file) return result;  // not created yet — poll again later
+  // Map the file instead of streaming it: a batch catch-up (opening a
+  // multi-GB log mid-run) parses straight out of the page cache, and only
+  // the unterminated tail is copied into partial_ between polls. A file
+  // that does not exist yet — or a read that fails outright — leaves the
+  // offset untouched, so the next poll retries.
+  auto file = MappedFile::Open(path_);
+  if (!file.ok()) return result;
 
-  file.seekg(0, std::ios::end);
-  const auto end = file.tellg();
-  if (end < 0) return result;
-  const uint64_t size = static_cast<uint64_t>(end);
-  if (size < offset_) {
+  const std::string_view view = file->data();
+  if (view.size() < offset_) {
     // The file shrank under us: truncated or rotated. Start over.
     offset_ = 0;
     partial_.clear();
     result.rotated = true;
   }
-  if (size == offset_) return result;
+  if (view.size() == offset_) return result;
 
-  file.seekg(static_cast<std::streamoff>(offset_), std::ios::beg);
-  std::string fresh(size - offset_, '\0');
-  file.read(fresh.data(), static_cast<std::streamsize>(fresh.size()));
-  const auto got = file.gcount();
-  if (got <= 0) return result;
-  fresh.resize(static_cast<size_t>(got));
-  offset_ += static_cast<uint64_t>(got);
+  std::string_view window = view.substr(offset_);
+  offset_ = view.size();
 
-  partial_ += fresh;
-  size_t line_start = 0;
-  while (true) {
-    size_t newline = partial_.find('\n', line_start);
-    if (newline == std::string::npos) break;
-    std::string_view line(partial_.data() + line_start, newline - line_start);
-    line_start = newline + 1;
+  auto process = [&](std::string_view line) {
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (line.find_first_not_of(" \t") == std::string_view::npos) continue;
+    if (line.find_first_not_of(" \t") == std::string_view::npos) return;
     // The fast JSONL codec: canonical lines skip the DOM entirely, and
     // anything else falls back internally, so malformed-line counting is
     // unchanged.
     auto record = LogRecord::ParseJsonl(line);
     if (!record.ok()) {
       ++result.malformed_lines;
-      continue;
+      return;
     }
     result.records.push_back(std::move(*record));
+  };
+
+  if (!partial_.empty()) {
+    // Complete the carried-over tail with bytes up to the first newline of
+    // the fresh window before touching anything else.
+    const size_t newline = window.find('\n');
+    if (newline == std::string_view::npos) {
+      partial_.append(window);
+      return result;
+    }
+    partial_.append(window.substr(0, newline));
+    process(partial_);
+    partial_.clear();
+    window.remove_prefix(newline + 1);
   }
-  partial_.erase(0, line_start);
+
+  size_t line_start = 0;
+  while (true) {
+    const size_t newline = window.find('\n', line_start);
+    if (newline == std::string_view::npos) break;
+    process(window.substr(line_start, newline - line_start));
+    line_start = newline + 1;
+  }
+  partial_.assign(window.substr(line_start));
   total_malformed_ += result.malformed_lines;
   return result;
 }

@@ -8,6 +8,7 @@
 #include <optional>
 #include <thread>
 
+#include "common/mapped_file.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 
@@ -332,20 +333,12 @@ Status WriteLogRecords(const std::string& path,
 }
 
 Result<std::vector<LogRecord>> ReadLogRecords(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
-  }
-  std::string data;
-  file.seekg(0, std::ios::end);
-  const auto file_end = file.tellg();
-  if (file_end > 0) {
-    data.resize(static_cast<size_t>(file_end));
-    file.seekg(0, std::ios::beg);
-    file.read(data.data(), static_cast<std::streamsize>(data.size()));
-    const auto got = file.gcount();
-    data.resize(got > 0 ? static_cast<size_t>(got) : 0);
-  }
+  // mmap (with a checked read fallback): lines are parsed straight out of
+  // the page cache, never copied into an intermediate string. A failed or
+  // short read in the fallback is an IoError — the previous reader resized
+  // to the partial byte count and silently parsed a truncated log.
+  GRANULA_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  const std::string_view data = file.data();
 
   std::vector<std::string_view> lines;
   lines.reserve(data.size() / 64 + 1);

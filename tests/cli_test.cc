@@ -409,5 +409,76 @@ TEST(CliTest, BenchSweepGateExitCodes) {
   }
 }
 
+TEST(CliTest, PackAndQueryRoundTrip) {
+  // Build a small repository via `run --save-repo`, pack it to binary,
+  // query it by filter / name / subtree path — all exit 0 — and unpack.
+  std::string repo = FreshRepoDir("packquery_repo");
+  {
+    Capture out("pq_run_out"), err("pq_run_err");
+    ASSERT_EQ(RunCli({"run", "--platform=pgxd", "--graph=uniform:400,1600",
+                   "--save-repo=" + repo},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+  }
+  {
+    Capture out("pq_pack_out"), err("pq_pack_err");
+    EXPECT_EQ(RunCli({"pack", "--repo=" + repo}, &out, &err), kExitOk)
+        << err.text();
+    EXPECT_NE(out.text().find("converted to gba"), std::string::npos);
+  }
+  {
+    // Index-only filter query: one matching row, no body opened.
+    Capture out("pq_q1_out"), err("pq_q1_err");
+    EXPECT_EQ(RunCli({"query", "--repo=" + repo, "--platform=pgxd"},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+    EXPECT_NE(out.text().find("pgxd-BFS-001"), std::string::npos);
+    EXPECT_NE(out.text().find("gba"), std::string::npos);
+  }
+  {
+    // Subtree fetch through the packed body prints that operation's JSON.
+    Capture out("pq_q2_out"), err("pq_q2_err");
+    EXPECT_EQ(RunCli({"query", "--repo=" + repo, "--name=pgxd-BFS-001",
+                   "--path=PgxdJob"},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+    EXPECT_NE(out.text().find("\"mission_type\""), std::string::npos);
+  }
+  {
+    Capture out("pq_unpack_out"), err("pq_unpack_err");
+    EXPECT_EQ(RunCli({"pack", "--repo=" + repo, "--to=json"}, &out, &err),
+              kExitOk)
+        << err.text();
+  }
+}
+
+TEST(CliTest, PackRejectsUnknownFormat) {
+  Capture out("packbad_out"), err("packbad_err");
+  EXPECT_EQ(RunCli({"pack", "--repo=" + FreshRepoDir("packbad_repo"),
+                 "--to=xml"},
+                &out, &err),
+            kExitUsage);
+  EXPECT_NE(err.text().find("granula pack:"), std::string::npos);
+}
+
+TEST(CliTest, QueryMissingNameIsFatal) {
+  std::string repo = FreshRepoDir("querymiss_repo");
+  {
+    Capture out("qm_run_out"), err("qm_run_err");
+    ASSERT_EQ(RunCli({"run", "--platform=pgxd", "--graph=uniform:400,1600",
+                   "--save-repo=" + repo},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+  }
+  Capture out("qm_out"), err("qm_err");
+  EXPECT_EQ(RunCli({"query", "--repo=" + repo, "--name=never-saved"},
+                &out, &err),
+            kExitFatal);
+}
+
 }  // namespace
 }  // namespace granula::cli

@@ -1,0 +1,102 @@
+// MappedFile is the shared byte-view substrate under JSONL ingest, the
+// live tailer, and GBA decoding, so its error contract is load-bearing:
+// a missing file is NotFound, a failed read is IoError, and a short read
+// must NEVER surface as a silently truncated view (the bug this type
+// replaced: a reader that resized its buffer to gcount() and parsed half
+// a file as if it were whole).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/mapped_file.h"
+
+namespace granula {
+namespace {
+
+// Restores the process-wide hooks even when an assertion bails out.
+class HookGuard {
+ public:
+  ~HookGuard() {
+    MappedFile::ForceReadFallbackForTest(false);
+    MappedFile::FailReadsForTest(false);
+  }
+};
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  std::string path = testing::TempDir() + "/mapped_" + name;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << content;
+  return path;
+}
+
+TEST(MappedFileTest, MapsWholeFile) {
+  const std::string content = "hello mapped world\nline two\n";
+  auto file = MappedFile::Open(WriteTemp("whole.txt", content));
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(file->data(), content);
+  EXPECT_EQ(file->size(), content.size());
+  EXPECT_TRUE(file->mapped());
+}
+
+TEST(MappedFileTest, EmptyFileIsEmptyView) {
+  auto file = MappedFile::Open(WriteTemp("empty.txt", ""));
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(file->size(), 0u);
+  EXPECT_TRUE(file->data().empty());
+}
+
+TEST(MappedFileTest, BinaryBytesSurvive) {
+  std::string content;
+  for (int i = 0; i < 256; ++i) content += static_cast<char>(i);
+  auto file = MappedFile::Open(WriteTemp("binary.bin", content));
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->data(), content);  // includes embedded NULs
+}
+
+TEST(MappedFileTest, MissingFileIsNotFound) {
+  auto file = MappedFile::Open(testing::TempDir() + "/mapped_no_such_file");
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(file.status().message().find("mapped_no_such_file"),
+            std::string::npos);
+}
+
+TEST(MappedFileTest, ViewSurvivesMove) {
+  const std::string content = "moved view stays valid";
+  auto file = MappedFile::Open(WriteTemp("move.txt", content));
+  ASSERT_TRUE(file.ok());
+  MappedFile moved = std::move(*file);
+  EXPECT_EQ(moved.data(), content);
+  MappedFile assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.data(), content);
+}
+
+TEST(MappedFileTest, ReadFallbackMatchesMap) {
+  HookGuard guard;
+  const std::string content = "same bytes either way\n";
+  const std::string path = WriteTemp("fallback.txt", content);
+  MappedFile::ForceReadFallbackForTest(true);
+  auto file = MappedFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_FALSE(file->mapped());
+  EXPECT_EQ(file->data(), content);
+  EXPECT_EQ(file->size(), content.size());
+}
+
+TEST(MappedFileTest, FailedReadIsIoErrorNeverTruncatedView) {
+  HookGuard guard;
+  const std::string path = WriteTemp("failread.txt", "doomed content");
+  MappedFile::ForceReadFallbackForTest(true);
+  MappedFile::FailReadsForTest(true);
+  auto file = MappedFile::Open(path);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+  EXPECT_NE(file.status().message().find("failread.txt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace granula

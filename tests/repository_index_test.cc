@@ -1,0 +1,384 @@
+// The indexed repository's three promises: (1) List()/Select() answer
+// from index.json without opening a single archive body — pinned here via
+// the process-wide BodyReadCount; (2) every save is fsync + rename, so an
+// injected I/O fault at any stage leaves no truncated archive visible;
+// (3) the LRU subtree cache serves repeat fetches without re-decoding and
+// invalidates on overwrite.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "granula/archive/archiver.h"
+#include "granula/archive/repository.h"
+#include "granula/model/performance_model.h"
+#include "granula/monitor/job_logger.h"
+
+namespace granula::core {
+namespace {
+
+// Restores the process-wide hooks even when an assertion bails out.
+class HookGuard {
+ public:
+  ~HookGuard() {
+    ArchiveRepository::SetIoFaultHookForTest({});
+    ArchiveRepository::SetWallClockForTest(nullptr);
+  }
+};
+
+PerformanceArchive MakeArchive(const std::string& platform,
+                               const std::string& algorithm, double seconds,
+                               int supersteps = 3) {
+  SimTime now;
+  JobLogger logger([&now] { return now; });
+  OpId root = logger.StartOperation(kNoOp, "Job", "job", "Root", "Root");
+  for (int s = 0; s < supersteps; ++s) {
+    OpId step = logger.StartOperation(root, "Master", "master", "Superstep",
+                                      "Superstep-" + std::to_string(s));
+    now += SimTime::Seconds(seconds / supersteps);
+    logger.EndOperation(step);
+  }
+  now = SimTime::Seconds(seconds);
+  logger.EndOperation(root);
+  PerformanceModel model("m");
+  (void)model.AddRoot("Job", "Root");
+  (void)model.AddOperation("Master", "Superstep", "Job", "Root");
+  auto archive = Archiver().Build(
+      model, logger.records(), {},
+      {{"platform", platform}, {"algorithm", algorithm}});
+  EXPECT_TRUE(archive.ok());
+  return std::move(archive).value();
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/repo_index_" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+int64_t g_fake_now = 0;
+int64_t FakeNow() { return g_fake_now; }
+
+// ------------------------------------------------ index-only serving -----
+
+TEST(RepositoryIndexTest, ListNeverOpensBodiesAfterSave) {
+  ArchiveRepository repo(FreshDir("noopen"));
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 10)).ok());
+  ASSERT_TRUE(repo.Save(MakeArchive("Pgxd", "WCC", 20)).ok());
+
+  const uint64_t before = ArchiveRepository::BodyReadCount();
+  auto entries = repo.List();
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_EQ(ArchiveRepository::BodyReadCount(), before)
+      << "List() opened an archive body despite a consistent index";
+}
+
+TEST(RepositoryIndexTest, FreshProcessServesFromPersistedIndex) {
+  std::string dir = FreshDir("persist");
+  {
+    ArchiveRepository writer(dir);
+    ASSERT_TRUE(writer.Save(MakeArchive("Giraph", "BFS", 10)).ok());
+    ASSERT_TRUE(writer.Save(MakeArchive("Hadoop", "PageRank", 99)).ok());
+  }
+  // A brand-new repository object (a different analyst's process) still
+  // answers from index.json alone.
+  ArchiveRepository reader(dir);
+  const uint64_t before = ArchiveRepository::BodyReadCount();
+  auto entries = reader.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[1].platform, "Hadoop");
+  EXPECT_DOUBLE_EQ((*entries)[1].total_seconds, 99.0);
+  EXPECT_EQ(ArchiveRepository::BodyReadCount(), before);
+}
+
+TEST(RepositoryIndexTest, StaleIndexTriggersRebuildThenServesCheaply) {
+  std::string dir = FreshDir("rebuild");
+  ArchiveRepository repo(dir);
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 10)).ok());
+  // Simulate a foreign writer: an archive landed without an index update.
+  PerformanceArchive foreign = MakeArchive("Pgxd", "WCC", 5);
+  std::ofstream(dir + "/dropped-in.json") << foreign.ToJsonString();
+
+  const uint64_t before = ArchiveRepository::BodyReadCount();
+  auto entries = repo.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_GT(ArchiveRepository::BodyReadCount(), before)
+      << "a stale index must be rebuilt from the bodies";
+
+  // The rebuild persisted: the next List() is index-served again.
+  const uint64_t after_rebuild = ArchiveRepository::BodyReadCount();
+  ASSERT_TRUE(repo.List().ok());
+  EXPECT_EQ(ArchiveRepository::BodyReadCount(), after_rebuild);
+}
+
+TEST(RepositoryIndexTest, RemoveUpdatesIndex) {
+  ArchiveRepository repo(FreshDir("remove"));
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 1), "a").ok());
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 2), "b").ok());
+  ASSERT_TRUE(repo.Remove("a").ok());
+  const uint64_t before = ArchiveRepository::BodyReadCount();
+  auto entries = repo.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "b");
+  EXPECT_EQ(ArchiveRepository::BodyReadCount(), before)
+      << "Remove() left the index stale";
+}
+
+TEST(RepositoryIndexTest, IndexNameIsReserved) {
+  ArchiveRepository repo(FreshDir("reserved"));
+  auto saved = repo.Save(MakeArchive("Giraph", "BFS", 1), "index");
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------- queries ---------
+
+TEST(RepositoryQueryTest, FiltersWithoutBodyReads) {
+  HookGuard guard;
+  ArchiveRepository::SetWallClockForTest(&FakeNow);
+  ArchiveRepository repo(FreshDir("query"));
+  g_fake_now = 1000;
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 10)).ok());
+  g_fake_now = 2000;
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "PageRank", 20)).ok());
+  g_fake_now = 3000;
+  ASSERT_TRUE(repo.Save(MakeArchive("Pgxd", "BFS", 30)).ok());
+
+  const uint64_t before = ArchiveRepository::BodyReadCount();
+
+  ArchiveRepository::Query by_platform;
+  by_platform.platform = "Giraph";
+  auto giraph = repo.Select(by_platform);
+  ASSERT_TRUE(giraph.ok()) << giraph.status();
+  EXPECT_EQ(giraph->size(), 2u);
+
+  ArchiveRepository::Query by_algorithm;
+  by_algorithm.algorithm = "BFS";
+  auto bfs = repo.Select(by_algorithm);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(bfs->size(), 2u);
+
+  ArchiveRepository::Query window;
+  window.saved_since = 1500;
+  window.saved_until = 2500;
+  auto mid = repo.Select(window);
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(mid->size(), 1u);
+  EXPECT_EQ((*mid)[0].algorithm, "PageRank");
+  EXPECT_EQ((*mid)[0].saved_unix_seconds, 2000);
+
+  ArchiveRepository::Query status;
+  status.status = "complete";
+  auto complete = repo.Select(status);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_EQ(complete->size(), 3u);
+  status.status = "incomplete";
+  auto incomplete = repo.Select(status);
+  ASSERT_TRUE(incomplete.ok());
+  EXPECT_TRUE(incomplete->empty());
+
+  ArchiveRepository::Query both;
+  both.platform = "Giraph";
+  both.algorithm = "BFS";
+  both.saved_until = 1500;
+  auto narrow = repo.Select(both);
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_EQ(narrow->size(), 1u);
+  EXPECT_DOUBLE_EQ((*narrow)[0].total_seconds, 10.0);
+
+  EXPECT_EQ(ArchiveRepository::BodyReadCount(), before)
+      << "Select() must answer from the index alone";
+}
+
+// ----------------------------------------------------- LRU cache ---------
+
+TEST(RepositoryCacheTest, HitsMissesAndInvalidation) {
+  ArchiveRepository repo(FreshDir("cache"));
+  repo.set_write_format(ArchiveFormat::kGba);
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 9), "job").ok());
+
+  auto first = repo.FetchSubtree("job", "Root/Superstep-1");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(repo.cache_stats().misses, 1u);
+  EXPECT_EQ(repo.cache_stats().hits, 0u);
+
+  const uint64_t body_reads = ArchiveRepository::BodyReadCount();
+  auto second = repo.FetchSubtree("job", "Root/Superstep-1");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(repo.cache_stats().hits, 1u);
+  EXPECT_EQ(*second, *first) << "a hit must return the shared subtree";
+  EXPECT_EQ(ArchiveRepository::BodyReadCount(), body_reads)
+      << "a cache hit decoded from disk anyway";
+
+  // Overwriting the archive must invalidate its cached subtrees.
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 11), "job").ok());
+  auto third = repo.FetchSubtree("job", "Root/Superstep-1");
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(repo.cache_stats().misses, 2u)
+      << "Save() left a stale subtree in the cache";
+}
+
+TEST(RepositoryCacheTest, EvictsLeastRecentlyUsed) {
+  ArchiveRepository repo(FreshDir("evict"));
+  repo.set_write_format(ArchiveFormat::kGba);
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 9), "job").ok());
+  repo.set_cache_capacity(2);
+
+  ASSERT_TRUE(repo.FetchSubtree("job", "Root/Superstep-0").ok());
+  ASSERT_TRUE(repo.FetchSubtree("job", "Root/Superstep-1").ok());
+  ASSERT_TRUE(repo.FetchSubtree("job", "Root/Superstep-0").ok());  // touch 0
+  ASSERT_TRUE(repo.FetchSubtree("job", "Root/Superstep-2").ok());  // evict 1
+  EXPECT_EQ(repo.cache_stats().evictions, 1u);
+
+  ASSERT_TRUE(repo.FetchSubtree("job", "Root/Superstep-0").ok());
+  EXPECT_EQ(repo.cache_stats().hits, 2u) << "the touched entry was evicted";
+  ASSERT_TRUE(repo.FetchSubtree("job", "Root/Superstep-1").ok());
+  EXPECT_EQ(repo.cache_stats().misses, 4u) << "expected 1 to have been evicted";
+}
+
+TEST(RepositoryCacheTest, SubtreeFetchMissingPathIsNotFound) {
+  ArchiveRepository repo(FreshDir("cache_missing"));
+  repo.set_write_format(ArchiveFormat::kGba);
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 9), "job").ok());
+  auto missing = repo.FetchSubtree("job", "Root/NoSuchStep");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  auto no_archive = repo.FetchSubtree("ghost", "Root");
+  ASSERT_FALSE(no_archive.ok());
+  EXPECT_EQ(no_archive.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------ durability faults ------
+
+class RepositoryFaultTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RepositoryFaultTest, FailedSaveLeavesNoTruncatedArchive) {
+  HookGuard guard;
+  const std::string failing_stage = GetParam();
+  std::string dir = FreshDir(std::string("fault_") + failing_stage);
+  ArchiveRepository repo(dir);
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 7), "good").ok());
+  const std::string good_body = repo.Load("good")->ToJsonString();
+
+  ArchiveRepository::SetIoFaultHookForTest(
+      [&failing_stage](const char* stage, const std::string& path) {
+        // Fault only archive bodies, not the (best-effort) index rewrite.
+        if (stage == failing_stage &&
+            path.find("index.json") == std::string::npos) {
+          return Status::IoError(std::string("injected ") + stage + " fault");
+        }
+        return Status::OK();
+      });
+
+  // Overwrite of an existing archive and a brand-new save both fail...
+  auto overwrite = repo.Save(MakeArchive("Giraph", "BFS", 8), "good");
+  ASSERT_FALSE(overwrite.ok()) << failing_stage;
+  EXPECT_EQ(overwrite.status().code(), StatusCode::kIoError);
+  auto fresh = repo.Save(MakeArchive("Pgxd", "WCC", 9), "fresh");
+  ASSERT_FALSE(fresh.ok()) << failing_stage;
+
+  ArchiveRepository::SetIoFaultHookForTest({});
+
+  // ...and neither failure is visible: the old body is intact, the new
+  // name absent, and no *.tmp litter survived.
+  EXPECT_EQ(repo.Load("good")->ToJsonString(), good_body) << failing_stage;
+  EXPECT_EQ(repo.Load("fresh").status().code(), StatusCode::kNotFound);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".json")
+        << "leftover temp file: " << entry.path();
+  }
+  auto entries = repo.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "good");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStages, RepositoryFaultTest,
+                         ::testing::Values("write", "fsync", "rename"));
+
+// --------------------------------------------------------- packing -------
+
+TEST(RepositoryPackTest, PackRoundTripsBodiesAndPreservesSavedTimes) {
+  HookGuard guard;
+  ArchiveRepository::SetWallClockForTest(&FakeNow);
+  ArchiveRepository repo(FreshDir("pack"));
+  g_fake_now = 500;
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 10), "a").ok());
+  g_fake_now = 600;
+  ASSERT_TRUE(repo.Save(MakeArchive("Pgxd", "WCC", 20), "b").ok());
+  const std::string a_json = repo.Load("a")->ToJsonString();
+
+  g_fake_now = 9999;  // packing must NOT look like a new save
+  auto packed = repo.Pack(ArchiveFormat::kGba);
+  ASSERT_TRUE(packed.ok()) << packed.status();
+  EXPECT_EQ(packed->converted, 2u);
+  EXPECT_EQ(packed->skipped, 0u);
+  EXPECT_LT(packed->bytes_after, packed->bytes_before)
+      << "the binary form should be smaller than the JSON it replaces";
+
+  auto entries = repo.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].format, ArchiveFormat::kGba);
+  EXPECT_EQ((*entries)[0].saved_unix_seconds, 500);
+  EXPECT_EQ((*entries)[1].saved_unix_seconds, 600);
+
+  // Bodies survive the round trip to binary and back, byte-exact.
+  EXPECT_EQ(repo.Load("a")->ToJsonString(), a_json);
+  auto repacked = repo.Pack(ArchiveFormat::kJson);
+  ASSERT_TRUE(repacked.ok());
+  EXPECT_EQ(repacked->converted, 2u);
+  EXPECT_EQ(repo.Load("a")->ToJsonString(), a_json);
+
+  auto again = repo.Pack(ArchiveFormat::kJson);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->converted, 0u);
+  EXPECT_EQ(again->skipped, 2u);
+}
+
+TEST(RepositoryPackTest, SaveReplacesStaleSiblingFormat) {
+  ArchiveRepository repo(FreshDir("sibling"));
+  repo.set_write_format(ArchiveFormat::kGba);
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 5), "job").ok());
+  repo.set_write_format(ArchiveFormat::kJson);
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 6), "job").ok());
+  // Only the JSON body remains; the index sees the new content.
+  EXPECT_FALSE(std::filesystem::exists(repo.directory() + "/job.gba"));
+  ASSERT_TRUE(repo.Load("job").ok());
+  auto entries = repo.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].format, ArchiveFormat::kJson);
+  EXPECT_DOUBLE_EQ((*entries)[0].total_seconds, 6.0);
+}
+
+// ------------------------------------------------- shallow loading -------
+
+TEST(RepositoryShallowTest, LoadShallowCutsGbaBodies) {
+  ArchiveRepository repo(FreshDir("shallow"));
+  repo.set_write_format(ArchiveFormat::kGba);
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 9, 5), "job").ok());
+
+  auto top = repo.LoadShallow("job", 1);
+  ASSERT_TRUE(top.ok()) << top.status();
+  EXPECT_EQ(top->OperationCount(), 1u);
+
+  auto two = repo.LoadShallow("job", 2);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->OperationCount(), 6u);  // root + 5 supersteps
+
+  auto full = repo.LoadShallow("job", 0);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->ToJsonString(), repo.Load("job")->ToJsonString());
+}
+
+}  // namespace
+}  // namespace granula::core

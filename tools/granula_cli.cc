@@ -42,7 +42,24 @@
 //                    [--quiet] [--archive-out=final.json]
 //                    [--stall-timeout=SECONDS] [--alert-log=alerts.jsonl]
 //                    (tails a live log while the job runs; exit 5 on timeout)
-//   granula list     [--repo=DIR]          (list saved archives)
+//   granula list     [--repo=DIR]          (list saved archives, served
+//                    from the repository index without opening bodies)
+//   granula query    --repo=DIR [--platform=P] [--algorithm=A]
+//                    [--status=complete|incomplete] [--since=UNIXSECS]
+//                    [--until=UNIXSECS]
+//                    (index-only filter: prints matching entries without
+//                     opening a single archive body)
+//   granula query    --repo=DIR --name=NAME [--path=ROOT/CHILD/...]
+//                    [--findings]
+//                    (prints the archive as JSON; --path decodes just that
+//                     operation subtree — against a packed repository the
+//                     rest of the file is never parsed; --findings prints
+//                     the quarantine section)
+//   granula pack     --repo=DIR [--to=gba|json]
+//                    (converts every archive body in place, atomically per
+//                     archive; gba is the compact binary columnar format,
+//                     json the interchange form. Round trips are byte-exact
+//                     either direction.)
 //   granula model    [--name=giraph|powergraph|hadoop|domain]
 //   granula table1
 //

@@ -1,6 +1,8 @@
 #include "granula_commands.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -366,9 +368,16 @@ Result<int> CmdBench(const Flags& flags, std::FILE* out, std::FILE* err) {
                       "exhausted); their archives are incomplete\n");
   }
 
+  // --depth cuts both the regression gate and the archive loads: against
+  // a packed (GBA) repository the tree levels below the cut are never
+  // decoded. The comparative report reads the root's children (level 2),
+  // so a cut never goes shallower than that.
+  const int depth = static_cast<int>(flags.GetInt("depth", 0));
+  const int levels = depth > 0 ? std::max(depth, 2) : 0;
+
   core::ArchiveRepository repo(options.repo_dir);
   GRANULA_ASSIGN_OR_RETURN(std::vector<core::SweepEntry> entries,
-                           core::LoadSweepEntries(repo));
+                           core::LoadSweepEntries(repo, levels));
   std::string report =
       core::RenderComparativeReport(core::BuildComparativeReport(entries));
   std::fprintf(out, "\n%s", report.c_str());
@@ -390,10 +399,10 @@ Result<int> CmdBench(const Flags& flags, std::FILE* out, std::FILE* err) {
   // not pass CI.
   core::ArchiveRepository baseline_repo(flags.Get("baseline"));
   GRANULA_ASSIGN_OR_RETURN(std::vector<core::SweepEntry> baseline_entries,
-                           core::LoadSweepEntries(baseline_repo));
+                           core::LoadSweepEntries(baseline_repo, levels));
   core::RegressionOptions regression_options;
   regression_options.tolerance = flags.GetDouble("tolerance", 0.10);
-  regression_options.max_depth = static_cast<int>(flags.GetInt("depth", 0));
+  regression_options.max_depth = depth;
   core::SweepRegressionSummary summary =
       core::CompareSweeps(baseline_entries, entries, regression_options);
   std::fprintf(out, "\n%s",
@@ -528,17 +537,108 @@ Result<int> CmdWatch(const Flags& flags, std::FILE* out) {
   return summary.completed ? kExitOk : kExitWatchTimeout;
 }
 
+std::string FormatSavedTime(int64_t unix_seconds) {
+  if (unix_seconds <= 0) return "-";
+  std::time_t t = static_cast<std::time_t>(unix_seconds);
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &t);
+#else
+  gmtime_r(&t, &tm_utc);
+#endif
+  char buf[24];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M", &tm_utc);
+  return buf;
+}
+
+void PrintEntryTable(const std::vector<core::ArchiveRepository::Entry>& entries,
+                     std::FILE* out) {
+  std::fprintf(out, "%-28s %-12s %-10s %-10s %10s %10s  %-16s %s\n", "name",
+               "platform", "algorithm", "status", "total", "ops",
+               "saved (UTC)", "fmt");
+  for (const auto& entry : entries) {
+    std::fprintf(
+        out, "%-28s %-12s %-10s %-10s %9.2fs %10llu  %-16s %s\n",
+        entry.name.c_str(), entry.platform.c_str(), entry.algorithm.c_str(),
+        entry.status.c_str(), entry.total_seconds,
+        static_cast<unsigned long long>(entry.operations),
+        FormatSavedTime(entry.saved_unix_seconds).c_str(),
+        std::string(core::ArchiveFormatName(entry.format)).c_str());
+  }
+}
+
 Result<int> CmdList(const Flags& flags, std::FILE* out) {
   core::ArchiveRepository repo(flags.Get("repo", "."));
   GRANULA_ASSIGN_OR_RETURN(auto entries, repo.List());
-  std::fprintf(out, "%-28s %-12s %-10s %10s %10s\n", "name", "platform",
-               "algorithm", "total", "ops");
-  for (const auto& entry : entries) {
-    std::fprintf(out, "%-28s %-12s %-10s %9.2fs %10llu\n", entry.name.c_str(),
-                 entry.platform.c_str(), entry.algorithm.c_str(),
-                 entry.total_seconds,
-                 static_cast<unsigned long long>(entry.operations));
+  PrintEntryTable(entries, out);
+  return kExitOk;
+}
+
+// granula pack — convert every archive body of a repository to the target
+// format (default: the binary GBA format), rewriting the index.
+Result<int> CmdPack(const Flags& flags, std::FILE* out, std::FILE* err) {
+  if (!flags.Has("repo")) {
+    return Status::InvalidArgument("pack requires --repo=DIR");
   }
+  Result<core::ArchiveFormat> format =
+      core::ParseArchiveFormat(flags.Get("to", "gba"));
+  if (!format.ok()) {
+    std::fprintf(err, "granula pack: %s\n", format.status().message().c_str());
+    return kExitUsage;
+  }
+  core::ArchiveRepository repo(flags.Get("repo"));
+  GRANULA_ASSIGN_OR_RETURN(core::ArchiveRepository::PackStats stats,
+                           repo.Pack(*format));
+  std::fprintf(out,
+               "packed %s: %zu archive(s) converted to %s (%zu already "
+               "there), %llu -> %llu bytes\n",
+               flags.Get("repo").c_str(), stats.converted,
+               std::string(core::ArchiveFormatName(*format)).c_str(),
+               stats.skipped,
+               static_cast<unsigned long long>(stats.bytes_before),
+               static_cast<unsigned long long>(stats.bytes_after));
+  return kExitOk;
+}
+
+// granula query — the index/partial-load reader. Without --name, filters
+// the repository index (no archive body is opened); with --name, prints
+// the archive, one subtree (--path, decoded without touching the rest of
+// a packed body), or the quarantine findings (--findings).
+Result<int> CmdQuery(const Flags& flags, std::FILE* out) {
+  if (!flags.Has("repo")) {
+    return Status::InvalidArgument(
+        "query requires --repo=DIR (a repository made by bench/run "
+        "--save-repo, optionally packed with 'granula pack')");
+  }
+  core::ArchiveRepository repo(flags.Get("repo"));
+  if (flags.Has("name")) {
+    const std::string name = flags.Get("name");
+    if (flags.Has("path")) {
+      GRANULA_ASSIGN_OR_RETURN(auto subtree,
+                               repo.FetchSubtree(name, flags.Get("path")));
+      std::fprintf(out, "%s\n", subtree->ToJson().Dump(2).c_str());
+      return kExitOk;
+    }
+    if (flags.Has("findings")) {
+      // Level-1 load: metadata + lint without decoding the tree.
+      GRANULA_ASSIGN_OR_RETURN(core::PerformanceArchive archive,
+                               repo.LoadShallow(name, 1));
+      std::fprintf(out, "%s\n", archive.lint.ToJson().Dump(2).c_str());
+      return kExitOk;
+    }
+    GRANULA_ASSIGN_OR_RETURN(core::PerformanceArchive archive,
+                             repo.Load(name));
+    std::fprintf(out, "%s\n", archive.ToJsonString().c_str());
+    return kExitOk;
+  }
+  core::ArchiveRepository::Query query;
+  query.platform = flags.Get("platform");
+  query.algorithm = flags.Get("algorithm");
+  query.status = flags.Get("status");
+  query.saved_since = flags.GetInt("since", 0);
+  query.saved_until = flags.GetInt("until", 0);
+  GRANULA_ASSIGN_OR_RETURN(auto entries, repo.Select(query));
+  PrintEntryTable(entries, out);
   return kExitOk;
 }
 
@@ -556,7 +656,7 @@ int RunGranula(const std::vector<std::string>& args, std::FILE* out,
   if (args.empty()) {
     std::fprintf(err,
                  "usage: granula run|bench|lint|analyze|compare|watch|list|"
-                 "model|table1 [--flags]\n"
+                 "query|pack|model|table1 [--flags]\n"
                  "       (see the header of tools/granula_cli.cc)\n");
     return kExitUsage;
   }
@@ -582,6 +682,10 @@ int RunGranula(const std::vector<std::string>& args, std::FILE* out,
     code = CmdWatch(*flags, out);
   } else if (command == "list") {
     code = CmdList(*flags, out);
+  } else if (command == "query") {
+    code = CmdQuery(*flags, out);
+  } else if (command == "pack") {
+    code = CmdPack(*flags, out, err);
   } else if (command == "model") {
     code = CmdModel(*flags, out);
   } else if (command == "table1") {

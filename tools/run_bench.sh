@@ -6,11 +6,14 @@
 #                           batch Archiver, and mid-stream Snapshot() cost
 #   BENCH_jsonl.json      — JSONL codec vs DOM emit/parse records/s, and
 #                           parallel ReadLogRecords vs host threads
+#   BENCH_archive.json    — binary archive (GBA) encode/decode vs the JSON
+#                           path, offset-table subtree fetch vs full load,
+#                           index-served List(), LRU cold vs warm
 #
 # Usage: tools/run_bench.sh [build_dir] [engine_out.json] [streaming_out.json]
-#                           [jsonl_out.json]
+#                           [jsonl_out.json] [archive_out.json]
 #   build_dir defaults to ./build; outputs default to ./BENCH_engine.json,
-#   ./BENCH_streaming.json, and ./BENCH_jsonl.json.
+#   ./BENCH_streaming.json, ./BENCH_jsonl.json, and ./BENCH_archive.json.
 #
 # Notes:
 # - The engine bench sweeps the thread axis itself (Resize per benchmark
@@ -26,11 +29,14 @@ build_dir="${1:-build}"
 engine_out="${2:-BENCH_engine.json}"
 streaming_out="${3:-BENCH_streaming.json}"
 jsonl_out="${4:-BENCH_jsonl.json}"
+archive_out="${5:-BENCH_archive.json}"
 engine_bench="${build_dir}/bench/micro_parallel_engine"
 streaming_bench="${build_dir}/bench/micro_streaming_ingest"
 jsonl_bench="${build_dir}/bench/micro_jsonl"
+archive_bench="${build_dir}/bench/micro_archive_query"
 
-for bench in "${engine_bench}" "${streaming_bench}" "${jsonl_bench}"; do
+for bench in "${engine_bench}" "${streaming_bench}" "${jsonl_bench}" \
+             "${archive_bench}"; do
   if [[ ! -x "${bench}" ]]; then
     echo "error: ${bench} not found — build first:" >&2
     echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
@@ -57,7 +63,13 @@ echo
   --benchmark_counters_tabular=true
 
 echo
-echo "wrote ${engine_out}, ${streaming_out}, and ${jsonl_out}"
+"${archive_bench}" \
+  --benchmark_out="${archive_out}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo
+echo "wrote ${engine_out}, ${streaming_out}, ${jsonl_out}, and ${archive_out}"
 # Print the superstep-compute scaling summary (speedup vs the 1-thread row
 # of each benchmark family) if python3 is around; the JSON has everything.
 if command -v python3 >/dev/null; then
@@ -113,5 +125,30 @@ if best:
         if fast in best and dom in best and best[dom] > 0:
             print(f"  {label} fast-path speedup vs DOM: "
                   f"{best[fast] / best[dom]:.2f}x")
+EOF
+  # Binary archive vs JSON: decode/fetch speedups against the acceptance
+  # points (full decode >= 5x, subtree fetch >= 20x).
+  python3 - "${archive_out}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+times = {}
+for b in data.get("benchmarks", []):
+    times[b["name"]] = b["real_time"] * {
+        "ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[b.get("time_unit", "ns")]
+def ratio(slow, fast):
+    return times[slow] / times[fast] if slow in times and fast in times else 0
+print("binary archive (GBA) vs JSON:")
+if ratio("BM_JsonParseFull", "BM_GbaDecodeFull"):
+    print(f"  full decode speedup:    "
+          f"{ratio('BM_JsonParseFull', 'BM_GbaDecodeFull'):.1f}x (>= 5x wanted)")
+if ratio("BM_JsonSubtreeFetch", "BM_GbaSubtreeFetch"):
+    print(f"  subtree fetch speedup:  "
+          f"{ratio('BM_JsonSubtreeFetch', 'BM_GbaSubtreeFetch'):.1f}x"
+          f" (>= 20x wanted)")
+for name, label in [("BM_RepoListIndexed", "indexed List()"),
+                    ("BM_GbaSubtreeFetch", "subtree fetch (cold)"),
+                    ("BM_FetchSubtreeWarm", "subtree fetch (LRU hit)")]:
+    if name in times:
+        print(f"  {label}: {times[name] / 1e3:.1f}us")
 EOF
 fi

@@ -161,7 +161,13 @@ bool LooksLikeGba(std::string_view bytes) {
          std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
 }
 
-std::string EncodeGba(const PerformanceArchive& archive) {
+namespace {
+
+// Shared by EncodeGba (root = archive.root) and EncodeGbaSubtree (root =
+// any operation under an empty shell archive): the row walk starts at
+// `root`, the header sections come from `archive`.
+std::string EncodeGbaImpl(const PerformanceArchive& archive,
+                          const ArchivedOperation* root) {
   SymbolTable syms;
 
   // ---- walk the tree once: columns, info rows, value blob -------------
@@ -202,7 +208,7 @@ std::string EncodeGba(const PerformanceArchive& archive) {
     ops[row].subtree_size = size;  // `r` may dangle after the recursion
     return size;
   };
-  if (archive.root != nullptr) emit(emit, *archive.root);
+  if (root != nullptr) emit(emit, *root);
 
   // ---- metadata / environment / lint (intern before serializing) -----
   std::vector<std::pair<uint32_t, uint32_t>> meta;
@@ -251,7 +257,7 @@ std::string EncodeGba(const PerformanceArchive& archive) {
   }
   PutU32(out, model_sym);
   PutU8(out, archive.status == ArchiveStatus::kIncomplete ? 1 : 0);
-  PutU8(out, archive.root != nullptr ? 1 : 0);
+  PutU8(out, root != nullptr ? 1 : 0);
 
   offsets[2] = out.size();  // ops (columnar)
   PutU32(out, static_cast<uint32_t>(ops.size()));
@@ -297,6 +303,17 @@ std::string EncodeGba(const PerformanceArchive& archive) {
   PatchU64(out, 8, out.size());
   for (int i = 0; i < 7; ++i) PatchU64(out, section_table + 8 * i, offsets[i]);
   return out;
+}
+
+}  // namespace
+
+std::string EncodeGba(const PerformanceArchive& archive) {
+  return EncodeGbaImpl(archive, archive.root.get());
+}
+
+std::string EncodeGbaSubtree(const ArchivedOperation& root) {
+  PerformanceArchive shell;
+  return EncodeGbaImpl(shell, &root);
 }
 
 // ----------------------------------------------------------- GbaReader ----

@@ -67,6 +67,12 @@ bool LooksLikeGba(std::string_view bytes);
 // is representable.
 std::string EncodeGba(const PerformanceArchive& archive);
 
+// Serializes one operation subtree as a standalone GBA file (an archive
+// shell with `root` as its tree and no metadata). Decodable with any
+// GbaReader; the serve layer's content negotiation and `granula query
+// --format=gba` both emit exactly these bytes.
+std::string EncodeGbaSubtree(const ArchivedOperation& root);
+
 // A validated, zero-copy view over GBA bytes. The reader borrows `bytes`
 // — typically a MappedFile's view — and the caller must keep that backing
 // storage alive for the reader's lifetime. All symbol accesses are lazy

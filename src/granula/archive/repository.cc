@@ -223,6 +223,7 @@ Result<PerformanceArchive> ArchiveRepository::LoadBody(
     const std::string& name, ArchiveFormat format, int levels) const {
   g_body_reads.fetch_add(1, std::memory_order_relaxed);
   const std::string path = PathFor(name, format);
+  GRANULA_RETURN_IF_ERROR(RunFaultHook("read", path));
   GRANULA_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
   if (format == ArchiveFormat::kGba) {
     GRANULA_ASSIGN_OR_RETURN(GbaReader reader, GbaReader::Open(file.data()));
@@ -397,6 +398,13 @@ bool ArchiveRepository::Query::Matches(const Entry& entry) const {
 
 Result<std::vector<ArchiveRepository::Entry>> ArchiveRepository::Select(
     const Query& query) const {
+  if (query.saved_since != 0 && query.saved_until != 0 &&
+      query.saved_since > query.saved_until) {
+    return Status::InvalidArgument(StrFormat(
+        "empty time range: since (%lld) is after until (%lld)",
+        static_cast<long long>(query.saved_since),
+        static_cast<long long>(query.saved_until)));
+  }
   GRANULA_ASSIGN_OR_RETURN(std::vector<Entry> entries, List());
   std::vector<Entry> matched;
   for (Entry& entry : entries) {
@@ -547,18 +555,24 @@ Result<std::shared_ptr<const ArchivedOperation>>
 ArchiveRepository::FetchSubtree(const std::string& name,
                                 const std::string& path) {
   const std::string key = name + '\0' + path;
-  if (cache_capacity_ > 0) {
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++cache_stats_.hits;
-      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
-      return it->second.subtree;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_capacity_ > 0) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++cache_stats_.hits;
+        cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+        return it->second.subtree;
+      }
     }
+    ++cache_stats_.misses;
   }
-  ++cache_stats_.misses;
 
+  // Disk decode runs unlocked so a cold fetch never stalls concurrent
+  // hits on other keys.
   GRANULA_ASSIGN_OR_RETURN(ArchiveFormat format, DiskFormat(name));
   g_body_reads.fetch_add(1, std::memory_order_relaxed);
+  GRANULA_RETURN_IF_ERROR(RunFaultHook("read", PathFor(name, format)));
   GRANULA_ASSIGN_OR_RETURN(MappedFile file,
                            MappedFile::Open(PathFor(name, format)));
   std::shared_ptr<const ArchivedOperation> subtree;
@@ -577,7 +591,15 @@ ArchiveRepository::FetchSubtree(const std::string& name,
     subtree = found->Clone();
   }
 
+  std::lock_guard<std::mutex> lock(cache_mu_);
   if (cache_capacity_ > 0) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      // Another thread decoded and inserted the same key while we were
+      // off the lock; adopt its entry so the cache holds one copy.
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+      return it->second.subtree;
+    }
     while (cache_.size() >= cache_capacity_) {
       const std::string& victim = cache_lru_.back();
       cache_.erase(victim);
@@ -590,7 +612,13 @@ ArchiveRepository::FetchSubtree(const std::string& name,
   return subtree;
 }
 
+ArchiveRepository::CacheStats ArchiveRepository::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_stats_;
+}
+
 void ArchiveRepository::set_cache_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   cache_capacity_ = capacity;
   while (cache_.size() > cache_capacity_) {
     const std::string& victim = cache_lru_.back();
@@ -601,6 +629,7 @@ void ArchiveRepository::set_cache_capacity(size_t capacity) {
 }
 
 void ArchiveRepository::CacheInvalidate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   const std::string prefix = name + '\0';
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->first.rfind(prefix, 0) == 0) {

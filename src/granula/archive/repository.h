@@ -6,6 +6,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -96,7 +97,11 @@ class ArchiveRepository {
   Result<std::vector<Entry>> List() const;
 
   // Index-backed filtering: empty string fields are wildcards, the time
-  // bounds are inclusive unix seconds on the save time (0 = unbounded).
+  // bounds are *inclusive* unix seconds on the save time (0 = unbounded):
+  // an entry saved at exactly `saved_since` or exactly `saved_until`
+  // matches. A query with both bounds set and saved_since > saved_until is
+  // an InvalidArgument error, not an empty result — the HTTP layer maps it
+  // to a 400 and a silent empty list would hide the caller's mistake.
   // Never opens archive bodies when the index is consistent.
   struct Query {
     std::string platform;
@@ -124,6 +129,12 @@ class ArchiveRepository {
   // decoded from the mapped file. The returned pointer stays valid after
   // eviction (shared ownership). NotFound when the archive or path does
   // not exist.
+  //
+  // Safe to call from concurrent readers (the serve daemon's workers all
+  // share one repository): the cache and its stats are mutex-guarded, and
+  // the disk decode on a miss runs outside the lock so a cold fetch never
+  // stalls concurrent hits. Two threads missing the same key may both
+  // decode; the first insert wins and the loser adopts it.
   Result<std::shared_ptr<const ArchivedOperation>> FetchSubtree(
       const std::string& name, const std::string& path);
 
@@ -132,7 +143,9 @@ class ArchiveRepository {
     uint64_t misses = 0;
     uint64_t evictions = 0;
   };
-  const CacheStats& cache_stats() const { return cache_stats_; }
+  // Consistent snapshot of the counters (by value: readers may be
+  // concurrently fetching).
+  CacheStats cache_stats() const;
   // Maximum cached subtrees (default 64). 0 disables caching.
   void set_cache_capacity(size_t capacity);
 
@@ -157,8 +170,9 @@ class ArchiveRepository {
 
   // Test hooks (process-wide). The I/O fault hook runs before each stage
   // of an atomic write — stage is "write", "fsync", or "rename", `path`
-  // the tmp file — and a non-OK return makes that stage fail as a device
-  // error would. The wall clock override feeds Entry::saved_unix_seconds.
+  // the tmp file — or before an archive body read (stage "read", `path`
+  // the archive file) — and a non-OK return makes that stage fail as a
+  // device error would. The wall clock override feeds Entry::saved_unix_seconds.
   // Pass {} / nullptr to restore the defaults.
   static void SetIoFaultHookForTest(
       std::function<Status(const char* stage, const std::string& path)> hook);
@@ -217,11 +231,15 @@ class ArchiveRepository {
   std::map<std::string, int> high_water_;
 
   // LRU subtree cache: list front = most recent; map values hold the list
-  // iterator for O(1) touch. Keys are "<name>\0<path>".
+  // iterator for O(1) touch. Keys are "<name>\0<path>". `cache_mu_` guards
+  // every member below it — FetchSubtree runs on the serve daemon's
+  // concurrent workers; the rest of the repository (Save/Pack/Remove call
+  // CacheInvalidate) stays single-writer as before.
   struct CacheSlot {
     std::shared_ptr<const ArchivedOperation> subtree;
     std::list<std::string>::iterator lru_it;
   };
+  mutable std::mutex cache_mu_;
   size_t cache_capacity_ = 64;
   std::list<std::string> cache_lru_;
   std::unordered_map<std::string, CacheSlot> cache_;

@@ -1,0 +1,147 @@
+#ifndef GRANULA_GRANULA_SERVE_SERVICE_H_
+#define GRANULA_GRANULA_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "granula/analysis/chokepoint.h"
+#include "granula/archive/repository.h"
+#include "granula/serve/http.h"
+
+namespace granula::serve {
+
+// Request latency histogram: power-of-two microsecond buckets
+// (bucket i counts requests with latency in [2^i, 2^(i+1)) µs; bucket 0
+// also takes sub-microsecond requests). Lock-free — workers record
+// concurrently, /stats reads a relaxed snapshot.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 24;  // up to ~8.4 s
+
+  void Record(uint64_t micros);
+  Json ToJson() const;  // {"unit","count","max_us","buckets":[...]}
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> max_micros_{0};
+};
+
+// Request-outcome counters, all relaxed atomics (exactness across a
+// concurrent snapshot is not worth a lock for monitoring numbers).
+struct ServiceCounters {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> ok{0};             // 2xx
+  std::atomic<uint64_t> not_modified{0};   // 304
+  std::atomic<uint64_t> client_errors{0};  // 4xx
+  std::atomic<uint64_t> server_errors{0};  // 5xx
+};
+
+// Transport-level counters, owned here so /stats can report them but
+// incremented by the HttpServer (the service never sees a socket).
+struct TransportCounters {
+  std::atomic<uint64_t> connections{0};
+  std::atomic<uint64_t> rejected{0};  // accept queue full -> 503
+  std::atomic<uint64_t> timeouts{0};  // slow clients -> 408 / drop
+};
+
+struct ServiceOptions {
+  // Options for /archives/<name>/findings. cluster_cpu_capacity <= 0
+  // leaves the CPU detectors off, as in `granula analyze`.
+  core::ChokepointOptions chokepoints;
+  // Entries in the serialized-subtree-response LRU (0 disables it). Keys
+  // are the response's ETag (+ negotiated format), so a Save() that
+  // overwrites an archive changes the tag and strands the old body, which
+  // then ages out — no explicit invalidation needed.
+  size_t response_cache_capacity = 128;
+};
+
+// The HTTP-facing view of an ArchiveRepository: pure request -> response,
+// no sockets, no threads of its own. Thread-safe — the server calls
+// Handle() from every worker concurrently; the repository's index reads
+// are stateless and its subtree cache is internally locked.
+//
+// Routes (GET/HEAD only):
+//   /                               endpoint index
+//   /archives                       list (index-served, no body reads)
+//   /archives?platform=&algorithm=&status=&since=&until=
+//                                   filtered list (same contract)
+//   /archives/<name>                full archive (?depth=N for a shallow cut)
+//   /archives/<name>/subtree/<path> one operation subtree, JSON by default;
+//                                   `Accept: application/x-granula-gba` or
+//                                   ?format=gba returns raw GBA bytes
+//   /archives/<name>/findings       choke-point analysis
+//   /archives/<name>/quarantine     lint findings
+//   /stats                          counters, cache stats, latency histogram
+//
+// Caching contract: every /archives* response carries an ETag derived from
+// the index entry's saved time (lists: from all matched entries), so a
+// Save() that overwrites an archive changes the tag. If-None-Match hits
+// answer 304 with no body.
+class ArchiveService {
+ public:
+  ArchiveService(core::ArchiveRepository* repository, ServiceOptions options)
+      : repository_(repository), options_(std::move(options)) {}
+
+  // Handles one parsed request. Never fails: errors become JSON error
+  // responses ({"error":{"code","message"}}). Records latency + outcome.
+  HttpResponse Handle(const HttpRequest& request);
+
+  TransportCounters& transport() { return transport_; }
+
+ private:
+  HttpResponse Route(const HttpRequest& request);
+  HttpResponse ListArchives(const HttpRequest& request);
+  HttpResponse GetArchive(const HttpRequest& request,
+                          const std::string& name);
+  HttpResponse GetSubtree(const HttpRequest& request, const std::string& name,
+                          const std::string& path);
+  HttpResponse GetFindings(const std::string& name);
+  HttpResponse GetQuarantine(const std::string& name);
+  HttpResponse GetStats();
+
+  // ETag for `name` from the index ("" when the name is not indexed);
+  // sets `*found` accordingly.
+  std::string EntryTag(const std::string& name, bool* found);
+
+  // Serialized-response LRU lookup/insert for subtree bodies. A hit skips
+  // both the repository fetch and the serialization.
+  std::shared_ptr<const std::string> ResponseCacheGet(const std::string& key);
+  void ResponseCachePut(const std::string& key, std::string body);
+
+  core::ArchiveRepository* repository_;
+  ServiceOptions options_;
+  ServiceCounters counters_;
+  TransportCounters transport_;
+  LatencyHistogram latency_;
+
+  struct ResponseSlot {
+    std::shared_ptr<const std::string> body;
+    std::list<std::string>::iterator lru_it;
+  };
+  struct ResponseCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  mutable std::mutex response_mu_;  // guards the three members below
+  std::list<std::string> response_lru_;
+  std::unordered_map<std::string, ResponseSlot> response_cache_;
+  ResponseCacheStats response_stats_;
+};
+
+// Error payload shared with tests: {"error":{"code","message"}}.
+HttpResponse MakeErrorResponse(int status, std::string_view code,
+                               std::string_view message);
+
+// Maps a repository/analysis Status to an HTTP error response.
+HttpResponse StatusToResponse(const Status& status);
+
+}  // namespace granula::serve
+
+#endif  // GRANULA_GRANULA_SERVE_SERVICE_H_

@@ -12,7 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/socket.h"
 #include "granula/archive/archiver.h"
+#include "granula/archive/gba.h"
+#include "granula/archive/repository.h"
 #include "granula/model/performance_model.h"
 #include "granula/monitor/job_logger.h"
 
@@ -478,6 +481,101 @@ TEST(CliTest, QueryMissingNameIsFatal) {
   EXPECT_EQ(RunCli({"query", "--repo=" + repo, "--name=never-saved"},
                 &out, &err),
             kExitFatal);
+}
+
+TEST(CliTest, QueryGbaDumpMatchesTheWireEncoder) {
+  // `query --format=gba --out=FILE` must write the exact bytes the serve
+  // daemon would hand to an `Accept: application/x-granula-gba` client.
+  std::string repo = FreshRepoDir("querygba_repo");
+  {
+    Capture out("qg_run_out"), err("qg_run_err");
+    ASSERT_EQ(RunCli({"run", "--platform=pgxd", "--graph=uniform:400,1600",
+                   "--save-repo=" + repo},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+  }
+  const std::string dump = TempPath("querygba.gba");
+  {
+    Capture out("qg_out"), err("qg_err");
+    EXPECT_EQ(RunCli({"query", "--repo=" + repo, "--name=pgxd-BFS-001",
+                   "--path=PgxdJob", "--format=gba", "--out=" + dump},
+                  &out, &err),
+              kExitOk)
+        << err.text();
+    EXPECT_NE(out.text().find("GBA byte"), std::string::npos);
+  }
+  std::ifstream in(dump, std::ios::binary);
+  std::stringstream bytes;
+  bytes << in.rdbuf();
+  core::ArchiveRepository reader_repo(repo);
+  auto subtree = reader_repo.FetchSubtree("pgxd-BFS-001", "PgxdJob");
+  ASSERT_TRUE(subtree.ok()) << subtree.status();
+  EXPECT_EQ(bytes.str(), core::EncodeGbaSubtree(**subtree));
+
+  // The dump is a standalone, decodable GBA file.
+  auto gba = core::GbaReader::Open(bytes.str());
+  ASSERT_TRUE(gba.ok()) << gba.status();
+  auto decoded = gba->DecodeArchive();
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->root->mission_type, (*subtree)->mission_type);
+
+  {
+    // --format=gba without --out is a usage error (binary on a terminal
+    // helps nobody), as is an unknown format.
+    Capture out("qg_noout_out"), err("qg_noout_err");
+    EXPECT_EQ(RunCli({"query", "--repo=" + repo, "--name=pgxd-BFS-001",
+                   "--path=PgxdJob", "--format=gba"},
+                  &out, &err),
+              kExitUsage);
+    EXPECT_NE(err.text().find("--out"), std::string::npos);
+  }
+  {
+    Capture out("qg_badfmt_out"), err("qg_badfmt_err");
+    EXPECT_EQ(RunCli({"query", "--repo=" + repo, "--name=pgxd-BFS-001",
+                   "--path=PgxdJob", "--format=xml"},
+                  &out, &err),
+              kExitUsage);
+  }
+}
+
+TEST(CliTest, ServeFlagErrorsExitSixtyFour) {
+  Capture out1("sv_root_out"), err1("sv_root_err");
+  EXPECT_EQ(RunCli({"serve"}, &out1, &err1), kExitUsage);
+  EXPECT_NE(err1.text().find("--root"), std::string::npos);
+
+  const std::string root = FreshRepoDir("serveflags_repo");
+  Capture out2("sv_port_out"), err2("sv_port_err");
+  EXPECT_EQ(RunCli({"serve", "--root=" + root, "--port=99999"},
+                &out2, &err2),
+            kExitUsage);
+
+  Capture out3("sv_to_out"), err3("sv_to_err");
+  EXPECT_EQ(RunCli({"serve", "--root=" + root, "--timeout-ms=0"},
+                &out3, &err3),
+            kExitUsage);
+
+  Capture out4("sv_thr_out"), err4("sv_thr_err");
+  EXPECT_EQ(RunCli({"serve", "--root=" + root, "--threads=9999"},
+                &out4, &err4),
+            kExitUsage);
+}
+
+TEST(CliTest, ServeBindFailureExitsOne) {
+  // Occupy a port first; `granula serve` on the same port must report the
+  // bind failure and exit 1 instead of looping or crashing.
+  auto occupied = TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(occupied.ok()) << occupied.status();
+  // An existing empty directory is a valid (empty) repository, so the
+  // failure below can only come from the bind.
+  const std::string root = FreshRepoDir("servebind_repo");
+  std::filesystem::create_directories(root);
+  Capture out("sv_bind_out"), err("sv_bind_err");
+  EXPECT_EQ(RunCli({"serve", "--root=" + root,
+                 "--port=" + std::to_string(occupied->port())},
+                &out, &err),
+            kExitFatal);
+  EXPECT_NE(err.text().find("granula serve:"), std::string::npos);
 }
 
 }  // namespace

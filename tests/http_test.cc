@@ -1,0 +1,177 @@
+#include "granula/serve/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace granula::serve {
+namespace {
+
+Result<bool> Parse(std::string_view buffer, HttpRequest* request) {
+  size_t consumed = 0;
+  return ParseHttpRequest(buffer, request, &consumed);
+}
+
+TEST(HttpParseTest, SimpleGet) {
+  HttpRequest request;
+  size_t consumed = 0;
+  const std::string wire = "GET /archives HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  auto parsed = ParseHttpRequest(wire, &request, &consumed);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_TRUE(*parsed);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/archives");
+  ASSERT_EQ(request.segments.size(), 1u);
+  EXPECT_EQ(request.segments[0], "archives");
+  EXPECT_TRUE(request.query.empty());
+  EXPECT_EQ(request.Header("Host"), "localhost");
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(HttpParseTest, QueryStringDecoding) {
+  HttpRequest request;
+  auto parsed = Parse(
+      "GET /archives?platform=giraph&since=100&label=a%20b+c HTTP/1.1\r\n"
+      "\r\n",
+      &request);
+  ASSERT_TRUE(parsed.ok() && *parsed);
+  EXPECT_EQ(request.path, "/archives");
+  EXPECT_EQ(request.query.at("platform"), "giraph");
+  EXPECT_EQ(request.query.at("since"), "100");
+  EXPECT_EQ(request.query.at("label"), "a b c");
+}
+
+TEST(HttpParseTest, PathSegmentsPercentDecoded) {
+  HttpRequest request;
+  auto parsed = Parse(
+      "GET /archives/run-1/subtree/GiraphJob/Process%20Graph HTTP/1.1\r\n"
+      "\r\n",
+      &request);
+  ASSERT_TRUE(parsed.ok() && *parsed);
+  ASSERT_EQ(request.segments.size(), 5u);
+  EXPECT_EQ(request.segments[1], "run-1");
+  EXPECT_EQ(request.segments[4], "Process Graph");
+}
+
+TEST(HttpParseTest, HeaderNamesCaseInsensitive) {
+  HttpRequest request;
+  auto parsed = Parse(
+      "GET / HTTP/1.1\r\nIf-None-Match: \"abc\"\r\nACCEPT: text/json\r\n\r\n",
+      &request);
+  ASSERT_TRUE(parsed.ok() && *parsed);
+  EXPECT_EQ(request.Header("if-none-match"), "\"abc\"");
+  EXPECT_EQ(request.Header("If-None-Match"), "\"abc\"");
+  EXPECT_EQ(request.Header("Accept"), "text/json");
+  EXPECT_EQ(request.Header("absent", "fallback"), "fallback");
+}
+
+TEST(HttpParseTest, IncompleteRequestNeedsMoreBytes) {
+  HttpRequest request;
+  auto parsed = Parse("GET /archives HTTP/1.1\r\nHost: lo", &request);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(*parsed);
+}
+
+TEST(HttpParseTest, BodyFraming) {
+  HttpRequest request;
+  size_t consumed = 0;
+  const std::string full =
+      "GET /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello<next>";
+  // Header complete but body short: not ready yet.
+  auto partial = ParseHttpRequest(full.substr(0, full.size() - 9), &request,
+                                  &consumed);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(*partial);
+  auto parsed = ParseHttpRequest(full, &request, &consumed);
+  ASSERT_TRUE(parsed.ok() && *parsed);
+  EXPECT_EQ(request.body, "hello");
+  EXPECT_EQ(full.substr(consumed), "<next>");
+}
+
+TEST(HttpParseTest, PipelinedRequestsConsumeExactly) {
+  const std::string two =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  HttpRequest request;
+  size_t consumed = 0;
+  auto first = ParseHttpRequest(two, &request, &consumed);
+  ASSERT_TRUE(first.ok() && *first);
+  EXPECT_EQ(request.path, "/a");
+  auto second = ParseHttpRequest(std::string_view(two).substr(consumed),
+                                 &request, &consumed);
+  ASSERT_TRUE(second.ok() && *second);
+  EXPECT_EQ(request.path, "/b");
+}
+
+TEST(HttpParseTest, MalformedRequests) {
+  HttpRequest request;
+  EXPECT_FALSE(Parse("NONSENSE\r\n\r\n", &request).ok());
+  EXPECT_FALSE(Parse("GET /x HTTP/2\r\n\r\n", &request).ok());
+  EXPECT_FALSE(Parse("GET noslash HTTP/1.1\r\n\r\n", &request).ok());
+  EXPECT_FALSE(Parse("GET /x HTTP/1.1\r\nbadheader\r\n\r\n", &request).ok());
+  EXPECT_FALSE(
+      Parse("GET /x HTTP/1.1\r\nContent-Length: nan\r\n\r\n", &request).ok());
+  EXPECT_FALSE(
+      Parse("GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", &request)
+          .ok());
+}
+
+TEST(HttpParseTest, OversizedHeaderBlockRejected) {
+  std::string huge = "GET / HTTP/1.1\r\nX-Pad: ";
+  huge.append(kMaxHeaderBytes + 10, 'a');
+  HttpRequest request;
+  // Even without the terminator the parser bails instead of buffering
+  // forever.
+  EXPECT_FALSE(Parse(huge, &request).ok());
+  huge += "\r\n\r\n";
+  EXPECT_FALSE(Parse(huge, &request).ok());
+}
+
+TEST(HttpParseTest, OversizedBodyRejected) {
+  HttpRequest request;
+  auto parsed = Parse(
+      "GET /x HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n", &request);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(HttpSerializeTest, ResponseRoundTrip) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "{\"ok\":true}";
+  response.headers.emplace_back("ETag", "\"g1\"");
+  const std::string wire = SerializeHttpResponse(response, true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("ETag: \"g1\"\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.size() >= 11 &&
+              wire.compare(wire.size() - 11, 11, response.body) == 0);
+}
+
+TEST(HttpSerializeTest, HeadKeepsContentLengthDropsBody) {
+  HttpResponse response;
+  response.body = "0123456789";
+  const std::string wire =
+      SerializeHttpResponse(response, false, /*head_only=*/true);
+  EXPECT_NE(wire.find("Content-Length: 10\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 4), "\r\n\r\n");
+}
+
+TEST(HttpSerializeTest, ReasonPhrases) {
+  EXPECT_EQ(HttpStatusReason(304), "Not Modified");
+  EXPECT_EQ(HttpStatusReason(404), "Not Found");
+  EXPECT_EQ(HttpStatusReason(408), "Request Timeout");
+  EXPECT_EQ(HttpStatusReason(503), "Service Unavailable");
+}
+
+TEST(HttpUrlDecodeTest, MalformedEscapesKeptLiterally) {
+  EXPECT_EQ(UrlDecode("a%2Fb"), "a/b");
+  EXPECT_EQ(UrlDecode("a%2"), "a%2");
+  EXPECT_EQ(UrlDecode("a%zz"), "a%zz");
+  EXPECT_EQ(UrlDecode("%41+%42"), "A B");
+}
+
+}  // namespace
+}  // namespace granula::serve

@@ -1,8 +1,11 @@
 #include "granula/archive/repository.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -141,6 +144,64 @@ TEST(RepositoryConcurrencyTest, SaveLeavesNoTempFilesBehind) {
   for (const auto& file : fs::directory_iterator(dir)) {
     EXPECT_NE(file.path().extension(), ".tmp") << file.path();
   }
+}
+
+TEST(RepositoryConcurrencyTest, FetchSubtreeHammer) {
+  // The serve daemon's workers all call FetchSubtree on one shared
+  // repository. 8 threads x 200 fetches over 6 keys against a capacity-2
+  // cache: constant hit/miss/evict churn on every path. Run under TSan
+  // (the thread-sanitize CI lane builds this test) to prove the cache is
+  // data-race free; the assertions prove LRU bookkeeping stays coherent.
+  ArchiveRepository repo(FreshDir("hammer"));
+  repo.set_write_format(ArchiveFormat::kGba);
+  std::vector<std::string> names;
+  for (int i = 0; i < 3; ++i) {
+    auto name = repo.Save(MakeArchive("Giraph", 10 + i));
+    ASSERT_TRUE(name.ok()) << name.status();
+    names.push_back(*name);
+  }
+  repo.set_cache_capacity(2);
+
+  constexpr int kThreads = 8;
+  constexpr int kFetches = 200;
+  const std::string paths[] = {"Root", "Root/Step"};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kFetches; ++i) {
+        const std::string& name = names[(t + i) % names.size()];
+        const std::string& path = paths[(t + i) % 2];
+        auto subtree = repo.FetchSubtree(name, path);
+        if (!subtree.ok()) {
+          ++failures;
+          continue;
+        }
+        // The pointer stays valid after eviction (shared ownership), so
+        // inspecting it here races with nothing.
+        if (path == "Root") {
+          if ((*subtree)->SubtreeSize() != 33) ++failures;
+        } else {
+          if ((*subtree)->mission_type != "Step" ||
+              !(*subtree)->HasInfo("Items")) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ArchiveRepository::CacheStats stats = repo.cache_stats();
+  // Every fetch counts exactly one hit or one miss, even when two threads
+  // race to decode the same key.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kFetches);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.evictions, 0u);  // capacity 2 over 6 keys must evict
 }
 
 TEST(RepositoryConcurrencyTest, SaveIntoUnwritableDirectoryFails) {

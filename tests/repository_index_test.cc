@@ -198,6 +198,56 @@ TEST(RepositoryQueryTest, FiltersWithoutBodyReads) {
       << "Select() must answer from the index alone";
 }
 
+TEST(RepositoryQueryTest, TimeBoundsAreInclusiveAndOrdered) {
+  HookGuard guard;
+  ArchiveRepository::SetWallClockForTest(&FakeNow);
+  ArchiveRepository repo(FreshDir("bounds"));
+  g_fake_now = 1000;
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "BFS", 10)).ok());
+  g_fake_now = 2000;
+  ASSERT_TRUE(repo.Save(MakeArchive("Giraph", "PageRank", 20)).ok());
+
+  // Both bounds are inclusive: an entry saved exactly at since or exactly
+  // at until matches.
+  ArchiveRepository::Query exact;
+  exact.saved_since = 1000;
+  exact.saved_until = 1000;
+  auto at_since = repo.Select(exact);
+  ASSERT_TRUE(at_since.ok()) << at_since.status();
+  ASSERT_EQ(at_since->size(), 1u);
+  EXPECT_EQ((*at_since)[0].saved_unix_seconds, 1000);
+
+  exact.saved_since = 2000;
+  exact.saved_until = 2000;
+  auto at_until = repo.Select(exact);
+  ASSERT_TRUE(at_until.ok());
+  ASSERT_EQ(at_until->size(), 1u);
+  EXPECT_EQ((*at_until)[0].algorithm, "PageRank");
+
+  ArchiveRepository::Query covering;
+  covering.saved_since = 1000;
+  covering.saved_until = 2000;
+  auto both_ends = repo.Select(covering);
+  ASSERT_TRUE(both_ends.ok());
+  EXPECT_EQ(both_ends->size(), 2u);
+
+  // since > until is a contract violation, not an empty result — the HTTP
+  // layer turns this into a 400.
+  ArchiveRepository::Query inverted;
+  inverted.saved_since = 2000;
+  inverted.saved_until = 1000;
+  auto error = repo.Select(inverted);
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kInvalidArgument);
+
+  // 0 still means "unbounded", so a since-only query is not "inverted".
+  ArchiveRepository::Query open_ended;
+  open_ended.saved_since = 1500;
+  auto tail = repo.Select(open_ended);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->size(), 1u);
+}
+
 // ----------------------------------------------------- LRU cache ---------
 
 TEST(RepositoryCacheTest, HitsMissesAndInvalidation) {

@@ -1,22 +1,29 @@
 #include "granula_commands.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/result.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "granula/analysis/chokepoint.h"
 #include "granula/analysis/comparative.h"
 #include "granula/analysis/regression.h"
 #include "granula/archive/archiver.h"
 #include "granula/archive/lint.h"
+#include "granula/archive/gba.h"
 #include "granula/archive/repository.h"
 #include "granula/bench/sweep.h"
+#include "granula/serve/server.h"
 #include "granula/live/watch.h"
 #include "granula/models/models.h"
 #include "granula/visual/comparative_view.h"
@@ -604,7 +611,7 @@ Result<int> CmdPack(const Flags& flags, std::FILE* out, std::FILE* err) {
 // the repository index (no archive body is opened); with --name, prints
 // the archive, one subtree (--path, decoded without touching the rest of
 // a packed body), or the quarantine findings (--findings).
-Result<int> CmdQuery(const Flags& flags, std::FILE* out) {
+Result<int> CmdQuery(const Flags& flags, std::FILE* out, std::FILE* err) {
   if (!flags.Has("repo")) {
     return Status::InvalidArgument(
         "query requires --repo=DIR (a repository made by bench/run "
@@ -616,6 +623,33 @@ Result<int> CmdQuery(const Flags& flags, std::FILE* out) {
     if (flags.Has("path")) {
       GRANULA_ASSIGN_OR_RETURN(auto subtree,
                                repo.FetchSubtree(name, flags.Get("path")));
+      const std::string format = flags.Get("format", "json");
+      if (format == "gba") {
+        // Raw GBA subtree bytes — the same serialization the serve
+        // daemon's content negotiation emits.
+        if (!flags.Has("out")) {
+          std::fprintf(err,
+                       "granula query: --format=gba writes binary bytes and "
+                       "requires --out=FILE\n");
+          return kExitUsage;
+        }
+        const std::string bytes = core::EncodeGbaSubtree(*subtree);
+        std::ofstream file(flags.Get("out"),
+                           std::ios::binary | std::ios::trunc);
+        if (!file || !file.write(bytes.data(),
+                                 static_cast<std::streamsize>(bytes.size()))) {
+          return Status::IoError("cannot write " + flags.Get("out"));
+        }
+        std::fprintf(out, "wrote %zu GBA byte(s) to %s\n", bytes.size(),
+                     flags.Get("out").c_str());
+        return kExitOk;
+      }
+      if (format != "json") {
+        std::fprintf(err,
+                     "granula query: unknown --format '%s' (json|gba)\n",
+                     format.c_str());
+        return kExitUsage;
+      }
       std::fprintf(out, "%s\n", subtree->ToJson().Dump(2).c_str());
       return kExitOk;
     }
@@ -642,6 +676,96 @@ Result<int> CmdQuery(const Flags& flags, std::FILE* out) {
   return kExitOk;
 }
 
+// granula serve — the embedded HTTP daemon over an archive repository.
+// Runs until SIGINT/SIGTERM, then drains gracefully. Exit 64 on bad
+// flags, 1 when the address cannot be bound or the repository is
+// unreadable.
+std::atomic<bool> g_serve_stop{false};
+
+void ServeSignalHandler(int) {
+  g_serve_stop.store(true, std::memory_order_release);
+}
+
+Result<int> CmdServe(const Flags& flags, std::FILE* out, std::FILE* err) {
+  const std::string root = flags.Get("root", flags.Get("repo"));
+  if (root.empty()) {
+    std::fprintf(err,
+                 "granula serve: --root=DIR (the archive repository to "
+                 "serve) is required\n");
+    return kExitUsage;
+  }
+
+  serve::ServerOptions options;
+  options.host = flags.Get("host", "127.0.0.1");
+  Result<uint64_t> port = ParseUint64(flags.Get("port", "8080"));
+  if (!port.ok() || *port > 65535) {
+    std::fprintf(err, "granula serve: bad --port '%s' (expected 0-65535)\n",
+                 flags.Get("port", "8080").c_str());
+    return kExitUsage;
+  }
+  options.port = static_cast<int>(*port);
+  Result<uint64_t> threads = ParseUint64(flags.Get("threads", "0"));
+  if (!threads.ok() || *threads > 1024) {
+    std::fprintf(err,
+                 "granula serve: bad --threads '%s' (expected 0-1024; 0 = "
+                 "every host-pool thread)\n",
+                 flags.Get("threads", "0").c_str());
+    return kExitUsage;
+  }
+  Result<uint64_t> timeout = ParseUint64(flags.Get("timeout-ms", "5000"));
+  if (!timeout.ok() || *timeout == 0 || *timeout > 3600000) {
+    std::fprintf(err,
+                 "granula serve: bad --timeout-ms '%s' (expected 1-3600000)\n",
+                 flags.Get("timeout-ms", "5000").c_str());
+    return kExitUsage;
+  }
+  options.timeout_ms = static_cast<int>(*timeout);
+  options.threads = static_cast<int>(*threads);
+  // More workers than the host pool has threads would never run (the
+  // pool executes exactly one job); grow the pool to match.
+  if (options.threads > ThreadPool::Global().num_threads()) {
+    ThreadPool::Global().Resize(options.threads);
+  }
+
+  core::ArchiveRepository repo(root);
+  Result<std::vector<core::ArchiveRepository::Entry>> entries = repo.List();
+  if (!entries.ok()) {
+    std::fprintf(err, "granula serve: cannot read repository %s: %s\n",
+                 root.c_str(), entries.status().ToString().c_str());
+    return kExitFatal;
+  }
+
+  serve::ArchiveService service(&repo, serve::ServiceOptions{});
+  serve::HttpServer server(&service, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(err, "granula serve: %s\n", started.ToString().c_str());
+    return kExitFatal;
+  }
+
+  std::fprintf(out,
+               "granula serve: %zu archive(s) from %s on http://%s:%d/ "
+               "(Ctrl-C drains)\n",
+               entries->size(), root.c_str(), options.host.c_str(),
+               server.port());
+  std::fflush(out);
+
+  g_serve_stop.store(false, std::memory_order_release);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (!g_serve_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  std::fprintf(out, "granula serve: draining...\n");
+  std::fflush(out);
+  server.Stop();
+  std::fprintf(out, "granula serve: stopped\n");
+  return kExitOk;
+}
+
 Result<int> CmdModel(const Flags& flags, std::FILE* out) {
   GRANULA_ASSIGN_OR_RETURN(core::PerformanceModel model,
                            ModelByName(flags.Get("name", "giraph")));
@@ -656,7 +780,7 @@ int RunGranula(const std::vector<std::string>& args, std::FILE* out,
   if (args.empty()) {
     std::fprintf(err,
                  "usage: granula run|bench|lint|analyze|compare|watch|list|"
-                 "query|pack|model|table1 [--flags]\n"
+                 "query|pack|serve|model|table1 [--flags]\n"
                  "       (see the header of tools/granula_cli.cc)\n");
     return kExitUsage;
   }
@@ -683,9 +807,11 @@ int RunGranula(const std::vector<std::string>& args, std::FILE* out,
   } else if (command == "list") {
     code = CmdList(*flags, out);
   } else if (command == "query") {
-    code = CmdQuery(*flags, out);
+    code = CmdQuery(*flags, out, err);
   } else if (command == "pack") {
     code = CmdPack(*flags, out, err);
+  } else if (command == "serve") {
+    code = CmdServe(*flags, out, err);
   } else if (command == "model") {
     code = CmdModel(*flags, out);
   } else if (command == "table1") {

@@ -9,11 +9,15 @@
 #   BENCH_archive.json    — binary archive (GBA) encode/decode vs the JSON
 #                           path, offset-table subtree fetch vs full load,
 #                           index-served List(), LRU cold vs warm
+#   BENCH_serve.json      — `granula serve` HTTP daemon: index-only list,
+#                           304 revalidation, hot (shared LRU) vs cold
+#                           subtree serving under concurrent readers
 #
 # Usage: tools/run_bench.sh [build_dir] [engine_out.json] [streaming_out.json]
-#                           [jsonl_out.json] [archive_out.json]
+#                           [jsonl_out.json] [archive_out.json] [serve_out.json]
 #   build_dir defaults to ./build; outputs default to ./BENCH_engine.json,
-#   ./BENCH_streaming.json, ./BENCH_jsonl.json, and ./BENCH_archive.json.
+#   ./BENCH_streaming.json, ./BENCH_jsonl.json, ./BENCH_archive.json, and
+#   ./BENCH_serve.json.
 #
 # Notes:
 # - The engine bench sweeps the thread axis itself (Resize per benchmark
@@ -30,13 +34,15 @@ engine_out="${2:-BENCH_engine.json}"
 streaming_out="${3:-BENCH_streaming.json}"
 jsonl_out="${4:-BENCH_jsonl.json}"
 archive_out="${5:-BENCH_archive.json}"
+serve_out="${6:-BENCH_serve.json}"
 engine_bench="${build_dir}/bench/micro_parallel_engine"
 streaming_bench="${build_dir}/bench/micro_streaming_ingest"
 jsonl_bench="${build_dir}/bench/micro_jsonl"
 archive_bench="${build_dir}/bench/micro_archive_query"
+serve_bench="${build_dir}/bench/micro_serve"
 
 for bench in "${engine_bench}" "${streaming_bench}" "${jsonl_bench}" \
-             "${archive_bench}"; do
+             "${archive_bench}" "${serve_bench}"; do
   if [[ ! -x "${bench}" ]]; then
     echo "error: ${bench} not found — build first:" >&2
     echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
@@ -69,7 +75,14 @@ echo
   --benchmark_counters_tabular=true
 
 echo
-echo "wrote ${engine_out}, ${streaming_out}, ${jsonl_out}, and ${archive_out}"
+"${serve_bench}" \
+  --benchmark_out="${serve_out}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo
+echo "wrote ${engine_out}, ${streaming_out}, ${jsonl_out}, ${archive_out}," \
+     "and ${serve_out}"
 # Print the superstep-compute scaling summary (speedup vs the 1-thread row
 # of each benchmark family) if python3 is around; the JSON has everything.
 if command -v python3 >/dev/null; then
@@ -150,5 +163,31 @@ for name, label in [("BM_RepoListIndexed", "indexed List()"),
                     ("BM_FetchSubtreeWarm", "subtree fetch (LRU hit)")]:
     if name in times:
         print(f"  {label}: {times[name] / 1e3:.1f}us")
+EOF
+  # Serve daemon: hot (shared LRU) vs cold subtree throughput per thread
+  # count, against the >= 2x acceptance point.
+  python3 - "${serve_out}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+rates = {}
+for b in data.get("benchmarks", []):
+    if "items_per_second" not in b:
+        continue
+    name = b["name"].split("/")[0]
+    threads = "1"
+    for part in b["name"].split("/")[1:]:
+        if part.startswith("threads:"):
+            threads = part.split(":")[1]
+    rates[(name, threads)] = b["items_per_second"]
+if rates:
+    print("serve daemon throughput:")
+    for (name, threads), rate in sorted(rates.items()):
+        print(f"  {name} x{threads}: {rate:.0f} req/s")
+    for threads in ("1", "4"):
+        hot = rates.get(("BM_ServeSubtreeHot", threads))
+        cold = rates.get(("BM_ServeSubtreeCold", threads))
+        if hot and cold:
+            print(f"  hot/cold subtree speedup x{threads}: "
+                  f"{hot / cold:.2f}x (>= 2x wanted)")
 EOF
 fi
